@@ -1,0 +1,34 @@
+//! CSD recoding and digit-budgeted quantization throughput (the
+//! coefficient-preparation step of every filter design).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_recode(c: &mut Criterion) {
+    let values: Vec<i64> = (0..1024).map(|i| (i * 2654435761u64 as i64) % 32768 - 16384).collect();
+    let mut group = c.benchmark_group("csd");
+    group.throughput(Throughput::Elements(values.len() as u64));
+    group.bench_function("exact_recode_1024", |b| {
+        b.iter(|| {
+            let mut digits = 0usize;
+            for &v in &values {
+                digits += csd::Csd::from_integer(v).nonzero_digits();
+            }
+            black_box(digits)
+        })
+    });
+    group.bench_function("quantize_budget4_1024", |b| {
+        b.iter(|| {
+            let mut err = 0.0f64;
+            for (i, _) in values.iter().enumerate() {
+                let t = (i as f64 / 1024.0) - 0.5;
+                err += csd::quantize(t, 15, 4).error.abs();
+            }
+            black_box(err)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_recode);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Parallel fault-simulation throughput: the engine behind the paper's
+//! Tables 4–6 and Figs. 10–13. Uses a reduced design and test length so
+//! a bench iteration stays under a second.
+
+use bist_core::session::BistSession;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dsp::firdesign::BandKind;
+use filters::{FilterDesign, FilterSpec};
+use std::hint::black_box;
+
+fn small_design() -> FilterDesign {
+    FilterDesign::elaborate(FilterSpec {
+        name: "bench".into(),
+        band: BandKind::Lowpass { cutoff: 0.1 },
+        taps: 20,
+        input_bits: 12,
+        coef_frac_bits: 14,
+        max_csd_digits: 4,
+        width: 16,
+        kaiser_beta: 5.0,
+    })
+    .expect("bench design elaborates")
+}
+
+fn bench_universe(c: &mut Criterion) {
+    let design = small_design();
+    c.bench_function("enumerate_universe_20tap", |b| {
+        b.iter(|| black_box(BistSession::new(&design).universe().len()))
+    });
+}
+
+fn bench_run(c: &mut Criterion) {
+    let design = small_design();
+    let session = BistSession::new(&design);
+    let faults = session.universe().len() as u64;
+    let mut group = c.benchmark_group("fault_sim");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(faults));
+    group.bench_function("20tap_256_vectors", |b| {
+        b.iter(|| {
+            let mut gen = bist_bench::generator("LFSR-D");
+            black_box(session.run(&mut *gen, 256).missed())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_universe, bench_run);
+criterion_main!(benches);

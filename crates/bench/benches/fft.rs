@@ -1,0 +1,38 @@
+//! FFT throughput: the kernel behind the generator spectra (paper
+//! Fig. 4) and the compatibility metric (Table 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsp::{fft, Complex};
+use std::hint::black_box;
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for &n in &[256usize, 1024, 4096] {
+        let data: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.91).cos()))
+            .collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("radix2", n), &data, |b, data| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                fft::fft(&mut buf).expect("power of two");
+                black_box(buf)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_welch(c: &mut Criterion) {
+    let x: Vec<f64> = (0..16384).map(|i| ((i * i) as f64 * 0.001).sin()).collect();
+    c.bench_function("welch_16k_seg512", |b| {
+        b.iter(|| {
+            black_box(
+                dsp::spectrum::welch(&x, 512, dsp::window::Window::Hann).expect("valid"),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_fft, bench_welch);
+criterion_main!(benches);

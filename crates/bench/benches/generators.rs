@@ -1,0 +1,39 @@
+//! Test-pattern generator throughput (words per second) for each
+//! scheme of the paper's Section 6.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tpg::TestGenerator;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    const N: usize = 4096;
+    group.throughput(Throughput::Elements(N as u64));
+    for name in ["LFSR-1", "LFSR-2", "LFSR-D", "LFSR-M", "Ramp", "Ideal"] {
+        group.bench_function(name, |b| {
+            let mut gen = bist_bench::generator(name);
+            b.iter(|| {
+                gen.reset();
+                let mut acc = 0i64;
+                for _ in 0..N {
+                    acc = acc.wrapping_add(gen.next_word());
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_analytic_spectra(c: &mut Criterion) {
+    c.bench_function("lfsr1_analytic_spectrum_256", |b| {
+        b.iter(|| black_box(tpg::spectra::lfsr1(12, 256)))
+    });
+    let lfsr2 = tpg::Lfsr2::new(12, tpg::polynomials::PAPER_TYPE2_POLY).expect("paper poly");
+    c.bench_function("lfsr2_exact_spectrum_256", |b| {
+        b.iter(|| black_box(tpg::spectra::lfsr2(&lfsr2, 256)))
+    });
+}
+
+criterion_group!(benches, bench_generators, bench_analytic_spectra);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Bit-sliced netlist simulation throughput: cycles/second on the
+//! paper's LP design (the inner loop of every fault-simulation
+//! experiment), plus design elaboration cost.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rtl::sim::BitSlicedSim;
+use std::hint::black_box;
+
+
+fn bench_step(c: &mut Criterion) {
+    let design = filters::designs::lowpass().expect("LP elaborates");
+    let netlist = design.netlist();
+    let mut gen = bist_bench::generator("LFSR-D");
+    let inputs: Vec<i64> = (0..256).map(|_| design.align_input(gen.next_word())).collect();
+
+    let mut group = c.benchmark_group("rtl_sim");
+    group.throughput(Throughput::Elements(inputs.len() as u64));
+    group.bench_function("lp_256_cycles_64_lanes", |b| {
+        b.iter(|| {
+            let mut sim = BitSlicedSim::new(netlist);
+            for &x in &inputs {
+                sim.step(x);
+            }
+            black_box(sim.lane_value(design.output(), 0))
+        })
+    });
+    group.finish();
+}
+
+fn bench_elaboration(c: &mut Criterion) {
+    c.bench_function("elaborate_lp_design", |b| {
+        b.iter(|| black_box(filters::designs::lowpass().expect("LP elaborates")))
+    });
+}
+
+fn bench_range_analysis(c: &mut Criterion) {
+    let design = filters::designs::lowpass().expect("LP elaborates");
+    c.bench_function("range_analysis_lp", |b| {
+        b.iter(|| {
+            black_box(rtl::range::RangeAnalysis::analyze(
+                design.netlist(),
+                rtl::range::aligned_input_range(12, 16),
+            ))
+        })
+    });
+}
+
+fn bench_reachability(c: &mut Criterion) {
+    let design = filters::designs::lowpass().expect("LP elaborates");
+    c.bench_function("reachability_lp_4096_inputs", |b| {
+        b.iter(|| black_box(rtl::reachability::Reachability::analyze(design.netlist(), 12)))
+    });
+}
+
+criterion_group!(benches, bench_step, bench_elaboration, bench_range_analysis, bench_reachability);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Shared experiment infrastructure: design construction, generator
+//! registry, text tables and ASCII plots.
+//!
+//! The `experiments` binary in this crate regenerates every table and
+//! figure of the paper (see `DESIGN.md`'s per-experiment index and
+//! `EXPERIMENTS.md` for recorded results); the Criterion benches
+//! measure the performance of the underlying engines.
+
+pub mod plot;
+pub mod table;
+
+use bist_core::session::{BistRun, BistSession};
+use filters::FilterDesign;
+use tpg::{Decorrelated, Lfsr1, Lfsr2, MaxVariance, Mixed, Ramp, ShiftDirection, TestGenerator};
+
+/// The paper's generator roster for the Section 8 experiments.
+pub const SECTION8_GENERATORS: [&str; 4] = ["LFSR-1", "LFSR-D", "LFSR-M", "Ramp"];
+
+/// Builds a 12-bit generator by display name.
+///
+/// # Panics
+///
+/// Panics on an unknown name (callers pass compile-time names).
+pub fn generator(name: &str) -> Box<dyn TestGenerator> {
+    match name {
+        "LFSR-1" => Box::new(Lfsr1::new(12, ShiftDirection::LsbToMsb).expect("12-bit LFSR")),
+        "LFSR-2" => {
+            Box::new(Lfsr2::new(12, tpg::polynomials::PAPER_TYPE2_POLY).expect("paper poly"))
+        }
+        "LFSR-D" => {
+            Box::new(Decorrelated::maximal(12, ShiftDirection::LsbToMsb).expect("12-bit LFSR"))
+        }
+        "LFSR-M" => Box::new(MaxVariance::maximal(12).expect("12-bit LFSR")),
+        "Ramp" => Box::new(Ramp::new(12).expect("12-bit ramp")),
+        "Ideal" => Box::new(tpg::IdealWhite::new(12).expect("12-bit white")),
+        other => panic!("unknown generator {other}"),
+    }
+}
+
+/// The mixed scheme of the paper's Section 9: LFSR-1 for
+/// `switch_after` vectors, then LFSR-M.
+pub fn mixed_generator(switch_after: u64) -> Box<dyn TestGenerator> {
+    Box::new(Mixed::lfsr1_then_maxvar(12, switch_after).expect("12-bit mixed"))
+}
+
+/// Elaborates the three paper designs (LP, BP, HP). Building all three
+/// takes well under a second.
+pub fn paper_designs() -> Vec<FilterDesign> {
+    filters::designs::paper_designs().expect("paper designs elaborate")
+}
+
+/// Runs one generator against one design and returns the run.
+pub fn run_experiment(design: &FilterDesign, gen_name: &str, vectors: usize) -> BistRun {
+    let session = BistSession::new(design);
+    let mut gen = generator(gen_name);
+    session.run(&mut *gen, vectors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_builds_all_generators() {
+        for name in SECTION8_GENERATORS.iter().chain(["LFSR-2", "Ideal"].iter()) {
+            let mut g = generator(name);
+            assert_eq!(g.width(), 12);
+            g.next_word();
+        }
+        let mut m = mixed_generator(4);
+        assert_eq!(m.width(), 12);
+        m.next_word();
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown generator")]
+    fn unknown_generator_panics() {
+        generator("nope");
+    }
+}

@@ -1,0 +1,101 @@
+//! ASCII line plots for the figure-reproducing experiments.
+
+/// Renders one or more named series as an ASCII plot of `height` rows.
+/// Each series is drawn with its own glyph; x positions are the sample
+/// indices scaled to `width` columns.
+///
+/// # Example
+///
+/// ```
+/// let y: Vec<f64> = (0..100).map(|i| (i as f64 * 0.1).sin()).collect();
+/// let p = bist_bench::plot::ascii(&[("sine", &y)], 60, 12);
+/// assert!(p.contains('*'));
+/// ```
+pub fn ascii(series: &[(&str, &[f64])], width: usize, height: usize) -> String {
+    const GLYPHS: [char; 6] = ['*', '+', 'o', 'x', '#', '@'];
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (_, y) in series {
+        for &v in *y {
+            if v.is_finite() {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return String::from("(no data)\n");
+    }
+    if hi - lo < 1e-12 {
+        hi = lo + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (s_idx, (_, y)) in series.iter().enumerate() {
+        let glyph = GLYPHS[s_idx % GLYPHS.len()];
+        let n = y.len();
+        if n == 0 {
+            continue;
+        }
+        for (i, &v) in y.iter().enumerate() {
+            if !v.is_finite() {
+                continue;
+            }
+            let col = if n == 1 { 0 } else { i * (width - 1) / (n - 1) };
+            let frac = (v - lo) / (hi - lo);
+            let row = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+            grid[row.min(height - 1)][col] = glyph;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{hi:12.4} ┤\n"));
+    for row in grid {
+        out.push_str("             │");
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push_str(&format!("{lo:12.4} ┤"));
+    out.push_str(&"─".repeat(width));
+    out.push('\n');
+    let mut legend = String::from("              ");
+    for (i, (name, _)) in series.iter().enumerate() {
+        legend.push_str(&format!("{} {}   ", GLYPHS[i % GLYPHS.len()], name));
+    }
+    out.push_str(&legend);
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plots_multiple_series_with_distinct_glyphs() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..50).map(|i| 50.0 - i as f64).collect();
+        let p = ascii(&[("up", &a), ("down", &b)], 40, 10);
+        assert!(p.contains('*'));
+        assert!(p.contains('+'));
+        assert!(p.contains("up"));
+        assert!(p.contains("down"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let y = vec![3.0; 10];
+        let p = ascii(&[("flat", &y)], 20, 5);
+        assert!(p.contains('*'));
+    }
+
+    #[test]
+    fn empty_series_is_handled() {
+        let p = ascii(&[("none", &[][..])], 20, 5);
+        assert!(p.contains("no data") || p.contains('│'));
+    }
+
+    #[test]
+    fn nan_values_are_skipped() {
+        let y = vec![1.0, f64::NAN, 2.0];
+        let p = ascii(&[("y", &y)], 20, 5);
+        assert!(p.contains('*'));
+    }
+}

@@ -1,0 +1,77 @@
+//! Minimal fixed-width text-table rendering for experiment output.
+
+/// Renders a table: header row plus data rows, columns padded to the
+/// widest cell.
+///
+/// # Example
+///
+/// ```
+/// let t = bist_bench::table::render(
+///     &["design", "misses"],
+///     &[vec!["LP".into(), "519".into()]],
+/// );
+/// assert!(t.contains("design"));
+/// assert!(t.contains("LP"));
+/// ```
+pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (c, w) in cells.iter().zip(widths) {
+            let pad = w - c.chars().count();
+            line.push(' ');
+            line.push_str(c);
+            line.push_str(&" ".repeat(pad + 1));
+            line.push('|');
+        }
+        line
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push('|');
+    for w in &widths {
+        out.push_str(&"-".repeat(w + 2));
+        out.push('|');
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let t = render(
+            &["a", "long-header"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["yyyy".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines the same display width.
+        let w = lines[0].chars().count();
+        assert!(lines.iter().all(|l| l.chars().count() == w), "{t}");
+    }
+
+    #[test]
+    fn empty_rows_render_header_only() {
+        let t = render(&["h"], &[]);
+        assert_eq!(t.lines().count(), 2);
+    }
+}

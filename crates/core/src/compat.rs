@@ -1,0 +1,313 @@
+//! The frequency-domain compatibility metric and the paper's Table 3
+//! classification.
+//!
+//! "Comparing the filter's transfer function with the test generator's
+//! spectrum gives a quick indication of their compatibility. Formally,
+//! we can estimate the output signal variance as
+//! `sigma_y^2 = (1/L) sum |G[k]|^2 |H[k]|^2`" (paper Section 6.1).
+//! A generator is judged against the idealized white generator of equal
+//! word variance: a large shortfall means the generator starves the
+//! filter's passband and upper-bit faults are at risk.
+
+use dsp::response::response_at;
+use dsp::spectrum::PowerSpectrum;
+use std::fmt;
+
+/// The paper's three-way compatibility rating (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Compatibility {
+    /// `+` — the generator feeds the filter's passband well.
+    Good,
+    /// `±` — design-dependent; part of the passband is under-fed.
+    Marginal,
+    /// `−` — the generator starves the passband.
+    Poor,
+}
+
+impl fmt::Display for Compatibility {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Compatibility::Good => "+",
+            Compatibility::Marginal => "±",
+            Compatibility::Poor => "−",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Output variance of a filter with impulse response `h` driven by a
+/// generator with one-sided power spectrum `g`:
+/// `sigma_y^2 = (1/L) sum G[k] |H[k]|^2` (the paper's Section 6.1
+/// estimate; `G` here is already a power spectrum).
+pub fn output_variance(g: &PowerSpectrum, h: &[f64]) -> f64 {
+    if g.is_empty() {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for (k, &p) in g.values().iter().enumerate() {
+        let f = g.frequency(k);
+        acc += p * response_at(h, f).norm_sqr();
+    }
+    acc / g.len() as f64
+}
+
+/// Ratio of a generator's predicted output variance to the idealized
+/// white generator's (equal word variance). `1.0` means the generator
+/// loses nothing to spectral mismatch.
+pub fn compatibility_ratio(g: &PowerSpectrum, reference: &PowerSpectrum, h: &[f64]) -> f64 {
+    let denom = output_variance(reference, h);
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    output_variance(g, h) / denom
+}
+
+/// Classifies a generator/filter pair from its output variance against
+/// the white-reference output variance.
+///
+/// Thresholds: below 35% of the reference is [`Compatibility::Poor`]
+/// (severe passband starvation — the paper's LFSR-1-on-lowpass and
+/// ramp-on-highpass cases), above 85% is [`Compatibility::Good`], in
+/// between is design-dependent ([`Compatibility::Marginal`]).
+pub fn classify(variance: f64, reference_variance: f64) -> Compatibility {
+    if reference_variance <= 0.0 {
+        return Compatibility::Marginal;
+    }
+    let ratio = variance / reference_variance;
+    if ratio >= 0.85 {
+        Compatibility::Good
+    } else if ratio >= 0.35 {
+        Compatibility::Marginal
+    } else {
+        Compatibility::Poor
+    }
+}
+
+/// One row of a compatibility table: a named generator spectrum.
+#[derive(Debug, Clone)]
+pub struct GeneratorSpectrum {
+    /// Display name ("LFSR-1", ...).
+    pub name: String,
+    /// One-sided power spectrum.
+    pub spectrum: PowerSpectrum,
+}
+
+/// Builds the paper's Table 3: one rating per (generator, filter) pair,
+/// judging each generator against the white reference of variance 1/3.
+///
+/// `filters` pairs a display name with an impulse response.
+pub fn compatibility_table(
+    generators: &[GeneratorSpectrum],
+    filters: &[(String, Vec<f64>)],
+) -> Vec<(String, Vec<Compatibility>)> {
+    generators
+        .iter()
+        .map(|g| {
+            let reference = tpg::spectra::flat(1.0 / 3.0, g.spectrum.len().max(16));
+            let row = filters
+                .iter()
+                .map(|(_, h)| {
+                    classify(output_variance(&g.spectrum, h), output_variance(&reference, h))
+                })
+                .collect();
+            (g.name.clone(), row)
+        })
+        .collect()
+}
+
+/// Classifies a generator against a whole *filter type* from its
+/// compatibility ratios across a family of band-edge variations — the
+/// semantics of the paper's Table 3, where `±` means "compatibility is
+/// dependent on the specifics of the design":
+///
+/// * `+` — good for every family member (worst ratio ≥ 0.75);
+/// * `−` — catastrophically starved somewhere in the family (worst
+///   ratio < 0.03) or starved everywhere (best ratio < 0.10);
+/// * `±` — otherwise (adequate for some band placements, not others).
+pub fn classify_family(ratios: &[f64]) -> Compatibility {
+    if ratios.is_empty() {
+        return Compatibility::Marginal;
+    }
+    let lo = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if lo >= 0.75 {
+        Compatibility::Good
+    } else if lo < 0.03 || hi < 0.10 {
+        Compatibility::Poor
+    } else {
+        Compatibility::Marginal
+    }
+}
+
+/// Prototype impulse-response families for the three basic filter
+/// types (band edges swept over the placements a designer might pick).
+pub fn band_families() -> Vec<(String, Vec<Vec<f64>>)> {
+    use dsp::firdesign::{BandKind, FirSpec};
+    let design = |kind: BandKind, taps: usize| -> Vec<f64> {
+        FirSpec::new(kind, taps).kaiser_beta(5.5).design().expect("valid family prototype")
+    };
+    let lowpass = [0.02, 0.04, 0.06, 0.08]
+        .iter()
+        .map(|&c| design(BandKind::Lowpass { cutoff: c }, 60))
+        .collect();
+    let bandpass = [0.02, 0.05, 0.10, 0.20, 0.28]
+        .iter()
+        .map(|&lo| design(BandKind::Bandpass { low: lo, high: lo + 0.2 }, 58))
+        .collect();
+    let highpass = [0.25, 0.35, 0.45]
+        .iter()
+        .map(|&c| design(BandKind::Highpass { cutoff: c }, 59))
+        .collect();
+    vec![
+        ("Lowpass".to_string(), lowpass),
+        ("Bandpass".to_string(), bandpass),
+        ("Highpass".to_string(), highpass),
+    ]
+}
+
+/// Builds the paper's Table 3 proper: each generator rated against each
+/// *filter type* (family of designs), reproducing the `+ / ± / −`
+/// entries including the design-dependent `±` cells.
+pub fn type_compatibility_table(
+    generators: &[GeneratorSpectrum],
+) -> Vec<(String, Vec<Compatibility>)> {
+    let families = band_families();
+    generators
+        .iter()
+        .map(|g| {
+            let reference = tpg::spectra::flat(1.0 / 3.0, g.spectrum.len().max(16));
+            let row = families
+                .iter()
+                .map(|(_, members)| {
+                    let ratios: Vec<f64> = members
+                        .iter()
+                        .map(|h| compatibility_ratio(&g.spectrum, &reference, h))
+                        .collect();
+                    classify_family(&ratios)
+                })
+                .collect();
+            (g.name.clone(), row)
+        })
+        .collect()
+}
+
+/// The five paper generators' spectra (12-bit versions, as in the
+/// paper's Fig. 4), ready for [`compatibility_table`].
+pub fn paper_generator_spectra(bins: usize) -> Vec<GeneratorSpectrum> {
+    let lfsr2 = tpg::Lfsr2::new(12, tpg::polynomials::PAPER_TYPE2_POLY)
+        .expect("paper polynomial is valid");
+    vec![
+        GeneratorSpectrum { name: "LFSR-1".into(), spectrum: tpg::spectra::lfsr1(12, bins) },
+        GeneratorSpectrum { name: "LFSR-2".into(), spectrum: tpg::spectra::lfsr2(&lfsr2, bins) },
+        GeneratorSpectrum { name: "LFSR-D".into(), spectrum: tpg::spectra::flat(1.0 / 3.0, bins) },
+        GeneratorSpectrum { name: "LFSR-M".into(), spectrum: tpg::spectra::flat(1.0, bins) },
+        GeneratorSpectrum { name: "Ramp".into(), spectrum: tpg::spectra::ramp(12, bins) },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsp::firdesign::{BandKind, FirSpec};
+
+    fn lp() -> Vec<f64> {
+        FirSpec::new(BandKind::Lowpass { cutoff: 0.04 }, 60).design().unwrap()
+    }
+
+    fn hp() -> Vec<f64> {
+        FirSpec::new(BandKind::Highpass { cutoff: 0.38 }, 59).design().unwrap()
+    }
+
+    #[test]
+    fn white_noise_output_variance_matches_parseval() {
+        let h = lp();
+        let white = tpg::spectra::flat(1.0, 1024);
+        let v = output_variance(&white, &h);
+        let expect: f64 = h.iter().map(|c| c * c).sum();
+        // Riemann-sum error of the frequency grid is O(1/bins).
+        assert!((v - expect).abs() < 0.02 * expect, "{v} vs {expect}");
+    }
+
+    #[test]
+    fn lfsr1_starves_narrowband_lowpass() {
+        let h = lp();
+        let g = tpg::spectra::lfsr1(12, 1024);
+        let w = tpg::spectra::flat(1.0 / 3.0, 1024);
+        let ratio = compatibility_ratio(&g, &w, &h);
+        assert!(ratio < 0.35, "ratio {ratio}");
+    }
+
+    #[test]
+    fn lfsr1_feeds_highpass_well() {
+        let h = hp();
+        let g = tpg::spectra::lfsr1(12, 1024);
+        let w = tpg::spectra::flat(1.0 / 3.0, 1024);
+        let ratio = compatibility_ratio(&g, &w, &h);
+        assert!(ratio > 0.85, "ratio {ratio}");
+    }
+
+    #[test]
+    fn ramp_is_poor_on_highpass() {
+        let h = hp();
+        let g = tpg::spectra::ramp(12, 1024);
+        let w = tpg::spectra::flat(1.0 / 3.0, 1024);
+        assert!(compatibility_ratio(&g, &w, &h) < 0.35);
+    }
+
+    #[test]
+    fn classification_thresholds() {
+        assert_eq!(classify(0.9, 1.0), Compatibility::Good);
+        assert_eq!(classify(0.5, 1.0), Compatibility::Marginal);
+        assert_eq!(classify(0.1, 1.0), Compatibility::Poor);
+        assert_eq!(classify(1.0, 0.0), Compatibility::Marginal);
+    }
+
+    #[test]
+    fn table_reproduces_key_paper_entries() {
+        let gens = paper_generator_spectra(512);
+        let filters = vec![("LP".to_string(), lp()), ("HP".to_string(), hp())];
+        let table = compatibility_table(&gens, &filters);
+        let find = |name: &str| table.iter().find(|(n, _)| n == name).unwrap().1.clone();
+        // Paper Table 3 anchors:
+        assert_eq!(find("LFSR-1")[0], Compatibility::Poor); // LP
+        assert_eq!(find("LFSR-1")[1], Compatibility::Good); // HP
+        assert_eq!(find("LFSR-D")[0], Compatibility::Good);
+        assert_eq!(find("LFSR-D")[1], Compatibility::Good);
+        assert_eq!(find("LFSR-M")[0], Compatibility::Good);
+        assert_eq!(find("Ramp")[0], Compatibility::Good); // LP
+        assert_eq!(find("Ramp")[1], Compatibility::Poor); // HP
+    }
+
+    #[test]
+    fn type_table_reproduces_paper_table3_exactly() {
+        use Compatibility::{Good as P, Marginal as M, Poor as N};
+        let table = type_compatibility_table(&paper_generator_spectra(1024));
+        let expect = [
+            ("LFSR-1", [N, M, P]),
+            ("LFSR-2", [M, M, P]),
+            ("LFSR-D", [P, P, P]),
+            ("LFSR-M", [P, P, P]),
+            ("Ramp", [P, N, N]),
+        ];
+        for (name, row) in expect {
+            let got = &table.iter().find(|(n, _)| n == name).expect("generator present").1;
+            assert_eq!(got.as_slice(), row.as_slice(), "{name}");
+        }
+    }
+
+    #[test]
+    fn classify_family_edge_cases() {
+        assert_eq!(classify_family(&[]), Compatibility::Marginal);
+        assert_eq!(classify_family(&[1.0, 0.8]), Compatibility::Good);
+        assert_eq!(classify_family(&[0.01, 0.9]), Compatibility::Poor);
+        assert_eq!(classify_family(&[0.05, 0.08]), Compatibility::Poor);
+        assert_eq!(classify_family(&[0.2, 0.9]), Compatibility::Marginal);
+    }
+
+    #[test]
+    fn display_uses_paper_symbols() {
+        assert_eq!(Compatibility::Good.to_string(), "+");
+        assert_eq!(Compatibility::Marginal.to_string(), "±");
+        assert_eq!(Compatibility::Poor.to_string(), "−");
+    }
+}

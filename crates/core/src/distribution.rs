@@ -1,0 +1,146 @@
+//! Amplitude-distribution prediction at internal filter nodes (paper
+//! Section 7.2, Figs. 8–9).
+//!
+//! Under the LFSR linear model, the signal at a node is
+//! `sum_n h'[n] a(t-n)` with `h' = h_node * g` and `a` a 0/1 white bit
+//! stream, so its distribution is the convolution of scaled Bernoulli
+//! terms. Under the idealized generator the node signal is
+//! `sum_n h[n] u(t-n)` with independent uniform words `u`, so the
+//! distribution convolves scaled uniform terms. Both are computed with
+//! [`dsp::dist::Distribution`] and can be compared against simulation
+//! histograms.
+
+use dsp::conv::convolve;
+use dsp::dist::Distribution;
+use dsp::stats::Histogram;
+use rtl::{Netlist, NodeId};
+
+/// Default grid step for predictions (2^-9 of full scale).
+pub const DEFAULT_STEP: f64 = 1.0 / 512.0;
+
+/// Predicted distribution at `node` when the input is driven by an LFSR
+/// described by the linear model `g` (paper Fig. 8 "theory" curve).
+pub fn predict_lfsr(netlist: &Netlist, node: NodeId, g: &[f64], step: f64) -> Distribution {
+    let len = netlist.register_indices().len() + 2;
+    let h = rtl::linear::impulse_response(netlist, node, len);
+    let weights = convolve(&h, g);
+    Distribution::sum_of_bernoulli(&weights, step)
+}
+
+/// Predicted distribution at `node` for an idealized generator with
+/// independent uniform words (paper Fig. 9 "theory" curve).
+pub fn predict_ideal(netlist: &Netlist, node: NodeId, step: f64) -> Distribution {
+    let len = netlist.register_indices().len() + 2;
+    let h = rtl::linear::impulse_response(netlist, node, len);
+    Distribution::sum_of_uniform(&h, step)
+}
+
+/// Histogram of the actual signal at `node` under the given input
+/// sequence (the simulation side of Figs. 8–9), as fractional values.
+pub fn simulate_histogram(
+    netlist: &Netlist,
+    node: NodeId,
+    inputs: &[i64],
+    bins: usize,
+) -> Histogram {
+    let samples = faultsim::inject::probe_node(netlist, node, inputs);
+    let lsb = netlist.format().lsb();
+    let mut hist = Histogram::new(-1.0, 1.0, bins);
+    for &raw in &samples {
+        hist.add(raw as f64 * lsb);
+    }
+    hist
+}
+
+/// Maximum absolute difference between a predicted density and a
+/// histogram's density estimate on the histogram's grid, normalized by
+/// the histogram's density peak — a goodness-of-fit score for the
+/// theory-vs-simulation comparisons.
+pub fn density_mismatch(prediction: &Distribution, hist: &Histogram) -> f64 {
+    let bins = hist.counts().len();
+    let predicted = prediction.density_on(-1.0, 1.0, bins);
+    let actual = hist.density();
+    let peak = actual.iter().cloned().fold(f64::MIN, f64::max).max(1e-12);
+    predicted
+        .iter()
+        .zip(&actual)
+        .map(|(p, a)| (p - a).abs())
+        .fold(0.0, f64::max)
+        / peak
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpg::{collect_words, model, Lfsr1, ShiftDirection};
+
+    fn small_filter() -> filters::FilterDesign {
+        filters::FilterDesign::elaborate(filters::FilterSpec {
+            name: "T".into(),
+            band: dsp::firdesign::BandKind::Lowpass { cutoff: 0.1 },
+            taps: 20,
+            input_bits: 12,
+            coef_frac_bits: 14,
+            max_csd_digits: 4,
+            width: 16,
+            kaiser_beta: 5.0,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn lfsr_prediction_matches_simulation_moments() {
+        let d = small_filter();
+        let node = d.output();
+        let g = model::lfsr1_model(12, ShiftDirection::LsbToMsb);
+        let predicted = predict_lfsr(d.netlist(), node, &g, DEFAULT_STEP);
+
+        let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
+        let inputs: Vec<i64> =
+            collect_words(&mut gen, 4095).into_iter().map(|w| d.align_input(w)).collect();
+        let samples = faultsim::inject::probe_node(d.netlist(), node, &inputs);
+        let lsb = d.netlist().format().lsb();
+        let values: Vec<f64> = samples.iter().map(|&r| r as f64 * lsb).collect();
+        let s = dsp::stats::Summary::of(&values).unwrap();
+
+        assert!(
+            (predicted.std_dev() - s.std_dev()).abs() < 0.15 * s.std_dev().max(1e-6),
+            "predicted {} vs simulated {}",
+            predicted.std_dev(),
+            s.std_dev()
+        );
+    }
+
+    #[test]
+    fn ideal_prediction_matches_white_simulation() {
+        let d = small_filter();
+        let node = d.output();
+        let predicted = predict_ideal(d.netlist(), node, DEFAULT_STEP);
+
+        let mut gen = tpg::IdealWhite::new(12).unwrap();
+        let inputs: Vec<i64> =
+            collect_words(&mut gen, 8192).into_iter().map(|w| d.align_input(w)).collect();
+        let hist = simulate_histogram(d.netlist(), node, &inputs, 64);
+        let mismatch = density_mismatch(&predicted, &hist);
+        assert!(mismatch < 0.25, "density mismatch {mismatch}");
+    }
+
+    #[test]
+    fn prediction_has_unit_mass_and_reasonable_support() {
+        let d = small_filter();
+        let g = model::lfsr1_model(12, ShiftDirection::LsbToMsb);
+        let p = predict_lfsr(d.netlist(), d.output(), &g, DEFAULT_STEP);
+        assert!((p.total_mass() - 1.0).abs() < 1e-6);
+        // A scaled design keeps everything within [-1, 1).
+        assert!(p.prob_in(-1.0, 1.0) > 0.999);
+    }
+
+    #[test]
+    fn histogram_counts_all_samples() {
+        let d = small_filter();
+        let inputs: Vec<i64> = (0..100).map(|i| d.align_input((i * 41) % 2048 - 1024)).collect();
+        let h = simulate_histogram(d.netlist(), d.output(), &inputs, 32);
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.outliers(), 0);
+    }
+}

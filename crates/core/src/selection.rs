@@ -1,0 +1,171 @@
+//! Generator selection: rank the standard BIST generators against a
+//! filter design and recommend a test scheme.
+//!
+//! Implements the paper's selection guidance: prefer a generator that
+//! puts substantial energy in the filter's passband; combine a
+//! CUT-compatible generator with the maximum-variance mode (which
+//! exercises upper bits and compensates for a Type 1 LFSR's
+//! low-frequency rolloff) for coverage neither achieves alone
+//! (Section 9).
+
+use crate::compat::{classify, compatibility_ratio, paper_generator_spectra, Compatibility};
+use filters::FilterDesign;
+
+/// One generator's rating against a design.
+#[derive(Debug, Clone)]
+pub struct GeneratorRating {
+    /// Generator display name.
+    pub name: String,
+    /// Predicted output variance relative to an ideal white generator
+    /// of the same word variance (1.0 = no spectral loss).
+    pub ratio: f64,
+    /// The paper's `+/±/−` classification.
+    pub compatibility: Compatibility,
+}
+
+/// Rates the five paper generators against a design, best ratio first.
+pub fn rate_generators(design: &FilterDesign, bins: usize) -> Vec<GeneratorRating> {
+    let h = design.coefficients();
+    let reference = tpg::spectra::flat(1.0 / 3.0, bins);
+    let mut out: Vec<GeneratorRating> = paper_generator_spectra(bins)
+        .into_iter()
+        .map(|g| {
+            let ratio = compatibility_ratio(&g.spectrum, &reference, &h);
+            let compatibility = classify(
+                crate::compat::output_variance(&g.spectrum, &h),
+                crate::compat::output_variance(&reference, &h),
+            );
+            GeneratorRating { name: g.name, ratio, compatibility }
+        })
+        .collect();
+    out.sort_by(|a, b| b.ratio.total_cmp(&a.ratio));
+    out
+}
+
+/// A recommended BIST scheme for a design.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    /// The best *wide-band* single-mode generator (the normal-mode
+    /// phase of the mixed scheme).
+    pub primary: String,
+    /// Whether to append a maximum-variance phase (the paper
+    /// recommends it whenever upper-bit coverage matters — effectively
+    /// always for conservatively scaled designs).
+    pub add_max_variance_phase: bool,
+    /// Full ranking for reference.
+    pub ratings: Vec<GeneratorRating>,
+}
+
+/// Recommends a scheme: the best spectrum-compatible wide-band
+/// generator, plus a maximum-variance phase.
+///
+/// The ramp and max-variance generators are excluded from the primary
+/// role: the ramp cannot test mid/high bands and the max-variance mode
+/// cannot test lower bits (its word bits are fully correlated), so the
+/// primary must be an LFSR-class wide-band source.
+pub fn recommend(design: &FilterDesign) -> Recommendation {
+    let ratings = rate_generators(design, 512);
+    let primary = ratings
+        .iter()
+        .filter(|r| matches!(r.name.as_str(), "LFSR-1" | "LFSR-2" | "LFSR-D"))
+        .max_by(|a, b| a.ratio.total_cmp(&b.ratio))
+        .map(|r| r.name.clone())
+        .unwrap_or_else(|| "LFSR-D".to_string());
+    Recommendation { primary, add_max_variance_phase: true, ratings }
+}
+
+/// A frequency inside the design's passband suitable for a tuned
+/// (deterministic) test phase — the carrier of [`tuned_sweep_for`].
+pub fn tuned_frequency(design: &FilterDesign) -> f64 {
+    use dsp::firdesign::BandKind;
+    match design.spec().band {
+        BandKind::Lowpass { cutoff } => cutoff * 0.5,
+        BandKind::Highpass { cutoff } => (cutoff + 0.5) * 0.5,
+        BandKind::Bandpass { low, high } => 0.5 * (low + high),
+        BandKind::Bandstop { low, .. } => (low * 0.5).max(0.01),
+        _ => 0.25,
+    }
+}
+
+/// Builds the deterministic tuned phase the paper's conclusion proposes
+/// ("more specialized test controllers ... tailored to the specific
+/// filter"): an amplitude-stepped passband sine (see
+/// [`tpg::ZoneSweep`]) that walks every tap's partial sum through the
+/// difficult-test activation zones.
+///
+/// # Errors
+///
+/// Propagates [`tpg::TpgError`] for an unsupported generator width.
+pub fn tuned_sweep_for(design: &FilterDesign) -> Result<tpg::ZoneSweep, tpg::TpgError> {
+    tpg::ZoneSweep::new(design.spec().input_bits, tuned_frequency(design), 32, 64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuned_frequency_sits_in_the_passband() {
+        let lp = filters::designs::lowpass().unwrap();
+        let f = tuned_frequency(&lp);
+        let gain = dsp::response::magnitude_at(&lp.coefficients(), f);
+        let peak = dsp::response::magnitude_at(&lp.coefficients(), 0.0);
+        assert!(gain > 0.7 * peak, "tuned frequency outside passband: {f}");
+
+        let hp = filters::designs::highpass().unwrap();
+        let f = tuned_frequency(&hp);
+        let gain = dsp::response::magnitude_at(&hp.coefficients(), f);
+        let peak = dsp::response::magnitude_at(&hp.coefficients(), 0.49);
+        assert!(gain > 0.7 * peak, "tuned frequency outside passband: {f}");
+    }
+
+    #[test]
+    fn tuned_sweep_builds_for_all_paper_designs() {
+        for d in filters::designs::paper_designs().unwrap() {
+            let mut gen = tuned_sweep_for(&d).unwrap();
+            use tpg::TestGenerator;
+            assert_eq!(gen.width(), 12);
+            gen.next_word();
+        }
+    }
+
+    #[test]
+    fn lowpass_rejects_lfsr1_as_primary() {
+        let d = filters::designs::lowpass().unwrap();
+        let rec = recommend(&d);
+        assert_ne!(rec.primary, "LFSR-1");
+        assert!(rec.add_max_variance_phase);
+        // LFSR-1 is rated Poor against the narrowband lowpass.
+        let lfsr1 = rec.ratings.iter().find(|r| r.name == "LFSR-1").unwrap();
+        assert_eq!(lfsr1.compatibility, Compatibility::Poor);
+    }
+
+    #[test]
+    fn highpass_accepts_lfsr_class_primaries() {
+        let d = filters::designs::highpass().unwrap();
+        let ratings = rate_generators(&d, 512);
+        let get = |n: &str| ratings.iter().find(|r| r.name == n).unwrap().compatibility;
+        assert_eq!(get("LFSR-1"), Compatibility::Good);
+        assert_eq!(get("LFSR-D"), Compatibility::Good);
+        assert_eq!(get("Ramp"), Compatibility::Poor);
+    }
+
+    #[test]
+    fn ratings_are_sorted_descending() {
+        let d = filters::designs::bandpass().unwrap();
+        let ratings = rate_generators(&d, 256);
+        for w in ratings.windows(2) {
+            assert!(w[0].ratio >= w[1].ratio);
+        }
+        assert_eq!(ratings.len(), 5);
+    }
+
+    #[test]
+    fn ramp_never_recommended_as_primary() {
+        for d in filters::designs::paper_designs().unwrap() {
+            let rec = recommend(&d);
+            assert_ne!(rec.primary, "Ramp", "{}", d.name());
+            assert_ne!(rec.primary, "LFSR-M", "{}", d.name());
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! End-to-end BIST sessions: generator → filter → fault simulation →
+//! (optionally) signature compaction.
+//!
+//! A [`BistSession`] owns the fault universe of one filter design and
+//! runs complete test experiments against it — the machinery behind the
+//! paper's Tables 4–6 and Figs. 10–13.
+
+use crate::misr::Misr;
+use faultsim::{FaultSimResult, FaultUniverse, ParallelFaultSimulator};
+use filters::FilterDesign;
+use rtl::range::RangeAnalysis;
+use tpg::TestGenerator;
+
+/// A reusable fault-simulation context for one filter design.
+pub struct BistSession<'d> {
+    design: &'d FilterDesign,
+    ranges: RangeAnalysis,
+    universe: FaultUniverse,
+}
+
+impl<'d> BistSession<'d> {
+    /// Builds the session: runs the scaling (range) analysis, the exact
+    /// input-cone reachability analysis, and enumerates the collapsed,
+    /// redundancy-pruned fault universe (the paper's testable-design
+    /// preparation: scaling plus redundant-operator elimination).
+    pub fn new(design: &'d FilterDesign) -> Self {
+        let ranges = design.claimed_ranges().clone();
+        let reach =
+            rtl::reachability::Reachability::analyze(design.netlist(), design.spec().input_bits);
+        let universe = FaultUniverse::enumerate_pruned(design.netlist(), &ranges, &reach);
+        BistSession { design, ranges, universe }
+    }
+
+    /// The design under test.
+    pub fn design(&self) -> &FilterDesign {
+        self.design
+    }
+
+    /// The scaling analysis.
+    pub fn ranges(&self) -> &RangeAnalysis {
+        &self.ranges
+    }
+
+    /// The collapsed fault universe.
+    pub fn universe(&self) -> &FaultUniverse {
+        &self.universe
+    }
+
+    /// Runs `vectors` test patterns from `generator` against every
+    /// fault. The generator is reset first, so runs are reproducible.
+    pub fn run(&self, generator: &mut dyn TestGenerator, vectors: usize) -> BistRun {
+        generator.reset();
+        let inputs: Vec<i64> =
+            (0..vectors).map(|_| self.design.align_input(generator.next_word())).collect();
+        let result = ParallelFaultSimulator::new(self.design.netlist(), &self.universe)
+            .run(&inputs);
+
+        // Signature of the good response (the production BIST readout).
+        let good = faultsim::inject::probe_node(
+            self.design.netlist(),
+            self.design.output(),
+            &inputs,
+        );
+        let mut misr = Misr::new(16).expect("16-bit MISR polynomial is tabulated");
+        misr.absorb_all(&good);
+
+        BistRun {
+            generator: generator.name().to_string(),
+            result,
+            signature: misr.signature(),
+        }
+    }
+}
+
+/// Outcome of one BIST experiment.
+#[derive(Debug, Clone)]
+pub struct BistRun {
+    /// The generator's display name.
+    pub generator: String,
+    /// Per-fault detection results.
+    pub result: FaultSimResult,
+    /// Good-machine MISR signature of the full response.
+    pub signature: u64,
+}
+
+impl BistRun {
+    /// Faults still missed at the end of the test — the paper's
+    /// Table 4 cells.
+    pub fn missed(&self) -> usize {
+        self.result.missed().len()
+    }
+
+    /// Missed faults normalized by the design's adder/subtractor count
+    /// — the paper's Table 5 cells.
+    pub fn normalized_missed(&self, design: &FilterDesign) -> f64 {
+        self.missed() as f64 / design.netlist().stats().arithmetic() as f64
+    }
+
+    /// Final fault coverage.
+    pub fn coverage(&self) -> f64 {
+        self.result.coverage_after(self.result.total_cycles())
+    }
+
+    /// Coverage curve at logarithmically spaced points — the series
+    /// plotted in the paper's Figs. 10–13.
+    pub fn coverage_curve(&self, points: usize) -> Vec<(u32, f64)> {
+        let total = self.result.total_cycles().max(1);
+        let cycles: Vec<u32> = (0..points)
+            .map(|i| {
+                let frac = (i + 1) as f64 / points as f64;
+                ((total as f64).powf(frac)).round() as u32
+            })
+            .collect();
+        self.result.curve(&cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpg::{Decorrelated, Lfsr1, MaxVariance, Ramp, ShiftDirection};
+
+    fn small_design(cutoff: f64) -> FilterDesign {
+        filters::FilterDesign::elaborate(filters::FilterSpec {
+            name: "T".into(),
+            band: dsp::firdesign::BandKind::Lowpass { cutoff },
+            taps: 16,
+            input_bits: 12,
+            coef_frac_bits: 14,
+            max_csd_digits: 3,
+            width: 16,
+            kaiser_beta: 4.0,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn session_enumerates_universe_once() {
+        let d = small_design(0.1);
+        let s = BistSession::new(&d);
+        assert!(s.universe().len() > 500, "universe {}", s.universe().len());
+        assert!(s.universe().uncollapsed_len() > s.universe().len());
+    }
+
+    #[test]
+    fn random_patterns_reach_high_coverage_on_easy_design() {
+        let d = small_design(0.2);
+        let s = BistSession::new(&d);
+        let mut gen = Decorrelated::maximal(12, ShiftDirection::LsbToMsb).unwrap();
+        let run = s.run(&mut gen, 512);
+        assert!(run.coverage() > 0.9, "coverage {}", run.coverage());
+        assert!(run.missed() < s.universe().len() / 10);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let d = small_design(0.15);
+        let s = BistSession::new(&d);
+        let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
+        let a = s.run(&mut gen, 128);
+        let b = s.run(&mut gen, 128);
+        assert_eq!(a.missed(), b.missed());
+        assert_eq!(a.signature, b.signature);
+    }
+
+    #[test]
+    fn different_generators_give_different_signatures() {
+        let d = small_design(0.15);
+        let s = BistSession::new(&d);
+        let mut a = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
+        let mut b = Ramp::new(12).unwrap();
+        assert_ne!(s.run(&mut a, 64).signature, s.run(&mut b, 64).signature);
+    }
+
+    #[test]
+    fn maxvar_lags_on_lower_bits() {
+        // LFSR-M misses more faults than LFSR-D at equal length (the
+        // paper's consistent finding), even on an easy design.
+        let d = small_design(0.2);
+        let s = BistSession::new(&d);
+        let mut dcor = Decorrelated::maximal(12, ShiftDirection::LsbToMsb).unwrap();
+        let mut maxv = MaxVariance::maximal(12).unwrap();
+        let run_d = s.run(&mut dcor, 512);
+        let run_m = s.run(&mut maxv, 512);
+        assert!(
+            run_m.missed() > run_d.missed(),
+            "LFSR-M {} vs LFSR-D {}",
+            run_m.missed(),
+            run_d.missed()
+        );
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let d = small_design(0.15);
+        let s = BistSession::new(&d);
+        let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
+        let run = s.run(&mut gen, 256);
+        let curve = run.coverage_curve(8);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-12);
+        }
+        let norm = run.normalized_missed(&d);
+        assert!((norm - run.missed() as f64 / d.netlist().stats().arithmetic() as f64).abs() < 1e-12);
+    }
+}

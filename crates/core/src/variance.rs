@@ -1,0 +1,193 @@
+//! Per-adder test-signal variance analysis (the paper's Eq. 1 and
+//! Section 7.1).
+//!
+//! "In a linear system, we can characterize the output of an adder by
+//! the impulse response corresponding to the subsystem that outputs at
+//! that adder ... `sigma_k^2 = sigma_x^2 * sum h_k^2[i]`." For LFSR
+//! sources the linear model `g[n]` is cascaded first
+//! (`h'_k = h_k * g`, with `sigma_x^2 = 1/4` for the 0/1 bit source),
+//! which is exactly how the paper predicts the tap-20 attenuation of
+//! its Fig. 6.
+
+use dsp::conv::convolve;
+use rtl::{Netlist, NodeId};
+use std::fmt;
+
+/// The stimulus model used for a variance analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceModel {
+    /// White words of the given variance applied directly to the filter
+    /// input (the LFSR-D model uses variance 1/3, LFSR-M variance 1).
+    White {
+        /// Word variance.
+        variance: f64,
+    },
+    /// A 0/1 white bit source (variance 1/4) shaped by an LFSR linear
+    /// model before entering the filter (see [`tpg::model::lfsr1_model`]).
+    Shaped {
+        /// The LFSR model's impulse response `g[n]`.
+        model: Vec<f64>,
+    },
+}
+
+/// Predicted test-signal statistics at one adder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeVariance {
+    /// The analyzed node.
+    pub node: NodeId,
+    /// The node's label.
+    pub label: String,
+    /// Predicted signal variance at the node.
+    pub variance: f64,
+    /// Predicted standard deviation.
+    pub std_dev: f64,
+    /// Highest active cell (effective MSB) of the node, if arithmetic.
+    pub msb_cell: Option<u32>,
+    /// `std_dev / msb_cell_weight`: how large the test signal is
+    /// relative to the most significant active bit. Small values flag
+    /// the paper's attenuation problem (its tap-20 case).
+    pub msb_utilization: Option<f64>,
+}
+
+impl fmt::Display for NodeVariance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}): std {:.4}", self.node, self.label, self.std_dev)?;
+        if let Some(u) = self.msb_utilization {
+            write!(f, ", MSB utilization {u:.3}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the Eq. 1 analysis over the given nodes.
+///
+/// `ranges` supplies each node's active span so the predicted deviation
+/// can be compared with the bit weight it must exercise.
+pub fn analyze(
+    netlist: &Netlist,
+    ranges: &rtl::range::RangeAnalysis,
+    nodes: &[NodeId],
+    source: &SourceModel,
+) -> Vec<NodeVariance> {
+    let len = netlist.register_indices().len() + 2;
+    let responses = rtl::linear::impulse_responses(netlist, nodes, len);
+    nodes
+        .iter()
+        .zip(responses)
+        .map(|(&node, h)| {
+            let (sigma_x2, h_eff) = match source {
+                SourceModel::White { variance } => (*variance, h),
+                SourceModel::Shaped { model } => (0.25, convolve(&h, model)),
+            };
+            let variance: f64 = sigma_x2 * h_eff.iter().map(|x| x * x).sum::<f64>();
+            let std_dev = variance.sqrt();
+            let msb_cell = ranges.active_span(netlist, node).map(|(_, m)| m);
+            let msb_utilization = msb_cell.map(|m| {
+                let weight = 2f64.powi(m as i32 - (netlist.width() as i32 - 1));
+                std_dev / weight
+            });
+            NodeVariance {
+                node,
+                label: netlist.node(node).label.clone(),
+                variance,
+                std_dev,
+                msb_cell,
+                msb_utilization,
+            }
+        })
+        .collect()
+}
+
+/// Convenience: analyze every adder/subtractor of a filter design.
+pub fn analyze_design(
+    design: &filters::FilterDesign,
+    source: &SourceModel,
+) -> Vec<NodeVariance> {
+    let netlist = design.netlist();
+    let ranges = rtl::range::RangeAnalysis::analyze(
+        netlist,
+        rtl::range::aligned_input_range(design.spec().input_bits, netlist.width()),
+    );
+    let nodes = netlist.arithmetic_ids();
+    analyze(netlist, &ranges, &nodes, source)
+}
+
+/// Nodes whose MSB utilization falls below `threshold` — the points the
+/// paper's variance analysis flags as potential attenuation problems.
+pub fn attenuation_problems(report: &[NodeVariance], threshold: f64) -> Vec<&NodeVariance> {
+    report
+        .iter()
+        .filter(|r| r.msb_utilization.is_some_and(|u| u < threshold))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpg::{model, ShiftDirection};
+
+    fn lp() -> filters::FilterDesign {
+        filters::designs::lowpass().unwrap()
+    }
+
+    #[test]
+    fn white_variance_equals_noise_gain() {
+        let d = lp();
+        let out_node = d.output();
+        let ranges = rtl::range::RangeAnalysis::analyze(
+            d.netlist(),
+            rtl::range::aligned_input_range(12, 16),
+        );
+        let r = analyze(d.netlist(), &ranges, &[out_node], &SourceModel::White { variance: 1.0 });
+        let h = d.impulse_response();
+        let gain: f64 = h.iter().map(|c| c * c).sum();
+        assert!((r[0].variance - gain).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lfsr1_model_attenuates_lowpass_taps_more_than_white() {
+        let d = lp();
+        let white = analyze_design(&d, &SourceModel::White { variance: 1.0 / 3.0 });
+        let shaped = analyze_design(
+            &d,
+            &SourceModel::Shaped { model: model::lfsr1_model(12, ShiftDirection::LsbToMsb) },
+        );
+        // Same total word variance (1/3), but the Type 1 null removes
+        // most of what the narrowband lowpass would pass: accumulator
+        // variances drop sharply.
+        let pick = |r: &[NodeVariance]| -> f64 {
+            r.iter()
+                .filter(|x| x.label.contains(".acc"))
+                .map(|x| x.variance)
+                .sum::<f64>()
+        };
+        let vw = pick(&white);
+        let vs = pick(&shaped);
+        assert!(vs < 0.4 * vw, "shaped {vs} vs white {vw}");
+    }
+
+    #[test]
+    fn mid_taps_of_lowpass_are_attenuation_problems_under_lfsr1() {
+        let d = lp();
+        let shaped = analyze_design(
+            &d,
+            &SourceModel::Shaped { model: model::lfsr1_model(12, ShiftDirection::LsbToMsb) },
+        );
+        let problems = attenuation_problems(&shaped, 0.15);
+        assert!(!problems.is_empty(), "no attenuation problems flagged");
+        // The white-driven design has fewer problems at the same
+        // threshold.
+        let white = analyze_design(&d, &SourceModel::White { variance: 1.0 / 3.0 });
+        let white_problems = attenuation_problems(&white, 0.15);
+        assert!(white_problems.len() < problems.len());
+    }
+
+    #[test]
+    fn display_formats_utilization() {
+        let d = lp();
+        let r = analyze_design(&d, &SourceModel::White { variance: 1.0 / 3.0 });
+        let s = r.iter().find(|x| x.label.contains(".acc")).unwrap().to_string();
+        assert!(s.contains("std"));
+        assert!(s.contains("MSB utilization"));
+    }
+}

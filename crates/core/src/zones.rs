@@ -1,0 +1,264 @@
+//! The difficult-test model: test numbering, I/O conditions (paper
+//! Table 2) and primary-input activation zones (paper Fig. 1).
+//!
+//! At a full-adder cell, the eight possible tests are numbered by the
+//! binary value `abc` of (primary input, secondary input, carry-in).
+//! In a variance-mismatched adder — secondary input much smaller than
+//! primary — four of them (`T1`, `T2`, `T5`, `T6`) become hard to
+//! assert at the upper cells, because the input/output conditions
+//! confine the primary input to narrow zones whose width is set by the
+//! secondary input's magnitude. `T1`/`T6` zones sit near amplitude 0.5:
+//! only a strong test signal reaches them, which is why spectral
+//! attenuation (and excess headroom) turns into missed faults.
+
+use dsp::dist::Distribution;
+use rtl::fulladder::{fault_classes, FaultClass};
+use std::fmt;
+
+/// The four difficult tests of the paper's Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DifficultTest {
+    /// `abc = 001`: both addend bits 0, carry-in 1.
+    T1,
+    /// `abc = 010`: secondary bit 1, others 0.
+    T2,
+    /// `abc = 101`: primary 1, secondary 0, carry 1.
+    T5,
+    /// `abc = 110`: primary and secondary 1, carry 0.
+    T6,
+}
+
+impl DifficultTest {
+    /// All four difficult tests in paper order.
+    pub fn all() -> [DifficultTest; 4] {
+        [DifficultTest::T1, DifficultTest::T2, DifficultTest::T5, DifficultTest::T6]
+    }
+
+    /// The test number `n` (value of `abc`).
+    pub fn number(self) -> u8 {
+        match self {
+            DifficultTest::T1 => 1,
+            DifficultTest::T2 => 2,
+            DifficultTest::T5 => 5,
+            DifficultTest::T6 => 6,
+        }
+    }
+
+    /// The test for a given `abc` value, if it is one of the difficult
+    /// four.
+    pub fn from_number(n: u8) -> Option<DifficultTest> {
+        match n {
+            1 => Some(DifficultTest::T1),
+            2 => Some(DifficultTest::T2),
+            5 => Some(DifficultTest::T5),
+            6 => Some(DifficultTest::T6),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DifficultTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.number())
+    }
+}
+
+/// One behavioural test condition at the next-to-MSB cell: bounds on
+/// the primary input `A` and on the sum `A + B` (all values relative to
+/// the adder's full scale `[-1, 1)`). `None` bounds are unconstrained.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoCondition {
+    /// Inclusive lower bound on `A`.
+    pub a_min: Option<f64>,
+    /// Exclusive upper bound on `A`.
+    pub a_max: Option<f64>,
+    /// Inclusive lower bound on `A + B`.
+    pub sum_min: Option<f64>,
+    /// Exclusive upper bound on `A + B`.
+    pub sum_max: Option<f64>,
+    /// `true` when the condition corresponds to adder overflow.
+    pub overflow: bool,
+}
+
+impl IoCondition {
+    /// Does `(a, b)` satisfy the condition (ignoring overflow
+    /// semantics — the sum is taken exactly)?
+    pub fn satisfied(&self, a: f64, b: f64) -> bool {
+        let s = a + b;
+        self.a_min.is_none_or(|m| a >= m)
+            && self.a_max.is_none_or(|m| a < m)
+            && self.sum_min.is_none_or(|m| s >= m)
+            && self.sum_max.is_none_or(|m| s < m)
+    }
+}
+
+/// The two equivalent I/O condition classes (`a` and `b` in the paper's
+/// Table 2) asserting a difficult test at the next-to-MSB cell.
+pub fn io_conditions(test: DifficultTest) -> [IoCondition; 2] {
+    let c = |a_min: Option<f64>, a_max: Option<f64>, sum_min: Option<f64>, sum_max: Option<f64>, overflow: bool| {
+        IoCondition { a_min, a_max, sum_min, sum_max, overflow }
+    };
+    match test {
+        // T1a: 0 <= A < 0.5, A+B >= 0.5 ; T1b: A < -0.5, A+B >= -0.5.
+        DifficultTest::T1 => [
+            c(Some(0.0), Some(0.5), Some(0.5), None, false),
+            c(None, Some(-0.5), Some(-0.5), None, false),
+        ],
+        // T2a: 0 <= A < 0.5, A+B < 0 ; T2b: A < -0.5, A+B >= 0.5 (ovf).
+        DifficultTest::T2 => [
+            c(Some(0.0), Some(0.5), None, Some(0.0), false),
+            c(None, Some(-0.5), Some(0.5), None, true),
+        ],
+        // T5a: -0.5 <= A < 0, A+B >= 0 ; T5b: A >= 0.5, A+B < -0.5 (ovf).
+        DifficultTest::T5 => [
+            c(Some(-0.5), Some(0.0), Some(0.0), None, false),
+            c(Some(0.5), None, None, Some(-0.5), true),
+        ],
+        // T6a: -0.5 <= A < 0, A+B < -0.5 ; T6b: A >= 0.5, A+B < 0.5.
+        DifficultTest::T6 => [
+            c(Some(-0.5), Some(0.0), None, Some(-0.5), false),
+            c(Some(0.5), None, None, Some(0.5), false),
+        ],
+    }
+}
+
+/// The primary-input activation zones of a difficult test when the
+/// secondary input is bounded by `|B| <= b_bound` (the shaded bars of
+/// the paper's Fig. 1; zone width is proportional to the secondary
+/// magnitude). Overflow-only classes contribute no zone.
+pub fn activation_zones(test: DifficultTest, b_bound: f64) -> Vec<(f64, f64)> {
+    assert!(b_bound >= 0.0, "secondary bound must be nonnegative");
+    let b = b_bound;
+    match test {
+        // A in [0.5-b, 0.5) (T1a needs A+B >= 0.5) and [-0.5-b, -0.5).
+        DifficultTest::T1 => vec![(0.5 - b, 0.5), (-0.5 - b, -0.5)],
+        // A in [0, b): T2a needs A+B < 0 with A >= 0.
+        DifficultTest::T2 => vec![(0.0, b)],
+        // A in [-b, 0): T5a needs A+B >= 0 with A < 0.
+        DifficultTest::T5 => vec![(-b, 0.0)],
+        // A in [-0.5, -0.5+b) and [0.5, 0.5+b).
+        DifficultTest::T6 => vec![(-0.5, -0.5 + b), (0.5, 0.5 + b)],
+    }
+}
+
+/// Probability that the primary input lands in one of a test's
+/// activation zones, under the amplitude distribution `dist`.
+pub fn activation_probability(test: DifficultTest, dist: &Distribution, b_bound: f64) -> f64 {
+    activation_zones(test, b_bound)
+        .into_iter()
+        .map(|(lo, hi)| if hi > lo { dist.prob_in(lo, hi) } else { 0.0 })
+        .sum::<f64>()
+        .max(0.0)
+}
+
+/// Derives, from the gate-level full-adder model, which collapsed fault
+/// classes are detected *only* by difficult tests — the cell-level
+/// justification for the paper's Table 2.
+pub fn classes_confined_to_difficult_tests() -> Vec<FaultClass> {
+    let difficult_mask: u8 = DifficultTest::all().iter().map(|t| 1 << t.number()).sum();
+    fault_classes(None)
+        .into_iter()
+        .filter(|c| c.detecting_tests & !difficult_mask == 0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbering_round_trips() {
+        for t in DifficultTest::all() {
+            assert_eq!(DifficultTest::from_number(t.number()), Some(t));
+        }
+        assert_eq!(DifficultTest::from_number(0), None);
+        assert_eq!(DifficultTest::from_number(7), None);
+        assert_eq!(DifficultTest::T5.to_string(), "T5");
+    }
+
+    #[test]
+    fn table2_conditions_match_paper_rows() {
+        let [t1a, t1b] = io_conditions(DifficultTest::T1);
+        assert!(t1a.satisfied(0.45, 0.1)); // A in [0,0.5), sum >= 0.5
+        assert!(!t1a.satisfied(0.45, 0.01)); // sum too small
+        assert!(t1b.satisfied(-0.55, 0.1)); // A < -0.5, sum >= -0.5
+        assert!(!t1b.satisfied(-0.7, 0.1)); // sum below -0.5
+
+        let [t2a, t2b] = io_conditions(DifficultTest::T2);
+        assert!(t2a.satisfied(0.1, -0.2));
+        assert!(!t2a.satisfied(0.1, 0.2));
+        assert!(t2b.overflow);
+
+        let [t5a, _] = io_conditions(DifficultTest::T5);
+        assert!(t5a.satisfied(-0.1, 0.2));
+        assert!(!t5a.satisfied(-0.3, 0.2));
+
+        let [t6a, t6b] = io_conditions(DifficultTest::T6);
+        assert!(t6a.satisfied(-0.4, -0.2));
+        assert!(t6b.satisfied(0.6, -0.2));
+        assert!(!t6b.satisfied(0.6, 0.0));
+    }
+
+    #[test]
+    fn zones_shrink_with_secondary_variance() {
+        let wide = activation_zones(DifficultTest::T1, 0.2);
+        let narrow = activation_zones(DifficultTest::T1, 0.02);
+        let width = |z: &[(f64, f64)]| z.iter().map(|(a, b)| b - a).sum::<f64>();
+        assert!((width(&wide) - 0.4).abs() < 1e-12);
+        assert!((width(&narrow) - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t1_t6_zones_sit_at_half_amplitude() {
+        for t in [DifficultTest::T1, DifficultTest::T6] {
+            for (lo, hi) in activation_zones(t, 0.05) {
+                let edge = lo.abs().min(hi.abs());
+                assert!((edge - 0.5).abs() < 0.06, "{t}: zone ({lo}, {hi})");
+            }
+        }
+        // T2/T5 zones sit near zero — reachable by weak signals.
+        for t in [DifficultTest::T2, DifficultTest::T5] {
+            for (lo, hi) in activation_zones(t, 0.05) {
+                assert!(lo.abs() <= 0.05 && hi.abs() <= 0.05, "{t}: zone ({lo}, {hi})");
+            }
+        }
+    }
+
+    #[test]
+    fn attenuated_signal_cannot_reach_t1_zone() {
+        // A tight distribution (std 0.036, the paper's Fig. 6 tap-20
+        // signal) essentially never lands near +-0.5.
+        let weak = Distribution::sum_of_uniform(&[0.06], 1.0 / 512.0);
+        let strong = Distribution::sum_of_uniform(&[0.9], 1.0 / 512.0);
+        let p_weak = activation_probability(DifficultTest::T1, &weak, 0.05);
+        let p_strong = activation_probability(DifficultTest::T1, &strong, 0.05);
+        assert_eq!(p_weak, 0.0);
+        assert!(p_strong > 0.01, "{p_strong}");
+    }
+
+    #[test]
+    fn zone_probability_is_conserved() {
+        let d = Distribution::uniform(-1.0, 1.0, 1.0 / 512.0);
+        // For a full-range uniform signal the T1 zone probability equals
+        // the zone width / 2.
+        let p = activation_probability(DifficultTest::T1, &d, 0.1);
+        assert!((p - 0.1).abs() < 0.01, "{p}");
+    }
+
+    #[test]
+    fn gate_level_model_confines_some_classes_to_difficult_tests() {
+        let confined = classes_confined_to_difficult_tests();
+        assert!(!confined.is_empty());
+        let difficult_mask: u8 =
+            DifficultTest::all().iter().map(|t| 1 << t.number()).sum();
+        for c in &confined {
+            assert_eq!(c.detecting_tests & !difficult_mask, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_bound_panics() {
+        activation_zones(DifficultTest::T1, -0.1);
+    }
+}

@@ -1,0 +1,34 @@
+//! Canonic-signed-digit (CSD) coefficient encoding.
+//!
+//! The paper's filters implement fixed-coefficient multiplications as
+//! hardwired shift-and-add structures, with coefficients converted "to a
+//! small number of add and subtract operations" using a canonic
+//! signed-digit representation (its Section 3, following FIRGEN and
+//! Samueli's powers-of-two coefficient design). This crate provides:
+//!
+//! * [`Csd`] — an exact CSD recoding of an integer: a list of
+//!   [`SignedDigit`]s `±2^k` with no two adjacent nonzero digits.
+//! * [`quantize`] — nearest representable value with at most `max_digits`
+//!   nonzero digits at a given fractional precision (a greedy
+//!   signed-power-of-two approximation).
+//!
+//! Each nonzero digit beyond the first costs one adder/subtractor in the
+//! hardware multiplier, so `max_digits` directly budgets the per-tap
+//! adder count that shows up in the paper's Table 1.
+//!
+//! # Example
+//!
+//! ```
+//! use bist_csd::Csd;
+//!
+//! // 7 = 8 - 1 in CSD (two digits), not 4 + 2 + 1 (three).
+//! let csd = Csd::from_integer(7);
+//! assert_eq!(csd.nonzero_digits(), 2);
+//! assert_eq!(csd.to_integer(), 7);
+//! ```
+
+mod digit;
+mod quantize;
+
+pub use digit::{Csd, SignedDigit};
+pub use quantize::{quantize, QuantizedCoefficient};

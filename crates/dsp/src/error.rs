@@ -1,0 +1,47 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the DSP substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DspError {
+    /// An FFT length was not a power of two.
+    NotPowerOfTwo {
+        /// The offending length.
+        len: usize,
+    },
+    /// A filter-design parameter was invalid (frequency out of `(0, 0.5)`,
+    /// inverted band edges, zero taps, ...). The message explains which.
+    InvalidDesign {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// An input slice was empty where data was required.
+    EmptyInput,
+    /// A spectrum-estimation segmentation did not fit the data.
+    BadSegmentation {
+        /// Requested segment length.
+        segment: usize,
+        /// Available samples.
+        available: usize,
+    },
+}
+
+impl fmt::Display for DspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DspError::NotPowerOfTwo { len } => {
+                write!(f, "length {len} is not a power of two")
+            }
+            DspError::InvalidDesign { reason } => {
+                write!(f, "invalid filter design: {reason}")
+            }
+            DspError::EmptyInput => write!(f, "input is empty"),
+            DspError::BadSegmentation { segment, available } => {
+                write!(f, "segment length {segment} exceeds available {available} samples")
+            }
+        }
+    }
+}
+
+impl Error for DspError {}

@@ -1,0 +1,56 @@
+//! Digital-signal-processing substrate for the filter-BIST workspace.
+//!
+//! The DAC'97 paper this workspace reproduces leans on a standard DSP
+//! toolbox: FIR filter design (the lowpass/bandpass/highpass CUTs of its
+//! Table 1), discrete Fourier transforms and power-spectrum estimation
+//! (its Fig. 4 generator spectra), impulse-response variance analysis
+//! (its Eq. 1), and amplitude-distribution prediction (its Figs. 8–9).
+//! Rather than pulling in an external DSP stack, this crate implements
+//! that toolbox from scratch:
+//!
+//! * [`Complex`] — minimal complex arithmetic.
+//! * [`fft`] — iterative radix-2 FFT/IFFT plus a direct DFT fallback.
+//! * [`window`] — rectangular/Hann/Hamming/Blackman/Kaiser windows.
+//! * [`firdesign`] — windowed-sinc FIR design for the four classic
+//!   band shapes.
+//! * [`response`] — frequency-response evaluation of FIR filters.
+//! * [`conv`] — convolution, correlation and aperiodic autocorrelation.
+//! * [`spectrum`] — periodogram and Welch power-spectrum estimation.
+//! * [`stats`] — running statistics and histograms.
+//! * [`dist`] — discrete amplitude-distribution arithmetic (convolution
+//!   of independent terms), used for the paper's "theory" curves.
+//!
+//! All frequencies in this crate are normalized to the sample rate:
+//! `0.5` is the Nyquist frequency.
+//!
+//! # Example
+//!
+//! ```
+//! use bist_dsp::firdesign::{FirSpec, BandKind};
+//! use bist_dsp::response::magnitude_at;
+//!
+//! // A 60-tap narrowband lowpass like the paper's "LP" design.
+//! let h = FirSpec::new(BandKind::Lowpass { cutoff: 0.06 }, 60)
+//!     .kaiser_beta(7.0)
+//!     .design()?;
+//! assert_eq!(h.len(), 60);
+//! // Passband gain near 1, stopband strongly attenuated:
+//! assert!(magnitude_at(&h, 0.01) > 0.9);
+//! assert!(magnitude_at(&h, 0.25) < 1e-2);
+//! # Ok::<(), bist_dsp::DspError>(())
+//! ```
+
+mod complex;
+mod error;
+
+pub mod conv;
+pub mod dist;
+pub mod fft;
+pub mod firdesign;
+pub mod response;
+pub mod spectrum;
+pub mod stats;
+pub mod window;
+
+pub use complex::Complex;
+pub use error::DspError;

@@ -1,0 +1,126 @@
+//! Frequency-response evaluation of FIR filters.
+//!
+//! Used to compare a filter's transfer function `H[k]` against a test
+//! generator's power spectrum `G[k]` — the heart of the paper's
+//! compatibility check.
+
+use crate::{fft, Complex, DspError};
+use std::f64::consts::PI;
+
+/// Complex frequency response `H(e^{j 2 pi f})` of an FIR filter at a
+/// single normalized frequency `f` (Nyquist = 0.5).
+///
+/// # Example
+///
+/// ```
+/// use bist_dsp::response::response_at;
+///
+/// // Two-tap averager: null at Nyquist.
+/// let h = [0.5, 0.5];
+/// assert!(response_at(&h, 0.5).norm() < 1e-15);
+/// assert!((response_at(&h, 0.0).re - 1.0).abs() < 1e-15);
+/// ```
+pub fn response_at(h: &[f64], f: f64) -> Complex {
+    let mut acc = Complex::zero();
+    for (n, &c) in h.iter().enumerate() {
+        acc += Complex::cis(-2.0 * PI * f * n as f64).scale(c);
+    }
+    acc
+}
+
+/// Magnitude response `|H|` at a single normalized frequency.
+pub fn magnitude_at(h: &[f64], f: f64) -> f64 {
+    response_at(h, f).norm()
+}
+
+/// Magnitude response in decibels at a single normalized frequency.
+/// Returns `-inf` dB floor-clamped at `-400` for exact nulls.
+pub fn magnitude_db_at(h: &[f64], f: f64) -> f64 {
+    let m = magnitude_at(h, f);
+    if m <= 0.0 {
+        -400.0
+    } else {
+        (20.0 * m.log10()).max(-400.0)
+    }
+}
+
+/// Squared-magnitude response `|H[k]|^2` on an `len`-point DFT grid
+/// (frequencies `k/len` for `k` in `0..len`), computed by zero-padded FFT.
+///
+/// # Errors
+///
+/// Returns [`DspError::NotPowerOfTwo`] if `len` is not a power of two,
+/// or [`DspError::EmptyInput`] if `h` is empty. `len` must also be at
+/// least `h.len()`; shorter grids would alias the impulse response and
+/// are reported as [`DspError::BadSegmentation`].
+pub fn power_response(h: &[f64], len: usize) -> Result<Vec<f64>, DspError> {
+    if h.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if len < h.len() {
+        return Err(DspError::BadSegmentation { segment: len, available: h.len() });
+    }
+    if !len.is_power_of_two() {
+        return Err(DspError::NotPowerOfTwo { len });
+    }
+    let mut data = vec![Complex::zero(); len];
+    for (d, &c) in data.iter_mut().zip(h) {
+        *d = Complex::from_re(c);
+    }
+    fft::fft(&mut data)?;
+    Ok(data.iter().map(|z| z.norm_sqr()).collect())
+}
+
+/// Sum of squared impulse-response samples, `sum h[n]^2`.
+///
+/// This is the noise gain of the paper's Eq. 1: the output variance of a
+/// filter driven by unit-variance white noise.
+pub fn noise_gain(h: &[f64]) -> f64 {
+    h.iter().map(|c| c * c).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_response_matches_pointwise_eval() {
+        let h = [0.25, 0.5, 0.25, -0.1];
+        let grid = power_response(&h, 16).unwrap();
+        for (k, &p) in grid.iter().enumerate() {
+            let direct = magnitude_at(&h, k as f64 / 16.0).powi(2);
+            assert!((p - direct).abs() < 1e-12, "bin {k}");
+        }
+    }
+
+    #[test]
+    fn power_response_rejects_short_grid() {
+        let h = [1.0; 20];
+        assert!(matches!(power_response(&h, 16), Err(DspError::BadSegmentation { .. })));
+        assert!(matches!(power_response(&h, 24), Err(DspError::NotPowerOfTwo { .. })));
+        assert!(power_response(&h, 32).is_ok());
+        assert!(power_response(&[], 16).is_err());
+    }
+
+    #[test]
+    fn db_conversion_clamps_nulls() {
+        let h = [0.5, 0.5];
+        assert!(magnitude_db_at(&h, 0.5) <= -300.0);
+        assert!(magnitude_db_at(&h, 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_gain_of_impulse_is_one() {
+        assert_eq!(noise_gain(&[1.0]), 1.0);
+        assert!((noise_gain(&[0.6, 0.8]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_gain_equals_mean_power_response() {
+        // Parseval: sum h^2 == (1/L) sum |H[k]|^2.
+        let h = [0.3, -0.2, 0.5, 0.1, -0.4];
+        let grid = power_response(&h, 64).unwrap();
+        let mean: f64 = grid.iter().sum::<f64>() / 64.0;
+        assert!((mean - noise_gain(&h)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,369 @@
+use crate::fault::{FaultId, FaultUniverse};
+use rtl::sim::{BitSlicedSim, CellFault};
+use rtl::Netlist;
+use std::collections::HashMap;
+
+/// Staged fault-dropping schedule: simulation restarts lane packing at
+/// each boundary, carrying every surviving faulty machine's register
+/// state across. Early stages are short so the bulk of (easy) faults is
+/// dropped after few cycles; only the hard tail pays for the full test
+/// length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageSchedule {
+    boundaries: Vec<u32>,
+}
+
+impl StageSchedule {
+    /// The default schedule: repack at cycles 64, 256 and 1024.
+    pub fn new() -> Self {
+        StageSchedule { boundaries: vec![64, 256, 1024] }
+    }
+
+    /// A custom schedule from ascending repack cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the boundaries are not strictly ascending.
+    pub fn with_boundaries(boundaries: Vec<u32>) -> Self {
+        assert!(boundaries.windows(2).all(|w| w[0] < w[1]), "boundaries must ascend");
+        StageSchedule { boundaries }
+    }
+
+    /// Stage extents `(start, end)` for a test of `total` cycles.
+    fn stages(&self, total: u32) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        let mut start = 0u32;
+        for &b in self.boundaries.iter().filter(|&&b| b < total) {
+            out.push((start, b));
+            start = b;
+        }
+        if start < total {
+            out.push((start, total));
+        }
+        out
+    }
+}
+
+impl Default for StageSchedule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Result of a fault-simulation run.
+#[derive(Debug, Clone)]
+pub struct FaultSimResult {
+    detection_cycle: Vec<Option<u32>>,
+    total_cycles: u32,
+}
+
+impl FaultSimResult {
+    /// First cycle (0-based) at which each fault was detected, `None`
+    /// for missed faults. Indexed by [`FaultId::index`].
+    pub fn detection_cycles(&self) -> &[Option<u32>] {
+        &self.detection_cycle
+    }
+
+    /// Length of the applied test sequence.
+    pub fn total_cycles(&self) -> u32 {
+        self.total_cycles
+    }
+
+    /// Number of detected faults.
+    pub fn detected_count(&self) -> usize {
+        self.detection_cycle.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// Ids of faults never detected.
+    pub fn missed(&self) -> Vec<FaultId> {
+        self.detection_cycle
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_none())
+            .map(|(i, _)| FaultId(i as u32))
+            .collect()
+    }
+
+    /// Number of faults still undetected after `cycle` vectors.
+    pub fn missed_after(&self, cycle: u32) -> usize {
+        self.detection_cycle.iter().filter(|d| d.map_or(true, |c| c >= cycle)).count()
+    }
+
+    /// Fault coverage (fraction detected) after `cycle` vectors.
+    pub fn coverage_after(&self, cycle: u32) -> f64 {
+        if self.detection_cycle.is_empty() {
+            return 1.0;
+        }
+        1.0 - self.missed_after(cycle) as f64 / self.detection_cycle.len() as f64
+    }
+
+    /// Coverage curve sampled at the given cycle counts.
+    pub fn curve(&self, cycles: &[u32]) -> Vec<(u32, f64)> {
+        cycles.iter().map(|&c| (c, self.coverage_after(c))).collect()
+    }
+}
+
+/// The staged 64-lane parallel fault simulator.
+pub struct ParallelFaultSimulator<'a> {
+    netlist: &'a Netlist,
+    universe: &'a FaultUniverse,
+    schedule: StageSchedule,
+}
+
+impl<'a> ParallelFaultSimulator<'a> {
+    /// Creates a simulator with the default stage schedule.
+    pub fn new(netlist: &'a Netlist, universe: &'a FaultUniverse) -> Self {
+        ParallelFaultSimulator { netlist, universe, schedule: StageSchedule::new() }
+    }
+
+    /// Overrides the stage schedule.
+    pub fn with_schedule(mut self, schedule: StageSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Runs the complete test sequence (one raw input word per cycle,
+    /// already aligned to the netlist's input width) against every fault
+    /// in the universe.
+    ///
+    /// Detection is a direct compare of all outputs against the good
+    /// machine (no compaction aliasing). Faulty-machine register state
+    /// is carried exactly across stage repacks, so results are identical
+    /// to simulating each fault individually from cycle 0.
+    pub fn run(&self, inputs: &[i64]) -> FaultSimResult {
+        let total = inputs.len() as u32;
+        let mut detection: Vec<Option<u32>> = vec![None; self.universe.len()];
+        if self.universe.is_empty() || total == 0 {
+            return FaultSimResult { detection_cycle: detection, total_cycles: total };
+        }
+
+        // Good-machine register state at the start of the current stage.
+        let mut good_sim = BitSlicedSim::new(self.netlist);
+        let mut good_state = good_sim.register_state_lane(0);
+
+        // Surviving faults and their machine states at stage start.
+        let mut active: Vec<FaultId> = self.universe.ids().collect();
+        let mut states: HashMap<FaultId, Vec<u64>> = HashMap::new();
+
+        for (start, end) in self.schedule.stages(total) {
+            if active.is_empty() {
+                break;
+            }
+            let mut survivors: Vec<FaultId> = Vec::new();
+            let mut new_states: HashMap<FaultId, Vec<u64>> = HashMap::new();
+
+            for group in active.chunks(63) {
+                let mut sim = BitSlicedSim::new(self.netlist);
+                // All lanes start from the good state, then faulty lanes
+                // get their own diverged state.
+                for lane in 0..64 {
+                    sim.set_register_state_lane(lane, &good_state);
+                }
+                for (slot, &fid) in group.iter().enumerate() {
+                    let lane = slot as u32 + 1;
+                    if let Some(s) = states.get(&fid) {
+                        sim.set_register_state_lane(lane, s);
+                    }
+                }
+                // Inject the group's faults, batched per node.
+                let mut per_node: HashMap<rtl::NodeId, Vec<CellFault>> = HashMap::new();
+                for (slot, &fid) in group.iter().enumerate() {
+                    let site = self.universe.site(fid);
+                    per_node.entry(site.node).or_default().push(CellFault {
+                        cell: site.cell,
+                        fault: site.representative,
+                        lanes: 1u64 << (slot + 1),
+                    });
+                }
+                for (node, faults) in per_node {
+                    sim.set_faults(node, faults);
+                }
+
+                let mut undetected_mask: u64 = 0;
+                for slot in 0..group.len() {
+                    undetected_mask |= 1u64 << (slot + 1);
+                }
+                for cycle in start..end {
+                    sim.step(inputs[cycle as usize]);
+                    let diff = sim.output_diff_lanes(0) & undetected_mask;
+                    if diff != 0 {
+                        let mut d = diff;
+                        while d != 0 {
+                            let lane = d.trailing_zeros();
+                            d &= d - 1;
+                            let fid = group[(lane - 1) as usize];
+                            detection[fid.index()] = Some(cycle);
+                        }
+                        undetected_mask &= !diff;
+                        if undetected_mask == 0 {
+                            break;
+                        }
+                    }
+                }
+                // Snapshot survivors' states for the next stage.
+                let mut m = undetected_mask;
+                while m != 0 {
+                    let lane = m.trailing_zeros();
+                    m &= m - 1;
+                    let fid = group[(lane - 1) as usize];
+                    survivors.push(fid);
+                    new_states.insert(fid, sim.register_state_lane(lane));
+                }
+            }
+
+            // Advance the good machine to the stage end.
+            for cycle in start..end {
+                good_sim.step(inputs[cycle as usize]);
+            }
+            good_state = good_sim.register_state_lane(0);
+
+            survivors.sort();
+            active = survivors;
+            states = new_states;
+        }
+
+        FaultSimResult { detection_cycle: detection, total_cycles: total }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultUniverse;
+    use rtl::range::{aligned_input_range, RangeAnalysis};
+    use rtl::sim::CellFault;
+    use rtl::{Netlist, NetlistBuilder};
+
+    fn filterish(width: u32) -> Netlist {
+        // Three-tap FIR-ish structure with shifts and a subtractor.
+        let mut b = NetlistBuilder::new(width).unwrap();
+        let x = b.input("x");
+        let t0 = b.shift_right(x, 1);
+        let d1 = b.register(x);
+        let t1 = b.shift_right(d1, 2);
+        let a1 = b.add_labeled(t0, t1, "a1");
+        let d2 = b.register(d1);
+        let t2 = b.shift_right(d2, 3);
+        let a2 = b.sub_labeled(a1, t2, "a2");
+        b.output(a2, "y");
+        b.finish().unwrap()
+    }
+
+    fn universe(n: &Netlist) -> FaultUniverse {
+        let r = RangeAnalysis::analyze(n, aligned_input_range(n.width(), n.width()));
+        FaultUniverse::enumerate(n, &r)
+    }
+
+    fn pseudo_inputs(n: usize, width: u32) -> Vec<i64> {
+        let mut state = 0x123456789ABCDEFu64;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                fixedpoint::QFormat::new(width, width - 1)
+                    .unwrap()
+                    .sign_extend(state >> (64 - width))
+            })
+            .collect()
+    }
+
+    /// Serial (one-fault-at-a-time) reference implementation.
+    fn serial_reference(n: &Netlist, u: &FaultUniverse, inputs: &[i64]) -> Vec<Option<u32>> {
+        u.ids()
+            .map(|fid| {
+                let site = u.site(fid);
+                let mut sim = BitSlicedSim::new(n);
+                sim.set_faults(
+                    site.node,
+                    vec![CellFault { cell: site.cell, fault: site.representative, lanes: 2 }],
+                );
+                for (cycle, &x) in inputs.iter().enumerate() {
+                    sim.step(x);
+                    if sim.output_diff_lanes(0) & 2 != 0 {
+                        return Some(cycle as u32);
+                    }
+                }
+                None
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_reference() {
+        let n = filterish(10);
+        let u = universe(&n);
+        let inputs = pseudo_inputs(100, 10);
+        let parallel = ParallelFaultSimulator::new(&n, &u)
+            .with_schedule(StageSchedule::with_boundaries(vec![16, 48]))
+            .run(&inputs);
+        let serial = serial_reference(&n, &u, &inputs);
+        assert_eq!(parallel.detection_cycles(), &serial[..]);
+    }
+
+    #[test]
+    fn repacking_preserves_detection_times() {
+        let n = filterish(10);
+        let u = universe(&n);
+        let inputs = pseudo_inputs(120, 10);
+        let one_stage = ParallelFaultSimulator::new(&n, &u)
+            .with_schedule(StageSchedule::with_boundaries(vec![]))
+            .run(&inputs);
+        let many_stages = ParallelFaultSimulator::new(&n, &u)
+            .with_schedule(StageSchedule::with_boundaries(vec![8, 16, 32, 64]))
+            .run(&inputs);
+        assert_eq!(one_stage.detection_cycles(), many_stages.detection_cycles());
+    }
+
+    #[test]
+    fn most_faults_detected_by_random_patterns() {
+        let n = filterish(12);
+        let u = universe(&n);
+        let inputs = pseudo_inputs(512, 12);
+        let result = ParallelFaultSimulator::new(&n, &u).run(&inputs);
+        let coverage = result.coverage_after(512);
+        assert!(coverage > 0.9, "coverage {coverage}");
+    }
+
+    #[test]
+    fn coverage_is_monotone_in_test_length() {
+        let n = filterish(12);
+        let u = universe(&n);
+        let inputs = pseudo_inputs(256, 12);
+        let result = ParallelFaultSimulator::new(&n, &u).run(&inputs);
+        let mut prev = 0.0;
+        for c in [1u32, 4, 16, 64, 256] {
+            let cov = result.coverage_after(c);
+            assert!(cov >= prev);
+            prev = cov;
+        }
+    }
+
+    #[test]
+    fn empty_inputs_detect_nothing() {
+        let n = filterish(10);
+        let u = universe(&n);
+        let result = ParallelFaultSimulator::new(&n, &u).run(&[]);
+        assert_eq!(result.detected_count(), 0);
+        assert_eq!(result.missed().len(), u.len());
+    }
+
+    #[test]
+    fn missed_after_interpolates_curve() {
+        let n = filterish(10);
+        let u = universe(&n);
+        let inputs = pseudo_inputs(64, 10);
+        let result = ParallelFaultSimulator::new(&n, &u).run(&inputs);
+        assert_eq!(result.missed_after(0), u.len());
+        assert_eq!(result.missed_after(64), result.missed().len());
+        let curve = result.curve(&[0, 16, 64]);
+        assert_eq!(curve.len(), 3);
+        assert_eq!(curve[0].1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascend")]
+    fn bad_schedule_panics() {
+        StageSchedule::with_boundaries(vec![64, 64]);
+    }
+}

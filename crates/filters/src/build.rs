@@ -1,0 +1,625 @@
+//! Mapping quantized CSD coefficients onto a transposed-direct-form
+//! ripple-carry netlist.
+//!
+//! Transposed direct form computes `y[n] = sum_k c_k x[n-k]` as a chain
+//! of partial sums: `s_k[n] = c_k x[n] + s_{k+1}[n-1]`, with `y = s_0`
+//! (pipelined here by one extra output register). The partial sum at
+//! "tap `k`" therefore sees the input filtered by the coefficient
+//! *suffix* `c_k .. c_{N-1}` — the subfilters whose attenuation drives
+//! the paper's testability analysis.
+//!
+//! Negative CSD digits and negative running signs are absorbed into
+//! subtractors, exactly as a silicon compiler for multiplierless FIR
+//! filters does; the netlist ends up with the mixed adder/subtractor
+//! population of the paper's Table 1.
+
+use csd::QuantizedCoefficient;
+use rtl::{Netlist, NetlistBuilder, NodeId, RtlError};
+
+/// Where one tap's pieces landed in the netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TapStructure {
+    /// Tap index (0 = output-side tap).
+    pub index: usize,
+    /// Multiplier adder/subtractor nodes (empty when the coefficient has
+    /// ≤ 1 nonzero digit).
+    pub multiplier_nodes: Vec<NodeId>,
+    /// The accumulation adder/subtractor, if this tap has one.
+    pub accumulator: Option<NodeId>,
+    /// The delay register carrying the partial sum out of this tap
+    /// (`None` only for tap 0, which feeds the output register).
+    pub register: Option<NodeId>,
+}
+
+/// Output of [`build_transposed_fir`].
+#[derive(Debug, Clone)]
+pub struct BuiltFilter {
+    /// The hardware.
+    pub netlist: Netlist,
+    /// Per-tap structure records (index 0 first).
+    pub taps: Vec<TapStructure>,
+    /// The input node.
+    pub input: NodeId,
+    /// The output node.
+    pub output: NodeId,
+}
+
+/// A value along the accumulation chain together with its pending sign.
+#[derive(Clone, Copy)]
+struct Signed {
+    node: NodeId,
+    negated: bool,
+}
+
+/// Builds the transposed-direct-form netlist for quantized coefficients
+/// `coefficients[k]` (tap `k` multiplies the input by coefficient `k`).
+///
+/// # Errors
+///
+/// Propagates [`RtlError`] from netlist construction (e.g. an invalid
+/// `width`).
+pub fn build_transposed_fir(
+    coefficients: &[QuantizedCoefficient],
+    width: u32,
+) -> Result<BuiltFilter, RtlError> {
+    let mut b = NetlistBuilder::new(width)?;
+    let input = b.input("x");
+    let n = coefficients.len();
+    let mut taps: Vec<TapStructure> = Vec::with_capacity(n);
+
+    // Walk from the deepest tap (k = n-1) toward the output (k = 0).
+    let mut chain: Option<Signed> = None;
+    for k in (0..n).rev() {
+        let mut tap = TapStructure {
+            index: k,
+            multiplier_nodes: Vec::new(),
+            accumulator: None,
+            register: None,
+        };
+        let product = build_multiplier(&mut b, input, &coefficients[k], k, &mut tap);
+
+        // Delay the incoming partial sum (if any).
+        let delayed = chain.map(|c| Signed {
+            node: b.register_labeled(c.node, format!("tap{}.z", k + 1)),
+            negated: c.negated,
+        });
+        if let Some(d) = delayed {
+            if let Some(t) = taps.last_mut() {
+                t.register = Some(d.node);
+            }
+        }
+
+        chain = Some(match (product, delayed) {
+            (None, None) => {
+                // Leading zero coefficients: chain starts at zero.
+                Signed { node: b.constant(0), negated: false }
+            }
+            (Some(p), None) => p,
+            (None, Some(d)) => d,
+            (Some(p), Some(d)) => {
+                let label = format!("tap{k}.acc");
+                let (node, negated) = match (p.negated, d.negated) {
+                    (false, false) => (b.add_labeled(d.node, p.node, label), false),
+                    (false, true) => (b.sub_labeled(p.node, d.node, label), false),
+                    (true, false) => (b.sub_labeled(d.node, p.node, label), false),
+                    (true, true) => (b.add_labeled(d.node, p.node, label), true),
+                };
+                tap.accumulator = Some(node);
+                Signed { node, negated }
+            }
+        });
+        taps.push(tap);
+    }
+
+    let mut last = chain.expect("at least one tap");
+    if last.negated {
+        // Residual sign: negate with a final subtractor from zero.
+        let zero = b.constant(0);
+        last = Signed { node: b.sub_labeled(zero, last.node, "negate"), negated: false };
+    }
+    // Output pipeline register (FIRGEN-style registered output).
+    let out_reg = b.register_labeled(last.node, "tap0.z");
+    if let Some(t) = taps.last_mut() {
+        t.register = Some(out_reg);
+    }
+    let output = b.output(out_reg, "y");
+
+    taps.reverse(); // index 0 first
+    let netlist = b.finish()?;
+    Ok(BuiltFilter { netlist, taps, input, output })
+}
+
+/// Builds the carry-save variant of the transposed form: the partial
+/// sum travels as a `(sum, carry)` pair through 3:2 compressor stages,
+/// with *two* delay registers per tap (the paper's Section 3: carry-save
+/// arrays are "a higher-performance alternative that come at the cost of
+/// doubling the number of registers"), and a final vector-merge ripple
+/// adder. Negative tap products enter as inverted words with the `+1`
+/// tied into the carry word's free LSB slot.
+///
+/// # Errors
+///
+/// Propagates [`RtlError`] from netlist construction.
+pub fn build_csa_fir(
+    coefficients: &[QuantizedCoefficient],
+    width: u32,
+) -> Result<BuiltFilter, RtlError> {
+    let mut b = NetlistBuilder::new(width)?;
+    let input = b.input("x");
+    let n = coefficients.len();
+    let mut taps: Vec<TapStructure> = Vec::with_capacity(n);
+
+    // (sum, carry) pair carrying the partial result.
+    let mut chain: Option<(NodeId, NodeId)> = None;
+    for k in (0..n).rev() {
+        let mut tap = TapStructure {
+            index: k,
+            multiplier_nodes: Vec::new(),
+            accumulator: None,
+            register: None,
+        };
+        let product = build_multiplier(&mut b, input, &coefficients[k], k, &mut tap);
+
+        // Two pipeline registers per tap for the incoming pair.
+        let delayed = chain.map(|(s, c)| {
+            let rs = b.register_labeled(s, format!("tap{}.zs", k + 1));
+            let rc = b.register_labeled(c, format!("tap{}.zc", k + 1));
+            (rs, rc)
+        });
+        if let (Some((rs, _)), Some(t)) = (delayed, taps.last_mut()) {
+            t.register = Some(rs);
+        }
+
+        chain = Some(match (product, delayed) {
+            (None, None) => (b.constant(0), b.constant(0)),
+            (Some(p), None) => {
+                // Chain start: the pair is (operand, correction seed).
+                if p.negated {
+                    let inv = b.not_word(p.node);
+                    (inv, b.constant(1))
+                } else {
+                    (p.node, b.constant(0))
+                }
+            }
+            (None, Some(pair)) => pair,
+            (Some(p), Some((ds, dc))) => {
+                if p.negated {
+                    // a - b = a + !b + 1: the +1 ties into THIS stage's
+                    // carry output, whose LSB is structurally zero.
+                    let inv = b.not_word(p.node);
+                    let (s, c) = b.csa(ds, inv, dc, format!("tap{k}.csa"));
+                    tap.accumulator = Some(s);
+                    (s, b.set_lsb(c))
+                } else {
+                    let (s, c) = b.csa(ds, p.node, dc, format!("tap{k}.csa"));
+                    tap.accumulator = Some(s);
+                    (s, c)
+                }
+            }
+        });
+        taps.push(tap);
+    }
+
+    let (s0, c0) = chain.expect("at least one tap");
+    // Vector merge: one ripple adder resolves the redundant pair.
+    let merged = b.add_labeled(s0, c0, "merge");
+    let out_reg = b.register_labeled(merged, "tap0.z");
+    if let Some(t) = taps.last_mut() {
+        t.register = Some(out_reg);
+    }
+    let output = b.output(out_reg, "y");
+
+    taps.reverse();
+    let netlist = b.finish()?;
+    Ok(BuiltFilter { netlist, taps, input, output })
+}
+
+/// Builds the folded (symmetric) direct form, exploiting linear-phase
+/// coefficient symmetry `c_k == c_{N-1-k}`: a delay line on the input,
+/// *pre-adders* summing each mirrored sample pair (at half weight, so
+/// the pair sum stays in range), one CSD multiplier per pair (half as
+/// many as the transposed form), and a ripple accumulation chain. This
+/// is the classic high-performance linear-phase FIR structure of
+/// FIRGEN-class silicon compilers.
+///
+/// The implemented response is `sum_k c_k x[n-k]` with the same
+/// coefficient values; each pre-add truncates one LSB of each operand
+/// (the `>> 1` halving), so outputs may differ from the transposed form
+/// by a few LSBs — exactly the truncation a real folded datapath has.
+///
+/// # Errors
+///
+/// Propagates [`RtlError`] from netlist construction, or
+/// [`RtlError::InvalidWidth`]-class failures from the builder. Callers
+/// must pass a symmetric coefficient set (asserted).
+///
+/// # Panics
+///
+/// Panics if the coefficients are not symmetric (`raw[k] !=
+/// raw[N-1-k]`) — fold the design only when linear phase holds.
+pub fn build_symmetric_fir(
+    coefficients: &[QuantizedCoefficient],
+    width: u32,
+) -> Result<BuiltFilter, RtlError> {
+    let n = coefficients.len();
+    assert!(
+        (0..n).all(|k| coefficients[k].raw == coefficients[n - 1 - k].raw),
+        "folded form requires symmetric coefficients"
+    );
+    let mut b = NetlistBuilder::new(width)?;
+    let input = b.input("x");
+    let mut taps: Vec<TapStructure> = Vec::with_capacity(n);
+
+    // Delay line: x[n], x[n-1], ..., x[n-(N-1)].
+    let mut line = Vec::with_capacity(n);
+    line.push(input);
+    for k in 1..n {
+        let prev = *line.last().expect("nonempty");
+        line.push(b.register_labeled(prev, format!("x.z{k}")));
+    }
+
+    // One pre-added pair per coefficient pair; the middle tap of an odd
+    // length passes through at half weight.
+    let pairs = n / 2;
+    let mut chain: Option<Signed> = None;
+    for k in 0..pairs + (n % 2) {
+        let mut tap = TapStructure {
+            index: k,
+            multiplier_nodes: Vec::new(),
+            accumulator: None,
+            register: None,
+        };
+        // Half-weight samples keep the pre-add inside [-1, 1).
+        let half_a = b.shift_right(line[k], 1);
+        let pre = if k < pairs {
+            let half_b = b.shift_right(line[n - 1 - k], 1);
+            let node = b.add_labeled(half_a, half_b, format!("pair{k}.pre"));
+            tap.multiplier_nodes.push(node);
+            node
+        } else {
+            half_a // middle sample of an odd-length filter
+        };
+        // Multiply the half-weight pair sum by 2*c_k: shift every CSD
+        // digit up one position.
+        let doubled = shifted_coefficient(&coefficients[k], 1);
+        let product = build_multiplier(&mut b, pre, &doubled, k, &mut tap);
+
+        chain = match (product, chain) {
+            (None, prev) => prev,
+            (Some(p), None) => Some(p),
+            (Some(p), Some(acc)) => {
+                let label = format!("pair{k}.acc");
+                let (node, negated) = match (p.negated, acc.negated) {
+                    (false, false) => (b.add_labeled(acc.node, p.node, label), false),
+                    (false, true) => (b.sub_labeled(p.node, acc.node, label), false),
+                    (true, false) => (b.sub_labeled(acc.node, p.node, label), false),
+                    (true, true) => (b.add_labeled(acc.node, p.node, label), true),
+                };
+                tap.accumulator = Some(node);
+                Some(Signed { node, negated })
+            }
+        };
+        taps.push(tap);
+    }
+
+    let mut last = chain.unwrap_or_else(|| Signed { node: b.constant(0), negated: false });
+    if last.negated {
+        let zero = b.constant(0);
+        last = Signed { node: b.sub_labeled(zero, last.node, "negate"), negated: false };
+    }
+    let out_reg = b.register_labeled(last.node, "y.z");
+    if let Some(t) = taps.last_mut() {
+        t.register = Some(out_reg);
+    }
+    let output = b.output(out_reg, "y");
+    let netlist = b.finish()?;
+    Ok(BuiltFilter { netlist, taps, input, output })
+}
+
+/// A copy of `coef` with every CSD digit moved `shift` positions up
+/// (value multiplied by `2^shift`).
+fn shifted_coefficient(coef: &QuantizedCoefficient, shift: i32) -> QuantizedCoefficient {
+    QuantizedCoefficient {
+        csd: coef.csd.shifted(shift),
+        raw: coef.raw << shift,
+        frac_bits: coef.frac_bits,
+        value: coef.value * 2f64.powi(shift),
+        error: coef.error * 2f64.powi(shift),
+    }
+}
+
+/// Builds the shift-and-add multiplier for one coefficient. Returns the
+/// product (with pending sign) or `None` for a zero coefficient.
+fn build_multiplier(
+    b: &mut NetlistBuilder,
+    input: NodeId,
+    coef: &QuantizedCoefficient,
+    tap_index: usize,
+    tap: &mut TapStructure,
+) -> Option<Signed> {
+    let digits = coef.fractional_digits();
+    if digits.is_empty() {
+        return None;
+    }
+    // Work with magnitudes: if the leading digit is negative, build the
+    // negated coefficient and mark the product.
+    let leading_negative = digits[0].negative;
+    let mut acc: Option<NodeId> = None;
+    for (j, d) in digits.iter().enumerate() {
+        // digit value magnitude 2^power (power < 0): shift = -power.
+        let shift = (-d.power) as u32;
+        let term = b.shift_right(input, shift);
+        let digit_negative = d.negative != leading_negative; // sign relative to leading
+        acc = Some(match acc {
+            None => term,
+            Some(prev) => {
+                let label = format!("tap{tap_index}.mul{j}");
+                let node = if digit_negative {
+                    b.sub_labeled(prev, term, label)
+                } else {
+                    b.add_labeled(prev, term, label)
+                };
+                tap.multiplier_nodes.push(node);
+                node
+            }
+        });
+    }
+    Some(Signed { node: acc.expect("nonempty digits"), negated: leading_negative })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csd::quantize;
+    use rtl::sim::BitSlicedSim;
+
+    fn qc(v: f64) -> QuantizedCoefficient {
+        quantize(v, 15, 4)
+    }
+
+    /// Reference FIR evaluation with the same truncation the hardware
+    /// applies (shift-then-accumulate in raw units, exact because the
+    /// adds cannot overflow for these small coefficients).
+    fn reference(coeffs: &[QuantizedCoefficient], xs: &[i64]) -> Vec<i64> {
+        let mut y = Vec::new();
+        for n in 0..xs.len() {
+            let mut acc: i64 = 0;
+            for (k, c) in coeffs.iter().enumerate() {
+                if n >= k + 1 {
+                    // +1: the output register delays everything by one.
+                    let x = xs[n - k - 1] << 4;
+                    for d in c.fractional_digits() {
+                        let shift = (-d.power) as u32;
+                        let term = x >> shift.min(63);
+                        acc += if d.negative { -term } else { term };
+                    }
+                }
+            }
+            y.push(acc);
+        }
+        y
+    }
+
+    #[test]
+    fn two_tap_filter_matches_reference() {
+        let coeffs = vec![qc(0.25), qc(0.125)];
+        let built = build_transposed_fir(&coeffs, 16).unwrap();
+        let xs = [100i64, -500, 2047, -2048, 0, 77];
+        let mut sim = BitSlicedSim::new(&built.netlist);
+        let expect = reference(&coeffs, &xs);
+        for (i, &x) in xs.iter().enumerate() {
+            sim.step(x << 4);
+            assert_eq!(sim.lane_value(built.output, 0), expect[i], "cycle {i}");
+        }
+    }
+
+    #[test]
+    fn negative_coefficients_use_subtractors() {
+        let coeffs = vec![qc(0.25), qc(-0.25), qc(0.5)];
+        let built = build_transposed_fir(&coeffs, 16).unwrap();
+        let stats = built.netlist.stats();
+        assert!(stats.subtractors >= 1, "negative coefficient should synthesize a subtractor");
+        let xs = [1000i64, -100, 500, 250, -2048, 13];
+        let expect = reference(&coeffs, &xs);
+        let mut sim = BitSlicedSim::new(&built.netlist);
+        for (i, &x) in xs.iter().enumerate() {
+            sim.step(x << 4);
+            assert_eq!(sim.lane_value(built.output, 0), expect[i], "cycle {i}");
+        }
+    }
+
+    #[test]
+    fn multi_digit_coefficient_matches_truncating_reference() {
+        // 0.3 in CSD: several digits; hardware truncates each shift.
+        let coeffs = vec![qc(0.3), qc(-0.147), qc(0.0625)];
+        let built = build_transposed_fir(&coeffs, 16).unwrap();
+        let xs = [2047i64, -2048, 1023, -7, 1, 0, 555];
+        let expect = reference(&coeffs, &xs);
+        let mut sim = BitSlicedSim::new(&built.netlist);
+        for (i, &x) in xs.iter().enumerate() {
+            sim.step(x << 4);
+            assert_eq!(sim.lane_value(built.output, 0), expect[i], "cycle {i}");
+        }
+    }
+
+    #[test]
+    fn zero_coefficients_cost_nothing() {
+        let coeffs = vec![qc(0.5), qc(0.0), qc(0.25)];
+        let built = build_transposed_fir(&coeffs, 16).unwrap();
+        assert!(built.taps[1].multiplier_nodes.is_empty());
+        assert!(built.taps[1].accumulator.is_none());
+        let xs = [64i64, 128, -256, 512, -1024];
+        let expect = reference(&coeffs, &xs);
+        let mut sim = BitSlicedSim::new(&built.netlist);
+        for (i, &x) in xs.iter().enumerate() {
+            sim.step(x << 4);
+            assert_eq!(sim.lane_value(built.output, 0), expect[i], "cycle {i}");
+        }
+    }
+
+    #[test]
+    fn register_count_equals_tap_count() {
+        let coeffs: Vec<_> = (0..10).map(|i| qc(0.02 * (i as f64 + 1.0))).collect();
+        let built = build_transposed_fir(&coeffs, 16).unwrap();
+        assert_eq!(built.netlist.stats().registers, 10);
+        assert_eq!(built.taps.len(), 10);
+    }
+
+    #[test]
+    fn leading_negative_coefficient_still_correct() {
+        let coeffs = vec![qc(-0.5), qc(-0.25)];
+        let built = build_transposed_fir(&coeffs, 16).unwrap();
+        let xs = [100i64, 200, -300, 400];
+        let expect = reference(&coeffs, &xs);
+        let mut sim = BitSlicedSim::new(&built.netlist);
+        for (i, &x) in xs.iter().enumerate() {
+            sim.step(x << 4);
+            assert_eq!(sim.lane_value(built.output, 0), expect[i], "cycle {i}");
+        }
+    }
+
+    #[test]
+    fn symmetric_form_tracks_transposed_form_within_truncation() {
+        // Symmetric coefficients; the folded form's half-weight
+        // pre-adds truncate one LSB per operand, so allow a small bound.
+        let coeffs = vec![qc(0.1), qc(-0.25), qc(0.4), qc(-0.25), qc(0.1)];
+        let folded = build_symmetric_fir(&coeffs, 16).unwrap();
+        let ripple = build_transposed_fir(&coeffs, 16).unwrap();
+        let mut sf = BitSlicedSim::new(&folded.netlist);
+        let mut sr = BitSlicedSim::new(&ripple.netlist);
+        let xs = [2047i64, -2048, 100, -500, 321, 0, 77, -1, 1, 1000, -3, 1500];
+        // Bound: each of the 3 pairs contributes up to ~2 raw LSBs of
+        // pre-add truncation scaled by its (doubled) coefficient, plus
+        // multiplier truncation differences; 16 raw units is generous.
+        for (t, &x) in xs.iter().enumerate() {
+            sf.step(x << 4);
+            sr.step(x << 4);
+            let d = (sf.lane_value(folded.output, 0) - sr.lane_value(ripple.output, 0)).abs();
+            assert!(d <= 16, "cycle {t}: divergence {d} raw units");
+        }
+    }
+
+    #[test]
+    fn symmetric_form_halves_the_multipliers() {
+        let coeffs: Vec<_> =
+            vec![qc(0.05), qc(-0.1), qc(0.3), qc(0.3), qc(-0.1), qc(0.05)];
+        let folded = build_symmetric_fir(&coeffs, 16).unwrap();
+        let ripple = build_transposed_fir(&coeffs, 16).unwrap();
+        // The folded form's register count is dominated by the delay
+        // line (N-1 + output), and its arithmetic should be no larger
+        // than the unfolded form's despite the added pre-adders.
+        assert!(
+            folded.netlist.stats().arithmetic() <= ripple.netlist.stats().arithmetic(),
+            "folded {} vs ripple {}",
+            folded.netlist.stats().arithmetic(),
+            ripple.netlist.stats().arithmetic()
+        );
+        assert_eq!(folded.netlist.stats().registers as usize, coeffs.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn symmetric_form_rejects_asymmetric_coefficients() {
+        let coeffs = vec![qc(0.1), qc(0.2), qc(0.3)];
+        let _ = build_symmetric_fir(&coeffs, 16);
+    }
+
+    #[test]
+    fn csa_form_matches_ripple_form_functionally() {
+        // Same quantized coefficients through both architectures: the
+        // carry-save cascade plus vector merge must produce exactly the
+        // ripple transposed form's output (same truncation points, same
+        // alignment).
+        let coeff_sets: Vec<Vec<QuantizedCoefficient>> = vec![
+            vec![qc(0.25), qc(0.125)],
+            vec![qc(0.25), qc(-0.25), qc(0.5)],
+            vec![qc(-0.3), qc(0.0), qc(0.147), qc(-0.0625), qc(0.09)],
+            vec![qc(-0.5), qc(-0.25)],
+        ];
+        for coeffs in coeff_sets {
+            let ripple = build_transposed_fir(&coeffs, 16).unwrap();
+            let csa = build_csa_fir(&coeffs, 16).unwrap();
+            let mut sim_r = BitSlicedSim::new(&ripple.netlist);
+            let mut sim_c = BitSlicedSim::new(&csa.netlist);
+            let xs = [2047i64, -2048, 100, -500, 321, 0, 77, -1, 1, 1000];
+            for (t, &x) in xs.iter().enumerate() {
+                sim_r.step(x << 4);
+                sim_c.step(x << 4);
+                assert_eq!(
+                    sim_r.lane_value(ripple.output, 0),
+                    sim_c.lane_value(csa.output, 0),
+                    "coeffs {:?} cycle {t}",
+                    coeffs.iter().map(|q| q.value).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn csa_form_doubles_the_registers() {
+        let coeffs: Vec<_> = (0..8).map(|i| qc(0.05 * (i as f64 + 1.0) - 0.2)).collect();
+        let ripple = build_transposed_fir(&coeffs, 16).unwrap();
+        let csa = build_csa_fir(&coeffs, 16).unwrap();
+        let r = ripple.netlist.stats().registers;
+        let c = csa.netlist.stats().registers;
+        assert!(
+            c >= 2 * r - 2,
+            "carry-save should roughly double the registers: {c} vs {r}"
+        );
+        assert!(csa.netlist.stats().csa_stages > 0);
+    }
+
+    #[test]
+    fn csa_fault_injection_affects_both_outputs_consistently() {
+        use rtl::fulladder::{FaFault, Line};
+        use rtl::sim::CellFault;
+        let coeffs = vec![qc(0.25), qc(0.25), qc(0.25)];
+        let csa = build_csa_fir(&coeffs, 16).unwrap();
+        let stage = csa.taps.iter().find_map(|t| t.accumulator).expect("a CSA stage exists");
+        let mut sim = BitSlicedSim::new(&csa.netlist);
+        // AStem stuck-at-1 at cell 5 must perturb sum and carry words
+        // coherently: the faulty lane's (sum + carry) changes by the
+        // effect of a single flipped operand bit, not by two unrelated
+        // corruptions.
+        sim.set_faults(
+            stage,
+            vec![CellFault {
+                cell: 5,
+                fault: FaFault { line: Line::AStem, stuck_one: true },
+                lanes: 0b10,
+            }],
+        );
+        let mut diverged = false;
+        for x in [100i64, -2000, 1500, -37, 800, 41, -1024, 2000] {
+            sim.step(x << 4);
+            let good = sim.lane_value(csa.output, 0);
+            let bad = sim.lane_value(csa.output, 1);
+            if good != bad {
+                diverged = true;
+                // A single A-input flip at cell 5 changes the pair sum
+                // by exactly +-2^5 (the cell re-encodes a+b+c exactly).
+                let delta = (bad - good).rem_euclid(1 << 16);
+                assert!(
+                    delta == 32 || delta == (1 << 16) - 32,
+                    "incoherent fault effect: delta {delta}"
+                );
+            }
+        }
+        assert!(diverged, "fault never propagated");
+    }
+
+    #[test]
+    fn tap_records_point_at_real_nodes() {
+        let coeffs = vec![qc(0.25), qc(0.3), qc(-0.125)];
+        let built = build_transposed_fir(&coeffs, 16).unwrap();
+        for tap in &built.taps {
+            if let Some(acc) = tap.accumulator {
+                assert!(built.netlist.node(acc).kind.is_arithmetic());
+                assert_eq!(built.netlist.node(acc).label, format!("tap{}.acc", tap.index));
+            }
+            for &m in &tap.multiplier_nodes {
+                assert!(built.netlist.node(m).kind.is_arithmetic());
+            }
+        }
+    }
+}

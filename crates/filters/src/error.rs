@@ -1,0 +1,58 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while designing or building a filter.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FilterError {
+    /// The floating-point prototype design failed.
+    Design(dsp::DspError),
+    /// Netlist construction failed.
+    Rtl(rtl::RtlError),
+    /// Coefficient quantization could not reach an L1 norm ≤ 1 within
+    /// the iteration budget.
+    ScalingDiverged {
+        /// The L1 norm reached when iteration stopped.
+        l1: f64,
+    },
+    /// A spec parameter was invalid.
+    InvalidSpec {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FilterError::Design(e) => write!(f, "prototype design failed: {e}"),
+            FilterError::Rtl(e) => write!(f, "netlist construction failed: {e}"),
+            FilterError::ScalingDiverged { l1 } => {
+                write!(f, "coefficient scaling did not converge (L1 = {l1})")
+            }
+            FilterError::InvalidSpec { reason } => write!(f, "invalid filter spec: {reason}"),
+        }
+    }
+}
+
+impl Error for FilterError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FilterError::Design(e) => Some(e),
+            FilterError::Rtl(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dsp::DspError> for FilterError {
+    fn from(e: dsp::DspError) -> Self {
+        FilterError::Design(e)
+    }
+}
+
+impl From<rtl::RtlError> for FilterError {
+    fn from(e: rtl::RtlError) -> Self {
+        FilterError::Rtl(e)
+    }
+}

@@ -1,0 +1,38 @@
+//! The paper's circuits-under-test: high-performance, reduced-complexity
+//! FIR digital filters, designed in floating point, quantized to
+//! canonic-signed-digit coefficients, and mapped onto a structural
+//! ripple-carry netlist.
+//!
+//! The architecture follows the paper's Section 3 (and its FIRGEN
+//! lineage): a cascade of *tap* structures in transposed direct form,
+//! each tap being a hardwired shift-and-add constant multiplier feeding
+//! an accumulation adder and a delay register. Conservative L1-norm
+//! scaling guarantees no internal overflow and identifies redundant sign
+//! bits (see `bist_rtl::range`).
+//!
+//! [`designs::paper_designs`] instantiates the three Table 1 designs:
+//! a narrowband lowpass (LP), a mid-band bandpass (BP) and a highpass
+//! (HP), each with a 12-bit input, ≤15-bit coefficients and a 16-bit
+//! datapath.
+//!
+//! # Example
+//!
+//! ```
+//! use bist_filters::designs::lowpass;
+//!
+//! let design = lowpass()?;
+//! let stats = design.netlist().stats();
+//! assert!(stats.arithmetic() > 100);     // ~180 adders/subtractors
+//! assert_eq!(stats.registers as usize, design.taps());
+//! # Ok::<(), bist_filters::FilterError>(())
+//! ```
+
+mod build;
+mod design;
+mod error;
+
+pub mod designs;
+
+pub use build::TapStructure;
+pub use design::{Architecture, FilterDesign, FilterSpec, ScalingPolicy};
+pub use error::FilterError;

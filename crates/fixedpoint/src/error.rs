@@ -1,0 +1,58 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing fixed-point formats or values.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FixedPointError {
+    /// The requested word width is outside the supported `1..=63` range.
+    InvalidWidth {
+        /// The offending width.
+        width: u32,
+    },
+    /// The number of fraction bits does not fit in the word
+    /// (`frac_bits` must be `< width`... it must leave room for the sign).
+    InvalidFracBits {
+        /// The offending fraction-bit count.
+        frac_bits: u32,
+        /// The word width it was paired with.
+        width: u32,
+    },
+    /// A value does not fit in the requested format.
+    OutOfRange {
+        /// The value that failed to convert.
+        value: f64,
+        /// Low end of the representable range.
+        min: f64,
+        /// High end (exclusive) of the representable range.
+        max: f64,
+    },
+    /// A raw bit pattern had bits set above the format's width.
+    RawOverflow {
+        /// The offending raw word.
+        raw: i64,
+        /// The format width it was paired with.
+        width: u32,
+    },
+}
+
+impl fmt::Display for FixedPointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FixedPointError::InvalidWidth { width } => {
+                write!(f, "word width {width} is not in 1..=63")
+            }
+            FixedPointError::InvalidFracBits { frac_bits, width } => {
+                write!(f, "{frac_bits} fraction bits do not fit in a {width}-bit word")
+            }
+            FixedPointError::OutOfRange { value, min, max } => {
+                write!(f, "value {value} is outside the representable range [{min}, {max})")
+            }
+            FixedPointError::RawOverflow { raw, width } => {
+                write!(f, "raw word {raw:#x} does not fit in {width} bits")
+            }
+        }
+    }
+}
+
+impl Error for FixedPointError {}

@@ -1,0 +1,190 @@
+use crate::FixedPointError;
+use std::fmt;
+
+/// Describes a two's-complement word format: total width and fraction bits.
+///
+/// A `QFormat` with width `N` and `F` fraction bits represents values
+/// `raw / 2^F` where `raw` is an `N`-bit two's-complement integer. The
+/// paper's convention (all signals interpreted relative to the local bit
+/// width, values in `[-1, 1)`) corresponds to `F = N - 1`.
+///
+/// # Example
+///
+/// ```
+/// use bist_fixedpoint::QFormat;
+///
+/// let q = QFormat::new(12, 11)?;
+/// assert_eq!(q.min_value(), -1.0);
+/// assert_eq!(q.max_value(), 1.0 - 2f64.powi(-11));
+/// assert_eq!(q.lsb(), 2f64.powi(-11));
+/// # Ok::<(), bist_fixedpoint::FixedPointError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QFormat {
+    width: u32,
+    frac_bits: u32,
+}
+
+impl QFormat {
+    /// Creates a format with `width` total bits, of which `frac_bits` are
+    /// fractional.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedPointError::InvalidWidth`] if `width` is not in
+    /// `1..=63`, or [`FixedPointError::InvalidFracBits`] if `frac_bits >= width`
+    /// (at least one bit must remain for the sign).
+    pub fn new(width: u32, frac_bits: u32) -> Result<Self, FixedPointError> {
+        if width == 0 || width > 63 {
+            return Err(FixedPointError::InvalidWidth { width });
+        }
+        if frac_bits >= width {
+            return Err(FixedPointError::InvalidFracBits { frac_bits, width });
+        }
+        Ok(QFormat { width, frac_bits })
+    }
+
+    /// Total word width in bits (including the sign bit).
+    pub fn width(self) -> u32 {
+        self.width
+    }
+
+    /// Number of fraction bits.
+    pub fn frac_bits(self) -> u32 {
+        self.frac_bits
+    }
+
+    /// Number of integer bits excluding the sign bit.
+    pub fn int_bits(self) -> u32 {
+        self.width - 1 - self.frac_bits
+    }
+
+    /// Smallest representable raw word (`-2^(width-1)`).
+    pub fn min_raw(self) -> i64 {
+        -(1i64 << (self.width - 1))
+    }
+
+    /// Largest representable raw word (`2^(width-1) - 1`).
+    pub fn max_raw(self) -> i64 {
+        (1i64 << (self.width - 1)) - 1
+    }
+
+    /// Smallest representable value.
+    pub fn min_value(self) -> f64 {
+        self.min_raw() as f64 * self.lsb()
+    }
+
+    /// Largest representable value.
+    pub fn max_value(self) -> f64 {
+        self.max_raw() as f64 * self.lsb()
+    }
+
+    /// Weight of the least-significant bit (`2^-frac_bits`).
+    pub fn lsb(self) -> f64 {
+        (2f64).powi(-(self.frac_bits as i32))
+    }
+
+    /// Wraps an arbitrary integer into this format's two's-complement range,
+    /// exactly as a hardware adder of this width would.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bist_fixedpoint::QFormat;
+    ///
+    /// let q = QFormat::new(4, 3)?; // raws in -8..=7
+    /// assert_eq!(q.wrap(8), -8);
+    /// assert_eq!(q.wrap(-9), 7);
+    /// assert_eq!(q.wrap(3), 3);
+    /// # Ok::<(), bist_fixedpoint::FixedPointError>(())
+    /// ```
+    pub fn wrap(self, raw: i64) -> i64 {
+        let m = 1i64 << self.width;
+        let x = raw.rem_euclid(m);
+        if x >= m / 2 {
+            x - m
+        } else {
+            x
+        }
+    }
+
+    /// Returns `true` if `raw` is representable without wrapping.
+    pub fn contains_raw(self, raw: i64) -> bool {
+        raw >= self.min_raw() && raw <= self.max_raw()
+    }
+
+    /// Sign-extends the low `width` bits of `bits` into an `i64`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bist_fixedpoint::QFormat;
+    ///
+    /// let q = QFormat::new(4, 3)?;
+    /// assert_eq!(q.sign_extend(0b1111), -1);
+    /// assert_eq!(q.sign_extend(0b0111), 7);
+    /// # Ok::<(), bist_fixedpoint::FixedPointError>(())
+    /// ```
+    pub fn sign_extend(self, bits: u64) -> i64 {
+        let shift = 64 - self.width;
+        ((bits << shift) as i64) >> shift
+    }
+
+    /// The low `width` bits of a raw word, as an unsigned pattern.
+    pub fn to_bits(self, raw: i64) -> u64 {
+        (raw as u64) & ((1u64 << self.width) - 1)
+    }
+}
+
+impl fmt::Display for QFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}.{}", self.width - self.frac_bits, self.frac_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_widths() {
+        assert!(QFormat::new(0, 0).is_err());
+        assert!(QFormat::new(64, 10).is_err());
+        assert!(QFormat::new(8, 8).is_err());
+        assert!(QFormat::new(8, 9).is_err());
+    }
+
+    #[test]
+    fn q1_15_range() {
+        let q = QFormat::new(16, 15).unwrap();
+        assert_eq!(q.min_raw(), -32768);
+        assert_eq!(q.max_raw(), 32767);
+        assert_eq!(q.min_value(), -1.0);
+        assert!((q.max_value() - (1.0 - 2f64.powi(-15))).abs() < 1e-12);
+        assert_eq!(q.int_bits(), 0);
+    }
+
+    #[test]
+    fn wrap_matches_modular_arithmetic() {
+        let q = QFormat::new(6, 5).unwrap();
+        for raw in -200..200 {
+            let w = q.wrap(raw);
+            assert!(q.contains_raw(w));
+            assert_eq!((w - raw).rem_euclid(64), 0, "raw={raw} wrapped={w}");
+        }
+    }
+
+    #[test]
+    fn sign_extend_round_trips_to_bits() {
+        let q = QFormat::new(12, 11).unwrap();
+        for raw in q.min_raw()..=q.max_raw() {
+            assert_eq!(q.sign_extend(q.to_bits(raw)), raw);
+        }
+    }
+
+    #[test]
+    fn display_shows_q_notation() {
+        let q = QFormat::new(16, 15).unwrap();
+        assert_eq!(q.to_string(), "Q1.15");
+    }
+}

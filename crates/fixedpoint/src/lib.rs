@@ -1,0 +1,59 @@
+//! Two's-complement fixed-point arithmetic for digital-filter BIST.
+//!
+//! The paper ("Frequency-Domain Compatibility in Digital Filter BIST",
+//! DAC 1997) represents every signal as an `N`-bit two's-complement word
+//! whose value is `-b0 + sum(b_i * 2^-i)` — i.e. a fraction in `[-1, 1)`.
+//! This crate provides the [`QFormat`] word-format descriptor and the
+//! [`Fx`] fixed-point value type used throughout the workspace: by the
+//! structural netlist in `bist-rtl`, the test-pattern generators in
+//! `bist-tpg`, and the analysis code in `bist-core`.
+//!
+//! # Example
+//!
+//! ```
+//! use bist_fixedpoint::{Fx, QFormat};
+//!
+//! // The paper's filter datapath: 16-bit words, 15 fraction bits.
+//! let q = QFormat::new(16, 15)?;
+//! let half = Fx::from_f64(0.5, q)?;
+//! let quarter = Fx::from_f64(0.25, q)?;
+//! assert_eq!((half.wrapping_add(quarter)).to_f64(), 0.75);
+//!
+//! // Wrap-around (overflow) behaviour of a real ripple-carry adder:
+//! let big = Fx::from_f64(0.75, q)?;
+//! assert!(big.wrapping_add(big).to_f64() < 0.0);
+//! # Ok::<(), bist_fixedpoint::FixedPointError>(())
+//! ```
+
+mod error;
+mod format;
+mod value;
+
+pub use error::FixedPointError;
+pub use format::QFormat;
+pub use value::Fx;
+
+/// Convenience: the 16-bit Q1.15 datapath format used by the paper's filters.
+///
+/// # Example
+///
+/// ```
+/// let q = bist_fixedpoint::q1_15();
+/// assert_eq!(q.width(), 16);
+/// assert_eq!(q.frac_bits(), 15);
+/// ```
+pub fn q1_15() -> QFormat {
+    QFormat::new(16, 15).expect("static format is valid")
+}
+
+/// Convenience: the 12-bit Q1.11 input format used by the paper's filters.
+///
+/// # Example
+///
+/// ```
+/// let q = bist_fixedpoint::q1_11();
+/// assert_eq!(q.width(), 12);
+/// ```
+pub fn q1_11() -> QFormat {
+    QFormat::new(12, 11).expect("static format is valid")
+}

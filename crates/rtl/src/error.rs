@@ -1,0 +1,47 @@
+use crate::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or analyzing a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RtlError {
+    /// Datapath width outside the supported `2..=63` bits.
+    InvalidWidth {
+        /// The offending width.
+        width: u32,
+    },
+    /// A node referenced an id that does not exist in the netlist.
+    UnknownNode {
+        /// The dangling reference.
+        node: NodeId,
+    },
+    /// The combinational part of the netlist contains a cycle
+    /// (cycles are only legal through registers).
+    CombinationalCycle {
+        /// A node on the cycle.
+        node: NodeId,
+    },
+    /// The netlist has no input or no output.
+    MissingPort {
+        /// `"input"` or `"output"`.
+        kind: &'static str,
+    },
+}
+
+impl fmt::Display for RtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtlError::InvalidWidth { width } => {
+                write!(f, "datapath width {width} is not in 2..=63")
+            }
+            RtlError::UnknownNode { node } => write!(f, "reference to unknown node {node:?}"),
+            RtlError::CombinationalCycle { node } => {
+                write!(f, "combinational cycle through node {node:?}")
+            }
+            RtlError::MissingPort { kind } => write!(f, "netlist has no {kind}"),
+        }
+    }
+}
+
+impl Error for RtlError {}

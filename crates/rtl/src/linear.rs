@@ -1,0 +1,212 @@
+//! Exact linear (floating-point) evaluation of a netlist.
+//!
+//! For variance analysis (the paper's Eq. 1) each adder output is
+//! characterized by the impulse response of the linear subsystem that
+//! drives it. This module evaluates the netlist over `f64`, treating
+//! shifts as exact scalings and ignoring truncation and wrap-around —
+//! the idealization under which the netlist *is* a linear system — and
+//! extracts per-node impulse responses.
+
+use crate::node::{NodeId, NodeKind};
+use crate::Netlist;
+
+/// A linear (idealized) simulator over `f64` values in `[-1, 1)` units.
+#[derive(Debug, Clone)]
+pub struct LinearSim<'n> {
+    netlist: &'n Netlist,
+    values: Vec<f64>,
+    state: Vec<f64>,
+}
+
+impl<'n> LinearSim<'n> {
+    /// Creates an idealized simulator with zeroed registers.
+    pub fn new(netlist: &'n Netlist) -> Self {
+        let n = netlist.nodes().len();
+        let mut sim = LinearSim { netlist, values: vec![0.0; n], state: vec![0.0; n] };
+        for (i, node) in netlist.nodes().iter().enumerate() {
+            if let NodeKind::Const { raw } = node.kind {
+                sim.values[i] = raw as f64 * netlist.format().lsb();
+            }
+        }
+        sim
+    }
+
+    /// Advances one cycle with the given input value (single-input
+    /// netlists).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist does not have exactly one input.
+    pub fn step(&mut self, input: f64) {
+        let inputs = self.netlist.input_ids();
+        assert_eq!(inputs.len(), 1, "netlist does not have exactly one input");
+        self.values[inputs[0].index()] = input;
+        for &idx in self.netlist.eval_order() {
+            let i = idx as usize;
+            match self.netlist.nodes()[i].kind {
+                NodeKind::Input | NodeKind::Const { .. } => {}
+                NodeKind::Register { .. } => self.values[i] = self.state[i],
+                NodeKind::Output { src } => self.values[i] = self.values[src.index()],
+                NodeKind::ShiftRight { src, amount } => {
+                    self.values[i] = self.values[src.index()] * 2f64.powi(-(amount as i32));
+                }
+                NodeKind::Add { a, b } => {
+                    self.values[i] = self.values[a.index()] + self.values[b.index()];
+                }
+                NodeKind::Sub { a, b } => {
+                    self.values[i] = self.values[a.index()] - self.values[b.index()];
+                }
+                NodeKind::Not { src } => {
+                    self.values[i] = -self.values[src.index()] - self.netlist.format().lsb();
+                }
+                NodeKind::SetLsb { src } => {
+                    // The carry word's LSB is structurally zero, so the
+                    // tie adds exactly one raw LSB.
+                    self.values[i] = self.values[src.index()] + self.netlist.format().lsb();
+                }
+                // Carry-save stages are bitwise and therefore nonlinear
+                // per output; only their *pair sum* is linear. The
+                // idealization attributes the whole stage value to the
+                // sum node (carry reads zero), which keeps every
+                // downstream (merged) response exact.
+                NodeKind::CsaSum { a, b, c } => {
+                    self.values[i] =
+                        self.values[a.index()] + self.values[b.index()] + self.values[c.index()];
+                }
+                NodeKind::CsaCarry { .. } => self.values[i] = 0.0,
+            }
+        }
+        for &idx in self.netlist.register_indices() {
+            let i = idx as usize;
+            if let NodeKind::Register { src } = self.netlist.nodes()[i].kind {
+                self.state[i] = self.values[src.index()];
+            }
+        }
+    }
+
+    /// The current value at a node.
+    pub fn value(&self, node: NodeId) -> f64 {
+        self.values[node.index()]
+    }
+}
+
+/// Impulse response of the linear subsystem driving `node`, of length
+/// `len`: the node's response to the input sequence `1, 0, 0, ...`.
+///
+/// For the FIR structures in `bist-filters` the response is exact after
+/// the register pipeline flushes; `len` should cover the filter order.
+///
+/// # Example
+///
+/// ```
+/// use bist_rtl::{NetlistBuilder, linear::impulse_response};
+///
+/// let mut b = NetlistBuilder::new(16)?;
+/// let x = b.input("x");
+/// let h0 = b.shift_right(x, 1);
+/// let d = b.register(x);
+/// let h1 = b.shift_right(d, 2);
+/// let y = b.add(h0, h1);
+/// b.output(y, "y");
+/// let n = b.finish()?;
+/// let h = impulse_response(&n, n.output_ids()[0], 4);
+/// assert_eq!(h, vec![0.5, 0.25, 0.0, 0.0]);
+/// # Ok::<(), bist_rtl::RtlError>(())
+/// ```
+pub fn impulse_response(netlist: &Netlist, node: NodeId, len: usize) -> Vec<f64> {
+    impulse_responses(netlist, &[node], len).remove(0)
+}
+
+/// Impulse responses for many nodes in one pass, in the same order as
+/// `nodes`.
+///
+/// Computed as the *difference* between an impulse run and a zero-input
+/// run, so netlists with constant (affine) terms — e.g. the carry-save
+/// correction ties — still yield their true linear responses.
+pub fn impulse_responses(netlist: &Netlist, nodes: &[NodeId], len: usize) -> Vec<Vec<f64>> {
+    let mut sim = LinearSim::new(netlist);
+    let mut zero = LinearSim::new(netlist);
+    let mut out = vec![Vec::with_capacity(len); nodes.len()];
+    for t in 0..len {
+        sim.step(if t == 0 { 1.0 } else { 0.0 });
+        zero.step(0.0);
+        for (h, &id) in out.iter_mut().zip(nodes) {
+            h.push(sim.value(id) - zero.value(id));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    fn two_tap() -> Netlist {
+        // y = 0.5 x[n] + 0.25 x[n-1]
+        let mut b = NetlistBuilder::new(16).unwrap();
+        let x = b.input("x");
+        let t0 = b.shift_right(x, 1);
+        let d = b.register(x);
+        let t1 = b.shift_right(d, 2);
+        let y = b.add_labeled(t0, t1, "acc");
+        b.output(y, "y");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn impulse_response_of_fir() {
+        let n = two_tap();
+        let h = impulse_response(&n, n.output_ids()[0], 5);
+        assert_eq!(h, vec![0.5, 0.25, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn step_response_accumulates() {
+        let n = two_tap();
+        let mut sim = LinearSim::new(&n);
+        sim.step(1.0);
+        sim.step(1.0);
+        assert!((sim.value(n.output_ids()[0]) - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sub_nodes_subtract() {
+        let mut b = NetlistBuilder::new(16).unwrap();
+        let x = b.input("x");
+        let d = b.register(x);
+        let y = b.sub(x, d);
+        b.output(y, "y");
+        let n = b.finish().unwrap();
+        let h = impulse_response(&n, n.output_ids()[0], 3);
+        assert_eq!(h, vec![1.0, -1.0, 0.0]);
+    }
+
+    #[test]
+    fn batch_matches_single(){
+        let n = two_tap();
+        let acc = n.find_label("acc").unwrap();
+        let out = n.output_ids()[0];
+        let batch = impulse_responses(&n, &[acc, out], 6);
+        assert_eq!(batch[0], impulse_response(&n, acc, 6));
+        assert_eq!(batch[1], impulse_response(&n, out, 6));
+    }
+
+    #[test]
+    fn linear_matches_bitsliced_when_no_truncation() {
+        // With shifts that never drop set bits, the linear and the
+        // bit-sliced simulators agree exactly.
+        let n = two_tap();
+        let out = n.output_ids()[0];
+        let mut lin = LinearSim::new(&n);
+        let mut bits = crate::sim::BitSlicedSim::new(&n);
+        let lsb = n.format().lsb();
+        for raw in [1024i64, -2048, 4096, 0, 512] {
+            lin.step(raw as f64 * lsb);
+            bits.step(raw);
+            let lv = lin.value(out);
+            let bv = bits.lane_value(out, 0) as f64 * lsb;
+            assert!((lv - bv).abs() < 1e-12, "{lv} vs {bv}");
+        }
+    }
+}

@@ -1,0 +1,179 @@
+use std::fmt;
+
+/// Identifier of a node within its [`crate::Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The node's position in the netlist's node table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The operator implemented by a node. All operands and results are
+/// words of the netlist's datapath width, interpreted as two's-complement
+/// fractions (the paper's convention: values in `[-1, 1)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NodeKind {
+    /// Externally driven input word.
+    Input,
+    /// Constant word (raw two's-complement value).
+    Const {
+        /// The constant's raw word.
+        raw: i64,
+    },
+    /// Delay register (one-cycle delay of `src`; resets to zero).
+    Register {
+        /// The node whose value is latched each cycle.
+        src: NodeId,
+    },
+    /// Ripple-carry adder `a + b` (modular, like the hardware).
+    Add {
+        /// Primary operand.
+        a: NodeId,
+        /// Secondary operand.
+        b: NodeId,
+    },
+    /// Ripple-carry subtractor `a - b` (implemented as `a + !b + 1`).
+    Sub {
+        /// Primary operand (minuend).
+        a: NodeId,
+        /// Secondary operand (subtrahend).
+        b: NodeId,
+    },
+    /// Hardwired arithmetic right shift by `amount` bits (sign-extending,
+    /// truncating toward negative infinity) — one shifted term of a CSD
+    /// multiplier.
+    ShiftRight {
+        /// The shifted operand.
+        src: NodeId,
+        /// Shift distance in bits.
+        amount: u32,
+    },
+    /// Observable output port.
+    Output {
+        /// The node driven to the output.
+        src: NodeId,
+    },
+    /// Bitwise inverter bank (`!src`). Used by carry-save subtraction
+    /// (`a - b = a + !b + 1`, with the `+1` corrections folded into a
+    /// constant carry-chain seed). Treated as wiring in the fault
+    /// model: an inverter line fault is equivalent to a stuck line at
+    /// the consuming cell's input.
+    Not {
+        /// The inverted operand.
+        src: NodeId,
+    },
+    /// Ties bit 0 of `src` high (`src | 1`). Pure wiring: used to
+    /// inject the `+1` of a carry-save subtraction into the carry
+    /// word's structurally-zero LSB slot.
+    SetLsb {
+        /// The word whose LSB is tied high.
+        src: NodeId,
+    },
+    /// Sum word of a carry-save (3:2 compressor) stage: bitwise
+    /// `a ^ b ^ c`. Each bit is one full-adder cell shared with the
+    /// matching [`NodeKind::CsaCarry`]; faults are injected on this
+    /// node and affect both outputs.
+    CsaSum {
+        /// First operand.
+        a: NodeId,
+        /// Second operand.
+        b: NodeId,
+        /// Third operand.
+        c: NodeId,
+    },
+    /// Carry word of a carry-save stage: bitwise majority of
+    /// `(a, b, c)`, shifted up one position (bit 0 is zero). `sum`
+    /// links to the [`NodeKind::CsaSum`] sharing the same physical
+    /// cells.
+    CsaCarry {
+        /// First operand.
+        a: NodeId,
+        /// Second operand.
+        b: NodeId,
+        /// Third operand.
+        c: NodeId,
+        /// The paired sum node (fault-injection site for the shared
+        /// cells).
+        sum: NodeId,
+    },
+}
+
+impl NodeKind {
+    /// The operand node ids, in order.
+    pub fn operands(&self) -> Vec<NodeId> {
+        match *self {
+            NodeKind::Input | NodeKind::Const { .. } => vec![],
+            NodeKind::Register { src }
+            | NodeKind::ShiftRight { src, .. }
+            | NodeKind::Output { src }
+            | NodeKind::Not { src }
+            | NodeKind::SetLsb { src } => vec![src],
+            NodeKind::Add { a, b } | NodeKind::Sub { a, b } => vec![a, b],
+            NodeKind::CsaSum { a, b, c } => vec![a, b, c],
+            // The pair link is not a data dependency; the carry output
+            // depends only on the three operand words.
+            NodeKind::CsaCarry { a, b, c, .. } => vec![a, b, c],
+        }
+    }
+
+    /// `true` for the fault-bearing elements of the paper's fault
+    /// model: ripple adders/subtractors and carry-save stages (whose
+    /// shared cells are addressed through the [`NodeKind::CsaSum`]
+    /// node).
+    pub fn is_arithmetic(&self) -> bool {
+        matches!(
+            self,
+            NodeKind::Add { .. } | NodeKind::Sub { .. } | NodeKind::CsaSum { .. }
+        )
+    }
+}
+
+/// A node: an operator plus a human-readable label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// The operator.
+    pub kind: NodeKind,
+    /// Debug label ("tap20.acc", "y", ...). Empty when unnamed.
+    pub label: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operands_are_reported() {
+        let a = NodeId(0);
+        let b = NodeId(1);
+        assert!(NodeKind::Input.operands().is_empty());
+        assert_eq!(NodeKind::Add { a, b }.operands(), vec![a, b]);
+        assert_eq!(NodeKind::Register { src: b }.operands(), vec![b]);
+        assert_eq!(NodeKind::ShiftRight { src: a, amount: 3 }.operands(), vec![a]);
+    }
+
+    #[test]
+    fn arithmetic_classification() {
+        let a = NodeId(0);
+        let b = NodeId(1);
+        assert!(NodeKind::Add { a, b }.is_arithmetic());
+        assert!(NodeKind::Sub { a, b }.is_arithmetic());
+        assert!(!NodeKind::Register { src: a }.is_arithmetic());
+        assert!(!NodeKind::Input.is_arithmetic());
+    }
+
+    #[test]
+    fn id_display() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+        assert_eq!(NodeId(7).index(), 7);
+    }
+}

@@ -1,0 +1,205 @@
+//! Property tests over randomly generated netlists: the bit-sliced
+//! gate-level simulator must agree with a plain two's-complement
+//! reference interpreter on every structure the builder can produce,
+//! and the analyses must stay sound on arbitrary DAGs.
+
+use proptest::prelude::*;
+use bist_rtl::range::{aligned_input_range, RangeAnalysis};
+use bist_rtl::reachability::Reachability;
+use bist_rtl::sim::BitSlicedSim;
+use bist_rtl::{Netlist, NetlistBuilder, NodeId, NodeKind};
+
+/// A recipe for one random netlist node.
+#[derive(Debug, Clone)]
+enum Op {
+    Register(usize),
+    ShiftRight(usize, u32),
+    Add(usize, usize),
+    Sub(usize, usize),
+}
+
+fn op_strategy(max_src: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..max_src).prop_map(Op::Register),
+        (0..max_src, 0u32..6).prop_map(|(s, k)| Op::ShiftRight(s, k)),
+        (0..max_src, 0..max_src).prop_map(|(a, b)| Op::Add(a, b)),
+        (0..max_src, 0..max_src).prop_map(|(a, b)| Op::Sub(a, b)),
+    ]
+}
+
+/// Builds a random netlist; node `i` may only reference nodes `< i`,
+/// so the graph is always a DAG.
+fn build(width: u32, ops: &[Op]) -> Netlist {
+    let mut b = NetlistBuilder::new(width).expect("width valid");
+    let mut ids: Vec<NodeId> = vec![b.input("x")];
+    for op in ops {
+        let pick = |i: usize| ids[i % ids.len()];
+        let id = match *op {
+            Op::Register(s) => b.register(pick(s)),
+            Op::ShiftRight(s, k) => b.shift_right(pick(s), k),
+            Op::Add(a, c) => b.add(pick(a), pick(c)),
+            Op::Sub(a, c) => b.sub(pick(a), pick(c)),
+        };
+        ids.push(id);
+    }
+    let last = *ids.last().expect("nonempty");
+    b.output(last, "y");
+    b.finish().expect("DAG by construction")
+}
+
+/// Reference interpreter: straightforward wrapping two's-complement
+/// evaluation with register state.
+fn reference_run(netlist: &Netlist, inputs: &[i64]) -> Vec<i64> {
+    let q = netlist.format();
+    let n = netlist.nodes().len();
+    let mut values = vec![0i64; n];
+    let mut state = vec![0i64; n];
+    let mut out = Vec::new();
+    let out_id = netlist.output_ids()[0];
+    for &x in inputs {
+        for &idx in netlist.eval_order() {
+            let i = idx as usize;
+            values[i] = match netlist.nodes()[i].kind {
+                NodeKind::Input => x,
+                NodeKind::Const { raw } => raw,
+                NodeKind::Register { .. } => state[i],
+                NodeKind::Output { src } => values[src.index()],
+                NodeKind::ShiftRight { src, amount } => values[src.index()] >> amount.min(62),
+                NodeKind::Add { a, b } => q.wrap(values[a.index()] + values[b.index()]),
+                NodeKind::Sub { a, b } => q.wrap(values[a.index()] - values[b.index()]),
+                _ => unreachable!("builder never produces other kinds"),
+            };
+        }
+        for &idx in netlist.register_indices() {
+            let i = idx as usize;
+            if let NodeKind::Register { src } = netlist.nodes()[i].kind {
+                state[i] = values[src.index()];
+            }
+        }
+        out.push(values[out_id.index()]);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bitsliced_matches_reference_interpreter(
+        ops in proptest::collection::vec(op_strategy(16), 1..16),
+        inputs in proptest::collection::vec(-128i64..=127, 1..24),
+    ) {
+        let netlist = build(8, &ops);
+        let expect = reference_run(&netlist, &inputs);
+        let mut sim = BitSlicedSim::new(&netlist);
+        let out = netlist.output_ids()[0];
+        for (t, &x) in inputs.iter().enumerate() {
+            sim.step(x);
+            prop_assert_eq!(sim.lane_value(out, 0), expect[t], "cycle {}", t);
+            prop_assert_eq!(sim.lane_value(out, 17), expect[t], "lane disagreement");
+        }
+    }
+
+    #[test]
+    fn range_analysis_is_sound_on_random_netlists(
+        ops in proptest::collection::vec(op_strategy(12), 1..12),
+        inputs in proptest::collection::vec(-128i64..=127, 1..32),
+    ) {
+        // Every value the reference interpreter produces must lie inside
+        // the analyzed range of its node.
+        let netlist = build(8, &ops);
+        let ranges = RangeAnalysis::analyze(&netlist, aligned_input_range(8, 8));
+        let q = netlist.format();
+        let n = netlist.nodes().len();
+        let mut values = vec![0i64; n];
+        let mut state = vec![0i64; n];
+        for &x in &inputs {
+            for &idx in netlist.eval_order() {
+                let i = idx as usize;
+                values[i] = match netlist.nodes()[i].kind {
+                    NodeKind::Input => x,
+                    NodeKind::Const { raw } => raw,
+                    NodeKind::Register { .. } => state[i],
+                    NodeKind::Output { src } => values[src.index()],
+                    NodeKind::ShiftRight { src, amount } => values[src.index()] >> amount.min(62),
+                    NodeKind::Add { a, b } => q.wrap(values[a.index()] + values[b.index()]),
+                    NodeKind::Sub { a, b } => q.wrap(values[a.index()] - values[b.index()]),
+                    _ => unreachable!("builder never produces other kinds"),
+                };
+                let r = ranges.range(netlist.node_id(i));
+                prop_assert!(
+                    values[i] >= r.lo && values[i] <= r.hi,
+                    "node {} value {} outside [{}, {}]", idx, values[i], r.lo, r.hi
+                );
+                let g = r.zero_lsbs.min(62);
+                prop_assert_eq!(
+                    values[i] & ((1i64 << g) - 1), 0,
+                    "node {} value {} violates {} zero LSBs", idx, values[i], g
+                );
+            }
+            for &idx in netlist.register_indices() {
+                let i = idx as usize;
+                if let NodeKind::Register { src } = netlist.nodes()[i].kind {
+                    state[i] = values[src.index()];
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reachability_is_sound_on_random_netlists(
+        ops in proptest::collection::vec(op_strategy(10), 1..10),
+        inputs in proptest::collection::vec(-128i64..=127, 1..40),
+    ) {
+        // Every (a, b, ci) combination observed in simulation must be
+        // predicted reachable.
+        let netlist = build(8, &ops);
+        let reach = Reachability::analyze(&netlist, 8);
+        let q = netlist.format();
+        let n = netlist.nodes().len();
+        let mut values = vec![0i64; n];
+        let mut state = vec![0i64; n];
+        for &x in &inputs {
+            for &idx in netlist.eval_order() {
+                let i = idx as usize;
+                let kind = netlist.nodes()[i].kind;
+                values[i] = match kind {
+                    NodeKind::Input => x,
+                    NodeKind::Const { raw } => raw,
+                    NodeKind::Register { .. } => state[i],
+                    NodeKind::Output { src } => values[src.index()],
+                    NodeKind::ShiftRight { src, amount } => values[src.index()] >> amount.min(62),
+                    NodeKind::Add { a, b } => q.wrap(values[a.index()] + values[b.index()]),
+                    NodeKind::Sub { a, b } => q.wrap(values[a.index()] - values[b.index()]),
+                    _ => unreachable!("builder never produces other kinds"),
+                };
+                if let NodeKind::Add { a, b } | NodeKind::Sub { a, b } = kind {
+                    let is_sub = matches!(kind, NodeKind::Sub { .. });
+                    let a_bits = q.to_bits(values[a.index()]);
+                    let b_raw = q.to_bits(values[b.index()]);
+                    let b_bits = if is_sub { !b_raw } else { b_raw };
+                    let mut carry: u64 = u64::from(is_sub);
+                    for cell in 0..8u32 {
+                        let av = (a_bits >> cell) & 1;
+                        let bv = (b_bits >> cell) & 1;
+                        let combo = (av << 2) | (bv << 1) | carry;
+                        let mask = reach.combo_mask(netlist.node_id(i), cell);
+                        prop_assert!(
+                            mask & (1 << combo) != 0,
+                            "node {} cell {} observed combo {} not in mask {:08b}",
+                            idx, cell, combo, mask
+                        );
+                        let x1 = av ^ bv;
+                        carry = (av & bv) | (x1 & carry);
+                    }
+                }
+            }
+            for &idx in netlist.register_indices() {
+                let i = idx as usize;
+                if let NodeKind::Register { src } = netlist.nodes()[i].kind {
+                    state[i] = values[src.index()];
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing test generators.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TpgError {
+    /// Requested word width has no table entry / is unsupported.
+    UnsupportedWidth {
+        /// The offending width.
+        width: u32,
+    },
+    /// A feedback polynomial was rejected (degree mismatch, or the
+    /// constant term is missing).
+    InvalidPolynomial {
+        /// The offending polynomial mask.
+        poly: u64,
+        /// Required degree.
+        width: u32,
+    },
+    /// An all-zero LFSR seed (the lock-up state).
+    ZeroSeed,
+    /// A generator parameter was out of range; the message says which.
+    InvalidParameter {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TpgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TpgError::UnsupportedWidth { width } => {
+                write!(f, "no primitive polynomial tabulated for width {width}")
+            }
+            TpgError::InvalidPolynomial { poly, width } => {
+                write!(f, "polynomial {poly:#x} is not a degree-{width} polynomial with constant term")
+            }
+            TpgError::ZeroSeed => write!(f, "LFSR seed must be nonzero"),
+            TpgError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+        }
+    }
+}
+
+impl Error for TpgError {}

@@ -1,0 +1,69 @@
+use fixedpoint::QFormat;
+
+/// A clocked test-pattern generator producing one word per cycle.
+///
+/// Words are `width()`-bit two's-complement rawvalues; interpreted as the
+/// paper interprets all signals, they are fractions in `[-1, 1)`
+/// (`raw * 2^-(width-1)`).
+pub trait TestGenerator {
+    /// Produces the next test word (sign-extended raw value).
+    fn next_word(&mut self) -> i64;
+
+    /// Word width in bits.
+    fn width(&self) -> u32;
+
+    /// Restores the generator to its initial state.
+    fn reset(&mut self);
+
+    /// Short display name ("LFSR-1", "Ramp", ...).
+    fn name(&self) -> &str;
+
+    /// The word format.
+    fn format(&self) -> QFormat {
+        QFormat::new(self.width(), self.width() - 1).expect("generator widths are valid")
+    }
+}
+
+impl<G: TestGenerator + ?Sized> TestGenerator for Box<G> {
+    fn next_word(&mut self) -> i64 {
+        (**self).next_word()
+    }
+    fn width(&self) -> u32 {
+        (**self).width()
+    }
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// Collects `n` raw words from a generator.
+pub fn collect_words(gen: &mut dyn TestGenerator, n: usize) -> Vec<i64> {
+    (0..n).map(|_| gen.next_word()).collect()
+}
+
+/// Collects `n` words as fractional values in `[-1, 1)`.
+pub fn collect_values(gen: &mut dyn TestGenerator, n: usize) -> Vec<f64> {
+    let lsb = gen.format().lsb();
+    (0..n).map(|_| gen.next_word() as f64 * lsb).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Ramp, TestGenerator};
+
+    #[test]
+    fn collect_helpers_work_through_trait_objects() {
+        let mut gen: Box<dyn TestGenerator> = Box::new(Ramp::new(8).unwrap());
+        let words = collect_words(&mut *gen, 3);
+        assert_eq!(words.len(), 3);
+        gen.reset();
+        let values = collect_values(&mut *gen, 3);
+        assert_eq!(values.len(), 3);
+        assert!((values[1] - words[1] as f64 / 128.0).abs() < 1e-12);
+        assert_eq!(gen.format().width(), 8);
+    }
+}

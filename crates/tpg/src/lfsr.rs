@@ -1,0 +1,484 @@
+use crate::generator::TestGenerator;
+use crate::polynomials;
+use crate::TpgError;
+use fixedpoint::QFormat;
+
+/// Shift direction of an LFSR whose whole state is read as the test
+/// word. Both give maximal-length sequences; the paper notes the Type 1
+/// spectrum is insensitive to the direction while Type 2 is not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShiftDirection {
+    /// New bit enters at the LSB; bits move toward the MSB (the
+    /// configuration of the paper's Section 7.2 experiment).
+    LsbToMsb,
+    /// New bit enters at the MSB; bits move toward the LSB (the
+    /// configuration of the paper's `g[n]` linear model).
+    MsbToLsb,
+}
+
+fn reverse_low_bits(x: u64, n: u32) -> u64 {
+    let mut out = 0u64;
+    for i in 0..n {
+        if (x >> i) & 1 == 1 {
+            out |= 1 << (n - 1 - i);
+        }
+    }
+    out
+}
+
+/// Type 1 (external-XOR, Fibonacci) LFSR. The entire `width`-bit state
+/// is the test word, interpreted as a two's-complement fraction.
+///
+/// # Example
+///
+/// ```
+/// use bist_tpg::{Lfsr1, ShiftDirection, TestGenerator};
+///
+/// let mut gen = Lfsr1::new(8, ShiftDirection::MsbToLsb)?;
+/// assert_eq!(gen.period(), 255); // maximal length
+/// # Ok::<(), bist_tpg::TpgError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lfsr1 {
+    width: u32,
+    fb_mask: u64,
+    state_mask: u64,
+    seed: u64,
+    state: u64,
+    direction: ShiftDirection,
+    name: String,
+}
+
+impl Lfsr1 {
+    /// Creates a maximal-length Type 1 LFSR from the tabulated primitive
+    /// polynomial for `width`, seeded with all ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TpgError::UnsupportedWidth`] if no polynomial is
+    /// tabulated for `width`.
+    pub fn new(width: u32, direction: ShiftDirection) -> Result<Self, TpgError> {
+        let poly = polynomials::primitive(width)?;
+        Self::with_polynomial(width, poly, (1u64 << width) - 1, direction)
+    }
+
+    /// Creates a Type 1 LFSR with an explicit polynomial and seed.
+    ///
+    /// # Errors
+    ///
+    /// [`TpgError::InvalidPolynomial`] for a malformed polynomial,
+    /// [`TpgError::ZeroSeed`] for the all-zero lock-up seed.
+    pub fn with_polynomial(
+        width: u32,
+        poly: u64,
+        seed: u64,
+        direction: ShiftDirection,
+    ) -> Result<Self, TpgError> {
+        polynomials::validate(poly, width)?;
+        let state_mask = (1u64 << width) - 1;
+        if seed & state_mask == 0 {
+            return Err(TpgError::ZeroSeed);
+        }
+        let low = poly & state_mask;
+        let fb_mask = match direction {
+            ShiftDirection::LsbToMsb => reverse_low_bits(low, width),
+            ShiftDirection::MsbToLsb => low,
+        };
+        Ok(Lfsr1 {
+            width,
+            fb_mask,
+            state_mask,
+            seed: seed & state_mask,
+            state: seed & state_mask,
+            direction,
+            name: "LFSR-1".to_string(),
+        })
+    }
+
+    /// Current raw state bits.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Advances the raw state one step and returns the new state.
+    pub fn step(&mut self) -> u64 {
+        let fb = ((self.state & self.fb_mask).count_ones() & 1) as u64;
+        self.state = match self.direction {
+            ShiftDirection::LsbToMsb => ((self.state << 1) | fb) & self.state_mask,
+            ShiftDirection::MsbToLsb => (self.state >> 1) | (fb << (self.width - 1)),
+        };
+        self.state
+    }
+
+    /// Sequence period from the current seed (steps until the state
+    /// recurs; `2^width - 1` for a primitive polynomial).
+    pub fn period(&self) -> u64 {
+        let mut probe = self.clone();
+        probe.state = probe.seed;
+        let mut count = 0u64;
+        loop {
+            probe.step();
+            count += 1;
+            if probe.state == probe.seed || count > probe.state_mask + 1 {
+                return count;
+            }
+        }
+    }
+
+    /// The shift direction.
+    pub fn direction(&self) -> ShiftDirection {
+        self.direction
+    }
+}
+
+impl TestGenerator for Lfsr1 {
+    fn next_word(&mut self) -> i64 {
+        let s = self.step();
+        QFormat::new(self.width, self.width - 1).expect("valid width").sign_extend(s)
+    }
+
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn reset(&mut self) {
+        self.state = self.seed;
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Type 2 (embedded-XOR, Galois) LFSR, shifting LSB-to-MSB. The entire
+/// state is the test word. The paper's instance uses polynomial
+/// [`polynomials::PAPER_TYPE2_POLY`] (`0x12B9`).
+#[derive(Debug, Clone)]
+pub struct Lfsr2 {
+    width: u32,
+    poly_low: u64,
+    state_mask: u64,
+    seed: u64,
+    state: u64,
+    name: String,
+}
+
+impl Lfsr2 {
+    /// Creates a Type 2 LFSR with the given polynomial, seeded with all
+    /// ones.
+    ///
+    /// # Errors
+    ///
+    /// [`TpgError::InvalidPolynomial`] for a malformed polynomial.
+    pub fn new(width: u32, poly: u64) -> Result<Self, TpgError> {
+        Self::with_seed(width, poly, (1u64 << width) - 1)
+    }
+
+    /// Creates a Type 2 LFSR with an explicit seed.
+    ///
+    /// # Errors
+    ///
+    /// [`TpgError::InvalidPolynomial`] or [`TpgError::ZeroSeed`].
+    pub fn with_seed(width: u32, poly: u64, seed: u64) -> Result<Self, TpgError> {
+        polynomials::validate(poly, width)?;
+        let state_mask = (1u64 << width) - 1;
+        if seed & state_mask == 0 {
+            return Err(TpgError::ZeroSeed);
+        }
+        Ok(Lfsr2 {
+            width,
+            poly_low: poly & state_mask,
+            state_mask,
+            seed: seed & state_mask,
+            state: seed & state_mask,
+            name: "LFSR-2".to_string(),
+        })
+    }
+
+    /// Current raw state bits.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Advances the raw state one step and returns the new state.
+    pub fn step(&mut self) -> u64 {
+        let out = (self.state >> (self.width - 1)) & 1;
+        self.state = ((self.state << 1) & self.state_mask) ^ if out == 1 { self.poly_low } else { 0 };
+        self.state
+    }
+
+    /// Sequence period from the seed.
+    pub fn period(&self) -> u64 {
+        let mut probe = self.clone();
+        probe.state = probe.seed;
+        let mut count = 0u64;
+        loop {
+            probe.step();
+            count += 1;
+            if probe.state == probe.seed || count > probe.state_mask + 1 {
+                return count;
+            }
+        }
+    }
+}
+
+impl TestGenerator for Lfsr2 {
+    fn next_word(&mut self) -> i64 {
+        let s = self.step();
+        QFormat::new(self.width, self.width - 1).expect("valid width").sign_extend(s)
+    }
+
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn reset(&mut self) {
+        self.state = self.seed;
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The paper's decorrelator attached to a Type 1 LFSR ("LFSR-D"):
+/// whenever the LSB of the LFSR word is 1, all other bits are inverted.
+/// This flattens the Type 1 spectrum while preserving maximal-sequence
+/// properties (no repeated vectors, near-zero mean, variance ≈ 1/3).
+#[derive(Debug, Clone)]
+pub struct Decorrelated {
+    inner: Lfsr1,
+    name: String,
+}
+
+impl Decorrelated {
+    /// Wraps a Type 1 LFSR with the decorrelator network.
+    pub fn new(inner: Lfsr1) -> Self {
+        Decorrelated { inner, name: "LFSR-D".to_string() }
+    }
+
+    /// Convenience: decorrelated maximal LFSR of `width` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TpgError::UnsupportedWidth`] if no polynomial is
+    /// tabulated for `width`.
+    pub fn maximal(width: u32, direction: ShiftDirection) -> Result<Self, TpgError> {
+        Ok(Self::new(Lfsr1::new(width, direction)?))
+    }
+}
+
+impl TestGenerator for Decorrelated {
+    fn next_word(&mut self) -> i64 {
+        let s = self.inner.step();
+        let mask = (1u64 << self.inner.width) - 1;
+        let out = if s & 1 == 1 { s ^ (mask & !1) } else { s };
+        QFormat::new(self.inner.width, self.inner.width - 1)
+            .expect("valid width")
+            .sign_extend(out)
+    }
+
+    fn width(&self) -> u32 {
+        self.inner.width
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Maximum-variance mode ("LFSR-M"): one LFSR bit per cycle selects
+/// between the most positive and the most negative word, giving a flat
+/// spectrum with variance 1 — good at exercising upper datapath bits,
+/// poor at lower bits (all bits of the word are fully correlated).
+#[derive(Debug, Clone)]
+pub struct MaxVariance {
+    inner: Lfsr1,
+    name: String,
+}
+
+impl MaxVariance {
+    /// Drives max-variance words from the given LFSR's bit stream.
+    pub fn new(inner: Lfsr1) -> Self {
+        MaxVariance { inner, name: "LFSR-M".to_string() }
+    }
+
+    /// Convenience: max-variance generator over a maximal `width`-bit
+    /// LFSR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TpgError::UnsupportedWidth`] if no polynomial is
+    /// tabulated for `width`.
+    pub fn maximal(width: u32) -> Result<Self, TpgError> {
+        Ok(Self::new(Lfsr1::new(width, ShiftDirection::LsbToMsb)?))
+    }
+}
+
+impl TestGenerator for MaxVariance {
+    fn next_word(&mut self) -> i64 {
+        let s = self.inner.step();
+        let q = QFormat::new(self.inner.width, self.inner.width - 1).expect("valid width");
+        if s & 1 == 1 {
+            q.max_raw()
+        } else {
+            q.min_raw()
+        }
+    }
+
+    fn width(&self) -> u32 {
+        self.inner.width
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::collect_values;
+    use dsp::stats::Summary;
+
+    #[test]
+    fn lfsr1_is_maximal_both_directions() {
+        for w in 4..=14 {
+            for dir in [ShiftDirection::LsbToMsb, ShiftDirection::MsbToLsb] {
+                let gen = Lfsr1::new(w, dir).unwrap();
+                assert_eq!(gen.period(), (1 << w) - 1, "width {w} {dir:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lfsr2_is_maximal_with_table_poly() {
+        for w in 4..=14 {
+            let gen = Lfsr2::new(w, polynomials::primitive(w).unwrap()).unwrap();
+            assert_eq!(gen.period(), (1 << w) - 1, "width {w}");
+        }
+    }
+
+    #[test]
+    fn paper_type2_polynomial_is_maximal() {
+        let gen = Lfsr2::new(12, polynomials::PAPER_TYPE2_POLY).unwrap();
+        assert_eq!(gen.period(), 4095);
+    }
+
+    #[test]
+    fn lfsr1_visits_every_nonzero_word() {
+        let mut gen = Lfsr1::new(10, ShiftDirection::LsbToMsb).unwrap();
+        let mut seen = vec![false; 1024];
+        for _ in 0..1023 {
+            gen.next_word();
+            let s = gen.state() as usize;
+            assert!(!seen[s], "state repeated early");
+            seen[s] = true;
+        }
+        assert!(!seen[0], "zero state must never occur");
+    }
+
+    #[test]
+    fn lfsr1_statistics_match_paper() {
+        // Variance 1/3 (paper: "the signal variance is 0.3333",
+        // std 0.577), near-zero mean.
+        let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
+        let x = collect_values(&mut gen, 4095);
+        let s = Summary::of(&x).unwrap();
+        assert!(s.mean.abs() < 0.01, "mean {}", s.mean);
+        assert!((s.variance - 1.0 / 3.0).abs() < 0.01, "variance {}", s.variance);
+        assert!((s.std_dev() - 0.577).abs() < 0.01);
+    }
+
+    #[test]
+    fn decorrelated_preserves_first_order_statistics() {
+        let mut gen = Decorrelated::maximal(12, ShiftDirection::LsbToMsb).unwrap();
+        let x = collect_values(&mut gen, 4095);
+        let s = Summary::of(&x).unwrap();
+        assert!(s.mean.abs() < 0.01);
+        assert!((s.variance - 1.0 / 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn decorrelated_has_no_repeated_vectors_over_period() {
+        let mut gen = Decorrelated::maximal(10, ShiftDirection::LsbToMsb).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1023 {
+            assert!(seen.insert(gen.next_word()), "repeated vector");
+        }
+    }
+
+    #[test]
+    fn decorrelator_reduces_successive_correlation() {
+        // Lag-1 autocorrelation: strong for LFSR-1, weak for LFSR-D.
+        let mut plain = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
+        let mut deco = Decorrelated::maximal(12, ShiftDirection::LsbToMsb).unwrap();
+        let xp = collect_values(&mut plain, 4095);
+        let xd = collect_values(&mut deco, 4095);
+        let r = |x: &[f64]| {
+            let c = dsp::conv::sample_autocorrelation(x, 2);
+            c[1] / c[0]
+        };
+        assert!(r(&xp).abs() > 0.15, "plain lag-1 {}", r(&xp));
+        assert!(r(&xd).abs() < 0.05, "decorrelated lag-1 {}", r(&xd));
+    }
+
+    #[test]
+    fn max_variance_words_are_extremes() {
+        let mut gen = MaxVariance::maximal(12).unwrap();
+        let x: Vec<i64> = (0..100).map(|_| gen.next_word()).collect();
+        assert!(x.iter().all(|&w| w == 2047 || w == -2048));
+        assert!(x.iter().any(|&w| w == 2047));
+        assert!(x.iter().any(|&w| w == -2048));
+    }
+
+    #[test]
+    fn max_variance_variance_is_one() {
+        let mut gen = MaxVariance::maximal(12).unwrap();
+        let x = collect_values(&mut gen, 4095);
+        let s = Summary::of(&x).unwrap();
+        assert!((s.variance - 1.0).abs() < 0.01, "variance {}", s.variance);
+    }
+
+    #[test]
+    fn reset_restores_sequence() {
+        let mut gen = Lfsr1::new(12, ShiftDirection::MsbToLsb).unwrap();
+        let a: Vec<i64> = (0..16).map(|_| gen.next_word()).collect();
+        gen.reset();
+        let b: Vec<i64> = (0..16).map(|_| gen.next_word()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_seed_is_rejected() {
+        assert!(matches!(
+            Lfsr1::with_polynomial(8, 0x11D, 0, ShiftDirection::LsbToMsb),
+            Err(TpgError::ZeroSeed)
+        ));
+        assert!(matches!(Lfsr2::with_seed(8, 0x11D, 0), Err(TpgError::ZeroSeed)));
+    }
+
+    #[test]
+    fn lsb_to_msb_words_double_between_steps() {
+        // The doubling (exponential-segment) structure of the paper's
+        // Fig. 5: the next word is 2*w + {0,1} modulo the word width.
+        let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
+        let q = QFormat::new(12, 11).unwrap();
+        let mut prev = gen.next_word();
+        for _ in 0..100 {
+            let next = gen.next_word();
+            let doubled0 = q.wrap(prev * 2);
+            let doubled1 = q.wrap(prev * 2 + 1);
+            assert!(next == doubled0 || next == doubled1);
+            prev = next;
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! On-chip test-pattern generators for digital-filter BIST, with their
+//! frequency-domain characterizations.
+//!
+//! The paper's Section 6 studies five generator families; all are
+//! implemented here behind the [`TestGenerator`] trait:
+//!
+//! * [`Lfsr1`] — Type 1 (external-XOR / Fibonacci) LFSR whose entire
+//!   state register is the test word. Its successive-word correlation
+//!   produces a *low-frequency power null* — the root cause of the
+//!   paper's missed-fault case study on the narrowband lowpass filter.
+//! * [`Lfsr2`] — Type 2 (embedded-XOR / Galois) LFSR; flatter spectrum,
+//!   polynomial-dependent (the paper uses polynomial `0x12B9`).
+//! * [`Decorrelated`] — a Type 1 LFSR with the paper's decorrelator
+//!   (invert all bits but the LSB whenever the LSB is 1); essentially
+//!   white with variance 1/3 ("LFSR-D").
+//! * [`MaxVariance`] — one LFSR bit selects between the most positive
+//!   and most negative word; flat spectrum, variance 1 ("LFSR-M").
+//! * [`Ramp`] — a counter; nearly all power at very low frequencies.
+//! * [`Mixed`] — mode switching (e.g. Type 1 for 4k vectors, then
+//!   max-variance for 4k — the paper's Section 9 scheme).
+//! * [`Sine`] and [`IdealWhite`] — auxiliary sources for the paper's
+//!   fault-injection experiment and for idealized-generator baselines.
+//!
+//! [`model`] provides the linear (FIR-of-white-bits) models of the
+//! LFSR-based generators and [`spectra`] their analytic power spectra
+//! (the paper's Fig. 4 curves), cross-validated against Welch estimates
+//! of the actual sequences.
+//!
+//! # Example
+//!
+//! ```
+//! use bist_tpg::{Lfsr1, ShiftDirection, TestGenerator};
+//!
+//! let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb)?;
+//! let words: Vec<i64> = (0..8).map(|_| gen.next_word()).collect();
+//! assert!(words.iter().all(|w| (-2048..=2047).contains(w)));
+//! # Ok::<(), bist_tpg::TpgError>(())
+//! ```
+
+mod error;
+mod generator;
+mod lfsr;
+mod mixed;
+mod ramp;
+mod resize;
+mod sine;
+mod white;
+mod zonesweep;
+
+pub mod model;
+pub mod polynomials;
+pub mod spectra;
+
+pub use error::TpgError;
+pub use generator::{collect_values, collect_words, TestGenerator};
+pub use lfsr::{Decorrelated, Lfsr1, Lfsr2, MaxVariance, ShiftDirection};
+pub use mixed::Mixed;
+pub use ramp::Ramp;
+pub use resize::Resized;
+pub use sine::Sine;
+pub use white::IdealWhite;
+pub use zonesweep::ZoneSweep;

@@ -1,0 +1,141 @@
+use crate::generator::TestGenerator;
+use crate::lfsr::{Lfsr1, MaxVariance, ShiftDirection};
+use crate::TpgError;
+
+/// Mode-switching generator: plays `first` for `switch_after` vectors,
+/// then `second` — the paper's Section 9 mixed test-generation scheme
+/// (a Type 1 LFSR switched into maximum-variance mode partway through
+/// the test).
+///
+/// # Example
+///
+/// ```
+/// use bist_tpg::{Mixed, TestGenerator};
+///
+/// let mut gen = Mixed::lfsr1_then_maxvar(12, 4)?;
+/// let w: Vec<i64> = (0..8).map(|_| gen.next_word()).collect();
+/// // After the switch, only the two extreme words appear.
+/// assert!(w[4..].iter().all(|&x| x == 2047 || x == -2048));
+/// # Ok::<(), bist_tpg::TpgError>(())
+/// ```
+pub struct Mixed {
+    first: Box<dyn TestGenerator>,
+    second: Box<dyn TestGenerator>,
+    switch_after: u64,
+    t: u64,
+    name: String,
+}
+
+impl std::fmt::Debug for Mixed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mixed")
+            .field("first", &self.first.name())
+            .field("second", &self.second.name())
+            .field("switch_after", &self.switch_after)
+            .field("t", &self.t)
+            .finish()
+    }
+}
+
+impl Mixed {
+    /// Combines two generators with a switch point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TpgError::InvalidParameter`] if the widths differ.
+    pub fn new(
+        first: Box<dyn TestGenerator>,
+        second: Box<dyn TestGenerator>,
+        switch_after: u64,
+    ) -> Result<Self, TpgError> {
+        if first.width() != second.width() {
+            return Err(TpgError::InvalidParameter {
+                reason: format!(
+                    "generator widths differ: {} vs {}",
+                    first.width(),
+                    second.width()
+                ),
+            });
+        }
+        let name = format!("{}/{}", first.name(), second.name());
+        Ok(Mixed { first, second, switch_after, t: 0, name })
+    }
+
+    /// The paper's scheme: a Type 1 LFSR in normal mode for
+    /// `switch_after` vectors, then maximum-variance mode. (The silicon
+    /// version reuses one LFSR with a mode input; behaviourally the two
+    /// are a normal sequence followed by a max-variance sequence.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TpgError::UnsupportedWidth`] if no polynomial is
+    /// tabulated for `width`.
+    pub fn lfsr1_then_maxvar(width: u32, switch_after: u64) -> Result<Self, TpgError> {
+        let normal = Lfsr1::new(width, ShiftDirection::LsbToMsb)?;
+        let maxvar = MaxVariance::new(Lfsr1::new(width, ShiftDirection::LsbToMsb)?);
+        Mixed::new(Box::new(normal), Box::new(maxvar), switch_after)
+    }
+}
+
+impl TestGenerator for Mixed {
+    fn next_word(&mut self) -> i64 {
+        let w = if self.t < self.switch_after {
+            self.first.next_word()
+        } else {
+            self.second.next_word()
+        };
+        self.t += 1;
+        w
+    }
+
+    fn width(&self) -> u32 {
+        self.first.width()
+    }
+
+    fn reset(&mut self) {
+        self.first.reset();
+        self.second.reset();
+        self.t = 0;
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Ramp;
+
+    #[test]
+    fn switches_at_the_right_vector() {
+        let a = Box::new(Ramp::with_increment(8, 1, 0).unwrap());
+        let b = Box::new(Ramp::with_increment(8, -1, 100).unwrap());
+        let mut m = Mixed::new(a, b, 3).unwrap();
+        let w: Vec<i64> = (0..6).map(|_| m.next_word()).collect();
+        assert_eq!(w, vec![0, 1, 2, 100, 99, 98]);
+    }
+
+    #[test]
+    fn reset_rewinds_both_phases() {
+        let mut m = Mixed::lfsr1_then_maxvar(12, 5).unwrap();
+        let a: Vec<i64> = (0..10).map(|_| m.next_word()).collect();
+        m.reset();
+        let b: Vec<i64> = (0..10).map(|_| m.next_word()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_width_mismatch() {
+        let a = Box::new(Ramp::new(8).unwrap());
+        let b = Box::new(Ramp::new(12).unwrap());
+        assert!(matches!(Mixed::new(a, b, 4), Err(TpgError::InvalidParameter { .. })));
+    }
+
+    #[test]
+    fn name_reflects_both_modes() {
+        let m = Mixed::lfsr1_then_maxvar(12, 4).unwrap();
+        assert_eq!(m.name(), "LFSR-1/LFSR-M");
+    }
+}

@@ -1,0 +1,194 @@
+//! Linear models of LFSR word sequences.
+//!
+//! Every bit of an LFSR register carries the *same* maximal-length bit
+//! sequence at a different delay. Interpreting the register as a word is
+//! therefore an FIR filter acting on one 0/1 white-noise-like bit
+//! stream: the word sequence is `w(t) = sum_j c_j a(t + d_j)` where
+//! `c_j` is bit `j`'s two's-complement weight and `d_j` its delay.
+//!
+//! For a Type 1 LFSR the delays are consecutive, giving the paper's
+//! closed-form model `g[0] = -1, g[n] = 2^-n` (MSB-to-LSB shifting).
+//! For a Type 2 (Galois) LFSR the delays scatter over the whole period;
+//! [`bit_delays2`] recovers them by exploiting the window property of
+//! m-sequences (every nonzero `width`-bit window occurs exactly once
+//! per period).
+
+use crate::generator::TestGenerator;
+use crate::lfsr::{Lfsr1, Lfsr2, ShiftDirection};
+
+/// The paper's linear model of an `width`-bit Type 1 LFSR
+/// (`g[0] = -1`, `g[n] = 2^-n` for MSB-to-LSB shifting; the
+/// time-reversed sequence for LSB-to-MSB — same magnitude spectrum).
+///
+/// Convolved with a subfilter's impulse response and driven by a 0/1
+/// white source of variance 1/4, this model predicts internal test
+/// signal variances (paper Section 7.1).
+///
+/// # Example
+///
+/// ```
+/// let g = bist_tpg::model::lfsr1_model(4, bist_tpg::ShiftDirection::MsbToLsb);
+/// assert_eq!(g, vec![-1.0, 0.5, 0.25, 0.125]);
+/// // The model's DC gain is (almost) zero: the Type 1 low-frequency null.
+/// assert!((g.iter().sum::<f64>()).abs() < 0.2);
+/// ```
+pub fn lfsr1_model(width: u32, direction: ShiftDirection) -> Vec<f64> {
+    let mut g: Vec<f64> = Vec::with_capacity(width as usize);
+    g.push(-1.0);
+    for n in 1..width {
+        g.push(2f64.powi(-(n as i32)));
+    }
+    if direction == ShiftDirection::LsbToMsb {
+        g.reverse();
+    }
+    g
+}
+
+/// Two's-complement weight of bit `j` (LSB = 0) in a `width`-bit word
+/// interpreted as a fraction in `[-1, 1)`.
+pub fn bit_weight(j: u32, width: u32) -> f64 {
+    if j == width - 1 {
+        -1.0
+    } else {
+        2f64.powi(j as i32 - (width as i32 - 1))
+    }
+}
+
+/// Delay `d_j` of each state bit of a Type 2 LFSR relative to bit 0's
+/// sequence: `bit_j(t) = bit_0(t + d_j)`. Also returns the period.
+///
+/// # Panics
+///
+/// Panics if the LFSR's sequence is shorter than twice its width (a
+/// degenerate, non-maximal polynomial).
+pub fn bit_delays2(lfsr: &Lfsr2) -> (Vec<u64>, u64) {
+    let mut probe = lfsr.clone();
+    probe.reset();
+    let width = probe.width();
+    let period = probe.period();
+    assert!(period >= 2 * width as u64, "sequence too short for window matching");
+    let mut states = Vec::with_capacity(period as usize);
+    for _ in 0..period {
+        states.push(probe.step());
+    }
+    delays_from_states(&states, width)
+}
+
+/// Delay of each state bit of a Type 1 LFSR (for cross-checking the
+/// closed-form model). Same contract as [`bit_delays2`].
+///
+/// # Panics
+///
+/// Panics if the sequence is shorter than twice the width.
+pub fn bit_delays1(lfsr: &Lfsr1) -> (Vec<u64>, u64) {
+    let mut probe = lfsr.clone();
+    probe.reset();
+    let width = probe.width();
+    let period = probe.period();
+    assert!(period >= 2 * width as u64, "sequence too short for window matching");
+    let mut states = Vec::with_capacity(period as usize);
+    for _ in 0..period {
+        states.push(probe.step());
+    }
+    delays_from_states(&states, width)
+}
+
+fn delays_from_states(states: &[u64], width: u32) -> (Vec<u64>, u64) {
+    let period = states.len() as u64;
+    let bit_seq = |j: u32, t: u64| -> u64 { (states[(t % period) as usize] >> j) & 1 };
+    // Window property: every nonzero `width`-bit window of the reference
+    // (bit 0) sequence occurs exactly once per period.
+    let window = |j: u32, start: u64| -> u64 {
+        let mut key = 0u64;
+        for i in 0..width as u64 {
+            key |= bit_seq(j, start + i) << i;
+        }
+        key
+    };
+    let mut positions = std::collections::HashMap::new();
+    for t in 0..period {
+        positions.insert(window(0, t), t);
+    }
+    let delays: Vec<u64> = (0..width)
+        .map(|j| *positions.get(&window(j, 0)).expect("m-sequence window must occur"))
+        .collect();
+    (delays, period)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polynomials;
+
+    #[test]
+    fn model_matches_paper_definition() {
+        let g = lfsr1_model(12, ShiftDirection::MsbToLsb);
+        assert_eq!(g.len(), 12);
+        assert_eq!(g[0], -1.0);
+        assert_eq!(g[1], 0.5);
+        assert_eq!(g[11], 2f64.powi(-11));
+        // White 0/1 noise (variance 1/4) through g: variance 1/3 — the
+        // paper's 0.3333 word variance.
+        let var: f64 = 0.25 * g.iter().map(|x| x * x).sum::<f64>();
+        assert!((var - 1.0 / 3.0).abs() < 1e-3, "variance {var}");
+    }
+
+    #[test]
+    fn lsb_to_msb_model_is_reversed() {
+        let a = lfsr1_model(8, ShiftDirection::MsbToLsb);
+        let mut b = lfsr1_model(8, ShiftDirection::LsbToMsb);
+        b.reverse();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bit_weights_sum_like_twos_complement() {
+        // A word of all ones = -2^-(w-1).
+        let w = 8;
+        let total: f64 = (0..w).map(|j| bit_weight(j, w)).sum();
+        assert!((total + 2f64.powi(-(w as i32 - 1))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn type1_lsb_to_msb_delays_are_consecutive_descending() {
+        // LSB-to-MSB: bit j entered j cycles ago -> bit_j(t) = a(t - j),
+        // i.e. delays d_j = period - j (mod period) except bit 0.
+        let lfsr = Lfsr1::new(10, ShiftDirection::LsbToMsb).unwrap();
+        let (delays, period) = bit_delays1(&lfsr);
+        assert_eq!(delays[0], 0);
+        for j in 1..10 {
+            assert_eq!(delays[j] % period, period - j as u64, "bit {j}");
+        }
+    }
+
+    #[test]
+    fn type2_delays_reconstruct_the_word_sequence() {
+        let lfsr = Lfsr2::new(10, polynomials::primitive(10).unwrap()).unwrap();
+        let (delays, period) = bit_delays2(&lfsr);
+        // Re-simulate and verify bit_j(t) == bit_0(t + d_j) everywhere.
+        let mut probe = lfsr.clone();
+        probe.reset();
+        let mut states = Vec::new();
+        for _ in 0..period {
+            states.push(probe.step());
+        }
+        for j in 0..10usize {
+            for t in 0..period {
+                let expect = (states[((t + delays[j]) % period) as usize]) & 1;
+                let got = (states[t as usize] >> j) & 1;
+                assert_eq!(got, expect, "bit {j} at t {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn type2_delays_are_scattered() {
+        // Unlike Type 1, Galois bit delays are not consecutive — that is
+        // why the Type 2 spectrum is polynomial-dependent.
+        let lfsr = Lfsr2::new(12, polynomials::PAPER_TYPE2_POLY).unwrap();
+        let (delays, period) = bit_delays2(&lfsr);
+        assert_eq!(period, 4095);
+        let consecutive = (0..12).all(|j| delays[j] % period == (period - j as u64) % period);
+        assert!(!consecutive, "Galois delays unexpectedly consecutive: {delays:?}");
+    }
+}

@@ -1,0 +1,132 @@
+//! Primitive feedback polynomials for maximal-length LFSRs.
+//!
+//! A polynomial of degree `n` is encoded as a bit mask with bit `i` set
+//! for the `x^i` term; bit `n` (the leading term) and bit 0 (the
+//! constant term) are always set. A primitive polynomial gives an LFSR
+//! period of `2^n - 1` (the maximal-length sequences the paper relies on
+//! for "reasonable properties": balanced, decorrelated bit streams).
+
+use crate::TpgError;
+
+/// Tabulated primitive polynomial of degree `width` (4..=24).
+///
+/// # Errors
+///
+/// Returns [`TpgError::UnsupportedWidth`] for widths outside the table.
+///
+/// # Example
+///
+/// ```
+/// let p = bist_tpg::polynomials::primitive(12)?;
+/// assert_eq!(p, 0x1053); // x^12 + x^6 + x^4 + x + 1
+/// # Ok::<(), bist_tpg::TpgError>(())
+/// ```
+pub fn primitive(width: u32) -> Result<u64, TpgError> {
+    // Standard primitive polynomials (Bardell/McAnney/Savir tables).
+    let p: u64 = match width {
+        4 => 0x13,          // x4+x+1
+        5 => 0x25,          // x5+x2+1
+        6 => 0x43,          // x6+x+1
+        7 => 0x89,          // x7+x3+1
+        8 => 0x11D,         // x8+x4+x3+x2+1
+        9 => 0x211,         // x9+x4+1
+        10 => 0x409,        // x10+x3+1
+        11 => 0x805,        // x11+x2+1
+        12 => 0x1053,       // x12+x6+x4+x+1
+        13 => 0x201B,       // x13+x4+x3+x+1
+        14 => 0x4443,       // x14+x10+x6+x+1
+        15 => 0x8003,       // x15+x+1
+        16 => 0x1100B,      // x16+x12+x3+x+1
+        17 => 0x20009,      // x17+x3+1
+        18 => 0x40081,      // x18+x7+1
+        19 => 0x80027,      // x19+x5+x2+x+1
+        20 => 0x100009,     // x20+x3+1
+        21 => 0x200005,     // x21+x2+1
+        22 => 0x400003,     // x22+x+1
+        23 => 0x800021,     // x23+x5+1
+        24 => 0x1000087,    // x24+x7+x2+x+1
+        _ => return Err(TpgError::UnsupportedWidth { width }),
+    };
+    Ok(p)
+}
+
+/// The paper's Type 2 LFSR polynomial: `0x12B9`,
+/// `x^12 + x^9 + x^7 + x^5 + x^4 + x^3 + 1`.
+pub const PAPER_TYPE2_POLY: u64 = 0x12B9;
+
+/// Validates that `poly` is a plausible degree-`width` feedback
+/// polynomial: leading and constant terms present, no higher bits set.
+///
+/// # Errors
+///
+/// Returns [`TpgError::InvalidPolynomial`] if the shape is wrong
+/// (primitivity itself is not checked; use [`crate::Lfsr1::period`] in
+/// tests for that).
+pub fn validate(poly: u64, width: u32) -> Result<(), TpgError> {
+    let ok = width >= 2
+        && width <= 63
+        && poly & 1 == 1
+        && (poly >> width) == 1;
+    if ok {
+        Ok(())
+    } else {
+        Err(TpgError::InvalidPolynomial { poly, width })
+    }
+}
+
+/// The reciprocal (bit-reversed) polynomial of the same degree — the
+/// paper notes it can move an embedded XOR closer to the MSB and flatten
+/// a Type 2 LFSR's spectrum.
+///
+/// # Example
+///
+/// ```
+/// use bist_tpg::polynomials::reciprocal;
+/// // x^4+x+1  <->  x^4+x^3+1
+/// assert_eq!(reciprocal(0x13, 4), 0x19);
+/// ```
+pub fn reciprocal(poly: u64, width: u32) -> u64 {
+    let mut out = 0u64;
+    for i in 0..=width {
+        if (poly >> i) & 1 == 1 {
+            out |= 1 << (width - i);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_entries_validate() {
+        for w in 4..=24 {
+            let p = primitive(w).unwrap();
+            validate(p, w).unwrap();
+        }
+        assert!(primitive(3).is_err());
+        assert!(primitive(25).is_err());
+    }
+
+    #[test]
+    fn paper_poly_validates_at_degree_12() {
+        validate(PAPER_TYPE2_POLY, 12).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_malformed() {
+        assert!(validate(0x12, 4).is_err()); // no constant term
+        assert!(validate(0x13, 5).is_err()); // degree mismatch
+        assert!(validate(0x113, 4).is_err()); // high bits set
+    }
+
+    #[test]
+    fn reciprocal_is_involutive() {
+        for w in [4u32, 8, 12, 16] {
+            let p = primitive(w).unwrap();
+            assert_eq!(reciprocal(reciprocal(p, w), w), p);
+            validate(reciprocal(p, w), w).unwrap();
+        }
+    }
+}

@@ -1,0 +1,120 @@
+use crate::generator::TestGenerator;
+use crate::TpgError;
+use fixedpoint::QFormat;
+
+/// Counter-based test generator ("Ramp"): counts by a fixed increment,
+/// wrapping through the two's-complement range — a sawtooth whose power
+/// is concentrated at very low frequencies (the paper's Fig. 4 "Ramp"
+/// curve). Counters are attractive because they are often already on
+/// chip.
+#[derive(Debug, Clone)]
+pub struct Ramp {
+    width: u32,
+    increment: i64,
+    start: i64,
+    value: i64,
+    name: String,
+}
+
+impl Ramp {
+    /// A count-by-one ramp starting at zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TpgError::UnsupportedWidth`] for widths outside `2..=63`.
+    pub fn new(width: u32) -> Result<Self, TpgError> {
+        Self::with_increment(width, 1, 0)
+    }
+
+    /// A ramp with an explicit increment and start value.
+    ///
+    /// # Errors
+    ///
+    /// [`TpgError::UnsupportedWidth`] for bad widths;
+    /// [`TpgError::InvalidParameter`] for a zero increment.
+    pub fn with_increment(width: u32, increment: i64, start: i64) -> Result<Self, TpgError> {
+        if !(2..=63).contains(&width) {
+            return Err(TpgError::UnsupportedWidth { width });
+        }
+        if increment == 0 {
+            return Err(TpgError::InvalidParameter { reason: "increment must be nonzero".into() });
+        }
+        let q = QFormat::new(width, width - 1).expect("validated width");
+        Ok(Ramp { width, increment, start: q.wrap(start), value: q.wrap(start), name: "Ramp".into() })
+    }
+}
+
+impl TestGenerator for Ramp {
+    fn next_word(&mut self) -> i64 {
+        let q = QFormat::new(self.width, self.width - 1).expect("valid width");
+        let out = self.value;
+        self.value = q.wrap(self.value + self.increment);
+        out
+    }
+
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn reset(&mut self) {
+        self.value = self.start;
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::collect_values;
+    use dsp::stats::Summary;
+
+    #[test]
+    fn counts_and_wraps() {
+        let mut r = Ramp::with_increment(4, 1, 6).unwrap();
+        let seq: Vec<i64> = (0..5).map(|_| r.next_word()).collect();
+        assert_eq!(seq, vec![6, 7, -8, -7, -6]);
+    }
+
+    #[test]
+    fn full_period_visits_every_word() {
+        let mut r = Ramp::new(6).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..64 {
+            assert!(seen.insert(r.next_word()));
+        }
+        assert_eq!(r.next_word(), 0); // wrapped around
+    }
+
+    #[test]
+    fn sawtooth_variance_is_one_third() {
+        let mut r = Ramp::new(12).unwrap();
+        let x = collect_values(&mut r, 4096);
+        let s = Summary::of(&x).unwrap();
+        assert!((s.variance - 1.0 / 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn power_concentrates_at_low_frequency() {
+        let mut r = Ramp::new(12).unwrap();
+        let x = collect_values(&mut r, 8192);
+        let spec = dsp::spectrum::welch(&x, 1024, dsp::window::Window::Hann).unwrap();
+        assert!(spec.power_fraction_below(0.05) > 0.9, "{}", spec.power_fraction_below(0.05));
+    }
+
+    #[test]
+    fn rejects_zero_increment() {
+        assert!(Ramp::with_increment(8, 0, 0).is_err());
+    }
+
+    #[test]
+    fn reset_restores_start() {
+        let mut r = Ramp::with_increment(8, 3, -5).unwrap();
+        let a = r.next_word();
+        r.next_word();
+        r.reset();
+        assert_eq!(r.next_word(), a);
+    }
+}

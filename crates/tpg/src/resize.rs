@@ -1,0 +1,135 @@
+use crate::generator::TestGenerator;
+use crate::TpgError;
+
+/// Width adapter: emits the top `width` bits of a wider generator's
+/// words.
+///
+/// The paper's conclusion lists "use of longer test sequences (with
+/// larger LFSRs to avoid input cycling)" among the coverage boosters: a
+/// 12-bit maximal LFSR repeats after 4095 vectors, so an 8k or 16k test
+/// replays patterns; driving the 12-bit filter input from the top bits
+/// of a 16- or 20-bit LFSR keeps the sequence fresh for the whole test.
+///
+/// # Example
+///
+/// ```
+/// use bist_tpg::{Lfsr1, Resized, ShiftDirection, TestGenerator};
+///
+/// let wide = Lfsr1::new(20, ShiftDirection::LsbToMsb)?;
+/// let mut gen = Resized::new(Box::new(wide), 12)?;
+/// assert_eq!(gen.width(), 12);
+/// assert!((-2048..=2047).contains(&gen.next_word()));
+/// # Ok::<(), bist_tpg::TpgError>(())
+/// ```
+pub struct Resized {
+    inner: Box<dyn TestGenerator>,
+    width: u32,
+    name: String,
+}
+
+impl std::fmt::Debug for Resized {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Resized")
+            .field("inner", &self.inner.name())
+            .field("width", &self.width)
+            .finish()
+    }
+}
+
+impl Resized {
+    /// Wraps `inner`, keeping the top `width` bits of each word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TpgError::InvalidParameter`] if `width` exceeds the
+    /// inner generator's width or is zero.
+    pub fn new(inner: Box<dyn TestGenerator>, width: u32) -> Result<Self, TpgError> {
+        if width == 0 || width > inner.width() {
+            return Err(TpgError::InvalidParameter {
+                reason: format!(
+                    "target width {width} must be in 1..={}",
+                    inner.width()
+                ),
+            });
+        }
+        let name = format!("{}/{}b", inner.name(), width);
+        Ok(Resized { inner, width, name })
+    }
+}
+
+impl TestGenerator for Resized {
+    fn next_word(&mut self) -> i64 {
+        // Arithmetic shift keeps the sign: top bits of the wide word.
+        self.inner.next_word() >> (self.inner.width() - self.width)
+    }
+
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::collect_values;
+    use crate::{Decorrelated, Lfsr1, ShiftDirection};
+    use dsp::stats::Summary;
+
+    #[test]
+    fn words_fit_target_width_with_uniform_statistics() {
+        let inner = Decorrelated::maximal(16, ShiftDirection::LsbToMsb).unwrap();
+        let mut gen = Resized::new(Box::new(inner), 12).unwrap();
+        let x = collect_values(&mut gen, 8192);
+        assert!(x.iter().all(|&v| (-1.0..1.0).contains(&v)));
+        let s = Summary::of(&x).unwrap();
+        assert!((s.variance - 1.0 / 3.0).abs() < 0.02, "variance {}", s.variance);
+    }
+
+    #[test]
+    fn avoids_input_cycling_beyond_the_narrow_period() {
+        // A 12-bit LFSR repeats after 4095 words; a resized 16-bit LFSR
+        // does not.
+        let narrow = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
+        let mut narrow: Box<dyn TestGenerator> = Box::new(narrow);
+        let head: Vec<i64> = (0..64).map(|_| narrow.next_word()).collect();
+        for _ in 64..4095 {
+            narrow.next_word();
+        }
+        let repeat: Vec<i64> = (0..64).map(|_| narrow.next_word()).collect();
+        assert_eq!(head, repeat, "12-bit LFSR must cycle at 4095");
+
+        let wide = Lfsr1::new(16, ShiftDirection::LsbToMsb).unwrap();
+        let mut gen = Resized::new(Box::new(wide), 12).unwrap();
+        let head: Vec<i64> = (0..64).map(|_| gen.next_word()).collect();
+        for _ in 64..4095 {
+            gen.next_word();
+        }
+        let after: Vec<i64> = (0..64).map(|_| gen.next_word()).collect();
+        assert_ne!(head, after, "resized 16-bit LFSR must not cycle at 4095");
+    }
+
+    #[test]
+    fn rejects_bad_widths() {
+        let inner = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
+        assert!(Resized::new(Box::new(inner.clone()), 13).is_err());
+        assert!(Resized::new(Box::new(inner), 0).is_err());
+    }
+
+    #[test]
+    fn reset_restores_sequence() {
+        let inner = Lfsr1::new(14, ShiftDirection::MsbToLsb).unwrap();
+        let mut gen = Resized::new(Box::new(inner), 10).unwrap();
+        let a: Vec<i64> = (0..32).map(|_| gen.next_word()).collect();
+        gen.reset();
+        let b: Vec<i64> = (0..32).map(|_| gen.next_word()).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,125 @@
+use crate::generator::TestGenerator;
+use crate::TpgError;
+use fixedpoint::QFormat;
+use std::f64::consts::PI;
+
+/// Quantized sine-wave source.
+///
+/// Not a BIST generator per se, but the stimulus of the paper's Section
+/// 5 fault-injection experiment (its Fig. 2): a sine within the filter's
+/// normal operating parameters that excites an upper-bit fault missed by
+/// the LFSR test.
+#[derive(Debug, Clone)]
+pub struct Sine {
+    width: u32,
+    amplitude: f64,
+    frequency: f64,
+    phase: f64,
+    t: u64,
+    name: String,
+}
+
+impl Sine {
+    /// A sine of the given `amplitude` (fraction of full scale, in
+    /// `(0, 1]`) and normalized `frequency` (cycles per sample,
+    /// in `(0, 0.5]`).
+    ///
+    /// # Errors
+    ///
+    /// [`TpgError::UnsupportedWidth`] or [`TpgError::InvalidParameter`]
+    /// for out-of-range arguments.
+    pub fn new(width: u32, amplitude: f64, frequency: f64) -> Result<Self, TpgError> {
+        if !(2..=63).contains(&width) {
+            return Err(TpgError::UnsupportedWidth { width });
+        }
+        if !(amplitude > 0.0 && amplitude <= 1.0) {
+            return Err(TpgError::InvalidParameter {
+                reason: format!("amplitude {amplitude} must be in (0, 1]"),
+            });
+        }
+        if !(frequency > 0.0 && frequency <= 0.5) {
+            return Err(TpgError::InvalidParameter {
+                reason: format!("frequency {frequency} must be in (0, 0.5]"),
+            });
+        }
+        Ok(Sine { width, amplitude, frequency, phase: 0.0, t: 0, name: "Sine".into() })
+    }
+
+    /// Sets the starting phase in radians.
+    pub fn with_phase(mut self, phase: f64) -> Self {
+        self.phase = phase;
+        self
+    }
+}
+
+impl TestGenerator for Sine {
+    fn next_word(&mut self) -> i64 {
+        let q = QFormat::new(self.width, self.width - 1).expect("valid width");
+        let v = self.amplitude * (2.0 * PI * self.frequency * self.t as f64 + self.phase).sin();
+        self.t += 1;
+        let raw = (v / q.lsb()).round() as i64;
+        raw.clamp(q.min_raw(), q.max_raw())
+    }
+
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn reset(&mut self) {
+        self.t = 0;
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::collect_values;
+    use dsp::stats::Summary;
+
+    #[test]
+    fn amplitude_is_respected() {
+        let mut s = Sine::new(12, 0.5, 0.01).unwrap();
+        let x = collect_values(&mut s, 1000);
+        let max = x.iter().cloned().fold(0.0f64, |a, b| a.max(b.abs()));
+        assert!(max <= 0.5 + 1e-3);
+        assert!(max > 0.45);
+    }
+
+    #[test]
+    fn sine_rms_matches_theory() {
+        let mut s = Sine::new(12, 0.8, 0.05).unwrap();
+        let x = collect_values(&mut s, 2000);
+        let st = Summary::of(&x).unwrap();
+        assert!((st.rms() - 0.8 / 2f64.sqrt()).abs() < 0.01);
+    }
+
+    #[test]
+    fn full_scale_clamps_at_word_limits() {
+        let mut s = Sine::new(8, 1.0, 0.25).unwrap().with_phase(-PI / 2.0);
+        let words: Vec<i64> = (0..8).map(|_| s.next_word()).collect();
+        assert!(words.iter().all(|&w| (-128..=127).contains(&w)));
+        assert!(words.contains(&-128));
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Sine::new(12, 0.0, 0.1).is_err());
+        assert!(Sine::new(12, 1.5, 0.1).is_err());
+        assert!(Sine::new(12, 0.5, 0.0).is_err());
+        assert!(Sine::new(12, 0.5, 0.7).is_err());
+        assert!(Sine::new(1, 0.5, 0.1).is_err());
+    }
+
+    #[test]
+    fn reset_restarts_waveform() {
+        let mut s = Sine::new(12, 0.9, 0.03).unwrap();
+        let a: Vec<i64> = (0..10).map(|_| s.next_word()).collect();
+        s.reset();
+        let b: Vec<i64> = (0..10).map(|_| s.next_word()).collect();
+        assert_eq!(a, b);
+    }
+}

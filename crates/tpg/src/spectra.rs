@@ -1,0 +1,267 @@
+//! Analytic power spectra of the test generators (the paper's Fig. 4),
+//! plus a Welch-estimate helper for cross-validation.
+//!
+//! All spectra are one-sided on `bins` frequencies `k / (2*bins)` and
+//! normalized so the mean power equals the generator's word variance
+//! (1/3 for the LFSR words, 1 for max-variance mode).
+
+use crate::generator::TestGenerator;
+use crate::model;
+use crate::{Lfsr1, Lfsr2, ShiftDirection};
+use dsp::spectrum::PowerSpectrum;
+use dsp::Complex;
+use std::f64::consts::PI;
+
+/// Analytic spectrum of a Type 1 LFSR of the given width: the
+/// squared-magnitude response of the paper's `g[n]` model driven by 0/1
+/// white noise of variance 1/4. Shows the characteristic low-frequency
+/// null (the "LFSR-1" curve of Fig. 4).
+pub fn lfsr1(width: u32, bins: usize) -> PowerSpectrum {
+    let g = model::lfsr1_model(width, ShiftDirection::MsbToLsb);
+    let psd = (0..bins)
+        .map(|k| {
+            let f = k as f64 / (2.0 * bins as f64);
+            let mut acc = Complex::zero();
+            for (n, &c) in g.iter().enumerate() {
+                acc += Complex::cis(-2.0 * PI * f * n as f64).scale(c);
+            }
+            0.25 * acc.norm_sqr()
+        })
+        .collect();
+    PowerSpectrum::from_values(psd)
+}
+
+/// Exact spectrum of a Type 2 LFSR word sequence, from the measured bit
+/// delays (see [`model::bit_delays2`]): line powers at the sequence's
+/// `period` harmonics, averaged into `bins` display bins.
+pub fn lfsr2(lfsr: &Lfsr2, bins: usize) -> PowerSpectrum {
+    let width = lfsr.width();
+    let (delays, period) = model::bit_delays2(lfsr);
+    let weights: Vec<f64> = (0..width).map(|j| model::bit_weight(j, width)).collect();
+    line_spectrum_from_delays(&delays, &weights, period, bins)
+}
+
+/// Flat (white) spectrum with the given variance — the decorrelated
+/// LFSR ("LFSR-D", variance 1/3) and max-variance ("LFSR-M",
+/// variance 1) curves of Fig. 4.
+pub fn flat(variance: f64, bins: usize) -> PowerSpectrum {
+    PowerSpectrum::from_values(vec![variance; bins])
+}
+
+/// Exact spectrum of the count-by-one ramp: the DFT line powers of one
+/// sawtooth period (`2^width` samples), averaged into display bins.
+/// Nearly all power sits at the lowest frequencies.
+pub fn ramp(width: u32, bins: usize) -> PowerSpectrum {
+    let n = 1usize << width;
+    let scale = 2f64.powi(-(width as i32 - 1));
+    let x: Vec<f64> = (0..n)
+        .map(|i| {
+            let raw = if i < n / 2 { i as i64 } else { i as i64 - n as i64 };
+            raw as f64 * scale
+        })
+        .collect();
+    let spec = dsp::fft::fft_real(&x).expect("power-of-two length");
+    // Line power of harmonic k (one-sided, excluding DC).
+    let mut psd = vec![0.0; bins];
+    let mut counts = vec![0usize; bins];
+    for (k, z) in spec.iter().enumerate().take(n / 2).skip(1) {
+        let f = k as f64 / n as f64;
+        let bin = ((f * 2.0 * bins as f64) as usize).min(bins - 1);
+        // Two-sided line power |X/N|^2 doubled for one-sided display,
+        // then scaled by the bin count so that the *mean* over bins
+        // equals the variance.
+        psd[bin] += 2.0 * z.norm_sqr() / (n as f64 * n as f64);
+        counts[bin] += 1;
+    }
+    // Convert binned total power into a density-like value: each display
+    // bin spans (0.5/bins) of frequency; mean over bins must equal the
+    // total variance. total power currently sums to variance, so
+    // multiply by bins to make the mean equal variance.
+    for p in psd.iter_mut() {
+        *p *= bins as f64;
+    }
+    let _ = counts;
+    PowerSpectrum::from_values(psd)
+}
+
+/// Welch estimate of an actual generated sequence (cross-validation of
+/// the analytic curves).
+///
+/// # Errors
+///
+/// Propagates [`dsp::DspError`] from the Welch estimator (bad segment
+/// length).
+pub fn measured(
+    gen: &mut dyn TestGenerator,
+    samples: usize,
+    segment: usize,
+) -> Result<PowerSpectrum, dsp::DspError> {
+    let x = crate::generator::collect_values(gen, samples);
+    dsp::spectrum::welch(&x, segment, dsp::window::Window::Hann)
+}
+
+/// Spectrum of a Type 1 LFSR computed through the *generic* delay-tap
+/// machinery instead of the closed-form model (used for validation).
+pub fn lfsr1_from_delays(lfsr: &Lfsr1, bins: usize) -> PowerSpectrum {
+    let width = lfsr.width();
+    let (delays, period) = model::bit_delays1(lfsr);
+    let weights: Vec<f64> = (0..width).map(|j| model::bit_weight(j, width)).collect();
+    line_spectrum_from_delays(&delays, &weights, period, bins)
+}
+
+fn line_spectrum_from_delays(
+    delays: &[u64],
+    weights: &[f64],
+    period: u64,
+    bins: usize,
+) -> PowerSpectrum {
+    // At harmonic k/period the word spectrum is
+    // |sum_j c_j e^{+j 2 pi k d_j / L}|^2 * S_a(k), with the m-sequence
+    // bit spectrum S_a(k) ~ (L+1)/(4 L^2) * L flat over nonzero bins.
+    let l = period as f64;
+    let bit_power = (l + 1.0) / (4.0 * l);
+    let mut psd = vec![0.0; bins];
+    let mut counts = vec![0usize; bins];
+    let half = period / 2;
+    for k in 1..=half {
+        let f = k as f64 / l;
+        let mut acc = Complex::zero();
+        for (&d, &c) in delays.iter().zip(weights) {
+            acc += Complex::cis(2.0 * PI * f * d as f64).scale(c);
+        }
+        let bin = ((f * 2.0 * bins as f64) as usize).min(bins - 1);
+        psd[bin] += acc.norm_sqr() * bit_power;
+        counts[bin] += 1;
+    }
+    for (p, &c) in psd.iter_mut().zip(&counts) {
+        if c > 0 {
+            *p /= c as f64;
+        }
+    }
+    PowerSpectrum::from_values(psd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polynomials::PAPER_TYPE2_POLY;
+    use crate::{Decorrelated, MaxVariance, Ramp};
+
+    const BINS: usize = 64;
+
+    #[test]
+    fn lfsr1_has_low_frequency_null() {
+        let s = lfsr1(12, BINS);
+        // Power at DC-ish bins far below the average (paper: reduced
+        // power at low frequencies due to negative correlation).
+        assert!(s.values()[0] < 0.05 * s.mean_power(), "{}", s.values()[0]);
+        // Mean power equals the word variance 1/3.
+        assert!((s.mean_power() - 1.0 / 3.0).abs() < 0.02, "{}", s.mean_power());
+        // High-frequency power is above average (spectrum tilts up).
+        assert!(s.values()[BINS - 1] > s.mean_power());
+    }
+
+    #[test]
+    fn lfsr1_analytic_matches_measurement() {
+        let s_model = lfsr1(12, 128);
+        let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
+        let s_meas = measured(&mut gen, 1 << 14, 256).unwrap();
+        // Compare in dB on a coarse grid, away from the DC bin where the
+        // Welch estimate is noisy.
+        for k in (8..120).step_by(8) {
+            let a = 10.0 * s_model.values()[k].log10();
+            let b = 10.0 * s_meas.values()[k].log10();
+            assert!((a - b).abs() < 2.0, "bin {k}: model {a:.2} dB vs measured {b:.2} dB");
+        }
+    }
+
+    #[test]
+    fn lfsr1_delay_machinery_agrees_with_closed_form() {
+        let lfsr = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
+        let via_delays = lfsr1_from_delays(&lfsr, 64);
+        let closed = lfsr1(12, 64);
+        let mean = closed.mean_power();
+        for k in 2..64 {
+            let a = via_delays.values()[k];
+            let b = closed.values()[k];
+            // Near the low-frequency null the relative error of the
+            // aperiodic closed form blows up; compare absolutely
+            // against the mean power.
+            assert!((a - b).abs() < 0.05 * mean, "bin {k}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn lfsr2_spectrum_is_flatter_than_lfsr1() {
+        let l2 = Lfsr2::new(12, PAPER_TYPE2_POLY).unwrap();
+        let s2 = lfsr2(&l2, BINS);
+        let s1 = lfsr1(12, BINS);
+        // Low-frequency power: Type 2 should not collapse the way
+        // Type 1 does.
+        let low2: f64 = s2.values()[..4].iter().sum();
+        let low1: f64 = s1.values()[..4].iter().sum();
+        assert!(low2 > 2.0 * low1, "low2 {low2} vs low1 {low1}");
+        assert!((s2.mean_power() - 1.0 / 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn lfsr2_analytic_matches_measurement() {
+        let l2 = Lfsr2::new(12, PAPER_TYPE2_POLY).unwrap();
+        let s_model = lfsr2(&l2, 64);
+        let mut gen = l2.clone();
+        let s_meas = measured(&mut gen, 1 << 14, 128).unwrap();
+        for k in (4..60).step_by(4) {
+            let a = 10.0 * s_model.values()[k].log10();
+            let b = 10.0 * s_meas.values()[k].log10();
+            assert!((a - b).abs() < 2.5, "bin {k}: model {a:.2} dB vs measured {b:.2} dB");
+        }
+    }
+
+    #[test]
+    fn decorrelated_measures_flat() {
+        let mut gen = Decorrelated::maximal(12, ShiftDirection::LsbToMsb).unwrap();
+        let s = measured(&mut gen, 1 << 14, 256).unwrap();
+        let model = flat(1.0 / 3.0, s.len());
+        // Bands within ~2.5 dB of flat (a small residual low-frequency
+        // dip survives the decorrelator; the paper calls the result
+        // "essentially equal power to all frequency bands").
+        for k in (8..s.len() - 2).step_by(16) {
+            let a = 10.0 * s.values()[k].log10();
+            let b = 10.0 * model.values()[k].log10();
+            assert!((a - b).abs() < 2.5, "bin {k}: {a:.2} vs {b:.2} dB");
+        }
+    }
+
+    #[test]
+    fn maxvar_measures_flat_at_variance_one() {
+        let mut gen = MaxVariance::maximal(12).unwrap();
+        let s = measured(&mut gen, 1 << 14, 256).unwrap();
+        assert!((s.mean_power() - 1.0).abs() < 0.05, "{}", s.mean_power());
+        let n = s.len();
+        let lo: f64 = s.values()[..n / 4].iter().sum::<f64>() / (n / 4) as f64;
+        let hi: f64 = s.values()[3 * n / 4..].iter().sum::<f64>() / (n - 3 * n / 4) as f64;
+        assert!((lo / hi - 1.0).abs() < 0.25, "lo {lo} hi {hi}");
+    }
+
+    #[test]
+    fn ramp_spectrum_concentrates_low() {
+        let s = ramp(12, 256);
+        assert!(s.power_fraction_below(0.05) > 0.9);
+        assert!((s.mean_power() - 1.0 / 3.0).abs() < 0.02, "{}", s.mean_power());
+    }
+
+    #[test]
+    fn ramp_analytic_matches_measurement() {
+        let s_model = ramp(12, 64);
+        let mut gen = Ramp::new(12).unwrap();
+        let s_meas = measured(&mut gen, 1 << 14, 128).unwrap();
+        // Compare the fraction of power below a few cut points (the
+        // line spectrum vs Welch leakage makes per-bin dB comparison
+        // unfair).
+        for f in [0.02, 0.1, 0.3] {
+            let a = s_model.power_fraction_below(f);
+            let b = s_meas.power_fraction_below(f);
+            assert!((a - b).abs() < 0.05, "f={f}: {a} vs {b}");
+        }
+    }
+}

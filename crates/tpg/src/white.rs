@@ -1,0 +1,110 @@
+use crate::generator::TestGenerator;
+use crate::TpgError;
+
+/// Idealized test generator: statistically independent words, uniform
+/// over the full two's-complement range. Deterministic (xorshift64*),
+/// so experiments are reproducible without external RNG crates.
+///
+/// The paper uses this idealization as the reference when judging how
+/// well the decorrelated LFSR approaches independent vectors (its
+/// Fig. 9 "theory" curve).
+#[derive(Debug, Clone)]
+pub struct IdealWhite {
+    width: u32,
+    seed: u64,
+    state: u64,
+    name: String,
+}
+
+impl IdealWhite {
+    /// Creates an ideal white source with the default seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TpgError::UnsupportedWidth`] for widths outside `2..=63`.
+    pub fn new(width: u32) -> Result<Self, TpgError> {
+        Self::with_seed(width, 0x9E3779B97F4A7C15)
+    }
+
+    /// Creates an ideal white source with an explicit nonzero seed.
+    ///
+    /// # Errors
+    ///
+    /// [`TpgError::UnsupportedWidth`] or [`TpgError::ZeroSeed`].
+    pub fn with_seed(width: u32, seed: u64) -> Result<Self, TpgError> {
+        if !(2..=63).contains(&width) {
+            return Err(TpgError::UnsupportedWidth { width });
+        }
+        if seed == 0 {
+            return Err(TpgError::ZeroSeed);
+        }
+        Ok(IdealWhite { width, seed, state: seed, name: "Ideal".into() })
+    }
+}
+
+impl TestGenerator for IdealWhite {
+    fn next_word(&mut self) -> i64 {
+        // xorshift64* — full 64-bit state, top bits used.
+        self.state ^= self.state >> 12;
+        self.state ^= self.state << 25;
+        self.state ^= self.state >> 27;
+        let r = self.state.wrapping_mul(0x2545F4914F6CDD1D);
+        let bits = r >> (64 - self.width);
+        fixedpoint::QFormat::new(self.width, self.width - 1)
+            .expect("valid width")
+            .sign_extend(bits)
+    }
+
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn reset(&mut self) {
+        self.state = self.seed;
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::collect_values;
+    use dsp::stats::Summary;
+
+    #[test]
+    fn statistics_are_uniform() {
+        let mut gen = IdealWhite::new(12).unwrap();
+        let x = collect_values(&mut gen, 16384);
+        let s = Summary::of(&x).unwrap();
+        assert!(s.mean.abs() < 0.02);
+        assert!((s.variance - 1.0 / 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn lag_one_correlation_is_negligible() {
+        let mut gen = IdealWhite::new(12).unwrap();
+        let x = collect_values(&mut gen, 16384);
+        let r = dsp::conv::sample_autocorrelation(&x, 2);
+        assert!((r[1] / r[0]).abs() < 0.03);
+    }
+
+    #[test]
+    fn deterministic_and_resettable() {
+        let mut a = IdealWhite::new(12).unwrap();
+        let mut b = IdealWhite::new(12).unwrap();
+        let wa: Vec<i64> = (0..32).map(|_| a.next_word()).collect();
+        let wb: Vec<i64> = (0..32).map(|_| b.next_word()).collect();
+        assert_eq!(wa, wb);
+        a.reset();
+        let wa2: Vec<i64> = (0..32).map(|_| a.next_word()).collect();
+        assert_eq!(wa, wa2);
+    }
+
+    #[test]
+    fn rejects_zero_seed() {
+        assert!(matches!(IdealWhite::with_seed(12, 0), Err(TpgError::ZeroSeed)));
+    }
+}

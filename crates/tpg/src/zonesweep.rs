@@ -1,0 +1,145 @@
+use crate::generator::TestGenerator;
+use crate::lfsr::{Lfsr1, ShiftDirection};
+use crate::TpgError;
+use fixedpoint::QFormat;
+use std::f64::consts::PI;
+
+/// Deterministic tuned test phase: an amplitude-stepped sine at a
+/// chosen (passband) frequency, with a small pseudorandom dither.
+///
+/// The paper's conclusion proposes "more specialized test controllers
+/// to produce tests tailored to the specific filter (deterministic
+/// BIST)". The hardest remaining faults live in narrow activation zones
+/// at specific amplitudes of each adder's primary input (the T1/T6
+/// zones near half the cell weight — see `bist-core`'s zone model).
+/// A sine in the filter's passband propagates to every tap at a
+/// predictable gain; stepping its amplitude through many levels sweeps
+/// each internal partial sum across its zones, while the dither breaks
+/// bit-level correlation so lower cells keep toggling.
+///
+/// # Example
+///
+/// ```
+/// use bist_tpg::{TestGenerator, ZoneSweep};
+///
+/// let mut gen = ZoneSweep::new(12, 0.02, 24, 96)?;
+/// let words: Vec<i64> = (0..256).map(|_| gen.next_word()).collect();
+/// assert!(words.iter().all(|w| (-2048..=2047).contains(w)));
+/// # Ok::<(), bist_tpg::TpgError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZoneSweep {
+    width: u32,
+    frequency: f64,
+    levels: u32,
+    dwell: u32,
+    dither: Lfsr1,
+    t: u64,
+    name: String,
+}
+
+impl ZoneSweep {
+    /// A sweep at normalized `frequency` with `levels` amplitude steps,
+    /// dwelling `dwell` cycles per step (then wrapping to the first
+    /// step).
+    ///
+    /// # Errors
+    ///
+    /// [`TpgError::UnsupportedWidth`] for widths without a tabulated
+    /// dither polynomial, [`TpgError::InvalidParameter`] for a frequency
+    /// outside `(0, 0.5]` or zero `levels`/`dwell`.
+    pub fn new(width: u32, frequency: f64, levels: u32, dwell: u32) -> Result<Self, TpgError> {
+        if !(frequency > 0.0 && frequency <= 0.5) {
+            return Err(TpgError::InvalidParameter {
+                reason: format!("frequency {frequency} must be in (0, 0.5]"),
+            });
+        }
+        if levels == 0 || dwell == 0 {
+            return Err(TpgError::InvalidParameter {
+                reason: "levels and dwell must be nonzero".into(),
+            });
+        }
+        let dither = Lfsr1::new(width, ShiftDirection::LsbToMsb)?;
+        Ok(ZoneSweep {
+            width,
+            frequency,
+            levels,
+            dwell,
+            dither,
+            t: 0,
+            name: "ZoneSweep".into(),
+        })
+    }
+}
+
+impl TestGenerator for ZoneSweep {
+    fn next_word(&mut self) -> i64 {
+        let q = QFormat::new(self.width, self.width - 1).expect("valid width");
+        let step = (self.t / self.dwell as u64) % self.levels as u64;
+        // Amplitudes from near full scale down: later taps see scaled
+        // copies, so a dense descending ladder crosses every zone.
+        let amplitude = 0.98 * (1.0 - step as f64 / self.levels as f64);
+        let carrier = amplitude * (2.0 * PI * self.frequency * self.t as f64).sin();
+        // Small dither (about 1/64 full scale) from the LFSR stream.
+        let d = self.dither.step() as i64 & 0x1F;
+        let dither = (d - 16) as f64 * q.lsb();
+        self.t += 1;
+        let raw = ((carrier + dither) / q.lsb()).round() as i64;
+        raw.clamp(q.min_raw(), q.max_raw())
+    }
+
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn reset(&mut self) {
+        self.t = 0;
+        self.dither.reset();
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::collect_values;
+
+    #[test]
+    fn sweep_visits_many_amplitude_levels() {
+        let mut gen = ZoneSweep::new(12, 0.05, 16, 40).unwrap();
+        let x = collect_values(&mut gen, 16 * 40);
+        // Envelope of each dwell block decreases over the sweep.
+        let block_peak = |k: usize| -> f64 {
+            x[k * 40..(k + 1) * 40].iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+        };
+        assert!(block_peak(0) > 0.9);
+        assert!(block_peak(15) < 0.15);
+        let mut decreasing = 0;
+        for k in 0..15 {
+            if block_peak(k + 1) < block_peak(k) {
+                decreasing += 1;
+            }
+        }
+        assert!(decreasing >= 13, "envelope not descending: {decreasing}");
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(ZoneSweep::new(12, 0.0, 8, 8).is_err());
+        assert!(ZoneSweep::new(12, 0.6, 8, 8).is_err());
+        assert!(ZoneSweep::new(12, 0.1, 0, 8).is_err());
+        assert!(ZoneSweep::new(12, 0.1, 8, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_and_resettable() {
+        let mut gen = ZoneSweep::new(12, 0.03, 12, 32).unwrap();
+        let a: Vec<i64> = (0..100).map(|_| gen.next_word()).collect();
+        gen.reset();
+        let b: Vec<i64> = (0..100).map(|_| gen.next_word()).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,154 @@
+//! Cross-validation between independent implementations of the same
+//! quantities: bit-sliced gate-level simulation vs idealized linear
+//! simulation vs direct convolution, analytic spectra vs Welch
+//! estimates, and predicted distributions vs histograms.
+
+use dsp::firdesign::BandKind;
+use filters::{FilterDesign, FilterSpec};
+use tpg::{collect_values, collect_words, ShiftDirection, TestGenerator};
+
+fn design() -> FilterDesign {
+    FilterDesign::elaborate(FilterSpec {
+        name: "xv".into(),
+        band: BandKind::Lowpass { cutoff: 0.12 },
+        taps: 16,
+        input_bits: 12,
+        coef_frac_bits: 14,
+        max_csd_digits: 4,
+        width: 16,
+        kaiser_beta: 5.0,
+    })
+    .expect("design elaborates")
+}
+
+#[test]
+fn gate_level_output_matches_float_convolution_within_truncation() {
+    // The bit-sliced gate-level machine and an ideal float convolution
+    // with the quantized coefficients agree to within accumulated
+    // truncation error (one LSB per CSD digit per tap).
+    let d = design();
+    let mut gen = tpg::IdealWhite::new(12).expect("white");
+    let inputs: Vec<i64> = collect_words(&mut gen, 400);
+    let aligned: Vec<i64> = inputs.iter().map(|&w| d.align_input(w)).collect();
+    let hardware = faultsim::inject::probe_node(d.netlist(), d.output(), &aligned);
+
+    let lsb = d.netlist().format().lsb();
+    let x_values: Vec<f64> = inputs.iter().map(|&w| w as f64 / 2048.0).collect();
+    let ideal = dsp::conv::filter(&d.impulse_response(), &x_values);
+
+    let digits: usize = d.quantized().iter().map(|q| q.csd.nonzero_digits()).sum();
+    let bound = digits as f64 * lsb + 1e-9;
+    for (t, (&hw, id)) in hardware.iter().zip(&ideal).enumerate().skip(1) {
+        let hw_value = hw as f64 * lsb;
+        assert!(
+            (hw_value - id).abs() <= bound,
+            "cycle {t}: hardware {hw_value} vs ideal {id} (bound {bound})"
+        );
+    }
+}
+
+#[test]
+fn linear_sim_matches_quantized_coefficients() {
+    // The idealized linear simulator's impulse response equals the
+    // quantized coefficient values (delayed by the output register).
+    let d = design();
+    let h = d.impulse_response();
+    assert!(h[0].abs() < 1e-12);
+    for (k, q) in d.quantized().iter().enumerate() {
+        assert!((h[k + 1] - q.value).abs() < 1e-9, "tap {k}");
+    }
+}
+
+#[test]
+fn analytic_lfsr1_spectrum_matches_welch_estimate() {
+    let analytic = tpg::spectra::lfsr1(12, 128);
+    let mut gen = tpg::Lfsr1::new(12, ShiftDirection::MsbToLsb).expect("lfsr");
+    let x = collect_values(&mut gen, 1 << 14);
+    let measured = dsp::spectrum::welch(&x, 256, dsp::window::Window::Hann).expect("welch");
+    for k in (8..120).step_by(8) {
+        let a = 10.0 * analytic.values()[k].log10();
+        let b = 10.0 * measured.values()[k].log10();
+        assert!((a - b).abs() < 2.0, "bin {k}: {a:.2} vs {b:.2} dB");
+    }
+}
+
+#[test]
+fn eq1_variance_matches_gate_level_measurement() {
+    // Paper Eq. 1 (through the linear model) vs the actual gate-level
+    // signal statistics at every accumulator.
+    let d = design();
+    let g = tpg::model::lfsr1_model(12, ShiftDirection::LsbToMsb);
+    let predictions = bist_core::variance::analyze_design(
+        &d,
+        &bist_core::variance::SourceModel::Shaped { model: g },
+    );
+
+    let mut gen = tpg::Lfsr1::new(12, ShiftDirection::LsbToMsb).expect("lfsr");
+    let inputs: Vec<i64> =
+        collect_words(&mut gen, 4095).into_iter().map(|w| d.align_input(w)).collect();
+    let lsb = d.netlist().format().lsb();
+    for p in predictions.iter().filter(|p| p.label.contains(".acc")) {
+        let samples = faultsim::inject::probe_node(d.netlist(), p.node, &inputs);
+        let values: Vec<f64> = samples.iter().map(|&r| r as f64 * lsb).collect();
+        let measured = dsp::stats::Summary::of(&values).expect("nonempty").std_dev();
+        assert!(
+            (p.std_dev - measured).abs() < 0.2 * measured.max(2.0 * lsb),
+            "{}: predicted {} vs measured {}",
+            p.label,
+            p.std_dev,
+            measured
+        );
+    }
+}
+
+#[test]
+fn predicted_distribution_matches_histogram() {
+    let d = design();
+    let node = d.output();
+    let g = tpg::model::lfsr1_model(12, ShiftDirection::LsbToMsb);
+    let theory =
+        bist_core::distribution::predict_lfsr(d.netlist(), node, &g, 1.0 / 512.0);
+    let mut gen = tpg::Lfsr1::new(12, ShiftDirection::LsbToMsb).expect("lfsr");
+    let inputs: Vec<i64> =
+        collect_words(&mut gen, 4095).into_iter().map(|w| d.align_input(w)).collect();
+    let hist = bist_core::distribution::simulate_histogram(d.netlist(), node, &inputs, 48);
+    let mismatch = bist_core::distribution::density_mismatch(&theory, &hist);
+    assert!(mismatch < 0.3, "density mismatch {mismatch}");
+}
+
+#[test]
+fn misr_signature_flags_every_sampled_fault() {
+    // For detected faults, compacting the faulty response must change
+    // the MISR signature (no aliasing observed on this sample).
+    let d = design();
+    let session = bist_core::session::BistSession::new(&d);
+    let mut gen = tpg::Lfsr1::new(12, ShiftDirection::LsbToMsb).expect("lfsr");
+    let vectors = 256usize;
+    let run = session.run(&mut gen, vectors);
+
+    gen.reset();
+    let inputs: Vec<i64> =
+        (0..vectors).map(|_| d.align_input(gen.next_word())).collect();
+    let mut good_misr = bist_core::misr::Misr::new(16).expect("misr");
+    let good = faultsim::inject::probe_node(d.netlist(), d.output(), &inputs);
+    good_misr.absorb_all(&good);
+
+    let mut checked = 0;
+    for fid in session.universe().ids().take(400) {
+        if run.result.detection_cycles()[fid.index()].is_none() {
+            continue;
+        }
+        let trace =
+            faultsim::inject::trace_fault(d.netlist(), session.universe(), fid, &inputs);
+        let mut faulty_misr = bist_core::misr::Misr::new(16).expect("misr");
+        faulty_misr.absorb_all(&trace.faulty);
+        assert_ne!(
+            faulty_misr.signature(),
+            good_misr.signature(),
+            "aliased fault {}",
+            session.universe().site(fid)
+        );
+        checked += 1;
+    }
+    assert!(checked > 50, "too few detected faults sampled: {checked}");
+}

@@ -1,0 +1,144 @@
+//! Cross-crate integration: the full pipeline from filter spec to
+//! fault-simulation results, exercised end to end on small designs.
+
+use bist_core::session::BistSession;
+use dsp::firdesign::BandKind;
+use filters::{FilterDesign, FilterSpec};
+use tpg::{Decorrelated, Lfsr1, MaxVariance, Mixed, Ramp, ShiftDirection, TestGenerator};
+
+fn design(cutoff: f64, taps: usize) -> FilterDesign {
+    FilterDesign::elaborate(FilterSpec {
+        name: format!("lp{taps}"),
+        band: BandKind::Lowpass { cutoff },
+        taps,
+        input_bits: 12,
+        coef_frac_bits: 14,
+        max_csd_digits: 4,
+        width: 16,
+        kaiser_beta: 5.0,
+    })
+    .expect("design elaborates")
+}
+
+#[test]
+fn pipeline_produces_consistent_universe_and_results() {
+    let d = design(0.12, 18);
+    let session = BistSession::new(&d);
+    assert!(session.universe().len() > 1000);
+    assert!(session.universe().uncollapsed_len() > session.universe().len());
+
+    let mut gen = Decorrelated::maximal(12, ShiftDirection::LsbToMsb).expect("generator");
+    let run = session.run(&mut gen, 768);
+    assert!(run.coverage() > 0.9, "coverage {}", run.coverage());
+
+    // Detection cycles are within the run and consistent with counts.
+    let detected = run
+        .result
+        .detection_cycles()
+        .iter()
+        .filter_map(|&c| c)
+        .collect::<Vec<_>>();
+    assert_eq!(detected.len() + run.missed(), session.universe().len());
+    assert!(detected.iter().all(|&c| c < 768));
+}
+
+#[test]
+fn all_generators_run_and_are_reproducible() {
+    let d = design(0.15, 14);
+    let session = BistSession::new(&d);
+    let gens: Vec<Box<dyn TestGenerator>> = vec![
+        Box::new(Lfsr1::new(12, ShiftDirection::LsbToMsb).expect("lfsr1")),
+        Box::new(Decorrelated::maximal(12, ShiftDirection::LsbToMsb).expect("lfsrd")),
+        Box::new(MaxVariance::maximal(12).expect("lfsrm")),
+        Box::new(Ramp::new(12).expect("ramp")),
+    ];
+    for mut gen in gens {
+        let a = session.run(&mut *gen, 256);
+        let b = session.run(&mut *gen, 256);
+        assert_eq!(a.missed(), b.missed(), "{} not reproducible", gen.name());
+        assert_eq!(a.signature, b.signature);
+        assert_eq!(a.result.detection_cycles(), b.result.detection_cycles());
+    }
+}
+
+#[test]
+fn mixed_mode_beats_or_matches_both_single_modes() {
+    let d = design(0.08, 20);
+    let session = BistSession::new(&d);
+    let mut normal = Lfsr1::new(12, ShiftDirection::LsbToMsb).expect("lfsr1");
+    let mut maxvar = MaxVariance::maximal(12).expect("lfsrm");
+    let mut mixed = Mixed::lfsr1_then_maxvar(12, 1024).expect("mixed");
+    let miss_normal = session.run(&mut normal, 1024).missed();
+    let miss_maxvar = session.run(&mut maxvar, 1024).missed();
+    let miss_mixed = session.run(&mut mixed, 2048).missed();
+    assert!(
+        miss_mixed <= miss_normal.min(miss_maxvar),
+        "mixed {miss_mixed} vs normal {miss_normal} / maxvar {miss_maxvar}"
+    );
+}
+
+#[test]
+fn longer_tests_never_lose_coverage() {
+    let d = design(0.1, 16);
+    let session = BistSession::new(&d);
+    let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).expect("lfsr1");
+    let long = session.run(&mut gen, 1024);
+    let mut prev = 0.0;
+    for c in [32u32, 64, 128, 256, 512, 1024] {
+        let cov = long.result.coverage_after(c);
+        assert!(cov >= prev, "coverage dropped at {c}");
+        prev = cov;
+    }
+}
+
+#[test]
+fn missed_fault_reports_cover_all_misses() {
+    let d = design(0.1, 16);
+    let session = BistSession::new(&d);
+    let mut gen = Ramp::new(12).expect("ramp");
+    let run = session.run(&mut gen, 512);
+    let by_node = faultsim::report::missed_by_node(
+        d.netlist(),
+        session.universe(),
+        session.ranges(),
+        &run.result,
+    );
+    let total: usize = by_node.iter().map(|s| s.missed.len()).sum();
+    assert_eq!(total, run.missed());
+    let by_depth = faultsim::report::missed_by_depth(
+        d.netlist(),
+        session.universe(),
+        session.ranges(),
+        &run.result,
+    );
+    assert_eq!(by_depth.values().sum::<usize>(), run.missed());
+}
+
+#[test]
+fn injection_traces_agree_with_detection_results() {
+    // A fault detected by the simulator must show a divergent trace on
+    // the same input sequence, and vice versa.
+    let d = design(0.15, 10);
+    let session = BistSession::new(&d);
+    let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).expect("lfsr1");
+    let vectors = 128usize;
+    let run = session.run(&mut gen, vectors);
+
+    gen.reset();
+    let inputs: Vec<i64> =
+        (0..vectors).map(|_| d.align_input(gen.next_word())).collect();
+    for fid in session.universe().ids().take(200) {
+        let trace = faultsim::inject::trace_fault(d.netlist(), session.universe(), fid, &inputs);
+        let diverges = !trace.divergent_cycles().is_empty();
+        let detected = run.result.detection_cycles()[fid.index()].is_some();
+        assert_eq!(
+            diverges,
+            detected,
+            "fault {} trace/detection mismatch",
+            session.universe().site(fid)
+        );
+        if let Some(cycle) = run.result.detection_cycles()[fid.index()] {
+            assert_eq!(trace.divergent_cycles()[0] as u32, cycle);
+        }
+    }
+}

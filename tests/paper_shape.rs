@@ -1,0 +1,167 @@
+//! Shape checks against the paper's published results, using the
+//! lightweight (analytic) machinery. The heavyweight fault-simulation
+//! reproduction of Tables 4-6 lives in the `experiments` binary and in
+//! the `#[ignore]`d test at the bottom.
+
+use bist_core::compat::{
+    classify_family, compatibility_ratio, paper_generator_spectra, type_compatibility_table,
+    Compatibility,
+};
+use bist_core::variance::{analyze_design, SourceModel};
+use tpg::{model, ShiftDirection};
+
+#[test]
+fn table3_matches_paper_exactly() {
+    use Compatibility::{Good as P, Marginal as M, Poor as N};
+    let table = type_compatibility_table(&paper_generator_spectra(1024));
+    let expect = [
+        ("LFSR-1", [N, M, P]),
+        ("LFSR-2", [M, M, P]),
+        ("LFSR-D", [P, P, P]),
+        ("LFSR-M", [P, P, P]),
+        ("Ramp", [P, N, N]),
+    ];
+    for (name, row) in expect {
+        let got = &table.iter().find(|(n, _)| n == name).expect("present").1;
+        assert_eq!(got.as_slice(), row.as_slice(), "{name} row");
+    }
+}
+
+#[test]
+fn fig4_spectrum_orderings() {
+    // Paper Fig. 4: at low frequency Ramp >> LFSR-D > LFSR-2 > LFSR-1;
+    // at high frequency Ramp collapses and LFSR-1 rises above flat.
+    let specs = paper_generator_spectra(256);
+    let get = |name: &str| {
+        &specs.iter().find(|g| g.name == name).expect("generator").spectrum
+    };
+    let low = |s: &dsp::spectrum::PowerSpectrum| s.values()[1];
+    let high = |s: &dsp::spectrum::PowerSpectrum| s.values()[250];
+    assert!(low(get("Ramp")) > 10.0 * low(get("LFSR-D")));
+    assert!(low(get("LFSR-D")) > low(get("LFSR-2")));
+    assert!(low(get("LFSR-2")) > low(get("LFSR-1")));
+    assert!(high(get("LFSR-1")) > high(get("LFSR-D")));
+    assert!(high(get("Ramp")) < 1e-3 * high(get("LFSR-D")));
+    // LFSR-M flat at variance 1 (0 dB), others at 1/3 (-4.77 dB).
+    assert!((get("LFSR-M").mean_power() - 1.0).abs() < 0.01);
+    assert!((get("LFSR-1").mean_power() - 1.0 / 3.0).abs() < 0.01);
+}
+
+#[test]
+fn section7_tap_attenuation_reproduces() {
+    // Paper Figs. 6-7: the LFSR-1 signal at an interior tap of the
+    // narrowband lowpass is severely attenuated; decorrelation recovers
+    // a factor of ~3-4 in standard deviation.
+    let d = filters::designs::lowpass().expect("LP design");
+    let shaped = analyze_design(
+        &d,
+        &SourceModel::Shaped { model: model::lfsr1_model(12, ShiftDirection::LsbToMsb) },
+    );
+    let white = analyze_design(&d, &SourceModel::White { variance: 1.0 / 3.0 });
+    let node = d.tap_accumulator(20).expect("tap 20 exists");
+    let find = |r: &[bist_core::variance::NodeVariance]| {
+        r.iter().find(|x| x.node == node).expect("analyzed").std_dev
+    };
+    let s_lfsr = find(&shaped);
+    let s_white = find(&white);
+    let gain = s_white / s_lfsr;
+    assert!(s_lfsr < 0.06, "LFSR-1 tap-20 std {s_lfsr}");
+    assert!(
+        (2.0..8.0).contains(&gain),
+        "decorrelation gain {gain} outside the paper's regime (3.4x)"
+    );
+}
+
+#[test]
+fn table1_regime_reproduces() {
+    for d in filters::designs::paper_designs().expect("designs") {
+        let s = d.netlist().stats();
+        assert!((140..=200).contains(&s.arithmetic()), "{} adders {}", d.name(), s.arithmetic());
+        assert!((57..=61).contains(&s.registers), "{} regs {}", d.name(), s.registers);
+        assert_eq!(d.spec().input_bits, 12);
+        assert_eq!(s.width, 16);
+    }
+}
+
+#[test]
+fn family_classifier_is_monotone() {
+    // Sanity on the Table 3 classifier itself.
+    assert_eq!(classify_family(&[0.8, 0.9, 1.5]), Compatibility::Good);
+    assert_eq!(classify_family(&[0.01, 0.02]), Compatibility::Poor);
+    assert_eq!(classify_family(&[0.2, 0.5]), Compatibility::Marginal);
+}
+
+#[test]
+fn compatibility_ratio_tracks_band_position() {
+    // The LFSR-1 ratio rises monotonically as a lowpass cutoff moves up
+    // out of its null (the physics behind Table 3's design dependence).
+    let reference = tpg::spectra::flat(1.0 / 3.0, 512);
+    let lfsr1 = tpg::spectra::lfsr1(12, 512);
+    let mut prev = 0.0;
+    for cutoff in [0.02, 0.05, 0.1, 0.2, 0.3] {
+        let h = dsp::firdesign::FirSpec::new(
+            dsp::firdesign::BandKind::Lowpass { cutoff },
+            41,
+        )
+        .design()
+        .expect("design");
+        let r = compatibility_ratio(&lfsr1, &reference, &h);
+        assert!(r > prev, "ratio not increasing at cutoff {cutoff}");
+        prev = r;
+    }
+}
+
+/// The full Section 8 reproduction (Tables 4-6 shape). Takes ~1 minute
+/// in release mode; run with `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "heavy: full 4k-vector fault simulation of all three designs"]
+fn section8_shape_reproduces() {
+    use bist_core::session::BistSession;
+    let designs = filters::designs::paper_designs().expect("designs");
+    let mut missed = std::collections::HashMap::new();
+    for d in &designs {
+        let session = BistSession::new(d);
+        for name in ["LFSR-1", "LFSR-D", "LFSR-M", "Ramp"] {
+            let mut gen: Box<dyn tpg::TestGenerator> = match name {
+                "LFSR-1" => Box::new(tpg::Lfsr1::new(12, ShiftDirection::LsbToMsb).expect("gen")),
+                "LFSR-D" => {
+                    Box::new(tpg::Decorrelated::maximal(12, ShiftDirection::LsbToMsb).expect("gen"))
+                }
+                "LFSR-M" => Box::new(tpg::MaxVariance::maximal(12).expect("gen")),
+                _ => Box::new(tpg::Ramp::new(12).expect("gen")),
+            };
+            let run = session.run(&mut *gen, 4096);
+            missed.insert((d.name().to_string(), name), run.missed());
+        }
+        if d.name() == "LP" || d.name() == "HP" {
+            let mut mixed = tpg::Mixed::lfsr1_then_maxvar(12, 4096).expect("mixed");
+            let run = session.run(&mut mixed, 8192);
+            missed.insert((d.name().to_string(), "mixed"), run.missed());
+        }
+    }
+    let get = |d: &str, g: &str| missed[&(d.to_string(), g)];
+
+    // Paper Table 4 orderings.
+    assert!(get("LP", "LFSR-1") > get("LP", "LFSR-D"), "LFSR-1 must lag on LP");
+    let hp_ratio = get("HP", "LFSR-1") as f64 / get("HP", "LFSR-D") as f64;
+    assert!((0.6..1.6).contains(&hp_ratio), "LFSR-1 ~ LFSR-D on HP, got {hp_ratio}");
+    assert!(get("HP", "Ramp") > 3 * get("HP", "LFSR-D"), "Ramp must collapse on HP");
+    assert!(get("BP", "Ramp") > 3 * get("BP", "LFSR-D"), "Ramp must collapse on BP");
+    for d in ["LP", "BP", "HP"] {
+        assert!(
+            get(d, "LFSR-M") > 5 * get(d, "LFSR-D"),
+            "LFSR-M must be the worst single mode on {d}"
+        );
+    }
+    // Paper Table 6: mixed testing cuts misses ~2-3x over the best
+    // single mode.
+    for d in ["LP", "HP"] {
+        let best = ["LFSR-1", "LFSR-D", "LFSR-M", "Ramp"]
+            .iter()
+            .map(|g| get(d, g))
+            .min()
+            .expect("nonempty");
+        let ratio = best as f64 / get(d, "mixed").max(1) as f64;
+        assert!(ratio > 1.5, "{d}: mixed improvement only {ratio:.2}x");
+    }
+}
