@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the workspace must build and test fully offline.
+# Every dependency is a workspace path dependency; the registry deps
+# (proptest, criterion, rand) are commented out in the manifests and
+# only needed for the opt-in `proptest` / `bench-deps` features.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline

@@ -1,8 +1,12 @@
 //! Parallel fault-simulation throughput: the engine behind the paper's
 //! Tables 4–6 and Figs. 10–13. Uses a reduced design and test length so
 //! a bench iteration stays under a second.
+//!
+//! The `fault_sim_threads` group measures the sharded simulator at 1,
+//! 2 and 4 worker threads on the same run; set `BIST_THREADS` when
+//! invoking the `experiments` binary to apply the same control there.
 
-use bist_core::session::BistSession;
+use bist_core::session::{BistSession, RunConfig};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dsp::firdesign::BandKind;
 use filters::{FilterDesign, FilterSpec};
@@ -25,25 +29,45 @@ fn small_design() -> FilterDesign {
 fn bench_universe(c: &mut Criterion) {
     let design = small_design();
     c.bench_function("enumerate_universe_20tap", |b| {
-        b.iter(|| black_box(BistSession::new(&design).universe().len()))
+        b.iter(|| black_box(BistSession::new(&design).expect("session").universe().len()))
     });
 }
 
 fn bench_run(c: &mut Criterion) {
     let design = small_design();
-    let session = BistSession::new(&design);
+    let session = BistSession::new(&design).expect("session");
     let faults = session.universe().len() as u64;
+    let config = RunConfig::new(256).with_threads(1);
     let mut group = c.benchmark_group("fault_sim");
     group.sample_size(10);
     group.throughput(Throughput::Elements(faults));
     group.bench_function("20tap_256_vectors", |b| {
         b.iter(|| {
             let mut gen = bist_bench::generator("LFSR-D");
-            black_box(session.run(&mut *gen, 256).missed())
+            black_box(session.run(&mut *gen, &config).expect("run").missed())
         })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_universe, bench_run);
+fn bench_threads(c: &mut Criterion) {
+    let design = small_design();
+    let session = BistSession::new(&design).expect("session");
+    let faults = session.universe().len() as u64;
+    let mut group = c.benchmark_group("fault_sim_threads");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(faults));
+    for threads in [1usize, 2, 4] {
+        let config = RunConfig::new(512).with_threads(threads);
+        group.bench_function(format!("20tap_512_vectors_t{threads}"), |b| {
+            b.iter(|| {
+                let mut gen = bist_bench::generator("LFSR-D");
+                black_box(session.run(&mut *gen, &config).expect("run").missed())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_universe, bench_run, bench_threads);
 criterion_main!(benches);

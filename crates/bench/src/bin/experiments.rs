@@ -23,7 +23,9 @@
 //!     all      everything above
 //! ```
 
-use bist_bench::{generator, mixed_generator, paper_designs, plot, table, SECTION8_GENERATORS};
+use bist_bench::{
+    generator, mixed_generator, paper_designs, plot, run_config, table, SECTION8_GENERATORS,
+};
 use bist_core::session::BistSession;
 use bist_core::{compat, distribution, variance, zones};
 use dsp::stats::Summary;
@@ -80,7 +82,7 @@ fn table1() {
         .iter()
         .map(|d| {
             let s = d.netlist().stats();
-            let session = BistSession::new(d);
+            let session = BistSession::new(d).expect("session");
             vec![
                 d.name().to_string(),
                 s.arithmetic().to_string(),
@@ -178,12 +180,12 @@ fn table4() {
     let mut rows4 = Vec::new();
     let mut rows5 = Vec::new();
     for d in &designs {
-        let session = BistSession::new(d);
+        let session = BistSession::new(d).expect("session");
         let mut row4 = vec![d.name().to_string()];
         let mut row5 = vec![d.name().to_string()];
         for name in SECTION8_GENERATORS {
             let mut gen = generator(name);
-            let run = session.run(&mut *gen, SECTION8_VECTORS);
+            let run = session.run(&mut *gen, &run_config(SECTION8_VECTORS)).expect("run");
             row4.push(run.missed().to_string());
             row5.push(format!("{:.2}", run.normalized_missed(d)));
         }
@@ -204,14 +206,16 @@ fn table6() {
     let designs = paper_designs();
     let mut rows = Vec::new();
     for d in designs.iter().filter(|d| d.name() == "LP" || d.name() == "HP") {
-        let session = BistSession::new(d);
+        let session = BistSession::new(d).expect("session");
         let mut gen = mixed_generator(SECTION8_VECTORS as u64);
-        let run = session.run(&mut *gen, 2 * SECTION8_VECTORS);
+        let run =
+            session.run(&mut *gen, &run_config(2 * SECTION8_VECTORS)).expect("run");
         // Best single-mode baseline at 4k for the improvement factor.
         let mut best = usize::MAX;
         for name in SECTION8_GENERATORS {
             let mut g = generator(name);
-            best = best.min(session.run(&mut *g, SECTION8_VECTORS).missed());
+            best = best
+                .min(session.run(&mut *g, &run_config(SECTION8_VECTORS)).expect("run").missed());
         }
         rows.push(vec![
             d.name().to_string(),
@@ -250,9 +254,9 @@ fn fig1() {
 fn fig2() {
     banner("Figs. 2 & 3: a serious fault missed by the LFSR-1 test (sine response)");
     let d = paper_designs().remove(0);
-    let session = BistSession::new(&d);
+    let session = BistSession::new(&d).expect("session");
     let mut gen = generator("LFSR-1");
-    let run = session.run(&mut *gen, SECTION8_VECTORS);
+    let run = session.run(&mut *gen, &run_config(SECTION8_VECTORS)).expect("run");
     println!(
         "LFSR-1 @4k coverage on LP: {:.2}% ({} faults missed)",
         100.0 * run.coverage(),
@@ -431,13 +435,13 @@ fn fig8() {
 fn fig10() {
     banner("Figs. 10-12: fault-coverage curves, 4 generators x 3 designs");
     for d in paper_designs() {
-        let session = BistSession::new(&d);
+        let session = BistSession::new(&d).expect("session");
         println!("--- {} (universe {} faults) ---", d.name(), session.universe().len());
         let checkpoints: Vec<u32> = vec![16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
         let mut series: Vec<(String, Vec<f64>)> = Vec::new();
         for name in SECTION8_GENERATORS {
             let mut gen = generator(name);
-            let run = session.run(&mut *gen, SECTION8_VECTORS);
+            let run = session.run(&mut *gen, &run_config(SECTION8_VECTORS)).expect("run");
             // Zoom to the knee region, as the paper's figures do
             // ("the vertical scale has been changed to accommodate the
             // Ramp curve"): clamp below 80% coverage.
@@ -470,7 +474,7 @@ fn fig13() {
     banner("Fig. 13: mixed-mode advantage on LP (switch to max-variance after 2k vectors)");
     let designs = paper_designs();
     let d = &designs[0];
-    let session = BistSession::new(d);
+    let session = BistSession::new(d).expect("session");
     let checkpoints: Vec<u32> = vec![16, 64, 256, 1024, 1536, 2048, 2560, 3072, 4096];
     let mut series: Vec<(String, Vec<f64>)> = Vec::new();
     for (label, mut gen) in [
@@ -478,7 +482,7 @@ fn fig13() {
         ("LFSR-M".to_string(), generator("LFSR-M")),
         ("mixed@2k".to_string(), mixed_generator(2048)),
     ] {
-        let run = session.run(&mut *gen, SECTION8_VECTORS);
+        let run = session.run(&mut *gen, &run_config(SECTION8_VECTORS)).expect("run");
         let curve: Vec<f64> = run
             .result
             .curve(&checkpoints)
@@ -511,13 +515,13 @@ fn fig13() {
 fn severity() {
     banner("Severity of missed faults under an operating sine (paper Section 5, quantified)");
     let d = paper_designs().remove(0);
-    let session = BistSession::new(&d);
+    let session = BistSession::new(&d).expect("session");
     let mut sine = tpg::Sine::new(12, 0.85, 0.015).expect("sine");
     let stimulus: Vec<i64> = (0..2048).map(|_| d.align_input(sine.next_word())).collect();
     let mut rows = Vec::new();
     for name in SECTION8_GENERATORS {
         let mut gen = generator(name);
-        let run = session.run(&mut *gen, SECTION8_VECTORS);
+        let run = session.run(&mut *gen, &run_config(SECTION8_VECTORS)).expect("run");
         let missed = run.result.missed();
         let (_, summary) = bist_core::analysis::assess_missed(&session, &missed, &stimulus);
         rows.push(vec![
@@ -546,11 +550,11 @@ fn severity() {
 fn extensions() {
     banner("Extensions (paper Conclusion): larger LFSRs and a deterministic tuned phase (LP design)");
     let d = paper_designs().remove(0);
-    let session = BistSession::new(&d);
+    let session = BistSession::new(&d).expect("session");
     let mut rows = Vec::new();
 
     let mut run_one = |label: &str, gen: &mut dyn TestGenerator, vectors: usize| {
-        let run = session.run(gen, vectors);
+        let run = session.run(gen, &run_config(vectors)).expect("run");
         rows.push(vec![
             label.to_string(),
             vectors.to_string(),
@@ -621,9 +625,9 @@ fn scaling() {
     for (label, policy) in policies {
         let d = filters::FilterDesign::elaborate_with(base_spec.clone(), policy)
             .expect("design elaborates");
-        let session = BistSession::new(&d);
+        let session = BistSession::new(&d).expect("session");
         let mut gen = generator("LFSR-D");
-        let run = session.run(&mut *gen, SECTION8_VECTORS);
+        let run = session.run(&mut *gen, &run_config(SECTION8_VECTORS)).expect("run");
         let out = fault_free_run(&d, &abuse);
         let corrupted = out.iter().zip(&reference_out).filter(|(a, b)| a != b).count();
         rows.push(vec![
@@ -656,7 +660,7 @@ fn csa() {
     let mut rows = Vec::new();
     for d in [&ripple, &carry_save, &symmetric] {
         let s = d.netlist().stats();
-        let session = BistSession::new(d);
+        let session = BistSession::new(d).expect("session");
         let mut row = vec![
             d.name().to_string(),
             format!("{}+{}csa", s.adders + s.subtractors, s.csa_stages),
@@ -665,7 +669,7 @@ fn csa() {
         ];
         for name in ["LFSR-1", "LFSR-D"] {
             let mut gen = generator(name);
-            let run = session.run(&mut *gen, SECTION8_VECTORS);
+            let run = session.run(&mut *gen, &run_config(SECTION8_VECTORS)).expect("run");
             row.push(run.missed().to_string());
         }
         rows.push(row);

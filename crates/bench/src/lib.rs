@@ -9,7 +9,7 @@
 pub mod plot;
 pub mod table;
 
-use bist_core::session::{BistRun, BistSession};
+use bist_core::session::{BistRun, BistSession, RunConfig};
 use filters::FilterDesign;
 use tpg::{Decorrelated, Lfsr1, Lfsr2, MaxVariance, Mixed, Ramp, ShiftDirection, TestGenerator};
 
@@ -50,10 +50,26 @@ pub fn paper_designs() -> Vec<FilterDesign> {
 }
 
 /// Runs one generator against one design and returns the run.
-pub fn run_experiment(design: &FilterDesign, gen_name: &str, vectors: usize) -> BistRun {
-    let session = BistSession::new(design);
+///
+/// Test length comes from the config; MISR width, stage schedule and
+/// thread count follow it too (see [`run_config`] for the experiment
+/// harness's defaults).
+pub fn run_experiment(design: &FilterDesign, gen_name: &str, config: &RunConfig) -> BistRun {
+    let session = BistSession::new(design).expect("paper designs build valid sessions");
     let mut gen = generator(gen_name);
-    session.run(&mut *gen, vectors)
+    session.run(&mut *gen, config).expect("registry generators match the 12-bit designs")
+}
+
+/// The experiment harness's run configuration: `vectors` test patterns
+/// with the defaults (16-bit MISR, default schedule), honoring a
+/// `BIST_THREADS` environment override for the fault-simulation worker
+/// count (unset or `0` = one thread per core).
+pub fn run_config(vectors: usize) -> RunConfig {
+    let threads = std::env::var("BIST_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    RunConfig::new(vectors).with_threads(threads)
 }
 
 #[cfg(test)]
@@ -76,5 +92,12 @@ mod tests {
     #[should_panic(expected = "unknown generator")]
     fn unknown_generator_panics() {
         generator("nope");
+    }
+
+    #[test]
+    fn run_config_carries_the_requested_test_length() {
+        let cfg = run_config(777);
+        assert_eq!(cfg.vectors(), 777);
+        assert_eq!(cfg.misr_width(), 16);
     }
 }

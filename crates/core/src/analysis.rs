@@ -129,9 +129,9 @@ mod tests {
         // LFSR-1 test, an ordinary sine exposes some missed faults as
         // serious.
         let d = small_design();
-        let session = BistSession::new(&d);
+        let session = BistSession::new(&d).expect("session");
         let mut gen = tpg::Lfsr1::new(12, tpg::ShiftDirection::LsbToMsb).expect("lfsr");
-        let run = session.run(&mut gen, 2048);
+        let run = session.run(&mut gen, &crate::session::RunConfig::new(2048)).expect("run");
         assert!(run.coverage() > 0.98, "coverage {}", run.coverage());
         let missed = run.result.missed();
         assert!(!missed.is_empty());
@@ -156,9 +156,9 @@ mod tests {
     #[test]
     fn zero_stimulus_marks_everything_near_redundant_or_quiet() {
         let d = small_design();
-        let session = BistSession::new(&d);
+        let session = BistSession::new(&d).expect("session");
         let mut gen = tpg::Ramp::new(12).expect("ramp");
-        let run = session.run(&mut gen, 256);
+        let run = session.run(&mut gen, &crate::session::RunConfig::new(256)).expect("run");
         let missed = run.result.missed();
         let stimulus = vec![0i64; 64];
         let (_, summary) = assess_missed(&session, &missed, &stimulus);

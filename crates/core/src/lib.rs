@@ -60,3 +60,5 @@ pub mod selection;
 pub mod session;
 pub mod variance;
 pub mod zones;
+
+pub use session::{BistRun, BistSession, RunConfig, SessionError};

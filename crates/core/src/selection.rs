@@ -9,7 +9,9 @@
 //! (Section 9).
 
 use crate::compat::{classify, compatibility_ratio, paper_generator_spectra, Compatibility};
+use crate::session::{BistRun, BistSession, RunConfig, SessionError};
 use filters::FilterDesign;
+use tpg::{ShiftDirection, TestGenerator};
 
 /// One generator's rating against a design.
 #[derive(Debug, Clone)]
@@ -95,9 +97,53 @@ pub fn tuned_frequency(design: &FilterDesign) -> f64 {
 ///
 /// # Errors
 ///
-/// Propagates [`tpg::TpgError`] for an unsupported generator width.
-pub fn tuned_sweep_for(design: &FilterDesign) -> Result<tpg::ZoneSweep, tpg::TpgError> {
-    tpg::ZoneSweep::new(design.spec().input_bits, tuned_frequency(design), 32, 64)
+/// Returns [`SessionError::Tpg`] for an unsupported generator width.
+pub fn tuned_sweep_for(design: &FilterDesign) -> Result<tpg::ZoneSweep, SessionError> {
+    Ok(tpg::ZoneSweep::new(design.spec().input_bits, tuned_frequency(design), 32, 64)?)
+}
+
+/// Builds the concrete generator for a [`Recommendation`]: the primary
+/// wide-band source, switched to maximum-variance mode halfway through
+/// `vectors` when the recommendation includes the mixed phase.
+///
+/// # Errors
+///
+/// Returns [`SessionError::Tpg`] when the design's input width has no
+/// tabulated LFSR polynomial.
+pub fn recommended_generator(
+    design: &FilterDesign,
+    rec: &Recommendation,
+    vectors: usize,
+) -> Result<Box<dyn TestGenerator>, SessionError> {
+    let width = design.spec().input_bits;
+    let primary: Box<dyn TestGenerator> = match rec.primary.as_str() {
+        "LFSR-1" => Box::new(tpg::Lfsr1::new(width, ShiftDirection::LsbToMsb)?),
+        "LFSR-2" => Box::new(tpg::Lfsr2::new(width, tpg::polynomials::PAPER_TYPE2_POLY)?),
+        _ => Box::new(tpg::Decorrelated::maximal(width, ShiftDirection::LsbToMsb)?),
+    };
+    if !rec.add_max_variance_phase {
+        return Ok(primary);
+    }
+    let maxvar = Box::new(tpg::MaxVariance::maximal(width)?);
+    Ok(Box::new(tpg::Mixed::new(primary, maxvar, (vectors / 2) as u64)?))
+}
+
+/// One-call evaluation of the paper's selection guidance: rate the
+/// generators, build the recommended (mixed) scheme, and fault-simulate
+/// it through the session API.
+///
+/// # Errors
+///
+/// Propagates [`SessionError`] from generator construction and
+/// [`BistSession::run`].
+pub fn run_recommended(
+    session: &BistSession,
+    config: &RunConfig,
+) -> Result<(Recommendation, BistRun), SessionError> {
+    let rec = recommend(session.design());
+    let mut gen = recommended_generator(session.design(), &rec, config.vectors())?;
+    let run = session.run(&mut *gen, config)?;
+    Ok((rec, run))
 }
 
 #[cfg(test)]
@@ -167,5 +213,26 @@ mod tests {
             assert_ne!(rec.primary, "Ramp", "{}", d.name());
             assert_ne!(rec.primary, "LFSR-M", "{}", d.name());
         }
+    }
+
+    #[test]
+    fn recommended_scheme_runs_through_the_session_api() {
+        let d = filters::FilterDesign::elaborate(filters::FilterSpec {
+            name: "sel".into(),
+            band: dsp::firdesign::BandKind::Lowpass { cutoff: 0.15 },
+            taps: 14,
+            input_bits: 12,
+            coef_frac_bits: 14,
+            max_csd_digits: 3,
+            width: 16,
+            kaiser_beta: 4.0,
+        })
+        .unwrap();
+        let session = BistSession::new(&d).unwrap();
+        let (rec, run) = run_recommended(&session, &RunConfig::new(256)).unwrap();
+        assert_ne!(rec.primary, "Ramp");
+        // The mixed name records both phases.
+        assert!(run.generator.contains('/'), "generator {}", run.generator);
+        assert!(run.coverage() > 0.8, "coverage {}", run.coverage());
     }
 }

@@ -6,10 +6,168 @@
 //! paper's Tables 4–6 and Figs. 10–13.
 
 use crate::misr::Misr;
-use faultsim::{FaultSimResult, FaultUniverse, ParallelFaultSimulator};
+use faultsim::{FaultSimResult, FaultUniverse, ParallelFaultSimulator, SimOptions, StageSchedule};
 use filters::FilterDesign;
 use rtl::range::RangeAnalysis;
+use std::error::Error;
+use std::fmt;
 use tpg::TestGenerator;
+
+/// Unified error type at the session boundary: everything the lower
+/// layers (generators, filter elaboration, DSP, netlists) can report,
+/// plus session-level configuration mistakes. [`BistSession::new`] and
+/// [`BistSession::run`] return this instead of panicking.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SessionError {
+    /// A test-generator / MISR construction error.
+    Tpg(tpg::TpgError),
+    /// A filter design/elaboration error.
+    Filter(filters::FilterError),
+    /// A netlist error.
+    Rtl(rtl::RtlError),
+    /// A DSP substrate error.
+    Dsp(dsp::DspError),
+    /// The run configuration or design/generator pairing was invalid;
+    /// the message says which constraint was violated.
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Tpg(e) => write!(f, "test-pattern generation failed: {e}"),
+            SessionError::Filter(e) => write!(f, "filter design failed: {e}"),
+            SessionError::Rtl(e) => write!(f, "netlist error: {e}"),
+            SessionError::Dsp(e) => write!(f, "dsp error: {e}"),
+            SessionError::InvalidConfig { reason } => {
+                write!(f, "invalid session configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for SessionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SessionError::Tpg(e) => Some(e),
+            SessionError::Filter(e) => Some(e),
+            SessionError::Rtl(e) => Some(e),
+            SessionError::Dsp(e) => Some(e),
+            SessionError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<tpg::TpgError> for SessionError {
+    fn from(e: tpg::TpgError) -> Self {
+        SessionError::Tpg(e)
+    }
+}
+
+impl From<filters::FilterError> for SessionError {
+    fn from(e: filters::FilterError) -> Self {
+        SessionError::Filter(e)
+    }
+}
+
+impl From<rtl::RtlError> for SessionError {
+    fn from(e: rtl::RtlError) -> Self {
+        SessionError::Rtl(e)
+    }
+}
+
+impl From<dsp::DspError> for SessionError {
+    fn from(e: dsp::DspError) -> Self {
+        SessionError::Dsp(e)
+    }
+}
+
+/// Configuration of one BIST run: test length, MISR width, the fault
+/// simulator's stage schedule and its worker-thread count.
+///
+/// Built builder-style from [`RunConfig::new`]; the defaults are a
+/// 16-bit MISR, the default [`StageSchedule`], and one worker thread
+/// per available core:
+///
+/// ```
+/// use bist_core::session::RunConfig;
+///
+/// let cfg = RunConfig::new(4096).with_misr_width(16).with_threads(4);
+/// assert_eq!(cfg.vectors(), 4096);
+/// assert_eq!(cfg.threads(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    vectors: usize,
+    misr_width: u32,
+    schedule: StageSchedule,
+    threads: usize,
+}
+
+impl RunConfig {
+    /// A configuration applying `vectors` test patterns, with default
+    /// MISR width (16), stage schedule and thread count (one per core).
+    pub fn new(vectors: usize) -> Self {
+        RunConfig { vectors, misr_width: 16, schedule: StageSchedule::new(), threads: 0 }
+    }
+
+    /// Overrides the test length.
+    pub fn with_vectors(mut self, vectors: usize) -> Self {
+        self.vectors = vectors;
+        self
+    }
+
+    /// Overrides the signature-register width (must have a tabulated
+    /// primitive polynomial; checked by [`BistSession::run`]).
+    pub fn with_misr_width(mut self, width: u32) -> Self {
+        self.misr_width = width;
+        self
+    }
+
+    /// Overrides the fault simulator's stage schedule.
+    pub fn with_schedule(mut self, schedule: StageSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Overrides the fault simulator's worker-thread count (`0` = one
+    /// per core).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Test length in vectors.
+    pub fn vectors(&self) -> usize {
+        self.vectors
+    }
+
+    /// Signature-register width in bits.
+    pub fn misr_width(&self) -> u32 {
+        self.misr_width
+    }
+
+    /// The fault simulator's stage schedule.
+    pub fn schedule(&self) -> &StageSchedule {
+        &self.schedule
+    }
+
+    /// Worker-thread count (`0` = one per core).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Default for RunConfig {
+    /// The paper's Section 8 test length: 4096 vectors.
+    fn default() -> Self {
+        RunConfig::new(4096)
+    }
+}
 
 /// A reusable fault-simulation context for one filter design.
 pub struct BistSession<'d> {
@@ -23,12 +181,30 @@ impl<'d> BistSession<'d> {
     /// input-cone reachability analysis, and enumerates the collapsed,
     /// redundancy-pruned fault universe (the paper's testable-design
     /// preparation: scaling plus redundant-operator elimination).
-    pub fn new(design: &'d FilterDesign) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SessionError::InvalidConfig`] if the design's netlist
+    /// is not a single-input, single-output datapath (the only shape a
+    /// BIST session can drive).
+    pub fn new(design: &'d FilterDesign) -> Result<Self, SessionError> {
+        let netlist = design.netlist();
+        if netlist.input_ids().len() != 1 || netlist.output_ids().is_empty() {
+            return Err(SessionError::InvalidConfig {
+                reason: format!(
+                    "BIST sessions require a single-input netlist with outputs; \
+                     design '{}' has {} inputs and {} outputs",
+                    design.name(),
+                    netlist.input_ids().len(),
+                    netlist.output_ids().len()
+                ),
+            });
+        }
         let ranges = design.claimed_ranges().clone();
         let reach =
-            rtl::reachability::Reachability::analyze(design.netlist(), design.spec().input_bits);
-        let universe = FaultUniverse::enumerate_pruned(design.netlist(), &ranges, &reach);
-        BistSession { design, ranges, universe }
+            rtl::reachability::Reachability::analyze(netlist, design.spec().input_bits);
+        let universe = FaultUniverse::enumerate_pruned(netlist, &ranges, &reach);
+        Ok(BistSession { design, ranges, universe })
     }
 
     /// The design under test.
@@ -46,13 +222,46 @@ impl<'d> BistSession<'d> {
         &self.universe
     }
 
-    /// Runs `vectors` test patterns from `generator` against every
-    /// fault. The generator is reset first, so runs are reproducible.
-    pub fn run(&self, generator: &mut dyn TestGenerator, vectors: usize) -> BistRun {
+    /// Runs [`RunConfig::vectors`] test patterns from `generator`
+    /// against every fault, sharding the fault universe across
+    /// [`RunConfig::threads`] worker threads. The generator is reset
+    /// first, so runs are reproducible — and results are bit-identical
+    /// at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// * [`SessionError::InvalidConfig`] if the generator's word width
+    ///   does not match the design's input width.
+    /// * [`SessionError::Tpg`] if no primitive polynomial is tabulated
+    ///   for [`RunConfig::misr_width`].
+    pub fn run(
+        &self,
+        generator: &mut dyn TestGenerator,
+        config: &RunConfig,
+    ) -> Result<BistRun, SessionError> {
+        let input_bits = self.design.spec().input_bits;
+        if generator.width() != input_bits {
+            return Err(SessionError::InvalidConfig {
+                reason: format!(
+                    "generator '{}' produces {}-bit words but design '{}' expects {}-bit inputs",
+                    generator.name(),
+                    generator.width(),
+                    self.design.name(),
+                    input_bits
+                ),
+            });
+        }
+        let mut misr = Misr::new(config.misr_width())?;
+
         generator.reset();
-        let inputs: Vec<i64> =
-            (0..vectors).map(|_| self.design.align_input(generator.next_word())).collect();
+        let inputs: Vec<i64> = (0..config.vectors())
+            .map(|_| self.design.align_input(generator.next_word()))
+            .collect();
+        let options = SimOptions::new()
+            .with_schedule(config.schedule().clone())
+            .with_threads(config.threads());
         let result = ParallelFaultSimulator::new(self.design.netlist(), &self.universe)
+            .with_options(options)
             .run(&inputs);
 
         // Signature of the good response (the production BIST readout).
@@ -61,14 +270,13 @@ impl<'d> BistSession<'d> {
             self.design.output(),
             &inputs,
         );
-        let mut misr = Misr::new(16).expect("16-bit MISR polynomial is tabulated");
         misr.absorb_all(&good);
 
-        BistRun {
+        Ok(BistRun {
             generator: generator.name().to_string(),
             result,
             signature: misr.signature(),
-        }
+        })
     }
 }
 
@@ -137,7 +345,7 @@ mod tests {
     #[test]
     fn session_enumerates_universe_once() {
         let d = small_design(0.1);
-        let s = BistSession::new(&d);
+        let s = BistSession::new(&d).unwrap();
         assert!(s.universe().len() > 500, "universe {}", s.universe().len());
         assert!(s.universe().uncollapsed_len() > s.universe().len());
     }
@@ -145,9 +353,9 @@ mod tests {
     #[test]
     fn random_patterns_reach_high_coverage_on_easy_design() {
         let d = small_design(0.2);
-        let s = BistSession::new(&d);
+        let s = BistSession::new(&d).unwrap();
         let mut gen = Decorrelated::maximal(12, ShiftDirection::LsbToMsb).unwrap();
-        let run = s.run(&mut gen, 512);
+        let run = s.run(&mut gen, &RunConfig::new(512)).unwrap();
         assert!(run.coverage() > 0.9, "coverage {}", run.coverage());
         assert!(run.missed() < s.universe().len() / 10);
     }
@@ -155,21 +363,67 @@ mod tests {
     #[test]
     fn runs_are_reproducible() {
         let d = small_design(0.15);
-        let s = BistSession::new(&d);
+        let s = BistSession::new(&d).unwrap();
         let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
-        let a = s.run(&mut gen, 128);
-        let b = s.run(&mut gen, 128);
+        let a = s.run(&mut gen, &RunConfig::new(128)).unwrap();
+        let b = s.run(&mut gen, &RunConfig::new(128)).unwrap();
         assert_eq!(a.missed(), b.missed());
         assert_eq!(a.signature, b.signature);
     }
 
     #[test]
+    fn thread_count_does_not_change_results() {
+        let d = small_design(0.15);
+        let s = BistSession::new(&d).unwrap();
+        let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
+        let serial = s.run(&mut gen, &RunConfig::new(192).with_threads(1)).unwrap();
+        for threads in [2usize, 4] {
+            let sharded =
+                s.run(&mut gen, &RunConfig::new(192).with_threads(threads)).unwrap();
+            assert_eq!(
+                serial.result.detection_cycles(),
+                sharded.result.detection_cycles(),
+                "threads = {threads}"
+            );
+            assert_eq!(serial.signature, sharded.signature);
+        }
+    }
+
+    #[test]
     fn different_generators_give_different_signatures() {
         let d = small_design(0.15);
-        let s = BistSession::new(&d);
+        let s = BistSession::new(&d).unwrap();
         let mut a = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
         let mut b = Ramp::new(12).unwrap();
-        assert_ne!(s.run(&mut a, 64).signature, s.run(&mut b, 64).signature);
+        let cfg = RunConfig::new(64);
+        assert_ne!(
+            s.run(&mut a, &cfg).unwrap().signature,
+            s.run(&mut b, &cfg).unwrap().signature
+        );
+    }
+
+    #[test]
+    fn misr_width_is_configurable_and_checked() {
+        let d = small_design(0.15);
+        let s = BistSession::new(&d).unwrap();
+        let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
+        let narrow = s.run(&mut gen, &RunConfig::new(64).with_misr_width(12)).unwrap();
+        let wide = s.run(&mut gen, &RunConfig::new(64).with_misr_width(16)).unwrap();
+        assert!(narrow.signature < (1 << 12));
+        assert_ne!(narrow.signature, wide.signature);
+        // An untabulated width is a SessionError, not a panic.
+        let err = s.run(&mut gen, &RunConfig::new(64).with_misr_width(63)).unwrap_err();
+        assert!(matches!(err, SessionError::Tpg(_)), "{err}");
+    }
+
+    #[test]
+    fn mismatched_generator_width_is_rejected() {
+        let d = small_design(0.15);
+        let s = BistSession::new(&d).unwrap();
+        let mut gen = Lfsr1::new(10, ShiftDirection::LsbToMsb).unwrap();
+        let err = s.run(&mut gen, &RunConfig::new(64)).unwrap_err();
+        assert!(matches!(err, SessionError::InvalidConfig { .. }), "{err}");
+        assert!(err.to_string().contains("10-bit"), "{err}");
     }
 
     #[test]
@@ -177,11 +431,12 @@ mod tests {
         // LFSR-M misses more faults than LFSR-D at equal length (the
         // paper's consistent finding), even on an easy design.
         let d = small_design(0.2);
-        let s = BistSession::new(&d);
+        let s = BistSession::new(&d).unwrap();
         let mut dcor = Decorrelated::maximal(12, ShiftDirection::LsbToMsb).unwrap();
         let mut maxv = MaxVariance::maximal(12).unwrap();
-        let run_d = s.run(&mut dcor, 512);
-        let run_m = s.run(&mut maxv, 512);
+        let cfg = RunConfig::new(512);
+        let run_d = s.run(&mut dcor, &cfg).unwrap();
+        let run_m = s.run(&mut maxv, &cfg).unwrap();
         assert!(
             run_m.missed() > run_d.missed(),
             "LFSR-M {} vs LFSR-D {}",
@@ -193,14 +448,35 @@ mod tests {
     #[test]
     fn curve_is_monotone() {
         let d = small_design(0.15);
-        let s = BistSession::new(&d);
+        let s = BistSession::new(&d).unwrap();
         let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
-        let run = s.run(&mut gen, 256);
+        let run = s.run(&mut gen, &RunConfig::new(256)).unwrap();
         let curve = run.coverage_curve(8);
         for w in curve.windows(2) {
             assert!(w[1].1 >= w[0].1 - 1e-12);
         }
         let norm = run.normalized_missed(&d);
         assert!((norm - run.missed() as f64 / d.netlist().stats().arithmetic() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_config_is_the_paper_test_length() {
+        let cfg = RunConfig::default();
+        assert_eq!(cfg.vectors(), 4096);
+        assert_eq!(cfg.misr_width(), 16);
+        assert_eq!(cfg.threads(), 0);
+        let cfg = cfg.with_vectors(128).with_schedule(StageSchedule::with_boundaries(vec![8]));
+        assert_eq!(cfg.vectors(), 128);
+        assert_eq!(cfg.schedule(), &StageSchedule::with_boundaries(vec![8]));
+    }
+
+    #[test]
+    fn session_errors_display_their_source() {
+        let e = SessionError::from(tpg::TpgError::ZeroSeed);
+        assert!(e.to_string().contains("seed"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = SessionError::InvalidConfig { reason: "nope".into() };
+        assert!(e.to_string().contains("nope"));
+        assert!(std::error::Error::source(&e).is_none());
     }
 }

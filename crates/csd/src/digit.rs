@@ -153,7 +153,6 @@ impl fmt::Display for Csd {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn zero_has_no_digits() {
@@ -211,29 +210,35 @@ mod tests {
         assert_eq!(c.digits()[0].power, 3);
     }
 
-    proptest! {
-        #[test]
-        fn prop_round_trip(v in -100_000i64..100_000) {
-            let c = Csd::from_integer(v);
-            prop_assert_eq!(c.to_integer(), v);
-        }
+    #[cfg(feature = "proptest")]
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
 
-        #[test]
-        fn prop_always_canonic(v in -1_000_000i64..1_000_000) {
-            prop_assert!(Csd::from_integer(v).is_canonic());
-        }
+        proptest! {
+            #[test]
+            fn prop_round_trip(v in -100_000i64..100_000) {
+                let c = Csd::from_integer(v);
+                prop_assert_eq!(c.to_integer(), v);
+            }
 
-        #[test]
-        fn prop_digit_count_at_most_binary_ones(v in 0i64..1_000_000) {
-            // CSD never uses more nonzero digits than plain binary.
-            let c = Csd::from_integer(v);
-            prop_assert!(c.nonzero_digits() <= v.count_ones() as usize);
-        }
+            #[test]
+            fn prop_always_canonic(v in -1_000_000i64..1_000_000) {
+                prop_assert!(Csd::from_integer(v).is_canonic());
+            }
 
-        #[test]
-        fn prop_f64_matches_integer(v in -100_000i64..100_000) {
-            let c = Csd::from_integer(v);
-            prop_assert!((c.to_f64() - v as f64).abs() < 1e-9);
+            #[test]
+            fn prop_digit_count_at_most_binary_ones(v in 0i64..1_000_000) {
+                // CSD never uses more nonzero digits than plain binary.
+                let c = Csd::from_integer(v);
+                prop_assert!(c.nonzero_digits() <= v.count_ones() as usize);
+            }
+
+            #[test]
+            fn prop_f64_matches_integer(v in -100_000i64..100_000) {
+                let c = Csd::from_integer(v);
+                prop_assert!((c.to_f64() - v as f64).abs() < 1e-9);
+            }
         }
     }
 }

@@ -90,7 +90,6 @@ pub fn filter(h: &[f64], x: &[f64]) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn convolve_with_impulse_is_identity() {
@@ -136,25 +135,31 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn prop_convolution_commutes(a in proptest::collection::vec(-5.0..5.0f64, 1..10),
-                                     b in proptest::collection::vec(-5.0..5.0f64, 1..10)) {
-            let ab = convolve(&a, &b);
-            let ba = convolve(&b, &a);
-            prop_assert_eq!(ab.len(), ba.len());
-            for i in 0..ab.len() {
-                prop_assert!((ab[i] - ba[i]).abs() < 1e-9);
-            }
-        }
+    #[cfg(feature = "proptest")]
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
 
-        #[test]
-        fn prop_zero_lag_autocorrelation_is_energy(
-            h in proptest::collection::vec(-5.0..5.0f64, 1..16)
-        ) {
-            let r = autocorrelate(&h);
-            let energy: f64 = h.iter().map(|x| x * x).sum();
-            prop_assert!((r[h.len() - 1] - energy).abs() < 1e-9);
+        proptest! {
+            #[test]
+            fn prop_convolution_commutes(a in proptest::collection::vec(-5.0..5.0f64, 1..10),
+                                         b in proptest::collection::vec(-5.0..5.0f64, 1..10)) {
+                let ab = convolve(&a, &b);
+                let ba = convolve(&b, &a);
+                prop_assert_eq!(ab.len(), ba.len());
+                for i in 0..ab.len() {
+                    prop_assert!((ab[i] - ba[i]).abs() < 1e-9);
+                }
+            }
+
+            #[test]
+            fn prop_zero_lag_autocorrelation_is_energy(
+                h in proptest::collection::vec(-5.0..5.0f64, 1..16)
+            ) {
+                let r = autocorrelate(&h);
+                let energy: f64 = h.iter().map(|x| x * x).sum();
+                prop_assert!((r[h.len() - 1] - energy).abs() < 1e-9);
+            }
         }
     }
 }

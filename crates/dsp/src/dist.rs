@@ -263,7 +263,6 @@ impl Distribution {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     const STEP: f64 = 1.0 / 256.0;
 
@@ -334,21 +333,27 @@ mod tests {
         let _ = a.convolve(&b);
     }
 
-    proptest! {
-        #[test]
-        fn prop_convolution_conserves_mass(
-            w in proptest::collection::vec(-0.9..0.9f64, 1..8)
-        ) {
-            let d = Distribution::sum_of_bernoulli(&w, STEP);
-            prop_assert!((d.total_mass() - 1.0).abs() < 1e-9);
-        }
+    #[cfg(feature = "proptest")]
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
 
-        #[test]
-        fn prop_mix_interpolates_mean(p in 0.0..1.0f64) {
-            let a = Distribution::delta(-0.5, STEP);
-            let b = Distribution::delta(0.5, STEP);
-            let m = a.mix(&b, p);
-            prop_assert!((m.mean() - (p * -0.5 + (1.0 - p) * 0.5)).abs() < 1e-9);
+        proptest! {
+            #[test]
+            fn prop_convolution_conserves_mass(
+                w in proptest::collection::vec(-0.9..0.9f64, 1..8)
+            ) {
+                let d = Distribution::sum_of_bernoulli(&w, STEP);
+                prop_assert!((d.total_mass() - 1.0).abs() < 1e-9);
+            }
+
+            #[test]
+            fn prop_mix_interpolates_mean(p in 0.0..1.0f64) {
+                let a = Distribution::delta(-0.5, STEP);
+                let b = Distribution::delta(0.5, STEP);
+                let m = a.mix(&b, p);
+                prop_assert!((m.mean() - (p * -0.5 + (1.0 - p) * 0.5)).abs() < 1e-9);
+            }
         }
     }
 }

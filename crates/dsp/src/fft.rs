@@ -139,7 +139,6 @@ fn bit_reverse_permute(data: &mut [Complex]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn close(a: Complex, b: Complex, tol: f64) -> bool {
         (a - b).norm() < tol
@@ -204,35 +203,41 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn prop_ifft_inverts_fft(values in proptest::collection::vec(-10.0..10.0f64, 16)) {
-            let mut data: Vec<Complex> = values.iter().map(|&x| Complex::from_re(x)).collect();
-            fft(&mut data).unwrap();
-            ifft(&mut data).unwrap();
-            for (z, &x) in data.iter().zip(&values) {
-                prop_assert!((z.re - x).abs() < 1e-9);
-                prop_assert!(z.im.abs() < 1e-9);
+    #[cfg(feature = "proptest")]
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prop_ifft_inverts_fft(values in proptest::collection::vec(-10.0..10.0f64, 16)) {
+                let mut data: Vec<Complex> = values.iter().map(|&x| Complex::from_re(x)).collect();
+                fft(&mut data).unwrap();
+                ifft(&mut data).unwrap();
+                for (z, &x) in data.iter().zip(&values) {
+                    prop_assert!((z.re - x).abs() < 1e-9);
+                    prop_assert!(z.im.abs() < 1e-9);
+                }
             }
-        }
 
-        #[test]
-        fn prop_parseval(values in proptest::collection::vec(-10.0..10.0f64, 32)) {
-            let time_energy: f64 = values.iter().map(|x| x * x).sum();
-            let spec = fft_real(&values).unwrap();
-            let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / 32.0;
-            prop_assert!((time_energy - freq_energy).abs() < 1e-7 * (1.0 + time_energy));
-        }
+            #[test]
+            fn prop_parseval(values in proptest::collection::vec(-10.0..10.0f64, 32)) {
+                let time_energy: f64 = values.iter().map(|x| x * x).sum();
+                let spec = fft_real(&values).unwrap();
+                let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / 32.0;
+                prop_assert!((time_energy - freq_energy).abs() < 1e-7 * (1.0 + time_energy));
+            }
 
-        #[test]
-        fn prop_linearity(a in proptest::collection::vec(-5.0..5.0f64, 16),
-                          b in proptest::collection::vec(-5.0..5.0f64, 16)) {
-            let fa = fft_real(&a).unwrap();
-            let fb = fft_real(&b).unwrap();
-            let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
-            let fsum = fft_real(&sum).unwrap();
-            for i in 0..16 {
-                prop_assert!(close(fsum[i], fa[i] + fb[i], 1e-9));
+            #[test]
+            fn prop_linearity(a in proptest::collection::vec(-5.0..5.0f64, 16),
+                              b in proptest::collection::vec(-5.0..5.0f64, 16)) {
+                let fa = fft_real(&a).unwrap();
+                let fb = fft_real(&b).unwrap();
+                let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+                let fsum = fft_real(&sum).unwrap();
+                for i in 0..16 {
+                    prop_assert!(close(fsum[i], fa[i] + fb[i], 1e-9));
+                }
             }
         }
     }

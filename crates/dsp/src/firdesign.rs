@@ -206,7 +206,6 @@ fn sinc(x: f64) -> f64 {
 mod tests {
     use super::*;
     use crate::response::magnitude_at;
-    use proptest::prelude::*;
 
     #[test]
     fn rejects_bad_edges() {
@@ -271,20 +270,26 @@ mod tests {
         assert!((l1 - 0.999).abs() < 1e-9);
     }
 
-    proptest! {
-        #[test]
-        fn prop_designs_are_symmetric(taps in 3usize..80, cutoff in 0.05..0.45f64) {
-            let h = FirSpec::new(BandKind::Lowpass { cutoff }, taps).design().unwrap();
-            for i in 0..taps {
-                prop_assert!((h[i] - h[taps - 1 - i]).abs() < 1e-12);
-            }
-        }
+    #[cfg(feature = "proptest")]
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
 
-        #[test]
-        fn prop_dc_gain_is_unity(taps in 9usize..80, cutoff in 0.05..0.45f64) {
-            let h = FirSpec::new(BandKind::Lowpass { cutoff }, taps).design().unwrap();
-            let dc: f64 = h.iter().sum();
-            prop_assert!((dc - 1.0).abs() < 1e-9);
+        proptest! {
+            #[test]
+            fn prop_designs_are_symmetric(taps in 3usize..80, cutoff in 0.05..0.45f64) {
+                let h = FirSpec::new(BandKind::Lowpass { cutoff }, taps).design().unwrap();
+                for i in 0..taps {
+                    prop_assert!((h[i] - h[taps - 1 - i]).abs() < 1e-12);
+                }
+            }
+
+            #[test]
+            fn prop_dc_gain_is_unity(taps in 9usize..80, cutoff in 0.05..0.45f64) {
+                let h = FirSpec::new(BandKind::Lowpass { cutoff }, taps).design().unwrap();
+                let dc: f64 = h.iter().sum();
+                prop_assert!((dc - 1.0).abs() < 1e-9);
+            }
         }
     }
 }

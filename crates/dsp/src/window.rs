@@ -109,7 +109,6 @@ pub fn bessel_i0(x: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn degenerate_lengths() {
@@ -157,22 +156,28 @@ mod tests {
         assert!((high - 0.1102 * 71.3).abs() < 1e-12);
     }
 
-    proptest! {
-        #[test]
-        fn prop_windows_symmetric_and_bounded(n in 2usize..64, which in 0usize..5) {
-            let w = match which {
-                0 => Window::Rectangular,
-                1 => Window::Hann,
-                2 => Window::Hamming,
-                3 => Window::Blackman,
-                _ => Window::Kaiser { beta: 6.0 },
-            };
-            let c = w.coefficients(n);
-            prop_assert_eq!(c.len(), n);
-            for i in 0..n {
-                prop_assert!(c[i] <= 1.0 + 1e-12);
-                prop_assert!(c[i] >= -1e-12);
-                prop_assert!((c[i] - c[n - 1 - i]).abs() < 1e-12, "asymmetric at {}", i);
+    #[cfg(feature = "proptest")]
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prop_windows_symmetric_and_bounded(n in 2usize..64, which in 0usize..5) {
+                let w = match which {
+                    0 => Window::Rectangular,
+                    1 => Window::Hann,
+                    2 => Window::Hamming,
+                    3 => Window::Blackman,
+                    _ => Window::Kaiser { beta: 6.0 },
+                };
+                let c = w.coefficients(n);
+                prop_assert_eq!(c.len(), n);
+                for i in 0..n {
+                    prop_assert!(c[i] <= 1.0 + 1e-12);
+                    prop_assert!(c[i] >= -1e-12);
+                    prop_assert!((c[i] - c[n - 1 - i]).abs() < 1e-12, "asymmetric at {}", i);
+                }
             }
         }
     }

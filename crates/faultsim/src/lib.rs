@@ -12,10 +12,12 @@
 //!   range analysis in [`rtl::range`]). The universe size is the
 //!   "faults" column of the paper's Table 1.
 //! * [`ParallelFaultSimulator`] — 63 faulty machines + 1 good machine
-//!   per 64-lane pass, with staged fault dropping and state-preserving
-//!   repacking; records each fault's first detection cycle, so fault
-//!   coverage curves (paper Figs. 10–13) and end-of-test missed-fault
-//!   counts (Tables 4–6) come from a single run.
+//!   per 64-lane pass, with the passes (shards) distributed across a
+//!   worker-thread pool (see [`SimOptions`]), staged fault dropping and
+//!   state-preserving repacking; records each fault's first detection
+//!   cycle, so fault coverage curves (paper Figs. 10–13) and
+//!   end-of-test missed-fault counts (Tables 4–6) come from a single
+//!   run that is bit-identical at every thread count.
 //! * [`inject`] — functional simulation of one specific fault, used for
 //!   the paper's Section 5 case study (Fig. 2: a missed fault's spike
 //!   train on a sine response).
@@ -52,4 +54,4 @@ pub mod inject;
 pub mod report;
 
 pub use fault::{FaultId, FaultSite, FaultUniverse};
-pub use sim::{FaultSimResult, ParallelFaultSimulator, StageSchedule};
+pub use sim::{FaultSimResult, ParallelFaultSimulator, SimOptions, StageSchedule};

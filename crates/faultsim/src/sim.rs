@@ -2,6 +2,12 @@ use crate::fault::{FaultId, FaultUniverse};
 use rtl::sim::{BitSlicedSim, CellFault};
 use rtl::Netlist;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Faulty machines per 64-lane bit-sliced pass (lane 0 is the good
+/// machine).
+const LANES_PER_PASS: usize = 63;
 
 /// Staged fault-dropping schedule: simulation restarts lane packing at
 /// each boundary, carrying every surviving faulty machine's register
@@ -45,6 +51,68 @@ impl StageSchedule {
 }
 
 impl Default for StageSchedule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Options controlling a fault-simulation run: the fault-dropping
+/// [`StageSchedule`] and the number of worker threads the fault
+/// universe is sharded across.
+///
+/// Results are **bit-identical at every thread count**: each 63-fault
+/// shard is an independent bit-sliced machine whose detection cycles do
+/// not depend on any other shard, and shard outcomes are merged at
+/// every stage boundary in a deterministic order.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    schedule: StageSchedule,
+    threads: usize,
+}
+
+impl SimOptions {
+    /// Default options: the default stage schedule, one worker per
+    /// available core.
+    pub fn new() -> Self {
+        SimOptions { schedule: StageSchedule::new(), threads: 0 }
+    }
+
+    /// Overrides the fault-dropping stage schedule.
+    pub fn with_schedule(mut self, schedule: StageSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Overrides the worker-thread count. `0` (the default) means one
+    /// worker per core reported by
+    /// [`std::thread::available_parallelism`].
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The configured stage schedule.
+    pub fn schedule(&self) -> &StageSchedule {
+        &self.schedule
+    }
+
+    /// The configured thread count (`0` = auto-detect).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The thread count a run will actually use: the configured count,
+    /// or the machine's available parallelism when unset.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+}
+
+impl Default for SimOptions {
     fn default() -> Self {
         Self::new()
     }
@@ -103,22 +171,50 @@ impl FaultSimResult {
     }
 }
 
-/// The staged 64-lane parallel fault simulator.
+/// What one shard (a group of up to 63 faults) produced over one stage:
+/// detections and the register-state snapshots of the survivors.
+struct ShardOutcome {
+    detections: Vec<(FaultId, u32)>,
+    survivors: Vec<(FaultId, Vec<u64>)>,
+}
+
+/// The staged, sharded, 64-lane parallel fault simulator.
+///
+/// Two axes of parallelism compose: within one shard, 63 faulty
+/// machines plus the good machine are evaluated word-parallel in the
+/// bit-sliced lanes of a single `u64`; across shards, independent
+/// [`BitSlicedSim`] instances are distributed over a scoped worker pool
+/// (see [`SimOptions::with_threads`]). Per-shard state is merged at
+/// every stage boundary, and results are bit-identical at any thread
+/// count.
 pub struct ParallelFaultSimulator<'a> {
     netlist: &'a Netlist,
     universe: &'a FaultUniverse,
-    schedule: StageSchedule,
+    options: SimOptions,
 }
 
 impl<'a> ParallelFaultSimulator<'a> {
-    /// Creates a simulator with the default stage schedule.
+    /// Creates a simulator with default options (default stage
+    /// schedule, one worker thread per available core).
     pub fn new(netlist: &'a Netlist, universe: &'a FaultUniverse) -> Self {
-        ParallelFaultSimulator { netlist, universe, schedule: StageSchedule::new() }
+        ParallelFaultSimulator { netlist, universe, options: SimOptions::new() }
+    }
+
+    /// Overrides all run options.
+    pub fn with_options(mut self, options: SimOptions) -> Self {
+        self.options = options;
+        self
     }
 
     /// Overrides the stage schedule.
     pub fn with_schedule(mut self, schedule: StageSchedule) -> Self {
-        self.schedule = schedule;
+        self.options = self.options.with_schedule(schedule);
+        self
+    }
+
+    /// Overrides the worker-thread count (`0` = one per core).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.options = self.options.with_threads(threads);
         self
     }
 
@@ -129,13 +225,15 @@ impl<'a> ParallelFaultSimulator<'a> {
     /// Detection is a direct compare of all outputs against the good
     /// machine (no compaction aliasing). Faulty-machine register state
     /// is carried exactly across stage repacks, so results are identical
-    /// to simulating each fault individually from cycle 0.
+    /// to simulating each fault individually from cycle 0 — and
+    /// identical at every thread count.
     pub fn run(&self, inputs: &[i64]) -> FaultSimResult {
         let total = inputs.len() as u32;
         let mut detection: Vec<Option<u32>> = vec![None; self.universe.len()];
         if self.universe.is_empty() || total == 0 {
             return FaultSimResult { detection_cycle: detection, total_cycles: total };
         }
+        let threads = self.options.effective_threads().max(1);
 
         // Good-machine register state at the start of the current stage.
         let mut good_sim = BitSlicedSim::new(self.netlist);
@@ -145,84 +243,152 @@ impl<'a> ParallelFaultSimulator<'a> {
         let mut active: Vec<FaultId> = self.universe.ids().collect();
         let mut states: HashMap<FaultId, Vec<u64>> = HashMap::new();
 
-        for (start, end) in self.schedule.stages(total) {
+        for (start, end) in self.options.schedule.stages(total) {
             if active.is_empty() {
                 break;
             }
-            let mut survivors: Vec<FaultId> = Vec::new();
-            let mut new_states: HashMap<FaultId, Vec<u64>> = HashMap::new();
+            let shards: Vec<&[FaultId]> = active.chunks(LANES_PER_PASS).collect();
+            let workers = threads.min(shards.len());
 
-            for group in active.chunks(63) {
-                let mut sim = BitSlicedSim::new(self.netlist);
-                // All lanes start from the good state, then faulty lanes
-                // get their own diverged state.
-                for lane in 0..64 {
-                    sim.set_register_state_lane(lane, &good_state);
-                }
-                for (slot, &fid) in group.iter().enumerate() {
-                    let lane = slot as u32 + 1;
-                    if let Some(s) = states.get(&fid) {
-                        sim.set_register_state_lane(lane, s);
-                    }
-                }
-                // Inject the group's faults, batched per node.
-                let mut per_node: HashMap<rtl::NodeId, Vec<CellFault>> = HashMap::new();
-                for (slot, &fid) in group.iter().enumerate() {
-                    let site = self.universe.site(fid);
-                    per_node.entry(site.node).or_default().push(CellFault {
-                        cell: site.cell,
-                        fault: site.representative,
-                        lanes: 1u64 << (slot + 1),
-                    });
-                }
-                for (node, faults) in per_node {
-                    sim.set_faults(node, faults);
-                }
-
-                let mut undetected_mask: u64 = 0;
-                for slot in 0..group.len() {
-                    undetected_mask |= 1u64 << (slot + 1);
-                }
+            let outcomes: Vec<ShardOutcome> = if workers <= 1 {
+                let out = shards
+                    .iter()
+                    .map(|g| self.simulate_shard(g, &good_state, &states, inputs, start, end))
+                    .collect();
                 for cycle in start..end {
-                    sim.step(inputs[cycle as usize]);
-                    let diff = sim.output_diff_lanes(0) & undetected_mask;
-                    if diff != 0 {
-                        let mut d = diff;
-                        while d != 0 {
-                            let lane = d.trailing_zeros();
-                            d &= d - 1;
-                            let fid = group[(lane - 1) as usize];
-                            detection[fid.index()] = Some(cycle);
-                        }
-                        undetected_mask &= !diff;
-                        if undetected_mask == 0 {
-                            break;
-                        }
+                    good_sim.step(inputs[cycle as usize]);
+                }
+                out
+            } else {
+                // Workers pull shard indices from a shared counter so a
+                // straggler shard cannot serialize the stage; the main
+                // thread advances the good machine meanwhile.
+                let next = AtomicUsize::new(0);
+                let collected: Mutex<Vec<(usize, ShardOutcome)>> =
+                    Mutex::new(Vec::with_capacity(shards.len()));
+                std::thread::scope(|scope| {
+                    for _ in 0..workers {
+                        scope.spawn(|| {
+                            let mut local: Vec<(usize, ShardOutcome)> = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= shards.len() {
+                                    break;
+                                }
+                                local.push((
+                                    i,
+                                    self.simulate_shard(
+                                        shards[i],
+                                        &good_state,
+                                        &states,
+                                        inputs,
+                                        start,
+                                        end,
+                                    ),
+                                ));
+                            }
+                            collected.lock().expect("no panics hold the lock").extend(local);
+                        });
                     }
-                }
-                // Snapshot survivors' states for the next stage.
-                let mut m = undetected_mask;
-                while m != 0 {
-                    let lane = m.trailing_zeros();
-                    m &= m - 1;
-                    let fid = group[(lane - 1) as usize];
-                    survivors.push(fid);
-                    new_states.insert(fid, sim.register_state_lane(lane));
-                }
-            }
-
-            // Advance the good machine to the stage end.
-            for cycle in start..end {
-                good_sim.step(inputs[cycle as usize]);
-            }
+                    for cycle in start..end {
+                        good_sim.step(inputs[cycle as usize]);
+                    }
+                });
+                let mut indexed = collected.into_inner().expect("workers joined");
+                indexed.sort_by_key(|&(i, _)| i);
+                indexed.into_iter().map(|(_, o)| o).collect()
+            };
             good_state = good_sim.register_state_lane(0);
 
+            // Stage-boundary merge, in shard order.
+            let mut survivors: Vec<FaultId> = Vec::new();
+            let mut new_states: HashMap<FaultId, Vec<u64>> = HashMap::new();
+            for outcome in outcomes {
+                for (fid, cycle) in outcome.detections {
+                    detection[fid.index()] = Some(cycle);
+                }
+                for (fid, state) in outcome.survivors {
+                    survivors.push(fid);
+                    new_states.insert(fid, state);
+                }
+            }
             survivors.sort();
             active = survivors;
             states = new_states;
         }
 
         FaultSimResult { detection_cycle: detection, total_cycles: total }
+    }
+
+    /// Simulates one shard of up to 63 faults over one stage, starting
+    /// every machine from its stage-entry register state. Independent of
+    /// every other shard, so shards can run on any thread in any order.
+    fn simulate_shard(
+        &self,
+        group: &[FaultId],
+        good_state: &[u64],
+        states: &HashMap<FaultId, Vec<u64>>,
+        inputs: &[i64],
+        start: u32,
+        end: u32,
+    ) -> ShardOutcome {
+        let mut sim = BitSlicedSim::new(self.netlist);
+        // All lanes start from the good state, then faulty lanes get
+        // their own diverged state.
+        for lane in 0..64 {
+            sim.set_register_state_lane(lane, good_state);
+        }
+        for (slot, &fid) in group.iter().enumerate() {
+            let lane = slot as u32 + 1;
+            if let Some(s) = states.get(&fid) {
+                sim.set_register_state_lane(lane, s);
+            }
+        }
+        // Inject the group's faults, batched per node.
+        let mut per_node: HashMap<rtl::NodeId, Vec<CellFault>> = HashMap::new();
+        for (slot, &fid) in group.iter().enumerate() {
+            let site = self.universe.site(fid);
+            per_node.entry(site.node).or_default().push(CellFault {
+                cell: site.cell,
+                fault: site.representative,
+                lanes: 1u64 << (slot + 1),
+            });
+        }
+        for (node, faults) in per_node {
+            sim.set_faults(node, faults);
+        }
+
+        let mut detections: Vec<(FaultId, u32)> = Vec::new();
+        let mut undetected_mask: u64 = 0;
+        for slot in 0..group.len() {
+            undetected_mask |= 1u64 << (slot + 1);
+        }
+        for cycle in start..end {
+            sim.step(inputs[cycle as usize]);
+            let diff = sim.output_diff_lanes(0) & undetected_mask;
+            if diff != 0 {
+                let mut d = diff;
+                while d != 0 {
+                    let lane = d.trailing_zeros();
+                    d &= d - 1;
+                    detections.push((group[(lane - 1) as usize], cycle));
+                }
+                undetected_mask &= !diff;
+                if undetected_mask == 0 {
+                    break;
+                }
+            }
+        }
+        // Snapshot survivors' states for the next stage.
+        let mut survivors: Vec<(FaultId, Vec<u64>)> = Vec::new();
+        let mut m = undetected_mask;
+        while m != 0 {
+            let lane = m.trailing_zeros();
+            m &= m - 1;
+            let fid = group[(lane - 1) as usize];
+            survivors.push((fid, sim.register_state_lane(lane)));
+        }
+        ShardOutcome { detections, survivors }
     }
 }
 
@@ -365,5 +531,35 @@ mod tests {
     #[should_panic(expected = "ascend")]
     fn bad_schedule_panics() {
         StageSchedule::with_boundaries(vec![64, 64]);
+    }
+
+    #[test]
+    fn sharded_runs_match_serial_at_every_thread_count() {
+        let n = filterish(10);
+        let u = universe(&n);
+        let inputs = pseudo_inputs(150, 10);
+        let serial = serial_reference(&n, &u, &inputs);
+        for threads in [1usize, 2, 3, 4, 8] {
+            let result = ParallelFaultSimulator::new(&n, &u)
+                .with_schedule(StageSchedule::with_boundaries(vec![16, 48, 96]))
+                .with_threads(threads)
+                .run(&inputs);
+            assert_eq!(
+                result.detection_cycles(),
+                &serial[..],
+                "threads = {threads} diverged from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn options_resolve_thread_count() {
+        assert_eq!(SimOptions::new().with_threads(3).effective_threads(), 3);
+        assert!(SimOptions::new().effective_threads() >= 1);
+        let opts = SimOptions::new()
+            .with_schedule(StageSchedule::with_boundaries(vec![8]))
+            .with_threads(2);
+        assert_eq!(opts.threads(), 2);
+        assert_eq!(opts.schedule(), &StageSchedule::with_boundaries(vec![8]));
     }
 }

@@ -206,7 +206,6 @@ fn round_half_even(x: f64) -> i64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn q(w: u32, f: u32) -> QFormat {
         QFormat::new(w, f).unwrap()
@@ -280,56 +279,62 @@ mod tests {
         Fx::zero(fmt).bit(4);
     }
 
-    proptest! {
-        #[test]
-        fn prop_round_trip_raw(raw in -32768i64..=32767) {
-            let fmt = q(16, 15);
-            let x = Fx::from_raw(raw, fmt).unwrap();
-            prop_assert_eq!(Fx::from_f64(x.to_f64(), fmt).unwrap(), x);
-        }
+    #[cfg(feature = "proptest")]
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
 
-        #[test]
-        fn prop_wrapping_add_is_modular(a in -128i64..=127, b in -128i64..=127) {
-            let fmt = q(8, 7);
-            let x = Fx::from_raw(a, fmt).unwrap();
-            let y = Fx::from_raw(b, fmt).unwrap();
-            let s = x.wrapping_add(y);
-            prop_assert_eq!((s.raw() - (a + b)).rem_euclid(256), 0);
-            prop_assert!(fmt.contains_raw(s.raw()));
-        }
+        proptest! {
+            #[test]
+            fn prop_round_trip_raw(raw in -32768i64..=32767) {
+                let fmt = q(16, 15);
+                let x = Fx::from_raw(raw, fmt).unwrap();
+                prop_assert_eq!(Fx::from_f64(x.to_f64(), fmt).unwrap(), x);
+            }
 
-        #[test]
-        fn prop_add_commutes(a in -128i64..=127, b in -128i64..=127) {
-            let fmt = q(8, 7);
-            let x = Fx::from_raw(a, fmt).unwrap();
-            let y = Fx::from_raw(b, fmt).unwrap();
-            prop_assert_eq!(x.wrapping_add(y), y.wrapping_add(x));
-        }
+            #[test]
+            fn prop_wrapping_add_is_modular(a in -128i64..=127, b in -128i64..=127) {
+                let fmt = q(8, 7);
+                let x = Fx::from_raw(a, fmt).unwrap();
+                let y = Fx::from_raw(b, fmt).unwrap();
+                let s = x.wrapping_add(y);
+                prop_assert_eq!((s.raw() - (a + b)).rem_euclid(256), 0);
+                prop_assert!(fmt.contains_raw(s.raw()));
+            }
 
-        #[test]
-        fn prop_sub_is_add_neg(a in -128i64..=127, b in -128i64..=127) {
-            let fmt = q(8, 7);
-            let x = Fx::from_raw(a, fmt).unwrap();
-            let y = Fx::from_raw(b, fmt).unwrap();
-            prop_assert_eq!(x.wrapping_sub(y), x.wrapping_add(y.wrapping_neg()));
-        }
+            #[test]
+            fn prop_add_commutes(a in -128i64..=127, b in -128i64..=127) {
+                let fmt = q(8, 7);
+                let x = Fx::from_raw(a, fmt).unwrap();
+                let y = Fx::from_raw(b, fmt).unwrap();
+                prop_assert_eq!(x.wrapping_add(y), y.wrapping_add(x));
+            }
 
-        #[test]
-        fn prop_shift_halves(raw in -32768i64..=32767, n in 0u32..8) {
-            let fmt = q(16, 15);
-            let x = Fx::from_raw(raw, fmt).unwrap();
-            let shifted = x.shifted_right(n);
-            let exact = x.to_f64() / 2f64.powi(n as i32);
-            // Truncation error is bounded by one LSB, always toward -inf.
-            prop_assert!(shifted.to_f64() <= exact + 1e-12);
-            prop_assert!(shifted.to_f64() > exact - fmt.lsb() - 1e-12);
-        }
+            #[test]
+            fn prop_sub_is_add_neg(a in -128i64..=127, b in -128i64..=127) {
+                let fmt = q(8, 7);
+                let x = Fx::from_raw(a, fmt).unwrap();
+                let y = Fx::from_raw(b, fmt).unwrap();
+                prop_assert_eq!(x.wrapping_sub(y), x.wrapping_add(y.wrapping_neg()));
+            }
 
-        #[test]
-        fn prop_sign_extension_consistent(raw in -2048i64..=2047) {
-            let fmt = q(12, 11);
-            let x = Fx::from_raw(raw, fmt).unwrap();
-            prop_assert_eq!(fmt.sign_extend(x.to_bits()), raw);
+            #[test]
+            fn prop_shift_halves(raw in -32768i64..=32767, n in 0u32..8) {
+                let fmt = q(16, 15);
+                let x = Fx::from_raw(raw, fmt).unwrap();
+                let shifted = x.shifted_right(n);
+                let exact = x.to_f64() / 2f64.powi(n as i32);
+                // Truncation error is bounded by one LSB, always toward -inf.
+                prop_assert!(shifted.to_f64() <= exact + 1e-12);
+                prop_assert!(shifted.to_f64() > exact - fmt.lsb() - 1e-12);
+            }
+
+            #[test]
+            fn prop_sign_extension_consistent(raw in -2048i64..=2047) {
+                let fmt = q(12, 11);
+                let x = Fx::from_raw(raw, fmt).unwrap();
+                prop_assert_eq!(fmt.sign_extend(x.to_bits()), raw);
+            }
         }
     }
 }

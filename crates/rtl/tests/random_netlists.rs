@@ -2,6 +2,11 @@
 //! gate-level simulator must agree with a plain two's-complement
 //! reference interpreter on every structure the builder can produce,
 //! and the analyses must stay sound on arbitrary DAGs.
+//!
+//! Needs the `proptest` crate: the whole file is gated behind the
+//! off-by-default `proptest` feature so the workspace builds offline
+//! (see the workspace `Cargo.toml` for how to re-enable it).
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 use bist_rtl::range::{aligned_input_range, RangeAnalysis};

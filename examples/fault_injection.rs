@@ -6,7 +6,7 @@
 //! cargo run --release --example fault_injection
 //! ```
 
-use bist_core::session::BistSession;
+use bist_core::session::{BistSession, RunConfig};
 use dsp::firdesign::BandKind;
 use filters::{FilterDesign, FilterSpec};
 use tpg::{Lfsr1, ShiftDirection, Sine, TestGenerator};
@@ -23,11 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         width: 16,
         kaiser_beta: 5.5,
     })?;
-    let session = BistSession::new(&design);
+    let session = BistSession::new(&design)?;
 
     // Run the standard LFSR BIST.
     let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb)?;
-    let run = session.run(&mut gen, 4096);
+    let run = session.run(&mut gen, &RunConfig::new(4096))?;
     println!(
         "LFSR-1 test: {:.2}% coverage, {} faults missed",
         100.0 * run.coverage(),

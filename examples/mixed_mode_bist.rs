@@ -6,10 +6,10 @@
 //! cargo run --release --example mixed_mode_bist
 //! ```
 
-use bist_core::session::BistSession;
+use bist_core::session::{BistSession, RunConfig};
 use dsp::firdesign::BandKind;
 use filters::{FilterDesign, FilterSpec};
-use tpg::{Lfsr1, MaxVariance, Mixed, ShiftDirection, TestGenerator};
+use tpg::{Lfsr1, MaxVariance, Mixed, ShiftDirection};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let design = FilterDesign::elaborate(FilterSpec {
@@ -22,18 +22,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         width: 16,
         kaiser_beta: 5.5,
     })?;
-    let session = BistSession::new(&design);
+    let session = BistSession::new(&design)?;
     const HALF: usize = 2048;
 
     // Single-mode baselines.
     let mut normal = Lfsr1::new(12, ShiftDirection::LsbToMsb)?;
-    let run_normal = session.run(&mut normal, HALF);
+    let run_normal = session.run(&mut normal, &RunConfig::new(HALF))?;
     let mut maxvar = MaxVariance::maximal(12)?;
-    let run_maxvar = session.run(&mut maxvar, HALF);
+    let run_maxvar = session.run(&mut maxvar, &RunConfig::new(HALF))?;
 
     // The mixed test: same LFSR, switched to max-variance mode halfway.
     let mut mixed = Mixed::lfsr1_then_maxvar(12, HALF as u64)?;
-    let run_mixed = session.run(&mut mixed, 2 * HALF);
+    let run_mixed = session.run(&mut mixed, &RunConfig::new(2 * HALF))?;
 
     println!("design: {} faults in the universe", session.universe().len());
     println!("{:12} misses {:5}  coverage {:6.2}%", "LFSR-1", run_normal.missed(), 100.0 * run_normal.coverage());

@@ -6,7 +6,7 @@
 //! ```
 
 use bist_core::compat::{classify, output_variance};
-use bist_core::session::BistSession;
+use bist_core::session::{BistSession, RunConfig};
 use dsp::firdesign::BandKind;
 use filters::{FilterDesign, FilterSpec};
 use tpg::{Decorrelated, ShiftDirection, TestGenerator};
@@ -42,14 +42,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Type 1 LFSR compatibility with this filter: {rating}");
 
     // 3. Run a BIST session with a decorrelated LFSR (spectrum-flat).
-    let session = BistSession::new(&design);
+    let session = BistSession::new(&design)?;
     println!(
         "fault universe: {} collapsed classes ({} uncollapsed stuck-at faults)",
         session.universe().len(),
         session.universe().uncollapsed_len()
     );
     let mut gen = Decorrelated::maximal(12, ShiftDirection::LsbToMsb)?;
-    let run = session.run(&mut gen, 2048);
+    let run = session.run(&mut gen, &RunConfig::new(2048))?;
     println!(
         "{}: coverage {:.2}% after {} vectors ({} faults missed), signature {:#06x}",
         gen.name(),

@@ -121,10 +121,12 @@ fn misr_signature_flags_every_sampled_fault() {
     // For detected faults, compacting the faulty response must change
     // the MISR signature (no aliasing observed on this sample).
     let d = design();
-    let session = bist_core::session::BistSession::new(&d);
+    let session = bist_core::session::BistSession::new(&d).expect("session");
     let mut gen = tpg::Lfsr1::new(12, ShiftDirection::LsbToMsb).expect("lfsr");
     let vectors = 256usize;
-    let run = session.run(&mut gen, vectors);
+    let run = session
+        .run(&mut gen, &bist_core::session::RunConfig::new(vectors))
+        .expect("run");
 
     gen.reset();
     let inputs: Vec<i64> =

@@ -1,7 +1,7 @@
 //! Cross-crate integration: the full pipeline from filter spec to
 //! fault-simulation results, exercised end to end on small designs.
 
-use bist_core::session::BistSession;
+use bist_core::session::{BistSession, RunConfig};
 use dsp::firdesign::BandKind;
 use filters::{FilterDesign, FilterSpec};
 use tpg::{Decorrelated, Lfsr1, MaxVariance, Mixed, Ramp, ShiftDirection, TestGenerator};
@@ -23,12 +23,12 @@ fn design(cutoff: f64, taps: usize) -> FilterDesign {
 #[test]
 fn pipeline_produces_consistent_universe_and_results() {
     let d = design(0.12, 18);
-    let session = BistSession::new(&d);
+    let session = BistSession::new(&d).expect("session");
     assert!(session.universe().len() > 1000);
     assert!(session.universe().uncollapsed_len() > session.universe().len());
 
     let mut gen = Decorrelated::maximal(12, ShiftDirection::LsbToMsb).expect("generator");
-    let run = session.run(&mut gen, 768);
+    let run = session.run(&mut gen, &RunConfig::new(768)).expect("run");
     assert!(run.coverage() > 0.9, "coverage {}", run.coverage());
 
     // Detection cycles are within the run and consistent with counts.
@@ -45,7 +45,7 @@ fn pipeline_produces_consistent_universe_and_results() {
 #[test]
 fn all_generators_run_and_are_reproducible() {
     let d = design(0.15, 14);
-    let session = BistSession::new(&d);
+    let session = BistSession::new(&d).expect("session");
     let gens: Vec<Box<dyn TestGenerator>> = vec![
         Box::new(Lfsr1::new(12, ShiftDirection::LsbToMsb).expect("lfsr1")),
         Box::new(Decorrelated::maximal(12, ShiftDirection::LsbToMsb).expect("lfsrd")),
@@ -53,8 +53,8 @@ fn all_generators_run_and_are_reproducible() {
         Box::new(Ramp::new(12).expect("ramp")),
     ];
     for mut gen in gens {
-        let a = session.run(&mut *gen, 256);
-        let b = session.run(&mut *gen, 256);
+        let a = session.run(&mut *gen, &RunConfig::new(256)).expect("run");
+        let b = session.run(&mut *gen, &RunConfig::new(256)).expect("run");
         assert_eq!(a.missed(), b.missed(), "{} not reproducible", gen.name());
         assert_eq!(a.signature, b.signature);
         assert_eq!(a.result.detection_cycles(), b.result.detection_cycles());
@@ -64,13 +64,13 @@ fn all_generators_run_and_are_reproducible() {
 #[test]
 fn mixed_mode_beats_or_matches_both_single_modes() {
     let d = design(0.08, 20);
-    let session = BistSession::new(&d);
+    let session = BistSession::new(&d).expect("session");
     let mut normal = Lfsr1::new(12, ShiftDirection::LsbToMsb).expect("lfsr1");
     let mut maxvar = MaxVariance::maximal(12).expect("lfsrm");
     let mut mixed = Mixed::lfsr1_then_maxvar(12, 1024).expect("mixed");
-    let miss_normal = session.run(&mut normal, 1024).missed();
-    let miss_maxvar = session.run(&mut maxvar, 1024).missed();
-    let miss_mixed = session.run(&mut mixed, 2048).missed();
+    let miss_normal = session.run(&mut normal, &RunConfig::new(1024)).expect("run").missed();
+    let miss_maxvar = session.run(&mut maxvar, &RunConfig::new(1024)).expect("run").missed();
+    let miss_mixed = session.run(&mut mixed, &RunConfig::new(2048)).expect("run").missed();
     assert!(
         miss_mixed <= miss_normal.min(miss_maxvar),
         "mixed {miss_mixed} vs normal {miss_normal} / maxvar {miss_maxvar}"
@@ -80,9 +80,9 @@ fn mixed_mode_beats_or_matches_both_single_modes() {
 #[test]
 fn longer_tests_never_lose_coverage() {
     let d = design(0.1, 16);
-    let session = BistSession::new(&d);
+    let session = BistSession::new(&d).expect("session");
     let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).expect("lfsr1");
-    let long = session.run(&mut gen, 1024);
+    let long = session.run(&mut gen, &RunConfig::new(1024)).expect("run");
     let mut prev = 0.0;
     for c in [32u32, 64, 128, 256, 512, 1024] {
         let cov = long.result.coverage_after(c);
@@ -94,9 +94,9 @@ fn longer_tests_never_lose_coverage() {
 #[test]
 fn missed_fault_reports_cover_all_misses() {
     let d = design(0.1, 16);
-    let session = BistSession::new(&d);
+    let session = BistSession::new(&d).expect("session");
     let mut gen = Ramp::new(12).expect("ramp");
-    let run = session.run(&mut gen, 512);
+    let run = session.run(&mut gen, &RunConfig::new(512)).expect("run");
     let by_node = faultsim::report::missed_by_node(
         d.netlist(),
         session.universe(),
@@ -119,10 +119,10 @@ fn injection_traces_agree_with_detection_results() {
     // A fault detected by the simulator must show a divergent trace on
     // the same input sequence, and vice versa.
     let d = design(0.15, 10);
-    let session = BistSession::new(&d);
+    let session = BistSession::new(&d).expect("session");
     let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).expect("lfsr1");
     let vectors = 128usize;
-    let run = session.run(&mut gen, vectors);
+    let run = session.run(&mut gen, &RunConfig::new(vectors)).expect("run");
 
     gen.reset();
     let inputs: Vec<i64> =

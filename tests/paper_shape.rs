@@ -116,11 +116,11 @@ fn compatibility_ratio_tracks_band_position() {
 #[test]
 #[ignore = "heavy: full 4k-vector fault simulation of all three designs"]
 fn section8_shape_reproduces() {
-    use bist_core::session::BistSession;
+    use bist_core::session::{BistSession, RunConfig};
     let designs = filters::designs::paper_designs().expect("designs");
     let mut missed = std::collections::HashMap::new();
     for d in &designs {
-        let session = BistSession::new(d);
+        let session = BistSession::new(d).expect("session");
         for name in ["LFSR-1", "LFSR-D", "LFSR-M", "Ramp"] {
             let mut gen: Box<dyn tpg::TestGenerator> = match name {
                 "LFSR-1" => Box::new(tpg::Lfsr1::new(12, ShiftDirection::LsbToMsb).expect("gen")),
@@ -130,12 +130,12 @@ fn section8_shape_reproduces() {
                 "LFSR-M" => Box::new(tpg::MaxVariance::maximal(12).expect("gen")),
                 _ => Box::new(tpg::Ramp::new(12).expect("gen")),
             };
-            let run = session.run(&mut *gen, 4096);
+            let run = session.run(&mut *gen, &RunConfig::new(4096)).expect("run");
             missed.insert((d.name().to_string(), name), run.missed());
         }
         if d.name() == "LP" || d.name() == "HP" {
             let mut mixed = tpg::Mixed::lfsr1_then_maxvar(12, 4096).expect("mixed");
-            let run = session.run(&mut mixed, 8192);
+            let run = session.run(&mut mixed, &RunConfig::new(8192)).expect("run");
             missed.insert((d.name().to_string(), "mixed"), run.missed());
         }
     }

@@ -1,0 +1,49 @@
+//! Timed scaling check for the sharded fault simulator: the paper's
+//! 60-tap lowpass under a full Section 8 test length must run at least
+//! 2x faster with 4 worker threads than with 1, with bit-identical
+//! results.
+//!
+//! Ignored by default: it needs a release build, a multi-core machine
+//! (>= 4 cores) and about a minute of wall clock. Run with
+//! `cargo test --release --test threading_speedup -- --ignored`.
+
+use bist_core::session::{BistSession, RunConfig};
+use std::time::Instant;
+
+fn timed_run(
+    session: &BistSession<'_>,
+    threads: usize,
+) -> (std::time::Duration, Vec<Option<u32>>, usize) {
+    let config = RunConfig::new(8192).with_threads(threads);
+    let mut gen =
+        tpg::Decorrelated::maximal(12, tpg::ShiftDirection::LsbToMsb).expect("generator");
+    let start = Instant::now();
+    let run = session.run(&mut gen, &config).expect("run");
+    (start.elapsed(), run.result.detection_cycles().to_vec(), run.missed())
+}
+
+#[test]
+#[ignore = "heavy: needs >=4 cores and a release build; ~1 min of fault simulation"]
+fn four_threads_at_least_double_single_thread_throughput() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    assert!(cores >= 4, "speedup check needs >=4 cores, this machine reports {cores}");
+
+    let design = filters::designs::lowpass().expect("paper LP design");
+    let session = BistSession::new(&design).expect("session");
+
+    // Warm-up pass so page faults and allocator growth don't bias the
+    // single-threaded measurement.
+    let _ = timed_run(&session, 1);
+
+    let (t1, cycles1, missed1) = timed_run(&session, 1);
+    let (t4, cycles4, missed4) = timed_run(&session, 4);
+
+    assert_eq!(cycles1, cycles4, "sharding changed the detection cycles");
+    assert_eq!(missed1, missed4);
+
+    let speedup = t1.as_secs_f64() / t4.as_secs_f64().max(1e-9);
+    assert!(
+        speedup >= 2.0,
+        "4-thread speedup only {speedup:.2}x (1 thread: {t1:?}, 4 threads: {t4:?})"
+    );
+}
