@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 gate: the workspace must build and test fully offline.
+# Tier-1 gate: the workspace must build, lint and test fully offline.
 # Every dependency is a workspace path dependency; the registry deps
 # (proptest, criterion, rand) are commented out in the manifests and
 # only needed for the opt-in `proptest` / `bench-deps` features.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --check
+cargo clippy --offline --all-targets -- -D warnings
 cargo build --release --offline
 cargo test -q --offline

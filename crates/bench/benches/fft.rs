@@ -27,9 +27,7 @@ fn bench_welch(c: &mut Criterion) {
     let x: Vec<f64> = (0..16384).map(|i| ((i * i) as f64 * 0.001).sin()).collect();
     c.bench_function("welch_16k_seg512", |b| {
         b.iter(|| {
-            black_box(
-                dsp::spectrum::welch(&x, 512, dsp::window::Window::Hann).expect("valid"),
-            )
+            black_box(dsp::spectrum::welch(&x, 512, dsp::window::Window::Hann).expect("valid"))
         })
     });
 }

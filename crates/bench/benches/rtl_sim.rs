@@ -6,7 +6,6 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rtl::sim::BitSlicedSim;
 use std::hint::black_box;
 
-
 fn bench_step(c: &mut Criterion) {
     let design = filters::designs::lowpass().expect("LP elaborates");
     let netlist = design.netlist();

@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments <subcommand>
+//! experiments [--json <path>] <subcommand>
 //!     table1   design statistics                     (paper Table 1)
 //!     table2   difficult test classes                (paper Table 2)
 //!     table3   generator/filter compatibility        (paper Table 3)
@@ -21,10 +21,17 @@
 //!     ablation pruning stages & drop schedules       (engine study)
 //!     csa      ripple vs carry-save vs symmetric     (Section 3)
 //!     all      everything above
+//!
+//! With `--json <path>`, every BIST run's structured artifact
+//! (coverage, missed-fault census by difficult-test class, per-stage
+//! durations, engine counters) is aggregated into one `BENCH_*.json`
+//! document at exit; a directory path gets the canonical
+//! `BENCH_<subcommand>.json` name inside it. Schema in EXPERIMENTS.md.
 //! ```
 
 use bist_bench::{
-    generator, mixed_generator, paper_designs, plot, run_config, table, SECTION8_GENERATORS,
+    generator, mixed_generator, paper_designs, plot, run_config, run_session, table,
+    SECTION8_GENERATORS,
 };
 use bist_core::session::BistSession;
 use bist_core::{compat, distribution, variance, zones};
@@ -37,7 +44,24 @@ use tpg::{collect_values, TestGenerator};
 const SECTION8_VECTORS: usize = 4096;
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let mut json_path: Option<std::path::PathBuf> = None;
+    let mut subcommand: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            let Some(path) = args.next() else {
+                eprintln!("--json needs a path argument");
+                std::process::exit(2);
+            };
+            json_path = Some(path.into());
+        } else if subcommand.is_none() {
+            subcommand = Some(a);
+        } else {
+            eprintln!("unexpected extra argument '{a}'; see source header for usage");
+            std::process::exit(2);
+        }
+    }
+    let arg = subcommand.unwrap_or_else(|| "all".to_string());
     let all = arg == "all";
     let mut ran = false;
     let mut run = |name: &str, f: &dyn Fn()| {
@@ -67,6 +91,18 @@ fn main() {
     if !ran {
         eprintln!("unknown experiment '{arg}'; see source header for the list");
         std::process::exit(2);
+    }
+    if let Some(path) = json_path {
+        match bist_bench::artifacts::write_bench_json(&arg, &path) {
+            Ok(written) => {
+                let runs = bist_bench::artifacts::collected().len();
+                eprintln!("wrote {} ({runs} run artifacts)", written.display());
+            }
+            Err(e) => {
+                eprintln!("failed to write bench artifact to {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
     }
 }
 
@@ -185,7 +221,7 @@ fn table4() {
         let mut row5 = vec![d.name().to_string()];
         for name in SECTION8_GENERATORS {
             let mut gen = generator(name);
-            let run = session.run(&mut *gen, &run_config(SECTION8_VECTORS)).expect("run");
+            let run = run_session(&session, &mut *gen, &run_config(SECTION8_VECTORS));
             row4.push(run.missed().to_string());
             row5.push(format!("{:.2}", run.normalized_missed(d)));
         }
@@ -193,7 +229,9 @@ fn table4() {
         rows5.push(row5);
     }
     let header = ["Des.", "LFSR-1", "LFSR-D", "LFSR-M", "Ramp"];
-    println!("missed faults (paper: LP 519/331/1097/485, BP 201/193/1005/1230, HP 308/315/1030/1679)");
+    println!(
+        "missed faults (paper: LP 519/331/1097/485, BP 201/193/1005/1230, HP 308/315/1030/1679)"
+    );
     println!("{}", table::render(&header, &rows4));
     println!("normalized (paper: LP 2.84/1.81/5.99/2.65, BP 1.25/1.20/6.24/7.64, HP 1.76/1.80/5.89/9.59)");
     println!("{}", table::render(&header, &rows5));
@@ -202,20 +240,20 @@ fn table4() {
 // ---------------------------------------------------------------- Table 6
 
 fn table6() {
-    banner("Table 6: mixed LFSR-1/LFSR-M test, 4k + 4k vectors (paper: LP 148 (0.81), HP 137 (0.40))");
+    banner(
+        "Table 6: mixed LFSR-1/LFSR-M test, 4k + 4k vectors (paper: LP 148 (0.81), HP 137 (0.40))",
+    );
     let designs = paper_designs();
     let mut rows = Vec::new();
     for d in designs.iter().filter(|d| d.name() == "LP" || d.name() == "HP") {
         let session = BistSession::new(d).expect("session");
         let mut gen = mixed_generator(SECTION8_VECTORS as u64);
-        let run =
-            session.run(&mut *gen, &run_config(2 * SECTION8_VECTORS)).expect("run");
+        let run = run_session(&session, &mut *gen, &run_config(2 * SECTION8_VECTORS));
         // Best single-mode baseline at 4k for the improvement factor.
         let mut best = usize::MAX;
         for name in SECTION8_GENERATORS {
             let mut g = generator(name);
-            best = best
-                .min(session.run(&mut *g, &run_config(SECTION8_VECTORS)).expect("run").missed());
+            best = best.min(run_session(&session, &mut *g, &run_config(SECTION8_VECTORS)).missed());
         }
         rows.push(vec![
             d.name().to_string(),
@@ -224,10 +262,7 @@ fn table6() {
             format!("{:.2}x", best as f64 / run.missed().max(1) as f64),
         ]);
     }
-    println!(
-        "{}",
-        table::render(&["Des.", "misses", "normalized", "vs best single (4k)"], &rows)
-    );
+    println!("{}", table::render(&["Des.", "misses", "normalized", "vs best single (4k)"], &rows));
 }
 
 // ------------------------------------------------------------------ Fig 1
@@ -256,7 +291,7 @@ fn fig2() {
     let d = paper_designs().remove(0);
     let session = BistSession::new(&d).expect("session");
     let mut gen = generator("LFSR-1");
-    let run = session.run(&mut *gen, &run_config(SECTION8_VECTORS)).expect("run");
+    let run = run_session(&session, &mut *gen, &run_config(SECTION8_VECTORS));
     println!(
         "LFSR-1 @4k coverage on LP: {:.2}% ({} faults missed)",
         100.0 * run.coverage(),
@@ -271,12 +306,12 @@ fn fig2() {
         &run.result,
     );
     let mut sine = tpg::Sine::new(12, 0.85, 0.015).expect("valid sine");
-    let inputs: Vec<i64> =
-        (0..1024).map(|_| d.align_input(sine.next_word())).collect();
+    let inputs: Vec<i64> = (0..1024).map(|_| d.align_input(sine.next_word())).collect();
     let mut shown = false;
     'search: for summary in &by_node {
         for (&fid, &depth) in summary.missed.iter().zip(&summary.bits_below_msb) {
-            let trace = faultsim::inject::trace_fault(d.netlist(), session.universe(), fid, &inputs);
+            let trace =
+                faultsim::inject::trace_fault(d.netlist(), session.universe(), fid, &inputs);
             if trace.peak_error() > 0 {
                 let lsb = d.netlist().format().lsb();
                 println!(
@@ -291,8 +326,7 @@ fn fig2() {
                     trace.peak_error() as f64 * lsb
                 );
                 let faulty: Vec<f64> = trace.faulty.iter().map(|&r| r as f64 * lsb).collect();
-                let error: Vec<f64> =
-                    trace.error().iter().map(|&e| e as f64 * lsb).collect();
+                let error: Vec<f64> = trace.error().iter().map(|&e| e as f64 * lsb).collect();
                 println!("faulty output (spike pairs ride the sine peaks, paper Fig. 2):");
                 println!("{}", plot::ascii(&[("faulty", &faulty[200..520])], 100, 14));
                 println!("fault effect alone (faulty - good):");
@@ -315,8 +349,7 @@ fn fig4() {
     let specs = compat::paper_generator_spectra(bins);
     let series: Vec<(&str, Vec<f64>)> =
         specs.iter().map(|g| (g.name.as_str(), g.spectrum.values_db())).collect();
-    let refs: Vec<(&str, &[f64])> =
-        series.iter().map(|(n, v)| (*n, v.as_slice())).collect();
+    let refs: Vec<(&str, &[f64])> = series.iter().map(|(n, v)| (*n, v.as_slice())).collect();
     println!("{}", plot::ascii(&refs, 96, 20));
     println!("(x axis: 0 .. 0.5 of the sample rate; paper Fig. 4 shows the same ordering:");
     println!(" Ramp collapses above DC, LFSR-1 nulls at DC, LFSR-D flat at -4.77 dB, LFSR-M flat at 0 dB)");
@@ -355,8 +388,7 @@ fn fig6() {
     let mut stds = Vec::new();
     for name in ["LFSR-1", "LFSR-D"] {
         let mut gen = generator(name);
-        let inputs: Vec<i64> =
-            (0..4095).map(|_| d.align_input(gen.next_word())).collect();
+        let inputs: Vec<i64> = (0..4095).map(|_| d.align_input(gen.next_word())).collect();
         let samples = faultsim::inject::probe_node(d.netlist(), node, &inputs);
         let values: Vec<f64> = samples.iter().map(|&r| r as f64 * lsb).collect();
         let s = Summary::of(&values).expect("nonempty");
@@ -369,12 +401,19 @@ fn fig6() {
     // Eq. 1 prediction for the same two cases.
     let ranges = RangeAnalysis::analyze(d.netlist(), aligned_input_range(12, 16));
     let g = tpg::model::lfsr1_model(12, tpg::ShiftDirection::LsbToMsb);
-    let shaped = variance::analyze(d.netlist(), &ranges, &[node], &variance::SourceModel::Shaped { model: g });
-    let white = variance::analyze(d.netlist(), &ranges, &[node], &variance::SourceModel::White { variance: 1.0 / 3.0 });
-    println!(
-        "Eq. 1 predictions: LFSR-1 {:.4}, white {:.4}",
-        shaped[0].std_dev, white[0].std_dev
+    let shaped = variance::analyze(
+        d.netlist(),
+        &ranges,
+        &[node],
+        &variance::SourceModel::Shaped { model: g },
     );
+    let white = variance::analyze(
+        d.netlist(),
+        &ranges,
+        &[node],
+        &variance::SourceModel::White { variance: 1.0 / 3.0 },
+    );
+    println!("Eq. 1 predictions: LFSR-1 {:.4}, white {:.4}", shaped[0].std_dev, white[0].std_dev);
 }
 
 // -------------------------------------------------------------- Figs 8, 9
@@ -404,7 +443,9 @@ fn fig8() {
         }
         h_density.copy_from_slice(&zoom.density());
     }
-    println!("Fig. 8 (LFSR-1): theory (linear model) vs simulation histogram, zoomed to +-{span:.3}:");
+    println!(
+        "Fig. 8 (LFSR-1): theory (linear model) vs simulation histogram, zoomed to +-{span:.3}:"
+    );
     println!("{}", plot::ascii(&[("theory", &t_density), ("actual", &h_density)], 80, 14));
     println!("mismatch (max |diff| / peak): {:.3}", distribution::density_mismatch(&theory, &hist));
 
@@ -441,7 +482,7 @@ fn fig10() {
         let mut series: Vec<(String, Vec<f64>)> = Vec::new();
         for name in SECTION8_GENERATORS {
             let mut gen = generator(name);
-            let run = session.run(&mut *gen, &run_config(SECTION8_VECTORS)).expect("run");
+            let run = run_session(&session, &mut *gen, &run_config(SECTION8_VECTORS));
             // Zoom to the knee region, as the paper's figures do
             // ("the vertical scale has been changed to accommodate the
             // Ramp curve"): clamp below 80% coverage.
@@ -482,13 +523,9 @@ fn fig13() {
         ("LFSR-M".to_string(), generator("LFSR-M")),
         ("mixed@2k".to_string(), mixed_generator(2048)),
     ] {
-        let run = session.run(&mut *gen, &run_config(SECTION8_VECTORS)).expect("run");
-        let curve: Vec<f64> = run
-            .result
-            .curve(&checkpoints)
-            .iter()
-            .map(|&(_, c)| (100.0 * c).max(80.0))
-            .collect();
+        let run = run_session(&session, &mut *gen, &run_config(SECTION8_VECTORS));
+        let curve: Vec<f64> =
+            run.result.curve(&checkpoints).iter().map(|&(_, c)| (100.0 * c).max(80.0)).collect();
         println!(
             "  {:9} misses @4k: {:5}  coverage {:.2}%",
             label,
@@ -521,7 +558,7 @@ fn severity() {
     let mut rows = Vec::new();
     for name in SECTION8_GENERATORS {
         let mut gen = generator(name);
-        let run = session.run(&mut *gen, &run_config(SECTION8_VECTORS)).expect("run");
+        let run = run_session(&session, &mut *gen, &run_config(SECTION8_VECTORS));
         let missed = run.result.missed();
         let (_, summary) = bist_core::analysis::assess_missed(&session, &missed, &stimulus);
         rows.push(vec![
@@ -548,13 +585,15 @@ fn severity() {
 /// longer sequences from *larger* LFSRs (no input cycling) and a
 /// deterministic tuned phase (amplitude-swept passband sine).
 fn extensions() {
-    banner("Extensions (paper Conclusion): larger LFSRs and a deterministic tuned phase (LP design)");
+    banner(
+        "Extensions (paper Conclusion): larger LFSRs and a deterministic tuned phase (LP design)",
+    );
     let d = paper_designs().remove(0);
     let session = BistSession::new(&d).expect("session");
     let mut rows = Vec::new();
 
     let mut run_one = |label: &str, gen: &mut dyn TestGenerator, vectors: usize| {
-        let run = session.run(gen, &run_config(vectors)).expect("run");
+        let run = run_session(&session, gen, &run_config(vectors));
         rows.push(vec![
             label.to_string(),
             vectors.to_string(),
@@ -570,8 +609,7 @@ fn extensions() {
     // replays patterns.
     run_one("LFSR-D 12-bit", &mut *generator("LFSR-D"), 4 * SECTION8_VECTORS);
     // A 16-bit decorrelated LFSR resized to 12 bits never cycles here.
-    let wide = tpg::Decorrelated::maximal(16, tpg::ShiftDirection::LsbToMsb)
-        .expect("16-bit LFSR");
+    let wide = tpg::Decorrelated::maximal(16, tpg::ShiftDirection::LsbToMsb).expect("16-bit LFSR");
     let mut wide12 = tpg::Resized::new(Box::new(wide), 12).expect("resize to 12");
     run_one("LFSR-D 16-bit (top 12)", &mut wide12, 4 * SECTION8_VECTORS);
 
@@ -583,14 +621,11 @@ fn extensions() {
     );
     let tuned = bist_core::selection::tuned_sweep_for(&d).expect("tuned sweep");
     let mixed = mixed_generator(SECTION8_VECTORS as u64);
-    let mut three_phase = tpg::Mixed::new(mixed, Box::new(tuned), 2 * SECTION8_VECTORS as u64)
-        .expect("widths match");
+    let mut three_phase =
+        tpg::Mixed::new(mixed, Box::new(tuned), 2 * SECTION8_VECTORS as u64).expect("widths match");
     run_one("mixed + ZoneSweep phase", &mut three_phase, 3 * SECTION8_VECTORS);
 
-    println!(
-        "{}",
-        table::render(&["scheme", "vectors", "missed", "coverage"], &rows)
-    );
+    println!("{}", table::render(&["scheme", "vectors", "missed", "coverage"], &rows));
 }
 
 /// The "more aggressive scaling techniques, when appropriate" ablation:
@@ -609,8 +644,7 @@ fn scaling() {
         width: 16,
         kaiser_beta: 5.5,
     };
-    let reference =
-        filters::FilterDesign::elaborate(base_spec.clone()).expect("worst-case design");
+    let reference = filters::FilterDesign::elaborate(base_spec.clone()).expect("worst-case design");
     let mut white = tpg::IdealWhite::new(12).expect("white");
     let abuse: Vec<i64> = (0..8192).map(|_| white.next_word()).collect();
     let reference_out = fault_free_run(&reference, &abuse);
@@ -627,7 +661,7 @@ fn scaling() {
             .expect("design elaborates");
         let session = BistSession::new(&d).expect("session");
         let mut gen = generator("LFSR-D");
-        let run = session.run(&mut *gen, &run_config(SECTION8_VECTORS)).expect("run");
+        let run = run_session(&session, &mut *gen, &run_config(SECTION8_VECTORS));
         let out = fault_free_run(&d, &abuse);
         let corrupted = out.iter().zip(&reference_out).filter(|(a, b)| a != b).count();
         rows.push(vec![
@@ -641,7 +675,13 @@ fn scaling() {
     println!(
         "{}",
         table::render(
-            &["policy", "universe", "missed (LFSR-D @4k)", "coverage", "corrupted cycles (white abuse)"],
+            &[
+                "policy",
+                "universe",
+                "missed (LFSR-D @4k)",
+                "coverage",
+                "corrupted cycles (white abuse)"
+            ],
             &rows
         )
     );
@@ -669,7 +709,7 @@ fn csa() {
         ];
         for name in ["LFSR-1", "LFSR-D"] {
             let mut gen = generator(name);
-            let run = session.run(&mut *gen, &run_config(SECTION8_VECTORS)).expect("run");
+            let run = run_session(&session, &mut *gen, &run_config(SECTION8_VECTORS));
             row.push(run.missed().to_string());
         }
         rows.push(row);
@@ -683,7 +723,9 @@ fn csa() {
     );
     println!("(the LFSR-1-vs-LFSR-D gap — the compatibility effect — shows on every architecture;");
     println!(" LP-SYM's larger absolute counts reflect weaker redundancy pruning: its multiplier");
-    println!(" cones hang off pre-adders of two delayed samples, outside the exact input-cone analysis)");
+    println!(
+        " cones hang off pre-adders of two delayed samples, outside the exact input-cone analysis)"
+    );
 }
 
 fn fault_free_run(d: &FilterDesign, words: &[i64]) -> Vec<i64> {
@@ -722,8 +764,7 @@ fn ablation() {
 
     let mut gen = generator("LFSR-D");
     gen.reset();
-    let inputs: Vec<i64> =
-        (0..SECTION8_VECTORS).map(|_| d.align_input(gen.next_word())).collect();
+    let inputs: Vec<i64> = (0..SECTION8_VECTORS).map(|_| d.align_input(gen.next_word())).collect();
     let mut rows = Vec::new();
     for (label, boundaries) in [
         ("no dropping stages", vec![]),
@@ -754,6 +795,10 @@ fn ablation() {
 /// with an accumulator).
 fn tap_acc(d: &FilterDesign, k: usize) -> rtl::NodeId {
     d.tap_accumulator(k)
-        .or_else(|| (1..10).find_map(|off| d.tap_accumulator(k + off).or_else(|| d.tap_accumulator(k.saturating_sub(off)))))
+        .or_else(|| {
+            (1..10).find_map(|off| {
+                d.tap_accumulator(k + off).or_else(|| d.tap_accumulator(k.saturating_sub(off)))
+            })
+        })
         .expect("some tap near k has an accumulator")
 }

@@ -6,6 +6,7 @@
 //! `EXPERIMENTS.md` for recorded results); the Criterion benches
 //! measure the performance of the underlying engines.
 
+pub mod artifacts;
 pub mod plot;
 pub mod table;
 
@@ -53,11 +54,33 @@ pub fn paper_designs() -> Vec<FilterDesign> {
 ///
 /// Test length comes from the config; MISR width, stage schedule and
 /// thread count follow it too (see [`run_config`] for the experiment
-/// harness's defaults).
+/// harness's defaults). Every run reports into the process-wide
+/// campaign registry and records its [`obs::RunArtifact`] for the
+/// `--json` output (see [`artifacts`]).
 pub fn run_experiment(design: &FilterDesign, gen_name: &str, config: &RunConfig) -> BistRun {
     let session = BistSession::new(design).expect("paper designs build valid sessions");
     let mut gen = generator(gen_name);
-    session.run(&mut *gen, config).expect("registry generators match the 12-bit designs")
+    run_session(&session, &mut *gen, config)
+}
+
+/// Runs one generator against an existing session, reporting into the
+/// campaign registry and recording the run's artifact — the
+/// experiments binary routes every BIST run through here so `--json`
+/// sees the complete campaign.
+///
+/// # Panics
+///
+/// Panics on a [`bist_core::session::SessionError`] (the harness only
+/// pairs registry generators with the 12-bit paper designs).
+pub fn run_session(
+    session: &BistSession<'_>,
+    gen: &mut dyn TestGenerator,
+    config: &RunConfig,
+) -> BistRun {
+    let config = config.clone().with_metrics(artifacts::campaign());
+    let run = session.run(gen, &config).expect("registry generators match the 12-bit designs");
+    artifacts::record(run.artifact.clone());
+    run
 }
 
 /// The experiment harness's run configuration: `vectors` test patterns
@@ -65,10 +88,8 @@ pub fn run_experiment(design: &FilterDesign, gen_name: &str, config: &RunConfig)
 /// `BIST_THREADS` environment override for the fault-simulation worker
 /// count (unset or `0` = one thread per core).
 pub fn run_config(vectors: usize) -> RunConfig {
-    let threads = std::env::var("BIST_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(0);
+    let threads =
+        std::env::var("BIST_THREADS").ok().and_then(|v| v.parse::<usize>().ok()).unwrap_or(0);
     RunConfig::new(vectors).with_threads(threads)
 }
 

@@ -57,10 +57,7 @@ mod tests {
     fn renders_aligned_columns() {
         let t = render(
             &["a", "long-header"],
-            &[
-                vec!["x".into(), "1".into()],
-                vec!["yyyy".into(), "22".into()],
-            ],
+            &[vec!["x".into(), "1".into()], vec!["yyyy".into(), "22".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -70,8 +70,7 @@ pub fn assess_missed(
     let census = activation_census(netlist, session.universe(), missed, stimulus);
     // Only activated faults need an injection trace; batch them 63 per
     // simulation pass.
-    let activated: Vec<FaultId> =
-        missed.iter().copied().filter(|&f| census.count(f) > 0).collect();
+    let activated: Vec<FaultId> = missed.iter().copied().filter(|&f| census.count(f) > 0).collect();
     let peaks = faultsim::inject::peak_errors(netlist, session.universe(), &activated, stimulus);
     let peak_of: std::collections::HashMap<FaultId, i64> =
         activated.into_iter().zip(peaks).collect();
@@ -137,14 +136,10 @@ mod tests {
         assert!(!missed.is_empty());
 
         let mut sine = tpg::Sine::new(12, 0.85, 0.01).expect("sine");
-        let stimulus: Vec<i64> =
-            (0..1024).map(|_| d.align_input(sine.next_word())).collect();
+        let stimulus: Vec<i64> = (0..1024).map(|_| d.align_input(sine.next_word())).collect();
         let (assessments, summary) = assess_missed(&session, &missed, &stimulus);
         assert_eq!(assessments.len(), missed.len());
-        assert_eq!(
-            summary.serious + summary.activated_only + summary.near_redundant,
-            missed.len()
-        );
+        assert_eq!(summary.serious + summary.activated_only + summary.near_redundant, missed.len());
         assert!(summary.serious > 0, "no serious escape found: {summary:?}");
         // Serious faults carry a nonzero peak error and activation rate.
         for a in assessments.iter().filter(|a| a.severity == Severity::Serious) {

@@ -154,10 +154,8 @@ pub fn band_families() -> Vec<(String, Vec<Vec<f64>>)> {
         .iter()
         .map(|&lo| design(BandKind::Bandpass { low: lo, high: lo + 0.2 }, 58))
         .collect();
-    let highpass = [0.25, 0.35, 0.45]
-        .iter()
-        .map(|&c| design(BandKind::Highpass { cutoff: c }, 59))
-        .collect();
+    let highpass =
+        [0.25, 0.35, 0.45].iter().map(|&c| design(BandKind::Highpass { cutoff: c }, 59)).collect();
     vec![
         ("Lowpass".to_string(), lowpass),
         ("Bandpass".to_string(), bandpass),
@@ -194,8 +192,8 @@ pub fn type_compatibility_table(
 /// The five paper generators' spectra (12-bit versions, as in the
 /// paper's Fig. 4), ready for [`compatibility_table`].
 pub fn paper_generator_spectra(bins: usize) -> Vec<GeneratorSpectrum> {
-    let lfsr2 = tpg::Lfsr2::new(12, tpg::polynomials::PAPER_TYPE2_POLY)
-        .expect("paper polynomial is valid");
+    let lfsr2 =
+        tpg::Lfsr2::new(12, tpg::polynomials::PAPER_TYPE2_POLY).expect("paper polynomial is valid");
     vec![
         GeneratorSpectrum { name: "LFSR-1".into(), spectrum: tpg::spectra::lfsr1(12, bins) },
         GeneratorSpectrum { name: "LFSR-2".into(), spectrum: tpg::spectra::lfsr2(&lfsr2, bins) },

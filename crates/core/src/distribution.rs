@@ -61,12 +61,7 @@ pub fn density_mismatch(prediction: &Distribution, hist: &Histogram) -> f64 {
     let predicted = prediction.density_on(-1.0, 1.0, bins);
     let actual = hist.density();
     let peak = actual.iter().cloned().fold(f64::MIN, f64::max).max(1e-12);
-    predicted
-        .iter()
-        .zip(&actual)
-        .map(|(p, a)| (p - a).abs())
-        .fold(0.0, f64::max)
-        / peak
+    predicted.iter().zip(&actual).map(|(p, a)| (p - a).abs()).fold(0.0, f64::max) / peak
 }
 
 #[cfg(test)]

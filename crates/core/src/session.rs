@@ -8,9 +8,11 @@
 use crate::misr::Misr;
 use faultsim::{FaultSimResult, FaultUniverse, ParallelFaultSimulator, SimOptions, StageSchedule};
 use filters::FilterDesign;
+use obs::{Registry, RunArtifact, StageTiming};
 use rtl::range::RangeAnalysis;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 use tpg::TestGenerator;
 
 /// Unified error type at the session boundary: everything the lower
@@ -106,13 +108,20 @@ pub struct RunConfig {
     misr_width: u32,
     schedule: StageSchedule,
     threads: usize,
+    metrics: Option<Arc<Registry>>,
 }
 
 impl RunConfig {
     /// A configuration applying `vectors` test patterns, with default
     /// MISR width (16), stage schedule and thread count (one per core).
     pub fn new(vectors: usize) -> Self {
-        RunConfig { vectors, misr_width: 16, schedule: StageSchedule::new(), threads: 0 }
+        RunConfig {
+            vectors,
+            misr_width: 16,
+            schedule: StageSchedule::new(),
+            threads: 0,
+            metrics: None,
+        }
     }
 
     /// Overrides the test length.
@@ -141,6 +150,16 @@ impl RunConfig {
         self
     }
 
+    /// Attaches a campaign-level metric registry: every run's per-stage
+    /// spans, engine counters and latency histograms are folded into it
+    /// (counters accumulate across runs, spans append). Each run's own
+    /// [`RunArtifact`] is built regardless, so this is only needed for
+    /// cross-run aggregation.
+    pub fn with_metrics(mut self, metrics: Arc<Registry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
     /// Test length in vectors.
     pub fn vectors(&self) -> usize {
         self.vectors
@@ -159,6 +178,11 @@ impl RunConfig {
     /// Worker-thread count (`0` = one per core).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The attached campaign metric registry, if any.
+    pub fn metrics(&self) -> Option<&Arc<Registry>> {
+        self.metrics.as_ref()
     }
 }
 
@@ -201,8 +225,7 @@ impl<'d> BistSession<'d> {
             });
         }
         let ranges = design.claimed_ranges().clone();
-        let reach =
-            rtl::reachability::Reachability::analyze(netlist, design.spec().input_bits);
+        let reach = rtl::reachability::Reachability::analyze(netlist, design.spec().input_bits);
         let universe = FaultUniverse::enumerate_pruned(netlist, &ranges, &reach);
         Ok(BistSession { design, ranges, universe })
     }
@@ -226,7 +249,14 @@ impl<'d> BistSession<'d> {
     /// against every fault, sharding the fault universe across
     /// [`RunConfig::threads`] worker threads. The generator is reset
     /// first, so runs are reproducible — and results are bit-identical
-    /// at every thread count.
+    /// at every thread count, with or without metrics attached.
+    ///
+    /// Each pipeline phase (pattern generation, fault simulation,
+    /// signature compaction) runs under an [`obs`] span; the timings,
+    /// engine counters and the missed-fault census land in the
+    /// returned run's [`BistRun::artifact`]. A registry attached via
+    /// [`RunConfig::with_metrics`] additionally receives every metric
+    /// for cross-run aggregation.
     ///
     /// # Errors
     ///
@@ -253,30 +283,81 @@ impl<'d> BistSession<'d> {
         }
         let mut misr = Misr::new(config.misr_width())?;
 
-        generator.reset();
-        let inputs: Vec<i64> = (0..config.vectors())
-            .map(|_| self.design.align_input(generator.next_word()))
-            .collect();
+        // A fresh per-run registry keeps the artifact's spans and
+        // counters scoped to exactly this run; the caller's campaign
+        // registry (if any) absorbs the snapshot at the end.
+        let registry = Arc::new(Registry::new());
+
+        let inputs: Vec<i64> = {
+            let _span = registry.span("session.patterns");
+            generator.reset();
+            (0..config.vectors()).map(|_| self.design.align_input(generator.next_word())).collect()
+        };
+
         let options = SimOptions::new()
             .with_schedule(config.schedule().clone())
-            .with_threads(config.threads());
-        let result = ParallelFaultSimulator::new(self.design.netlist(), &self.universe)
-            .with_options(options)
-            .run(&inputs);
+            .with_threads(config.threads())
+            .with_metrics(Arc::clone(&registry));
+        let threads_used = options.effective_threads();
+        let result = {
+            let _span = registry.span("session.fault_sim");
+            ParallelFaultSimulator::new(self.design.netlist(), &self.universe)
+                .with_options(options)
+                .run(&inputs)
+        };
 
         // Signature of the good response (the production BIST readout).
-        let good = faultsim::inject::probe_node(
-            self.design.netlist(),
-            self.design.output(),
-            &inputs,
-        );
-        misr.absorb_all(&good);
+        let signature = {
+            let _span = registry.span("session.signature");
+            let good =
+                faultsim::inject::probe_node(self.design.netlist(), self.design.output(), &inputs);
+            misr.absorb_all(&good);
+            misr.signature()
+        };
 
-        Ok(BistRun {
-            generator: generator.name().to_string(),
-            result,
-            signature: misr.signature(),
-        })
+        let snapshot = registry.snapshot();
+        if let Some(campaign) = config.metrics() {
+            campaign.absorb(&snapshot);
+        }
+
+        let mut artifact = RunArtifact::new(self.design.name(), generator.name());
+        artifact.vectors = result.total_cycles();
+        artifact.threads = threads_used;
+        artifact.total_faults = self.universe.len();
+        artifact.detected = result.detected_count();
+        artifact.missed = self.universe.len() - result.detected_count();
+        artifact.coverage = result.coverage_after(result.total_cycles());
+        artifact.missed_by_class = self.missed_census(&result);
+        artifact.signature = signature;
+        artifact.stages = snapshot
+            .spans
+            .iter()
+            .map(|s| StageTiming { name: s.name.clone(), millis: s.millis() })
+            .collect();
+        artifact.counters = snapshot.counters.into_iter().collect();
+
+        Ok(BistRun { generator: generator.name().to_string(), result, signature, artifact })
+    }
+
+    /// Census of the missed faults by difficult-test class (paper
+    /// Table 2): for each of T1/T2/T5/T6, how many missed fault classes
+    /// are detectable by that cell-level test. A fault detectable by
+    /// several difficult tests counts toward each.
+    fn missed_census(&self, result: &FaultSimResult) -> Vec<(String, usize)> {
+        let mut counts = [0usize; 4];
+        for fid in result.missed() {
+            let tests = self.universe.site(fid).detecting_tests;
+            for (slot, t) in crate::zones::DifficultTest::all().into_iter().enumerate() {
+                if tests & (1u8 << t.number()) != 0 {
+                    counts[slot] += 1;
+                }
+            }
+        }
+        crate::zones::DifficultTest::all()
+            .into_iter()
+            .zip(counts)
+            .map(|(t, n)| (format!("T{}", t.number()), n))
+            .collect()
     }
 }
 
@@ -289,6 +370,9 @@ pub struct BistRun {
     pub result: FaultSimResult,
     /// Good-machine MISR signature of the full response.
     pub signature: u64,
+    /// The structured end-of-run record: coverage, missed-fault census
+    /// by difficult-test class, per-stage durations, engine counters.
+    pub artifact: RunArtifact,
 }
 
 impl BistRun {
@@ -378,8 +462,7 @@ mod tests {
         let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
         let serial = s.run(&mut gen, &RunConfig::new(192).with_threads(1)).unwrap();
         for threads in [2usize, 4] {
-            let sharded =
-                s.run(&mut gen, &RunConfig::new(192).with_threads(threads)).unwrap();
+            let sharded = s.run(&mut gen, &RunConfig::new(192).with_threads(threads)).unwrap();
             assert_eq!(
                 serial.result.detection_cycles(),
                 sharded.result.detection_cycles(),
@@ -396,10 +479,7 @@ mod tests {
         let mut a = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
         let mut b = Ramp::new(12).unwrap();
         let cfg = RunConfig::new(64);
-        assert_ne!(
-            s.run(&mut a, &cfg).unwrap().signature,
-            s.run(&mut b, &cfg).unwrap().signature
-        );
+        assert_ne!(s.run(&mut a, &cfg).unwrap().signature, s.run(&mut b, &cfg).unwrap().signature);
     }
 
     #[test]
@@ -456,7 +536,9 @@ mod tests {
             assert!(w[1].1 >= w[0].1 - 1e-12);
         }
         let norm = run.normalized_missed(&d);
-        assert!((norm - run.missed() as f64 / d.netlist().stats().arithmetic() as f64).abs() < 1e-12);
+        assert!(
+            (norm - run.missed() as f64 / d.netlist().stats().arithmetic() as f64).abs() < 1e-12
+        );
     }
 
     #[test]
@@ -478,5 +560,105 @@ mod tests {
         let e = SessionError::InvalidConfig { reason: "nope".into() };
         assert!(e.to_string().contains("nope"));
         assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn session_errors_chain_sources_for_every_wrapped_layer() {
+        // Each lower-layer error must surface through source(), and the
+        // chained cause's own message must match what Display embeds —
+        // this is what lets artifact/error reporting render full causes.
+        let cases: Vec<SessionError> = vec![
+            tpg::TpgError::UnsupportedWidth { width: 99 }.into(),
+            filters::FilterError::ScalingDiverged { l1: 2.5 }.into(),
+            rtl::RtlError::InvalidWidth { width: 1 }.into(),
+            dsp::DspError::NotPowerOfTwo { len: 3 }.into(),
+        ];
+        for e in cases {
+            let source =
+                std::error::Error::source(&e).unwrap_or_else(|| panic!("no source for {e}"));
+            assert!(
+                e.to_string().contains(&source.to_string()),
+                "display '{e}' does not embed its cause '{source}'"
+            );
+            // One level is enough for these leaf errors; walking the
+            // chain must terminate.
+            let mut depth = 0;
+            let mut cursor: Option<&(dyn std::error::Error + 'static)> = Some(source);
+            while let Some(c) = cursor {
+                depth += 1;
+                assert!(depth < 10, "unbounded error chain");
+                cursor = c.source();
+            }
+        }
+    }
+
+    #[test]
+    fn run_attaches_a_complete_artifact() {
+        let d = small_design(0.15);
+        let s = BistSession::new(&d).unwrap();
+        let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
+        let run = s.run(&mut gen, &RunConfig::new(256).with_threads(2)).unwrap();
+        let a = &run.artifact;
+        assert_eq!(a.design, "T");
+        assert_eq!(a.generator, run.generator);
+        assert_eq!(a.vectors, 256);
+        assert_eq!(a.threads, 2);
+        assert_eq!(a.total_faults, s.universe().len());
+        assert_eq!(a.detected + a.missed, a.total_faults);
+        assert_eq!(a.missed, run.missed());
+        assert!((a.coverage - run.coverage()).abs() < 1e-12);
+        assert_eq!(a.signature, run.signature);
+        // The three session phases appear as stages, in pipeline order.
+        let names: Vec<&str> = a.stages.iter().map(|st| st.name.as_str()).collect();
+        let patterns = names.iter().position(|n| *n == "session.patterns").unwrap();
+        let sim = names.iter().position(|n| *n == "session.fault_sim").unwrap();
+        let sig = names.iter().position(|n| *n == "session.signature").unwrap();
+        assert!(patterns < sim && sim < sig, "{names:?}");
+        assert!(names.iter().any(|n| n.starts_with("faultsim.stage")), "{names:?}");
+        // Engine counters came along.
+        let counters: std::collections::BTreeMap<_, _> = a.counters.iter().cloned().collect();
+        assert_eq!(counters["faultsim.faults_detected"], a.detected as u64);
+        assert_eq!(counters["faultsim.faults_undetected"], a.missed as u64);
+        // The census covers only missed faults; every count is bounded.
+        assert_eq!(a.missed_by_class.len(), 4);
+        for (class, n) in &a.missed_by_class {
+            assert!(class.starts_with('T'));
+            assert!(*n <= a.missed, "{class} census {n} > missed {}", a.missed);
+        }
+        // The artifact renders to JSON and a human summary.
+        assert!(a.to_json().to_json().contains("\"design\":\"T\""));
+        assert!(a.summary().contains("coverage"));
+    }
+
+    #[test]
+    fn campaign_registry_accumulates_across_runs() {
+        let d = small_design(0.15);
+        let s = BistSession::new(&d).unwrap();
+        let campaign = std::sync::Arc::new(obs::Registry::new());
+        let cfg = RunConfig::new(64).with_threads(1).with_metrics(std::sync::Arc::clone(&campaign));
+        let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
+        let a = s.run(&mut gen, &cfg).unwrap();
+        let b = s.run(&mut gen, &cfg).unwrap();
+        // Metrics attached or not, results stay bit-identical.
+        assert_eq!(a.signature, b.signature);
+        let snap = campaign.snapshot();
+        assert_eq!(
+            snap.counters["faultsim.faults_detected"],
+            (a.artifact.detected + b.artifact.detected) as u64
+        );
+        assert_eq!(snap.spans.iter().filter(|sp| sp.name == "session.fault_sim").count(), 2);
+    }
+
+    #[test]
+    fn instrumentation_does_not_change_detection_results() {
+        let d = small_design(0.15);
+        let s = BistSession::new(&d).unwrap();
+        let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
+        let plain = s.run(&mut gen, &RunConfig::new(128).with_threads(1)).unwrap();
+        let campaign = std::sync::Arc::new(obs::Registry::new());
+        let metered =
+            s.run(&mut gen, &RunConfig::new(128).with_threads(4).with_metrics(campaign)).unwrap();
+        assert_eq!(plain.result.detection_cycles(), metered.result.detection_cycles());
+        assert_eq!(plain.signature, metered.signature);
     }
 }

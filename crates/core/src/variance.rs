@@ -99,10 +99,7 @@ pub fn analyze(
 }
 
 /// Convenience: analyze every adder/subtractor of a filter design.
-pub fn analyze_design(
-    design: &filters::FilterDesign,
-    source: &SourceModel,
-) -> Vec<NodeVariance> {
+pub fn analyze_design(design: &filters::FilterDesign, source: &SourceModel) -> Vec<NodeVariance> {
     let netlist = design.netlist();
     let ranges = rtl::range::RangeAnalysis::analyze(
         netlist,
@@ -115,10 +112,7 @@ pub fn analyze_design(
 /// Nodes whose MSB utilization falls below `threshold` — the points the
 /// paper's variance analysis flags as potential attenuation problems.
 pub fn attenuation_problems(report: &[NodeVariance], threshold: f64) -> Vec<&NodeVariance> {
-    report
-        .iter()
-        .filter(|r| r.msb_utilization.is_some_and(|u| u < threshold))
-        .collect()
+    report.iter().filter(|r| r.msb_utilization.is_some_and(|u| u < threshold)).collect()
 }
 
 #[cfg(test)]
@@ -156,10 +150,7 @@ mod tests {
         // most of what the narrowband lowpass would pass: accumulator
         // variances drop sharply.
         let pick = |r: &[NodeVariance]| -> f64 {
-            r.iter()
-                .filter(|x| x.label.contains(".acc"))
-                .map(|x| x.variance)
-                .sum::<f64>()
+            r.iter().filter(|x| x.label.contains(".acc")).map(|x| x.variance).sum::<f64>()
         };
         let vw = pick(&white);
         let vs = pick(&shaped);

@@ -95,9 +95,12 @@ impl IoCondition {
 /// The two equivalent I/O condition classes (`a` and `b` in the paper's
 /// Table 2) asserting a difficult test at the next-to-MSB cell.
 pub fn io_conditions(test: DifficultTest) -> [IoCondition; 2] {
-    let c = |a_min: Option<f64>, a_max: Option<f64>, sum_min: Option<f64>, sum_max: Option<f64>, overflow: bool| {
-        IoCondition { a_min, a_max, sum_min, sum_max, overflow }
-    };
+    let c =
+        |a_min: Option<f64>,
+         a_max: Option<f64>,
+         sum_min: Option<f64>,
+         sum_max: Option<f64>,
+         overflow: bool| { IoCondition { a_min, a_max, sum_min, sum_max, overflow } };
     match test {
         // T1a: 0 <= A < 0.5, A+B >= 0.5 ; T1b: A < -0.5, A+B >= -0.5.
         DifficultTest::T1 => [
@@ -156,10 +159,7 @@ pub fn activation_probability(test: DifficultTest, dist: &Distribution, b_bound:
 /// justification for the paper's Table 2.
 pub fn classes_confined_to_difficult_tests() -> Vec<FaultClass> {
     let difficult_mask: u8 = DifficultTest::all().iter().map(|t| 1 << t.number()).sum();
-    fault_classes(None)
-        .into_iter()
-        .filter(|c| c.detecting_tests & !difficult_mask == 0)
-        .collect()
+    fault_classes(None).into_iter().filter(|c| c.detecting_tests & !difficult_mask == 0).collect()
 }
 
 #[cfg(test)]
@@ -249,8 +249,7 @@ mod tests {
     fn gate_level_model_confines_some_classes_to_difficult_tests() {
         let confined = classes_confined_to_difficult_tests();
         assert!(!confined.is_empty());
-        let difficult_mask: u8 =
-            DifficultTest::all().iter().map(|t| 1 << t.number()).sum();
+        let difficult_mask: u8 = DifficultTest::all().iter().map(|t| 1 << t.number()).sum();
         for c in &confined {
             assert_eq!(c.detecting_tests & !difficult_mask, 0);
         }

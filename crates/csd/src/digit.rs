@@ -75,7 +75,7 @@ impl Csd {
     /// The digits are sorted by descending power. No canonicity check is
     /// performed — use [`Csd::is_canonic`] if you need the guarantee.
     pub fn from_digits(mut digits: Vec<SignedDigit>) -> Self {
-        digits.sort_by(|a, b| b.power.cmp(&a.power));
+        digits.sort_by_key(|d| std::cmp::Reverse(d.power));
         Csd { digits }
     }
 
@@ -169,10 +169,7 @@ mod tests {
         let c7 = Csd::from_integer(7);
         assert_eq!(
             c7.digits(),
-            &[
-                SignedDigit { power: 3, negative: false },
-                SignedDigit { power: 0, negative: true }
-            ]
+            &[SignedDigit { power: 3, negative: false }, SignedDigit { power: 0, negative: true }]
         );
         // 5 = 4 + 1 (already sparse)
         assert_eq!(Csd::from_integer(5).nonzero_digits(), 2);

@@ -166,26 +166,20 @@ mod tests {
     fn single_tone_lands_in_one_bin() {
         let n = 64;
         let k0 = 5;
-        let signal: Vec<f64> = (0..n)
-            .map(|i| (2.0 * PI * k0 as f64 * i as f64 / n as f64).cos())
-            .collect();
+        let signal: Vec<f64> =
+            (0..n).map(|i| (2.0 * PI * k0 as f64 * i as f64 / n as f64).cos()).collect();
         let spec = fft_real(&signal).unwrap();
         for (k, z) in spec.iter().enumerate() {
             let expected = if k == k0 || k == n - k0 { n as f64 / 2.0 } else { 0.0 };
-            assert!(
-                (z.norm() - expected).abs() < 1e-9,
-                "bin {k}: {} vs {expected}",
-                z.norm()
-            );
+            assert!((z.norm() - expected).abs() < 1e-9, "bin {k}: {} vs {expected}", z.norm());
         }
     }
 
     #[test]
     fn fft_matches_direct_dft() {
         let n = 32;
-        let signal: Vec<Complex> = (0..n)
-            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
-            .collect();
+        let signal: Vec<Complex> =
+            (0..n).map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos())).collect();
         let reference = dft(&signal, -1.0).unwrap();
         let mut fast = signal.clone();
         fft(&mut fast).unwrap();

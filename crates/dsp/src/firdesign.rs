@@ -53,7 +53,9 @@ impl BandKind {
             }
             BandKind::Bandpass { low, high } | BandKind::Bandstop { low, high } => {
                 if !(low > 0.0 && low < high && high < 0.5) {
-                    return bad(format!("band edges ({low}, {high}) must satisfy 0 < low < high < 0.5"));
+                    return bad(format!(
+                        "band edges ({low}, {high}) must satisfy 0 < low < high < 0.5"
+                    ));
                 }
             }
         }
@@ -152,7 +154,7 @@ impl FirSpec {
         if self.taps == 0 {
             return Err(DspError::InvalidDesign { reason: "taps must be nonzero".into() });
         }
-        if self.taps % 2 == 0 {
+        if self.taps.is_multiple_of(2) {
             if let BandKind::Highpass { .. } | BandKind::Bandstop { .. } = self.kind {
                 return Err(DspError::InvalidDesign {
                     reason: format!(
@@ -223,7 +225,8 @@ mod tests {
 
     #[test]
     fn lowpass_response_shape() {
-        let h = FirSpec::new(BandKind::Lowpass { cutoff: 0.1 }, 61).kaiser_beta(7.0).design().unwrap();
+        let h =
+            FirSpec::new(BandKind::Lowpass { cutoff: 0.1 }, 61).kaiser_beta(7.0).design().unwrap();
         assert!((magnitude_at(&h, 0.0) - 1.0).abs() < 1e-6);
         assert!(magnitude_at(&h, 0.05) > 0.9);
         assert!(magnitude_at(&h, 0.25) < 1e-3);
@@ -232,7 +235,10 @@ mod tests {
 
     #[test]
     fn highpass_response_shape() {
-        let h = FirSpec::new(BandKind::Highpass { cutoff: 0.35 }, 61).kaiser_beta(7.0).design().unwrap();
+        let h = FirSpec::new(BandKind::Highpass { cutoff: 0.35 }, 61)
+            .kaiser_beta(7.0)
+            .design()
+            .unwrap();
         assert!((magnitude_at(&h, 0.5) - 1.0).abs() < 1e-6);
         assert!(magnitude_at(&h, 0.45) > 0.9);
         assert!(magnitude_at(&h, 0.1) < 1e-3);
@@ -262,10 +268,8 @@ mod tests {
 
     #[test]
     fn l1_bound_is_honored() {
-        let h = FirSpec::new(BandKind::Lowpass { cutoff: 0.06 }, 60)
-            .l1_bound(0.999)
-            .design()
-            .unwrap();
+        let h =
+            FirSpec::new(BandKind::Lowpass { cutoff: 0.06 }, 60).l1_bound(0.999).design().unwrap();
         let l1: f64 = h.iter().map(|c| c.abs()).sum();
         assert!((l1 - 0.999).abs() < 1e-9);
     }

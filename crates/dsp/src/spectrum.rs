@@ -60,8 +60,13 @@ impl PowerSpectrum {
         if total <= 0.0 {
             return 0.0;
         }
-        let below: f64 =
-            self.psd.iter().enumerate().filter(|(k, _)| self.frequency(*k) < f).map(|(_, &p)| p).sum();
+        let below: f64 = self
+            .psd
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| self.frequency(*k) < f)
+            .map(|(_, &p)| p)
+            .sum();
         below / total
     }
 

@@ -43,10 +43,7 @@ impl ActivationCensus {
 
     /// Ids (from `ids`) never activated by the stimulus — the
     /// near-redundant candidates at this stimulus length's resolution.
-    pub fn never_activated<'a>(
-        &'a self,
-        ids: &'a [FaultId],
-    ) -> impl Iterator<Item = FaultId> + 'a {
+    pub fn never_activated<'a>(&'a self, ids: &'a [FaultId]) -> impl Iterator<Item = FaultId> + 'a {
         ids.iter().copied().filter(move |&id| self.count(id) == 0)
     }
 }
@@ -101,10 +98,10 @@ pub fn activation_census(
             // Ripple once to recover each cell's carry-in.
             let mut carry: u64 = u64::from(is_sub);
             let mut combos = [0u8; 64];
-            for cell in 0..netlist.width() as usize {
+            for (cell, combo) in combos.iter_mut().enumerate().take(netlist.width() as usize) {
                 let av = (a_bits >> cell) & 1;
                 let bv = (b_bits >> cell) & 1;
-                combos[cell] = ((av << 2) | (bv << 1) | carry) as u8;
+                *combo = ((av << 2) | (bv << 1) | carry) as u8;
                 let x1 = av ^ bv;
                 carry = (av & bv) | (x1 & carry);
             }

@@ -124,11 +124,8 @@ impl FaultUniverse {
                 // its fault universe is the sum-only (XOR-path) set.
                 // Carry-save stages are untrimmed; only the word's top
                 // cell discards its carry.
-                let sum_only = if is_csa {
-                    cell == netlist.width() - 1
-                } else {
-                    cell >= netlist.msb_trim(id)
-                };
+                let sum_only =
+                    if is_csa { cell == netlist.width() - 1 } else { cell >= netlist.msb_trim(id) };
                 for class in classes_for(mask, sum_only) {
                     uncollapsed += class.members.len();
                     sites.push(FaultSite {
@@ -200,12 +197,7 @@ impl FaultUniverse {
 ///   non-negative yet a carry arriving — are *provably impossible*
 ///   there. This removes exactly the upper-bit redundancies the paper's
 ///   testable-design flow eliminates.
-fn range_combo_mask(
-    netlist: &Netlist,
-    ranges: &RangeAnalysis,
-    id: NodeId,
-    cell: u32,
-) -> u8 {
+fn range_combo_mask(netlist: &Netlist, ranges: &RangeAnalysis, id: NodeId, cell: u32) -> u8 {
     let (a, b, is_sub) = match netlist.node(id).kind {
         NodeKind::Add { a, b } => (a, b, false),
         NodeKind::Sub { a, b } => (a, b, true),
@@ -240,11 +232,9 @@ fn range_combo_mask(
     };
     let a_vals = bit_values(ra);
     // The cell's B line is inverted for a subtractor.
-    let b_vals: Vec<bool> =
-        bit_values(rb).into_iter().map(|v| v ^ is_sub).collect();
+    let b_vals: Vec<bool> = bit_values(rb).into_iter().map(|v| v ^ is_sub).collect();
 
-    let sign_region =
-        cell >= ra.msb_cell() && cell >= rb.msb_cell() && cell >= rout.msb_cell();
+    let sign_region = cell >= ra.msb_cell() && cell >= rb.msb_cell() && cell >= rout.msb_cell();
 
     let mut mask = 0u8;
     for &av in &a_vals {
@@ -261,11 +251,8 @@ fn range_combo_mask(
                 if a_lo > a_hi || b_lo > b_hi {
                     continue;
                 }
-                let (s_lo, s_hi) = if is_sub {
-                    (a_lo - b_hi, a_hi - b_lo)
-                } else {
-                    (a_lo + b_lo, a_hi + b_hi)
-                };
+                let (s_lo, s_hi) =
+                    if is_sub { (a_lo - b_hi, a_hi - b_lo) } else { (a_lo + b_lo, a_hi + b_hi) };
                 // If the exact sum can exceed the cell's capacity the
                 // stored sign wraps, so both signs become possible.
                 let capacity = 1i64 << cell.min(62);
@@ -455,7 +442,7 @@ mod tests {
         // Reference: direct integer simulation of the subtractor cells.
         let q = fixedpoint::QFormat::new(10, 9).unwrap();
         let mut prev = 0i64;
-        let mut observed = vec![0u8; 10];
+        let mut observed = [0u8; 10];
         let mut state = 0xACE1u64;
         for _ in 0..2000 {
             state ^= state << 13;

@@ -43,10 +43,8 @@ pub fn missed_by_node(
                 .active_span(netlist, node)
                 .map(|(_, msb)| msb)
                 .unwrap_or(netlist.width() - 1);
-            let bits_below_msb = missed
-                .iter()
-                .map(|&f| msb_cell.saturating_sub(universe.site(f).cell))
-                .collect();
+            let bits_below_msb =
+                missed.iter().map(|&f| msb_cell.saturating_sub(universe.site(f).cell)).collect();
             NodeMissSummary {
                 node,
                 label: netlist.node(node).label.clone(),
@@ -72,10 +70,8 @@ pub fn missed_by_depth(
     let mut hist: BTreeMap<u32, usize> = BTreeMap::new();
     for fid in result.missed() {
         let site = universe.site(fid);
-        let msb = ranges
-            .active_span(netlist, site.node)
-            .map(|(_, m)| m)
-            .unwrap_or(netlist.width() - 1);
+        let msb =
+            ranges.active_span(netlist, site.node).map(|(_, m)| m).unwrap_or(netlist.width() - 1);
         *hist.entry(msb.saturating_sub(site.cell)).or_insert(0) += 1;
     }
     hist
@@ -114,5 +110,104 @@ mod tests {
         let by_depth = missed_by_depth(&n, &u, &r, &result);
         let total2: usize = by_depth.values().sum();
         assert_eq!(total2, result.missed().len());
+    }
+
+    /// Two adders, one starved of stimulus: summaries come back in
+    /// descending miss-count order with node id as the tie-break.
+    #[test]
+    fn summaries_are_ordered_by_descending_miss_count() {
+        let mut b = NetlistBuilder::new(8).unwrap();
+        let x = b.input("x");
+        let s = b.shift_right(x, 4);
+        let a = b.add_labeled(x, x, "busy");
+        let q = b.add_labeled(s, s, "starved");
+        let y = b.add_labeled(a, q, "acc");
+        b.output(y, "y");
+        let n = b.finish().unwrap();
+        let r = RangeAnalysis::analyze(&n, aligned_input_range(8, 8));
+        let u = crate::FaultUniverse::enumerate(&n, &r);
+        // A couple of tiny values exercise the low cells of `busy`
+        // while `starved` sees almost nothing.
+        let inputs = vec![1i64, 2, 3, 1];
+        let result = ParallelFaultSimulator::new(&n, &u)
+            .with_schedule(StageSchedule::with_boundaries(vec![]))
+            .run(&inputs);
+        let by_node = missed_by_node(&n, &u, &r, &result);
+        assert!(!by_node.is_empty());
+        for pair in by_node.windows(2) {
+            let (hi, lo) = (&pair[0], &pair[1]);
+            assert!(
+                hi.missed.len() > lo.missed.len()
+                    || (hi.missed.len() == lo.missed.len() && hi.node < lo.node),
+                "{}:{} before {}:{}",
+                hi.label,
+                hi.missed.len(),
+                lo.label,
+                lo.missed.len()
+            );
+        }
+        // Every miss is attributed to the node its site names, at the
+        // depth its cell implies.
+        for s in &by_node {
+            for (&fid, &depth) in s.missed.iter().zip(&s.bits_below_msb) {
+                assert_eq!(u.site(fid).node, s.node);
+                assert_eq!(depth, s.msb_cell.saturating_sub(u.site(fid).cell));
+            }
+        }
+    }
+
+    /// The depth histogram is exactly the node summaries' depth column,
+    /// aggregated.
+    #[test]
+    fn depth_histogram_matches_node_summaries() {
+        let mut b = NetlistBuilder::new(9).unwrap();
+        let x = b.input("x");
+        let d = b.register(x);
+        let y = b.add_labeled(x, d, "acc");
+        b.output(y, "y");
+        let n = b.finish().unwrap();
+        let r = RangeAnalysis::analyze(&n, aligned_input_range(9, 9));
+        let u = crate::FaultUniverse::enumerate(&n, &r);
+        let inputs = vec![3i64, -5, 7, 0, 1];
+        let result = ParallelFaultSimulator::new(&n, &u)
+            .with_schedule(StageSchedule::with_boundaries(vec![]))
+            .run(&inputs);
+        let by_node = missed_by_node(&n, &u, &r, &result);
+        let by_depth = missed_by_depth(&n, &u, &r, &result);
+        let mut expected: BTreeMap<u32, usize> = BTreeMap::new();
+        for s in &by_node {
+            for &depth in &s.bits_below_msb {
+                *expected.entry(depth).or_insert(0) += 1;
+            }
+        }
+        assert_eq!(by_depth, expected);
+    }
+
+    /// A fully-detecting run produces empty reports, not phantom rows.
+    #[test]
+    fn clean_run_yields_empty_reports() {
+        let mut b = NetlistBuilder::new(4).unwrap();
+        let x = b.input("x");
+        let d = b.register(x);
+        let y = b.add_labeled(x, d, "acc");
+        b.output(y, "y");
+        let n = b.finish().unwrap();
+        let r = RangeAnalysis::analyze(&n, aligned_input_range(4, 4));
+        let u = crate::FaultUniverse::enumerate(&n, &r);
+        // Every ordered 4-bit operand pair reaches the adder via the
+        // register delay, detecting every enumerated fault.
+        let mut inputs = Vec::new();
+        for a in -8i64..8 {
+            for b in -8i64..8 {
+                inputs.push(a);
+                inputs.push(b);
+            }
+        }
+        let result = ParallelFaultSimulator::new(&n, &u)
+            .with_schedule(StageSchedule::with_boundaries(vec![]))
+            .run(&inputs);
+        assert!(result.missed().is_empty(), "exhaustive stimulus missed faults");
+        assert!(missed_by_node(&n, &u, &r, &result).is_empty());
+        assert!(missed_by_depth(&n, &u, &r, &result).is_empty());
     }
 }

@@ -1,9 +1,11 @@
 use crate::fault::{FaultId, FaultUniverse};
+use obs::Registry;
 use rtl::sim::{BitSlicedSim, CellFault};
 use rtl::Netlist;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Faulty machines per 64-lane bit-sliced pass (lane 0 is the good
 /// machine).
@@ -68,13 +70,14 @@ impl Default for StageSchedule {
 pub struct SimOptions {
     schedule: StageSchedule,
     threads: usize,
+    metrics: Option<Arc<Registry>>,
 }
 
 impl SimOptions {
     /// Default options: the default stage schedule, one worker per
-    /// available core.
+    /// available core, no metrics.
     pub fn new() -> Self {
-        SimOptions { schedule: StageSchedule::new(), threads: 0 }
+        SimOptions { schedule: StageSchedule::new(), threads: 0, metrics: None }
     }
 
     /// Overrides the fault-dropping stage schedule.
@@ -89,6 +92,21 @@ impl SimOptions {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Attaches a metric registry. The simulator records per-stage
+    /// spans (`faultsim.stage<i>`), per-shard and merge latency
+    /// histograms (`faultsim.shard_ms`, `faultsim.merge_ms`) and
+    /// stage/shard/fault counters into it. Purely observational:
+    /// detection results are bit-identical with and without metrics.
+    pub fn with_metrics(mut self, metrics: Arc<Registry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The attached metric registry, if any.
+    pub fn metrics(&self) -> Option<&Arc<Registry>> {
+        self.metrics.as_ref()
     }
 
     /// The configured stage schedule.
@@ -154,7 +172,7 @@ impl FaultSimResult {
 
     /// Number of faults still undetected after `cycle` vectors.
     pub fn missed_after(&self, cycle: u32) -> usize {
-        self.detection_cycle.iter().filter(|d| d.map_or(true, |c| c >= cycle)).count()
+        self.detection_cycle.iter().filter(|d| d.is_none_or(|c| c >= cycle)).count()
     }
 
     /// Fault coverage (fraction detected) after `cycle` vectors.
@@ -218,6 +236,12 @@ impl<'a> ParallelFaultSimulator<'a> {
         self
     }
 
+    /// Attaches a metric registry (see [`SimOptions::with_metrics`]).
+    pub fn with_metrics(mut self, metrics: Arc<Registry>) -> Self {
+        self.options = self.options.with_metrics(metrics);
+        self
+    }
+
     /// Runs the complete test sequence (one raw input word per cycle,
     /// already aligned to the netlist's input width) against every fault
     /// in the universe.
@@ -229,8 +253,10 @@ impl<'a> ParallelFaultSimulator<'a> {
     /// identical at every thread count.
     pub fn run(&self, inputs: &[i64]) -> FaultSimResult {
         let total = inputs.len() as u32;
+        let metrics = self.options.metrics.as_deref();
         let mut detection: Vec<Option<u32>> = vec![None; self.universe.len()];
         if self.universe.is_empty() || total == 0 {
+            Self::record_totals(metrics, &detection);
             return FaultSimResult { detection_cycle: detection, total_cycles: total };
         }
         let threads = self.options.effective_threads().max(1);
@@ -243,12 +269,19 @@ impl<'a> ParallelFaultSimulator<'a> {
         let mut active: Vec<FaultId> = self.universe.ids().collect();
         let mut states: HashMap<FaultId, Vec<u64>> = HashMap::new();
 
-        for (start, end) in self.options.schedule.stages(total) {
+        for (stage_index, (start, end)) in
+            self.options.schedule.stages(total).into_iter().enumerate()
+        {
             if active.is_empty() {
                 break;
             }
+            let stage_span = metrics.map(|m| obs::span!(m, "faultsim.stage{}", stage_index));
             let shards: Vec<&[FaultId]> = active.chunks(LANES_PER_PASS).collect();
             let workers = threads.min(shards.len());
+            if let Some(m) = metrics {
+                m.counter("faultsim.stages").inc();
+                m.counter("faultsim.shards").add(shards.len() as u64);
+            }
 
             let outcomes: Vec<ShardOutcome> = if workers <= 1 {
                 let out = shards
@@ -301,6 +334,7 @@ impl<'a> ParallelFaultSimulator<'a> {
             good_state = good_sim.register_state_lane(0);
 
             // Stage-boundary merge, in shard order.
+            let merge_started = metrics.map(|_| Instant::now());
             let mut survivors: Vec<FaultId> = Vec::new();
             let mut new_states: HashMap<FaultId, Vec<u64>> = HashMap::new();
             for outcome in outcomes {
@@ -315,9 +349,23 @@ impl<'a> ParallelFaultSimulator<'a> {
             survivors.sort();
             active = survivors;
             states = new_states;
+            if let (Some(m), Some(t)) = (metrics, merge_started) {
+                m.histogram("faultsim.merge_ms").record(t.elapsed().as_secs_f64() * 1000.0);
+            }
+            drop(stage_span);
         }
 
+        Self::record_totals(metrics, &detection);
         FaultSimResult { detection_cycle: detection, total_cycles: total }
+    }
+
+    /// Final detected/undetected counters for a completed run.
+    fn record_totals(metrics: Option<&Registry>, detection: &[Option<u32>]) {
+        if let Some(m) = metrics {
+            let detected = detection.iter().filter(|d| d.is_some()).count();
+            m.counter("faultsim.faults_detected").add(detected as u64);
+            m.counter("faultsim.faults_undetected").add((detection.len() - detected) as u64);
+        }
     }
 
     /// Simulates one shard of up to 63 faults over one stage, starting
@@ -332,6 +380,7 @@ impl<'a> ParallelFaultSimulator<'a> {
         start: u32,
         end: u32,
     ) -> ShardOutcome {
+        let shard_started = self.options.metrics.as_ref().map(|_| Instant::now());
         let mut sim = BitSlicedSim::new(self.netlist);
         // All lanes start from the good state, then faulty lanes get
         // their own diverged state.
@@ -387,6 +436,9 @@ impl<'a> ParallelFaultSimulator<'a> {
             m &= m - 1;
             let fid = group[(lane - 1) as usize];
             survivors.push((fid, sim.register_state_lane(lane)));
+        }
+        if let (Some(m), Some(t)) = (self.options.metrics.as_deref(), shard_started) {
+            m.histogram("faultsim.shard_ms").record(t.elapsed().as_secs_f64() * 1000.0);
         }
         ShardOutcome { detections, survivors }
     }
@@ -550,6 +602,60 @@ mod tests {
                 "threads = {threads} diverged from serial"
             );
         }
+    }
+
+    #[test]
+    fn instrumentation_observes_without_changing_results() {
+        let n = filterish(10);
+        let u = universe(&n);
+        let inputs = pseudo_inputs(150, 10);
+        let plain = ParallelFaultSimulator::new(&n, &u)
+            .with_schedule(StageSchedule::with_boundaries(vec![16, 48]))
+            .with_threads(2)
+            .run(&inputs);
+
+        let registry = Arc::new(Registry::new());
+        let metered = ParallelFaultSimulator::new(&n, &u)
+            .with_schedule(StageSchedule::with_boundaries(vec![16, 48]))
+            .with_threads(2)
+            .with_metrics(Arc::clone(&registry))
+            .run(&inputs);
+        assert_eq!(plain.detection_cycles(), metered.detection_cycles());
+
+        let s = registry.snapshot();
+        let stages = s.counters["faultsim.stages"];
+        assert!(
+            (1..=3).contains(&stages),
+            "16/48 boundaries over 150 cycles give at most 3 stages, got {stages}"
+        );
+        assert!(s.counters["faultsim.shards"] >= stages, "one shard minimum per stage");
+        assert_eq!(
+            s.counters["faultsim.faults_detected"] + s.counters["faultsim.faults_undetected"],
+            u.len() as u64
+        );
+        assert_eq!(s.counters["faultsim.faults_detected"], metered.detected_count() as u64);
+        // Every stage span recorded, shard and merge latencies sampled.
+        for stage in 0..stages {
+            assert_eq!(
+                s.spans.iter().filter(|sp| sp.name == format!("faultsim.stage{stage}")).count(),
+                1
+            );
+        }
+        assert_eq!(s.histograms["faultsim.shard_ms"].count, s.counters["faultsim.shards"]);
+        assert_eq!(s.histograms["faultsim.merge_ms"].count, stages);
+    }
+
+    #[test]
+    fn empty_run_still_reports_totals() {
+        let n = filterish(10);
+        let u = universe(&n);
+        let registry = Arc::new(Registry::new());
+        let result =
+            ParallelFaultSimulator::new(&n, &u).with_metrics(Arc::clone(&registry)).run(&[]);
+        assert_eq!(result.detected_count(), 0);
+        let s = registry.snapshot();
+        assert_eq!(s.counters["faultsim.faults_detected"], 0);
+        assert_eq!(s.counters["faultsim.faults_undetected"], u.len() as u64);
     }
 
     #[test]

@@ -105,9 +105,7 @@ fn threaded_runs_are_bit_identical_to_single_threaded() {
 
     for threads in [2usize, 4, 8] {
         let run = ParallelFaultSimulator::new(&netlist, &universe)
-            .with_options(
-                SimOptions::new().with_schedule(schedule.clone()).with_threads(threads),
-            )
+            .with_options(SimOptions::new().with_schedule(schedule.clone()).with_threads(threads))
             .run(&inputs);
         assert_eq!(
             run.detection_cycles(),
@@ -130,9 +128,7 @@ fn stage_boundary_past_total_cycles_is_harmless() {
     let serial = serial_reference(&netlist, &universe, &inputs);
     for threads in [1usize, 3] {
         let run = ParallelFaultSimulator::new(&netlist, &universe)
-            .with_options(
-                SimOptions::new().with_schedule(schedule.clone()).with_threads(threads),
-            )
+            .with_options(SimOptions::new().with_schedule(schedule.clone()).with_threads(threads))
             .run(&inputs);
         assert_eq!(run.detection_cycles(), &serial[..], "threads = {threads}");
         assert_eq!(run.total_cycles(), inputs.len() as u32);

@@ -385,7 +385,7 @@ mod tests {
         for n in 0..xs.len() {
             let mut acc: i64 = 0;
             for (k, c) in coeffs.iter().enumerate() {
-                if n >= k + 1 {
+                if n > k {
                     // +1: the output register delays everything by one.
                     let x = xs[n - k - 1] << 4;
                     for d in c.fractional_digits() {
@@ -501,8 +501,7 @@ mod tests {
 
     #[test]
     fn symmetric_form_halves_the_multipliers() {
-        let coeffs: Vec<_> =
-            vec![qc(0.05), qc(-0.1), qc(0.3), qc(0.3), qc(-0.1), qc(0.05)];
+        let coeffs: Vec<_> = vec![qc(0.05), qc(-0.1), qc(0.3), qc(0.3), qc(-0.1), qc(0.05)];
         let folded = build_symmetric_fir(&coeffs, 16).unwrap();
         let ripple = build_transposed_fir(&coeffs, 16).unwrap();
         // The folded form's register count is dominated by the delay
@@ -562,10 +561,7 @@ mod tests {
         let csa = build_csa_fir(&coeffs, 16).unwrap();
         let r = ripple.netlist.stats().registers;
         let c = csa.netlist.stats().registers;
-        assert!(
-            c >= 2 * r - 2,
-            "carry-save should roughly double the registers: {c} vs {r}"
-        );
+        assert!(c >= 2 * r - 2, "carry-save should roughly double the registers: {c} vs {r}");
         assert!(csa.netlist.stats().csa_stages > 0);
     }
 

@@ -1,4 +1,6 @@
-use crate::build::{build_csa_fir, build_symmetric_fir, build_transposed_fir, BuiltFilter, TapStructure};
+use crate::build::{
+    build_csa_fir, build_symmetric_fir, build_transposed_fir, BuiltFilter, TapStructure,
+};
 use crate::FilterError;
 use csd::QuantizedCoefficient;
 use dsp::firdesign::{BandKind, FirSpec};
@@ -118,7 +120,9 @@ impl FilterDesign {
         architecture: Architecture,
     ) -> Result<FilterDesign, FilterError> {
         if let ScalingPolicy::Statistical { k_rms } = scaling {
-            if !(k_rms > 0.0) {
+            // partial_cmp so NaN is rejected along with non-positives.
+            let positive = k_rms.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
+            if !positive {
                 return Err(FilterError::InvalidSpec {
                     reason: format!("k_rms {k_rms} must be positive"),
                 });
@@ -126,10 +130,7 @@ impl FilterDesign {
         }
         if spec.input_bits == 0 || spec.input_bits > spec.width {
             return Err(FilterError::InvalidSpec {
-                reason: format!(
-                    "input bits {} must be in 1..={}",
-                    spec.input_bits, spec.width
-                ),
+                reason: format!("input bits {} must be in 1..={}", spec.input_bits, spec.width),
             });
         }
         if spec.coef_frac_bits >= spec.width {
@@ -378,16 +379,10 @@ mod tests {
     fn rejects_bad_spec() {
         let mut s = small_spec();
         s.input_bits = 20;
-        assert!(matches!(
-            FilterDesign::elaborate(s),
-            Err(FilterError::InvalidSpec { .. })
-        ));
+        assert!(matches!(FilterDesign::elaborate(s), Err(FilterError::InvalidSpec { .. })));
         let mut s2 = small_spec();
         s2.coef_frac_bits = 16;
-        assert!(matches!(
-            FilterDesign::elaborate(s2),
-            Err(FilterError::InvalidSpec { .. })
-        ));
+        assert!(matches!(FilterDesign::elaborate(s2), Err(FilterError::InvalidSpec { .. })));
     }
 
     fn white_words(n: usize) -> Vec<i64> {
@@ -418,8 +413,7 @@ mod tests {
         };
         let wc = FilterDesign::elaborate(spec.clone()).unwrap();
         let stat =
-            FilterDesign::elaborate_with(spec, ScalingPolicy::Statistical { k_rms: 2.5 })
-                .unwrap();
+            FilterDesign::elaborate_with(spec, ScalingPolicy::Statistical { k_rms: 2.5 }).unwrap();
         let trim_total = |d: &FilterDesign| -> u32 {
             d.netlist().arithmetic_ids().iter().map(|&id| d.netlist().msb_trim(id)).sum()
         };

@@ -1,0 +1,236 @@
+//! Structured end-of-run artifacts.
+//!
+//! A [`RunArtifact`] is the machine-readable record of one BIST
+//! experiment: what was tested, with what resources, and what came out
+//! — coverage, the missed-fault census by difficult-test class, and
+//! per-stage wall-clock durations. The `bench` experiments binary
+//! aggregates these into `BENCH_*.json` files (see `EXPERIMENTS.md`
+//! for the schema), which is where the repository's performance
+//! trajectory accumulates.
+
+use crate::json::JsonValue;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Version tag written into every artifact, bumped on any
+/// backwards-incompatible schema change.
+pub const ARTIFACT_SCHEMA: u32 = 1;
+
+/// Wall-clock extent of one named pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageTiming {
+    /// Stage name (e.g. `session.fault_sim`).
+    pub name: String,
+    /// Total milliseconds spent in the stage.
+    pub millis: f64,
+}
+
+/// The structured outcome of one BIST run.
+///
+/// All fields are public plain data: the session layer fills them in,
+/// examples print [`RunArtifact::summary`], and the bench harness
+/// serializes [`RunArtifact::to_json`] into `BENCH_*.json` files.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArtifact {
+    /// Artifact schema version ([`ARTIFACT_SCHEMA`]).
+    pub schema: u32,
+    /// The design under test.
+    pub design: String,
+    /// The test-pattern generator's display name.
+    pub generator: String,
+    /// Test length in vectors.
+    pub vectors: u32,
+    /// Worker threads the fault simulator actually used.
+    pub threads: usize,
+    /// Collapsed fault classes in the universe.
+    pub total_faults: usize,
+    /// Faults detected by the test.
+    pub detected: usize,
+    /// Faults missed by the test.
+    pub missed: usize,
+    /// Final fault coverage in `[0, 1]`.
+    pub coverage: f64,
+    /// Missed faults detectable by each difficult test class
+    /// (`T1`/`T2`/`T5`/`T6`, paper Table 2). A fault detectable by
+    /// several classes counts toward each, so the census answers
+    /// "which difficult tests would have caught the residue?".
+    pub missed_by_class: Vec<(String, usize)>,
+    /// Good-machine MISR signature.
+    pub signature: u64,
+    /// Per-stage wall-clock durations, in pipeline order.
+    pub stages: Vec<StageTiming>,
+    /// Engine counters (shards simulated, stage repacks, ...), sorted
+    /// by name.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl RunArtifact {
+    /// An artifact with everything except identity zeroed; callers fill
+    /// in the measured fields.
+    pub fn new(design: impl Into<String>, generator: impl Into<String>) -> RunArtifact {
+        RunArtifact {
+            schema: ARTIFACT_SCHEMA,
+            design: design.into(),
+            generator: generator.into(),
+            vectors: 0,
+            threads: 0,
+            total_faults: 0,
+            detected: 0,
+            missed: 0,
+            coverage: 0.0,
+            missed_by_class: Vec::new(),
+            signature: 0,
+            stages: Vec::new(),
+            counters: Vec::new(),
+        }
+    }
+
+    /// Renders the artifact as a JSON object (field order fixed by the
+    /// schema, so output is byte-deterministic).
+    pub fn to_json(&self) -> JsonValue {
+        let classes =
+            self.missed_by_class.iter().fold(JsonValue::object(), |o, (k, v)| o.push(k, *v));
+        let stages = JsonValue::Array(
+            self.stages
+                .iter()
+                .map(|s| JsonValue::object().push("name", s.name.as_str()).push("ms", s.millis))
+                .collect(),
+        );
+        let counters = self.counters.iter().fold(JsonValue::object(), |o, (k, v)| o.push(k, *v));
+        JsonValue::object()
+            .push("schema", self.schema)
+            .push("design", self.design.as_str())
+            .push("generator", self.generator.as_str())
+            .push("vectors", self.vectors)
+            .push("threads", self.threads)
+            .push("total_faults", self.total_faults)
+            .push("detected", self.detected)
+            .push("missed", self.missed)
+            .push("coverage", self.coverage)
+            .push("missed_by_class", classes)
+            .push("signature", self.signature)
+            .push("stages", stages)
+            .push("counters", counters)
+    }
+
+    /// Writes the artifact as a pretty-printed standalone JSON file.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_json().to_json_pretty())
+    }
+
+    /// A compact human-readable block for examples and logs:
+    ///
+    /// ```text
+    /// LFSR-D on demo-lp: coverage 97.34% (4203/4318, 115 missed) after 2048 vectors, 8 threads
+    ///   missed by class: T1 60, T2 10, T5 25, T6 20
+    ///   stages: session.patterns 1.2 ms, session.fault_sim 431.0 ms
+    /// ```
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{} on {}: coverage {:.2}% ({}/{}, {} missed) after {} vectors, {} thread{}",
+            self.generator,
+            self.design,
+            100.0 * self.coverage,
+            self.detected,
+            self.total_faults,
+            self.missed,
+            self.vectors,
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
+        );
+        if !self.missed_by_class.is_empty() {
+            let _ = write!(out, "\n  missed by class:");
+            for (i, (class, n)) in self.missed_by_class.iter().enumerate() {
+                let _ = write!(out, "{} {class} {n}", if i == 0 { "" } else { "," });
+            }
+        }
+        if !self.stages.is_empty() {
+            let _ = write!(out, "\n  stages:");
+            for (i, stage) in self.stages.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "{} {} {:.1} ms",
+                    if i == 0 { "" } else { "," },
+                    stage.name,
+                    stage.millis
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunArtifact {
+        let mut a = RunArtifact::new("LP", "LFSR-D");
+        a.vectors = 4096;
+        a.threads = 4;
+        a.total_faults = 1000;
+        a.detected = 950;
+        a.missed = 50;
+        a.coverage = 0.95;
+        a.missed_by_class =
+            vec![("T1".into(), 30), ("T2".into(), 5), ("T5".into(), 10), ("T6".into(), 5)];
+        a.signature = 0xBEEF;
+        a.stages = vec![
+            StageTiming { name: "session.patterns".into(), millis: 1.25 },
+            StageTiming { name: "session.fault_sim".into(), millis: 250.5 },
+        ];
+        a.counters = vec![("faultsim.shards".into(), 16)];
+        a
+    }
+
+    #[test]
+    fn json_contains_the_full_schema() {
+        let json = sample().to_json().to_json();
+        for needle in [
+            "\"schema\":1",
+            "\"design\":\"LP\"",
+            "\"generator\":\"LFSR-D\"",
+            "\"vectors\":4096",
+            "\"threads\":4",
+            "\"coverage\":0.95",
+            "\"missed_by_class\":{\"T1\":30,\"T2\":5,\"T5\":10,\"T6\":5}",
+            "\"signature\":48879",
+            "\"stages\":[{\"name\":\"session.patterns\",\"ms\":1.25}",
+            "\"counters\":{\"faultsim.shards\":16}",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn summary_is_one_readable_block() {
+        let s = sample().summary();
+        assert!(s.starts_with("LFSR-D on LP: coverage 95.00% (950/1000, 50 missed)"), "{s}");
+        assert!(s.contains("after 4096 vectors, 4 threads"), "{s}");
+        assert!(s.contains("missed by class: T1 30, T2 5, T5 10, T6 5"), "{s}");
+        assert!(s.contains("stages: session.patterns 1.2 ms, session.fault_sim 250.5 ms"), "{s}");
+    }
+
+    #[test]
+    fn write_json_emits_parseable_pretty_file() {
+        let path = std::env::temp_dir().join("bist_obs_artifact_test.json");
+        sample().write_json(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("{\n  \"schema\": 1"), "{text}");
+        assert!(text.ends_with("}\n"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn new_artifact_is_identity_plus_zeros() {
+        let a = RunArtifact::new("D", "G");
+        assert_eq!(a.schema, ARTIFACT_SCHEMA);
+        assert_eq!(a.coverage, 0.0);
+        assert!(a.stages.is_empty());
+        let s = a.summary();
+        assert!(s.contains("0 threads"), "{s}");
+    }
+}

@@ -1,0 +1,230 @@
+//! Fixed-bucket histograms with lock-free recording.
+//!
+//! Bucket boundaries are chosen at construction and never reallocate,
+//! so `record` is a couple of atomic adds — cheap enough to call from
+//! every fault-simulation shard without perturbing the measurement.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default bucket upper bounds for wall-clock durations, in
+/// milliseconds: sub-millisecond shards up to multi-minute campaigns.
+pub const DURATION_MS_BOUNDS: [f64; 16] = [
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+    10_000.0, 30_000.0,
+];
+
+/// A fixed-bucket histogram of `f64` samples.
+///
+/// Tracks per-bucket counts (plus an overflow bucket), the sample
+/// count, sum, minimum and maximum. All updates are atomic; `f64`
+/// accumulators use compare-and-swap on the bit pattern.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over ascending inclusive upper bounds; a sample
+    /// lands in the first bucket whose bound is `>=` the sample, or in
+    /// the overflow bucket past the last bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not strictly ascending.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// A histogram with the default duration buckets (milliseconds).
+    pub fn durations() -> Histogram {
+        Histogram::new(&DURATION_MS_BOUNDS)
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: f64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        fetch_update_f64(&self.sum_bits, |s| s + value);
+        fetch_update_f64(&self.min_bits, |m| m.min(value));
+        fetch_update_f64(&self.max_bits, |m| m.max(value));
+    }
+
+    /// A consistent-enough point-in-time copy (individual fields are
+    /// read atomically; concurrent recording may skew them by the
+    /// in-flight samples, which is fine for reporting).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            min: f64::from_bits(self.min_bits.load(Ordering::Relaxed)),
+            max: f64::from_bits(self.max_bits.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// The configured bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Atomically folds a snapshot's samples into this histogram
+    /// (counts add, extrema extend). Used by `Registry::absorb`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket bounds differ.
+    pub fn merge_from(&self, other: &HistogramSnapshot) {
+        assert_eq!(self.bounds, other.bounds, "cannot merge histograms with different buckets");
+        for (bucket, &n) in self.buckets.iter().zip(&other.counts) {
+            bucket.fetch_add(n, Ordering::Relaxed);
+        }
+        self.count.fetch_add(other.count, Ordering::Relaxed);
+        fetch_update_f64(&self.sum_bits, |s| s + other.sum);
+        fetch_update_f64(&self.min_bits, |m| m.min(other.min));
+        fetch_update_f64(&self.max_bits, |m| m.max(other.max));
+    }
+}
+
+fn fetch_update_f64(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(current)).to_bits();
+        match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+/// Plain-data copy of a [`Histogram`] at one instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample (`+inf` when empty).
+    pub min: f64,
+    /// Largest sample (`-inf` when empty).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value, `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Merges another snapshot's samples into this one (same bounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket bounds differ.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        assert_eq!(self.bounds, other.bounds, "cannot merge histograms with different buckets");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_land_in_the_right_buckets() {
+        let h = Histogram::new(&[1.0, 10.0, 100.0]);
+        h.record(0.5); // bucket 0 (<= 1.0)
+        h.record(1.0); // bucket 0 (inclusive upper bound)
+        h.record(5.0); // bucket 1
+        h.record(1000.0); // overflow
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 1, 0, 1]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 0.5);
+        assert_eq!(s.max, 1000.0);
+        assert!((s.sum - 1006.5).abs() < 1e-9);
+        assert!((s.mean() - 1006.5 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_has_neutral_summary() {
+        let s = Histogram::durations().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min, f64::INFINITY);
+        assert_eq!(s.max, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_extends_extrema() {
+        let a = Histogram::new(&[1.0, 2.0]);
+        a.record(0.5);
+        let b = Histogram::new(&[1.0, 2.0]);
+        b.record(1.5);
+        b.record(9.0);
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.counts, vec![1, 1, 1]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 0.5);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::new(&[50.0]);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..1000 {
+                        h.record((t * 1000 + i) as f64 * 0.01);
+                    }
+                });
+            }
+        });
+        let s = h.snapshot();
+        assert_eq!(s.count, 4000);
+        assert_eq!(s.counts.iter().sum::<u64>(), 4000);
+        assert_eq!(s.min, 0.0);
+        assert!((s.max - 39.99).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_bounds_panic() {
+        Histogram::new(&[2.0, 1.0]);
+    }
+}

@@ -1,0 +1,283 @@
+//! Hand-rolled JSON construction — no serde, no external crates.
+//!
+//! The observability layer must stay inside the workspace's offline
+//! build gate, so artifacts and JSONL events are serialized by this
+//! ~150-line writer instead of a serialization framework. Objects keep
+//! their insertion order, which makes every emitted document
+//! byte-deterministic for a given input.
+
+use std::fmt::Write as _;
+
+/// A JSON value with deterministic (insertion-ordered) objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer (serialized without a decimal point).
+    Int(i64),
+    /// An unsigned integer (serialized without a decimal point).
+    UInt(u64),
+    /// A finite float. Non-finite values serialize as `null` (JSON has
+    /// no NaN/Infinity).
+    Float(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in insertion order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// An empty object, ready for [`JsonValue::push`].
+    pub fn object() -> JsonValue {
+        JsonValue::Object(Vec::new())
+    }
+
+    /// Appends a key/value pair to an object (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn push(mut self, key: &str, value: impl Into<JsonValue>) -> JsonValue {
+        match &mut self {
+            JsonValue::Object(pairs) => pairs.push((key.to_string(), value.into())),
+            other => panic!("push on non-object JSON value {other:?}"),
+        }
+        self
+    }
+
+    /// Serializes to a compact, single-line JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    /// Serializes with two-space indentation (for human-read artifacts).
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            JsonValue::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            JsonValue::Float(f) => write_float(out, *f),
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            JsonValue::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            JsonValue::Object(pairs) if !pairs.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.write_into(out),
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Floats print with enough precision to round-trip (`{:?}` on f64 is
+/// the shortest representation that parses back exactly); non-finite
+/// values become `null`.
+fn write_float(out: &mut String, f: f64) {
+    if f.is_finite() {
+        let _ = write!(out, "{f:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        JsonValue::Int(v)
+    }
+}
+
+impl From<u32> for JsonValue {
+    fn from(v: u32) -> Self {
+        JsonValue::UInt(v as u64)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::UInt(v)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::UInt(v as u64)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Float(v)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+
+impl<T: Into<JsonValue>> From<Vec<T>> for JsonValue {
+    fn from(v: Vec<T>) -> Self {
+        JsonValue::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialize() {
+        assert_eq!(JsonValue::Null.to_json(), "null");
+        assert_eq!(JsonValue::Bool(true).to_json(), "true");
+        assert_eq!(JsonValue::Int(-3).to_json(), "-3");
+        assert_eq!(JsonValue::UInt(u64::MAX).to_json(), "18446744073709551615");
+        assert_eq!(JsonValue::Float(0.5).to_json(), "0.5");
+        assert_eq!(JsonValue::Float(f64::NAN).to_json(), "null");
+        assert_eq!(JsonValue::Float(f64::INFINITY).to_json(), "null");
+    }
+
+    #[test]
+    fn strings_escape_control_and_quote_characters() {
+        let v = JsonValue::from("a\"b\\c\nd\te\r\u{1}");
+        assert_eq!(v.to_json(), "\"a\\\"b\\\\c\\nd\\te\\r\\u0001\"");
+    }
+
+    #[test]
+    fn objects_keep_insertion_order() {
+        let v = JsonValue::object()
+            .push("zebra", 1u64)
+            .push("alpha", 2u64)
+            .push("nested", JsonValue::from(vec![1i64, 2, 3]));
+        assert_eq!(v.to_json(), "{\"zebra\":1,\"alpha\":2,\"nested\":[1,2,3]}");
+    }
+
+    #[test]
+    fn floats_round_trip_shortest() {
+        assert_eq!(JsonValue::Float(0.1).to_json(), "0.1");
+        assert_eq!(JsonValue::Float(1.0).to_json(), "1.0");
+        assert_eq!(JsonValue::Float(1e300).to_json(), "1e300");
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_parses_the_same_shape() {
+        let v = JsonValue::object()
+            .push("a", 1u64)
+            .push("b", JsonValue::Array(vec![JsonValue::Bool(false)]));
+        let pretty = v.to_json_pretty();
+        assert!(pretty.contains("\n  \"a\": 1"));
+        assert!(pretty.ends_with("}\n"));
+        // Empty containers stay compact.
+        assert_eq!(JsonValue::object().to_json_pretty(), "{}\n");
+        assert_eq!(JsonValue::Array(vec![]).to_json_pretty(), "[]\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-object")]
+    fn push_on_array_panics() {
+        let _ = JsonValue::Array(vec![]).push("k", 1u64);
+    }
+}

@@ -1,0 +1,57 @@
+//! Zero-dependency observability for the BIST pipeline.
+//!
+//! The fault-simulation campaigns this workspace runs (the paper's
+//! Tables 4–6 and every scaling experiment since) live or die by their
+//! quantitative outputs, so the pipeline needs first-class metrics
+//! without weakening the fully-offline build gate. This crate provides
+//! the whole layer with **no dependencies beyond `std`**:
+//!
+//! * [`Registry`] — named atomic [`Counter`]s, gauges and fixed-bucket
+//!   [`Histogram`]s, shareable across worker threads behind an `Arc`;
+//!   snapshots are plain data with sorted, deterministic JSON output.
+//! * [`Span`] / [`span!`] — RAII wall-clock timers: one guard per
+//!   pipeline phase, recorded into the registry's span log (and a
+//!   same-named duration histogram) on drop.
+//! * [`JsonValue`] — a ~200-line hand-rolled JSON writer (no serde)
+//!   with insertion-ordered objects.
+//! * [`JsonlSink`] — a thread-safe one-JSON-document-per-line event
+//!   writer.
+//! * [`RunArtifact`] — the structured end-of-run record (coverage,
+//!   missed-fault census by difficult-test class, per-stage durations)
+//!   that `bench`'s experiments binary aggregates into `BENCH_*.json`
+//!   files.
+//!
+//! Instrumentation is strictly observational: the fault simulator's
+//! results stay bit-identical with and without a registry attached.
+//!
+//! ```
+//! use bist_obs::{span, Registry, RunArtifact};
+//!
+//! let registry = Registry::new();
+//! let shards = registry.counter("faultsim.shards");
+//! {
+//!     let _stage = span!(registry, "faultsim.stage{}", 0);
+//!     shards.add(16);
+//! }
+//! let snapshot = registry.snapshot();
+//! assert_eq!(snapshot.counters["faultsim.shards"], 16);
+//! assert_eq!(snapshot.spans[0].name, "faultsim.stage0");
+//!
+//! let mut artifact = RunArtifact::new("LP", "LFSR-D");
+//! artifact.coverage = 0.97;
+//! assert!(artifact.to_json().to_json().contains("\"coverage\":0.97"));
+//! ```
+
+pub mod artifact;
+pub mod hist;
+pub mod json;
+pub mod metrics;
+pub mod sink;
+pub mod span;
+
+pub use artifact::{RunArtifact, StageTiming, ARTIFACT_SCHEMA};
+pub use hist::{Histogram, HistogramSnapshot, DURATION_MS_BOUNDS};
+pub use json::JsonValue;
+pub use metrics::{Counter, Registry, Snapshot, SpanRecord};
+pub use sink::JsonlSink;
+pub use span::Span;

@@ -1,0 +1,307 @@
+//! The metric [`Registry`]: named atomic counters, gauges and
+//! fixed-bucket histograms, plus the span log written by
+//! [`crate::span::Span`] guards.
+//!
+//! A registry is cheap to create (one per `BistSession::run` is the
+//! normal pattern) and safe to share across the fault simulator's
+//! worker threads behind an `Arc`. Metric handles ([`Counter`],
+//! [`Arc<Histogram>`]) are resolved once by name and then updated
+//! lock-free; the name→handle maps are only locked on first
+//! registration and at snapshot time.
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::json::JsonValue;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A monotonically increasing counter handle.
+///
+/// Clones share the same underlying atomic, so a handle can be hoisted
+/// out of a hot loop and updated without touching the registry again.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// One completed span: a named wall-clock interval relative to the
+/// owning registry's creation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The span's name (e.g. `session.fault_sim`).
+    pub name: String,
+    /// Start offset from registry creation, in microseconds.
+    pub start_us: u64,
+    /// Duration, in microseconds.
+    pub duration_us: u64,
+}
+
+impl SpanRecord {
+    /// Duration in milliseconds.
+    pub fn millis(&self) -> f64 {
+        self.duration_us as f64 / 1000.0
+    }
+}
+
+/// The root of the observability layer: a thread-safe collection of
+/// named counters, gauges, histograms and completed spans.
+#[derive(Debug)]
+pub struct Registry {
+    start: Instant,
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl Registry {
+    /// An empty registry; its creation instant is the zero point for
+    /// span start offsets.
+    pub fn new() -> Registry {
+        Registry {
+            start: Instant::now(),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The registry's creation instant (span time zero).
+    pub fn start(&self) -> Instant {
+        self.start
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().expect("registry lock");
+        map.entry(name.to_string()).or_insert_with(|| Counter(Arc::new(AtomicU64::new(0)))).clone()
+    }
+
+    /// Sets the gauge named `name` (last write wins).
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.gauges.lock().expect("registry lock").insert(name.to_string(), value);
+    }
+
+    /// The histogram named `name`, created with the default duration
+    /// buckets (milliseconds) on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &crate::hist::DURATION_MS_BOUNDS)
+    }
+
+    /// The histogram named `name`, created with the given bucket bounds
+    /// on first use (an existing histogram keeps its original bounds).
+    pub fn histogram_with(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("registry lock");
+        map.entry(name.to_string()).or_insert_with(|| Arc::new(Histogram::new(bounds))).clone()
+    }
+
+    /// Appends a completed span to the span log. Normally called by the
+    /// [`crate::span::Span`] guard's `Drop`, not directly.
+    pub fn record_span(&self, record: SpanRecord) {
+        let hist = self.histogram(&record.name);
+        hist.record(record.millis());
+        self.spans.lock().expect("registry lock").push(record);
+    }
+
+    /// A point-in-time copy of every metric, suitable for JSON
+    /// rendering or merging into another registry.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("registry lock")
+                .iter()
+                .map(|(k, c)| (k.clone(), c.get()))
+                .collect(),
+            gauges: self.gauges.lock().expect("registry lock").clone(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("registry lock")
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+            spans: self.spans.lock().expect("registry lock").clone(),
+        }
+    }
+
+    /// Folds a snapshot into this registry: counters add, gauges
+    /// overwrite, histograms merge (created with the incoming bounds if
+    /// absent), spans append. Lets a per-run registry report into a
+    /// long-lived campaign registry.
+    pub fn absorb(&self, snapshot: &Snapshot) {
+        for (name, value) in &snapshot.counters {
+            self.counter(name).add(*value);
+        }
+        for (name, value) in &snapshot.gauges {
+            self.set_gauge(name, *value);
+        }
+        for (name, incoming) in &snapshot.histograms {
+            self.histogram_with(name, &incoming.bounds).merge_from(incoming);
+        }
+        self.spans.lock().expect("registry lock").extend(snapshot.spans.iter().cloned());
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Plain-data copy of a [`Registry`] at one instant. Every map is a
+/// `BTreeMap`, so iteration — and therefore JSON output — is sorted
+/// and deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Completed spans, in completion order.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl Snapshot {
+    /// Renders the snapshot as a JSON object:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...},
+    /// "spans": [...]}`.
+    pub fn to_json(&self) -> JsonValue {
+        let counters = self.counters.iter().fold(JsonValue::object(), |o, (k, v)| o.push(k, *v));
+        let gauges = self.gauges.iter().fold(JsonValue::object(), |o, (k, v)| o.push(k, *v));
+        let histograms = self.histograms.iter().fold(JsonValue::object(), |o, (k, h)| {
+            o.push(
+                k,
+                JsonValue::object()
+                    .push("count", h.count)
+                    .push("sum", h.sum)
+                    .push("mean", h.mean())
+                    .push("min", if h.count == 0 { JsonValue::Null } else { h.min.into() })
+                    .push("max", if h.count == 0 { JsonValue::Null } else { h.max.into() })
+                    .push("bounds", h.bounds.clone())
+                    .push("counts", h.counts.clone()),
+            )
+        });
+        let spans = JsonValue::Array(
+            self.spans
+                .iter()
+                .map(|s| {
+                    JsonValue::object()
+                        .push("name", s.name.as_str())
+                        .push("start_us", s.start_us)
+                        .push("duration_us", s.duration_us)
+                })
+                .collect(),
+        );
+        JsonValue::object()
+            .push("counters", counters)
+            .push("gauges", gauges)
+            .push("histograms", histograms)
+            .push("spans", spans)
+    }
+
+    /// Total duration in milliseconds of all spans named `name`.
+    pub fn span_millis(&self, name: &str) -> f64 {
+        self.spans.iter().filter(|s| s.name == name).map(SpanRecord::millis).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_shared_by_name() {
+        let r = Registry::new();
+        let a = r.counter("faults.detected");
+        let b = r.counter("faults.detected");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter("faults.detected").get(), 3);
+        assert_eq!(r.snapshot().counters["faults.detected"], 3);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let r = Registry::new();
+        r.set_gauge("speedup", 1.5);
+        r.set_gauge("speedup", 2.5);
+        assert_eq!(r.snapshot().gauges["speedup"], 2.5);
+    }
+
+    #[test]
+    fn histograms_keep_first_bounds() {
+        let r = Registry::new();
+        r.histogram_with("h", &[1.0, 2.0]).record(1.5);
+        let again = r.histogram_with("h", &[99.0]);
+        assert_eq!(again.bounds(), &[1.0, 2.0]);
+        assert_eq!(r.snapshot().histograms["h"].count, 1);
+    }
+
+    #[test]
+    fn absorb_merges_every_metric_kind() {
+        let run = Registry::new();
+        run.counter("shards").add(5);
+        run.set_gauge("coverage", 0.97);
+        run.histogram_with("stage_ms", &[10.0, 100.0]).record(50.0);
+        run.record_span(SpanRecord { name: "sim".into(), start_us: 0, duration_us: 1000 });
+
+        let campaign = Registry::new();
+        campaign.counter("shards").add(1);
+        campaign.histogram_with("stage_ms", &[10.0, 100.0]).record(5.0);
+        campaign.absorb(&run.snapshot());
+
+        let s = campaign.snapshot();
+        assert_eq!(s.counters["shards"], 6);
+        assert_eq!(s.gauges["coverage"], 0.97);
+        let h = &s.histograms["stage_ms"];
+        assert_eq!(h.count, 2, "5.0 and 50.0; the span's auto-histogram is separate");
+        assert_eq!(h.counts, vec![1, 1, 0]);
+        assert_eq!(h.min, 5.0);
+        assert_eq!(h.max, 50.0);
+        // The span arrived too (and its auto-histogram under its name).
+        assert_eq!(s.spans.len(), 1);
+        assert_eq!(s.span_millis("sim"), 1.0);
+        assert!(s.histograms.contains_key("sim"));
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic_and_sorted() {
+        let r = Registry::new();
+        r.counter("zz").inc();
+        r.counter("aa").inc();
+        let json = r.snapshot().to_json().to_json();
+        let aa = json.find("\"aa\"").unwrap();
+        let zz = json.find("\"zz\"").unwrap();
+        assert!(aa < zz, "{json}");
+        assert_eq!(json, r.snapshot().to_json().to_json());
+    }
+
+    #[test]
+    fn empty_histogram_serializes_null_extrema() {
+        let r = Registry::new();
+        let _ = r.histogram("empty");
+        let json = r.snapshot().to_json().to_json();
+        assert!(json.contains("\"min\":null"), "{json}");
+    }
+}

@@ -1,0 +1,140 @@
+//! Structured event output: one JSON document per line (JSONL).
+//!
+//! A [`JsonlSink`] serializes [`JsonValue`] events to any `Write`
+//! target behind a mutex, so the fault simulator's worker threads and
+//! the session layer can share one sink. Lines are written atomically
+//! (value + newline in a single locked section), so a JSONL file is
+//! valid even under concurrent emission.
+
+use crate::json::JsonValue;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A thread-safe line-oriented JSON event writer.
+pub struct JsonlSink {
+    writer: Mutex<Box<dyn Write + Send>>,
+    opened: Instant,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+impl JsonlSink {
+    /// A sink over any writer (e.g. `Vec<u8>` in tests, a socket, a
+    /// locked stderr).
+    pub fn new(writer: impl Write + Send + 'static) -> JsonlSink {
+        JsonlSink { writer: Mutex::new(Box::new(writer)), opened: Instant::now() }
+    }
+
+    /// A buffered sink writing to (and truncating) `path`.
+    pub fn to_file(path: impl AsRef<Path>) -> io::Result<JsonlSink> {
+        Ok(JsonlSink::new(BufWriter::new(File::create(path)?)))
+    }
+
+    /// Writes one event as a single JSONL line.
+    pub fn emit(&self, event: &JsonValue) -> io::Result<()> {
+        let mut w = self.writer.lock().expect("sink lock");
+        w.write_all(event.to_json().as_bytes())?;
+        w.write_all(b"\n")
+    }
+
+    /// Writes a named event with an `ev` tag and a `t_us` offset from
+    /// sink creation, followed by the given fields:
+    /// `{"ev":"stage_done","t_us":1234,...fields}`.
+    pub fn emit_event(&self, name: &str, fields: JsonValue) -> io::Result<()> {
+        let t_us = self.opened.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        let mut event = JsonValue::object().push("ev", name).push("t_us", t_us);
+        if let JsonValue::Object(pairs) = fields {
+            for (k, v) in pairs {
+                event = event.push(&k, v);
+            }
+        } else {
+            event = event.push("data", fields);
+        }
+        self.emit(&event)
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&self) -> io::Result<()> {
+        self.writer.lock().expect("sink lock").flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// A Write target that appends into a shared buffer.
+    #[derive(Clone)]
+    struct Shared(Arc<StdMutex<Vec<u8>>>);
+
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn events_are_one_line_each() {
+        let buf = Shared(Arc::new(StdMutex::new(Vec::new())));
+        let sink = JsonlSink::new(buf.clone());
+        sink.emit(&JsonValue::object().push("a", 1u64)).unwrap();
+        sink.emit(&JsonValue::object().push("b", "x\ny")).unwrap();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines, vec!["{\"a\":1}", "{\"b\":\"x\\ny\"}"]);
+    }
+
+    #[test]
+    fn emit_event_tags_and_timestamps() {
+        let buf = Shared(Arc::new(StdMutex::new(Vec::new())));
+        let sink = JsonlSink::new(buf.clone());
+        sink.emit_event("stage_done", JsonValue::object().push("stage", 2u64)).unwrap();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(text.starts_with("{\"ev\":\"stage_done\",\"t_us\":"), "{text}");
+        assert!(text.trim_end().ends_with(",\"stage\":2}"), "{text}");
+    }
+
+    #[test]
+    fn concurrent_emission_never_interleaves_lines() {
+        let buf = Shared(Arc::new(StdMutex::new(Vec::new())));
+        let sink = JsonlSink::new(buf.clone());
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let sink = &sink;
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        sink.emit(&JsonValue::object().push("t", t).push("i", i)).unwrap();
+                    }
+                });
+            }
+        });
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 400);
+        for line in lines {
+            assert!(line.starts_with("{\"t\":") && line.ends_with('}'), "mangled: {line}");
+        }
+    }
+
+    #[test]
+    fn file_sink_round_trips() {
+        let path = std::env::temp_dir().join("bist_obs_sink_test.jsonl");
+        let sink = JsonlSink::to_file(&path).unwrap();
+        sink.emit(&JsonValue::object().push("ok", true)).unwrap();
+        sink.flush().unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"ok\":true}\n");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,141 @@
+//! RAII span timers.
+//!
+//! A [`Span`] measures the wall-clock extent of one pipeline phase:
+//! created by [`Registry::span`] (or the [`span!`](crate::span!)
+//! macro), it records a [`SpanRecord`] — and a sample in the
+//! same-named duration histogram — when dropped.
+//!
+//! ```
+//! use bist_obs::{span, Registry};
+//!
+//! let registry = Registry::new();
+//! {
+//!     let _guard = span!(registry, "stage{}", 0);
+//!     // ... timed work ...
+//! }
+//! let snapshot = registry.snapshot();
+//! assert_eq!(snapshot.spans.len(), 1);
+//! assert_eq!(snapshot.spans[0].name, "stage0");
+//! ```
+
+use crate::metrics::{Registry, SpanRecord};
+use std::time::Instant;
+
+/// An in-flight timed span; the measurement lands in the registry when
+/// the guard drops.
+#[derive(Debug)]
+pub struct Span<'r> {
+    registry: &'r Registry,
+    name: String,
+    started: Instant,
+    finished: bool,
+}
+
+impl<'r> Span<'r> {
+    pub(crate) fn begin(registry: &'r Registry, name: String) -> Span<'r> {
+        Span { registry, name, started: Instant::now(), finished: false }
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Ends the span now and returns its duration in milliseconds
+    /// (instead of waiting for the guard to drop).
+    pub fn finish(mut self) -> f64 {
+        let duration_us = self.record();
+        self.finished = true;
+        duration_us as f64 / 1000.0
+    }
+
+    fn record(&self) -> u64 {
+        let start_us =
+            self.started.duration_since(self.registry.start()).as_micros().min(u64::MAX as u128)
+                as u64;
+        let duration_us = self.started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.registry.record_span(SpanRecord { name: self.name.clone(), start_us, duration_us });
+        duration_us
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = self.record();
+        }
+    }
+}
+
+impl Registry {
+    /// Starts a timed span; the measurement is recorded when the
+    /// returned guard drops (or [`Span::finish`] is called).
+    pub fn span(&self, name: impl Into<String>) -> Span<'_> {
+        Span::begin(self, name.into())
+    }
+}
+
+/// Starts a [`Span`] on a registry, with optional `format!`-style name
+/// interpolation: `span!(registry, "faultsim.stage{}", index)`.
+#[macro_export]
+macro_rules! span {
+    ($registry:expr, $name:literal $(, $arg:expr)+ $(,)?) => {
+        $registry.span(format!($name $(, $arg)+))
+    };
+    ($registry:expr, $name:expr $(,)?) => {
+        $registry.span($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dropped_span_records_duration_and_histogram() {
+        let r = Registry::new();
+        {
+            let _g = r.span("phase");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let s = r.snapshot();
+        assert_eq!(s.spans.len(), 1);
+        assert_eq!(s.spans[0].name, "phase");
+        assert!(s.spans[0].duration_us >= 2000, "{:?}", s.spans[0]);
+        assert_eq!(s.histograms["phase"].count, 1);
+        assert!(s.span_millis("phase") >= 2.0);
+    }
+
+    #[test]
+    fn finish_records_once() {
+        let r = Registry::new();
+        let g = r.span("once");
+        let ms = g.finish();
+        assert!(ms >= 0.0);
+        assert_eq!(r.snapshot().spans.len(), 1);
+    }
+
+    #[test]
+    fn spans_nest_and_order_by_completion() {
+        let r = Registry::new();
+        {
+            let _outer = r.span("outer");
+            let _inner = r.span("inner");
+        }
+        let names: Vec<String> = r.snapshot().spans.into_iter().map(|s| s.name).collect();
+        // Inner drops first (reverse declaration order).
+        assert_eq!(names, vec!["inner".to_string(), "outer".to_string()]);
+    }
+
+    #[test]
+    fn macro_interpolates_names() {
+        let r = Registry::new();
+        {
+            let _g = span!(r, "stage{}", 3);
+            let _h = span!(r, "plain");
+        }
+        let s = r.snapshot();
+        assert!(s.spans.iter().any(|rec| rec.name == "stage3"));
+        assert!(s.spans.iter().any(|rec| rec.name == "plain"));
+    }
+}

@@ -91,7 +91,13 @@ impl NetlistBuilder {
     /// Adds a carry-save (3:2 compressor) stage and returns its
     /// `(sum, carry)` node pair. Faults for the stage's shared
     /// full-adder cells are injected on the returned sum node.
-    pub fn csa(&mut self, a: NodeId, b: NodeId, c: NodeId, label: impl Into<String>) -> (NodeId, NodeId) {
+    pub fn csa(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        c: NodeId,
+        label: impl Into<String>,
+    ) -> (NodeId, NodeId) {
         let label = label.into();
         let sum = self.push(NodeKind::CsaSum { a, b, c }, label.clone());
         let carry = self.push(
@@ -144,8 +150,7 @@ impl NetlistBuilder {
             }
         }
         let mut order: Vec<u32> = Vec::with_capacity(n);
-        let mut ready: Vec<u32> =
-            (0..n as u32).filter(|&i| indegree[i as usize] == 0).collect();
+        let mut ready: Vec<u32> = (0..n as u32).filter(|&i| indegree[i as usize] == 0).collect();
         while let Some(i) = ready.pop() {
             order.push(i);
             for &j in &fanout[i as usize] {
@@ -317,10 +322,7 @@ impl Netlist {
     /// Structural statistics (the rows of the paper's Table 1, minus the
     /// fault count which depends on the fault model in `bist-faultsim`).
     pub fn stats(&self) -> NetlistStats {
-        let mut s = NetlistStats {
-            width: self.width,
-            ..NetlistStats::default()
-        };
+        let mut s = NetlistStats { width: self.width, ..NetlistStats::default() };
         for node in &self.nodes {
             match node.kind {
                 NodeKind::Input => s.inputs += 1,

@@ -203,8 +203,7 @@ pub fn eval_word_sum_only(a: u64, b: u64, ci: u64, faults: &[(FaFault, u64)]) ->
 }
 
 /// The physical lines of a sum-only (trimmed MSB) cell.
-pub const SUM_ONLY_LINES: [Line; 5] =
-    [Line::AXor, Line::BXor, Line::CiXor, Line::X1Xor, Line::Sum];
+pub const SUM_ONLY_LINES: [Line; 5] = [Line::AXor, Line::BXor, Line::CiXor, Line::X1Xor, Line::Sum];
 
 /// Collapsed fault classes of a sum-only cell under a reachable-combo
 /// mask; signatures are over the sum output alone (there is no carry
@@ -224,8 +223,7 @@ pub fn sum_only_fault_classes_masked(allowed_combos: u8) -> Vec<FaultClass> {
             let fault = FaFault { line, stuck_one };
             let sig: Vec<bool> =
                 combos.iter().map(|&(a, b, ci)| eval(a, b, ci, Some(fault))).collect();
-            let good: Vec<bool> =
-                combos.iter().map(|&(a, b, ci)| eval(a, b, ci, None)).collect();
+            let good: Vec<bool> = combos.iter().map(|&(a, b, ci)| eval(a, b, ci, None)).collect();
             if sig == good {
                 continue;
             }
@@ -240,7 +238,11 @@ pub fn sum_only_fault_classes_masked(allowed_combos: u8) -> Vec<FaultClass> {
             } else {
                 groups.push((
                     sig,
-                    FaultClass { representative: fault, members: vec![fault], detecting_tests: tests },
+                    FaultClass {
+                        representative: fault,
+                        members: vec![fault],
+                        detecting_tests: tests,
+                    },
                 ));
             }
         }
@@ -419,9 +421,7 @@ mod tests {
         for (i, a) in classes.iter().enumerate() {
             for b in classes.iter().skip(i + 1) {
                 let sig = |f: FaFault| -> Vec<(bool, bool)> {
-                    (0u8..8)
-                        .map(|t| eval_faulty(t & 4 != 0, t & 2 != 0, t & 1 != 0, f))
-                        .collect()
+                    (0u8..8).map(|t| eval_faulty(t & 4 != 0, t & 2 != 0, t & 1 != 0, f)).collect()
                 };
                 assert_ne!(sig(a.representative), sig(b.representative));
             }

@@ -183,7 +183,7 @@ mod tests {
     }
 
     #[test]
-    fn batch_matches_single(){
+    fn batch_matches_single() {
         let n = two_tap();
         let acc = n.find_label("acc").unwrap();
         let out = n.output_ids()[0];

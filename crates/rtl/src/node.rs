@@ -131,10 +131,7 @@ impl NodeKind {
     /// shared cells are addressed through the [`NodeKind::CsaSum`]
     /// node).
     pub fn is_arithmetic(&self) -> bool {
-        matches!(
-            self,
-            NodeKind::Add { .. } | NodeKind::Sub { .. } | NodeKind::CsaSum { .. }
-        )
+        matches!(self, NodeKind::Add { .. } | NodeKind::Sub { .. } | NodeKind::CsaSum { .. })
     }
 }
 

@@ -73,11 +73,8 @@ impl RangeAnalysis {
     /// the full word range.
     pub fn analyze(netlist: &Netlist, input_range: NodeRange) -> RangeAnalysis {
         let width = netlist.width();
-        let full = NodeRange {
-            lo: -(1i64 << (width - 1)),
-            hi: (1i64 << (width - 1)) - 1,
-            zero_lsbs: 0,
-        };
+        let full =
+            NodeRange { lo: -(1i64 << (width - 1)), hi: (1i64 << (width - 1)) - 1, zero_lsbs: 0 };
         let n = netlist.nodes().len();
         let mut ranges: Vec<Option<NodeRange>> = vec![None; n];
 
@@ -101,19 +98,23 @@ impl RangeAnalysis {
                         Some(ranges[src.index()].map_or(zero, |r| r.join(zero)))
                     }
                     NodeKind::Output { src } => ranges[src.index()],
-                    NodeKind::ShiftRight { src, amount } => ranges[src.index()].map(|r| {
-                        NodeRange {
+                    NodeKind::ShiftRight { src, amount } => {
+                        ranges[src.index()].map(|r| NodeRange {
                             lo: r.lo >> amount.min(62),
                             hi: r.hi >> amount.min(62),
                             zero_lsbs: r.zero_lsbs.saturating_sub(amount),
-                        }
-                    }),
-                    NodeKind::Add { a, b } => combine(ranges[a.index()], ranges[b.index()], full, |x, y| {
-                        (x.lo + y.lo, x.hi + y.hi)
-                    }),
-                    NodeKind::Sub { a, b } => combine(ranges[a.index()], ranges[b.index()], full, |x, y| {
-                        (x.lo - y.hi, x.hi - y.lo)
-                    }),
+                        })
+                    }
+                    NodeKind::Add { a, b } => {
+                        combine(ranges[a.index()], ranges[b.index()], full, |x, y| {
+                            (x.lo + y.lo, x.hi + y.hi)
+                        })
+                    }
+                    NodeKind::Sub { a, b } => {
+                        combine(ranges[a.index()], ranges[b.index()], full, |x, y| {
+                            (x.lo - y.hi, x.hi - y.lo)
+                        })
+                    }
                     NodeKind::Not { src } => ranges[src.index()].map(|r| NodeRange {
                         lo: -r.hi - 1,
                         hi: -r.lo - 1,
@@ -141,11 +142,7 @@ impl RangeAnalysis {
                             .filter_map(|op| ranges[op.index()].map(|r| r.zero_lsbs))
                             .min()
                             .unwrap_or(0);
-                        Some(NodeRange {
-                            lo: full.lo,
-                            hi: full.hi,
-                            zero_lsbs: (g + 1).min(width),
-                        })
+                        Some(NodeRange { lo: full.lo, hi: full.hi, zero_lsbs: (g + 1).min(width) })
                     }
                 };
                 // Registers need their own pass ordering: evaluate after
@@ -227,8 +224,8 @@ impl RangeAnalysis {
                 let (ra, rb, rc) =
                     (self.ranges[a.index()], self.ranges[b.index()], self.ranges[c.index()]);
                 let lsb = ra.zero_lsbs.min(rb.zero_lsbs).min(rc.zero_lsbs);
-                let msb = (ra.msb_cell().max(rb.msb_cell()).max(rc.msb_cell()) + 1)
-                    .min(self.width - 1);
+                let msb =
+                    (ra.msb_cell().max(rb.msb_cell()).max(rc.msb_cell()) + 1).min(self.width - 1);
                 return if lsb > msb { None } else { Some((lsb, msb)) };
             }
             _ => return None,

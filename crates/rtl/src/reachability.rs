@@ -82,7 +82,9 @@ impl Reachability {
                 match netlist.nodes()[i].kind {
                     NodeKind::Input => {}
                     NodeKind::Const { raw } => values[i] = raw,
-                    NodeKind::Register { .. } | NodeKind::CsaSum { .. } | NodeKind::CsaCarry { .. } => {
+                    NodeKind::Register { .. }
+                    | NodeKind::CsaSum { .. }
+                    | NodeKind::CsaCarry { .. } => {
                         unreachable!("registers and carry-save stages are never pure")
                     }
                     NodeKind::Output { src } => values[i] = values[src.index()],
@@ -209,11 +211,11 @@ fn pure_nodes(netlist: &Netlist) -> Vec<bool> {
 fn record_combos(masks: &mut [u8], a_bits: u64, b_bits: u64, subtract: bool, width: u32) {
     let b_line = if subtract { !b_bits } else { b_bits };
     let mut carry: u64 = u64::from(subtract);
-    for cell in 0..width as usize {
+    for (cell, mask) in masks.iter_mut().enumerate().take(width as usize) {
         let a = (a_bits >> cell) & 1;
         let b = (b_line >> cell) & 1;
         let combo = (a << 2) | (b << 1) | carry;
-        masks[cell] |= 1 << combo;
+        *mask |= 1 << combo;
         let x1 = a ^ b;
         carry = (a & b) | (x1 & carry);
     }
@@ -302,21 +304,21 @@ mod tests {
         let r = Reachability::analyze(&n, 6);
         let node = n.find_label("sum").unwrap();
 
-        let mut expect = vec![0u8; 6];
+        let mut expect = [0u8; 6];
         for v in -32i64..32 {
             let a = (v >> 1) as u64 & 0x3F;
             let bb = (v >> 3) as u64 & 0x3F;
             let mut carry = 0u64;
-            for cell in 0..6 {
+            for (cell, e) in expect.iter_mut().enumerate() {
                 let ab = (a >> cell) & 1;
                 let bbit = (bb >> cell) & 1;
-                expect[cell] |= 1 << ((ab << 2) | (bbit << 1) | carry);
+                *e |= 1 << ((ab << 2) | (bbit << 1) | carry);
                 let x1 = ab ^ bbit;
                 carry = (ab & bbit) | (x1 & carry);
             }
         }
-        for cell in 0..6 {
-            assert_eq!(r.combo_mask(node, cell as u32), expect[cell], "cell {cell}");
+        for (cell, &e) in expect.iter().enumerate() {
+            assert_eq!(r.combo_mask(node, cell as u32), e, "cell {cell}");
         }
     }
 

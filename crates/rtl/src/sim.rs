@@ -207,9 +207,7 @@ impl<'n> BitSlicedSim<'n> {
                 NodeKind::Add { a, b } => self.eval_arith(i, a, b, false),
                 NodeKind::Sub { a, b } => self.eval_arith(i, a, b, true),
                 NodeKind::CsaSum { a, b, c } => self.eval_csa(i, a, b, c, i, false),
-                NodeKind::CsaCarry { a, b, c, sum } => {
-                    self.eval_csa(i, a, b, c, sum.index(), true)
-                }
+                NodeKind::CsaCarry { a, b, c, sum } => self.eval_csa(i, a, b, c, sum.index(), true),
             }
         }
     }
@@ -218,7 +216,15 @@ impl<'n> BitSlicedSim<'n> {
     /// live on the paired sum node (`fault_node`); both outputs are
     /// computed through the same faulty gate network, so a single
     /// stuck-at consistently affects sum and carry.
-    fn eval_csa(&mut self, i: usize, a: NodeId, b: NodeId, c: NodeId, fault_node: usize, carry_out: bool) {
+    fn eval_csa(
+        &mut self,
+        i: usize,
+        a: NodeId,
+        b: NodeId,
+        c: NodeId,
+        fault_node: usize,
+        carry_out: bool,
+    ) {
         let w = self.w;
         let (pa, pb, pc) = (a.index() * w, b.index() * w, c.index() * w);
         let dst = i * w;

@@ -8,11 +8,11 @@
 //! (see the workspace `Cargo.toml` for how to re-enable it).
 #![cfg(feature = "proptest")]
 
-use proptest::prelude::*;
 use bist_rtl::range::{aligned_input_range, RangeAnalysis};
 use bist_rtl::reachability::Reachability;
 use bist_rtl::sim::BitSlicedSim;
 use bist_rtl::{Netlist, NetlistBuilder, NodeId, NodeKind};
+use proptest::prelude::*;
 
 /// A recipe for one random netlist node.
 #[derive(Debug, Clone)]

@@ -34,7 +34,10 @@ impl fmt::Display for TpgError {
                 write!(f, "no primitive polynomial tabulated for width {width}")
             }
             TpgError::InvalidPolynomial { poly, width } => {
-                write!(f, "polynomial {poly:#x} is not a degree-{width} polynomial with constant term")
+                write!(
+                    f,
+                    "polynomial {poly:#x} is not a degree-{width} polynomial with constant term"
+                )
             }
             TpgError::ZeroSeed => write!(f, "LFSR seed must be nonzero"),
             TpgError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),

@@ -203,7 +203,8 @@ impl Lfsr2 {
     /// Advances the raw state one step and returns the new state.
     pub fn step(&mut self) -> u64 {
         let out = (self.state >> (self.width - 1)) & 1;
-        self.state = ((self.state << 1) & self.state_mask) ^ if out == 1 { self.poly_low } else { 0 };
+        self.state =
+            ((self.state << 1) & self.state_mask) ^ if out == 1 { self.poly_low } else { 0 };
         self.state
     }
 
@@ -273,9 +274,7 @@ impl TestGenerator for Decorrelated {
         let s = self.inner.step();
         let mask = (1u64 << self.inner.width) - 1;
         let out = if s & 1 == 1 { s ^ (mask & !1) } else { s };
-        QFormat::new(self.inner.width, self.inner.width - 1)
-            .expect("valid width")
-            .sign_extend(out)
+        QFormat::new(self.inner.width, self.inner.width - 1).expect("valid width").sign_extend(out)
     }
 
     fn width(&self) -> u32 {
@@ -436,8 +435,8 @@ mod tests {
         let mut gen = MaxVariance::maximal(12).unwrap();
         let x: Vec<i64> = (0..100).map(|_| gen.next_word()).collect();
         assert!(x.iter().all(|&w| w == 2047 || w == -2048));
-        assert!(x.iter().any(|&w| w == 2047));
-        assert!(x.iter().any(|&w| w == -2048));
+        assert!(x.contains(&2047));
+        assert!(x.contains(&-2048));
     }
 
     #[test]

@@ -50,11 +50,7 @@ impl Mixed {
     ) -> Result<Self, TpgError> {
         if first.width() != second.width() {
             return Err(TpgError::InvalidParameter {
-                reason: format!(
-                    "generator widths differ: {} vs {}",
-                    first.width(),
-                    second.width()
-                ),
+                reason: format!("generator widths differ: {} vs {}", first.width(), second.width()),
             });
         }
         let name = format!("{}/{}", first.name(), second.name());

@@ -156,8 +156,8 @@ mod tests {
         let lfsr = Lfsr1::new(10, ShiftDirection::LsbToMsb).unwrap();
         let (delays, period) = bit_delays1(&lfsr);
         assert_eq!(delays[0], 0);
-        for j in 1..10 {
-            assert_eq!(delays[j] % period, period - j as u64, "bit {j}");
+        for (j, &d) in delays.iter().enumerate().skip(1) {
+            assert_eq!(d % period, period - j as u64, "bit {j}");
         }
     }
 

@@ -24,27 +24,27 @@ use crate::TpgError;
 pub fn primitive(width: u32) -> Result<u64, TpgError> {
     // Standard primitive polynomials (Bardell/McAnney/Savir tables).
     let p: u64 = match width {
-        4 => 0x13,          // x4+x+1
-        5 => 0x25,          // x5+x2+1
-        6 => 0x43,          // x6+x+1
-        7 => 0x89,          // x7+x3+1
-        8 => 0x11D,         // x8+x4+x3+x2+1
-        9 => 0x211,         // x9+x4+1
-        10 => 0x409,        // x10+x3+1
-        11 => 0x805,        // x11+x2+1
-        12 => 0x1053,       // x12+x6+x4+x+1
-        13 => 0x201B,       // x13+x4+x3+x+1
-        14 => 0x4443,       // x14+x10+x6+x+1
-        15 => 0x8003,       // x15+x+1
-        16 => 0x1100B,      // x16+x12+x3+x+1
-        17 => 0x20009,      // x17+x3+1
-        18 => 0x40081,      // x18+x7+1
-        19 => 0x80027,      // x19+x5+x2+x+1
-        20 => 0x100009,     // x20+x3+1
-        21 => 0x200005,     // x21+x2+1
-        22 => 0x400003,     // x22+x+1
-        23 => 0x800021,     // x23+x5+1
-        24 => 0x1000087,    // x24+x7+x2+x+1
+        4 => 0x13,       // x4+x+1
+        5 => 0x25,       // x5+x2+1
+        6 => 0x43,       // x6+x+1
+        7 => 0x89,       // x7+x3+1
+        8 => 0x11D,      // x8+x4+x3+x2+1
+        9 => 0x211,      // x9+x4+1
+        10 => 0x409,     // x10+x3+1
+        11 => 0x805,     // x11+x2+1
+        12 => 0x1053,    // x12+x6+x4+x+1
+        13 => 0x201B,    // x13+x4+x3+x+1
+        14 => 0x4443,    // x14+x10+x6+x+1
+        15 => 0x8003,    // x15+x+1
+        16 => 0x1100B,   // x16+x12+x3+x+1
+        17 => 0x20009,   // x17+x3+1
+        18 => 0x40081,   // x18+x7+1
+        19 => 0x80027,   // x19+x5+x2+x+1
+        20 => 0x100009,  // x20+x3+1
+        21 => 0x200005,  // x21+x2+1
+        22 => 0x400003,  // x22+x+1
+        23 => 0x800021,  // x23+x5+1
+        24 => 0x1000087, // x24+x7+x2+x+1
         _ => return Err(TpgError::UnsupportedWidth { width }),
     };
     Ok(p)
@@ -63,10 +63,7 @@ pub const PAPER_TYPE2_POLY: u64 = 0x12B9;
 /// (primitivity itself is not checked; use [`crate::Lfsr1::period`] in
 /// tests for that).
 pub fn validate(poly: u64, width: u32) -> Result<(), TpgError> {
-    let ok = width >= 2
-        && width <= 63
-        && poly & 1 == 1
-        && (poly >> width) == 1;
+    let ok = (2..=63).contains(&width) && poly & 1 == 1 && (poly >> width) == 1;
     if ok {
         Ok(())
     } else {

@@ -40,7 +40,13 @@ impl Ramp {
             return Err(TpgError::InvalidParameter { reason: "increment must be nonzero".into() });
         }
         let q = QFormat::new(width, width - 1).expect("validated width");
-        Ok(Ramp { width, increment, start: q.wrap(start), value: q.wrap(start), name: "Ramp".into() })
+        Ok(Ramp {
+            width,
+            increment,
+            start: q.wrap(start),
+            value: q.wrap(start),
+            name: "Ramp".into(),
+        })
     }
 }
 

@@ -46,10 +46,7 @@ impl Resized {
     pub fn new(inner: Box<dyn TestGenerator>, width: u32) -> Result<Self, TpgError> {
         if width == 0 || width > inner.width() {
             return Err(TpgError::InvalidParameter {
-                reason: format!(
-                    "target width {width} must be in 1..={}",
-                    inner.width()
-                ),
+                reason: format!("target width {width} must be in 1..={}", inner.width()),
             });
         }
         let name = format!("{}/{}b", inner.name(), width);

@@ -50,9 +50,7 @@ impl TestGenerator for IdealWhite {
         self.state ^= self.state >> 27;
         let r = self.state.wrapping_mul(0x2545F4914F6CDD1D);
         let bits = r >> (64 - self.width);
-        fixedpoint::QFormat::new(self.width, self.width - 1)
-            .expect("valid width")
-            .sign_extend(bits)
+        fixedpoint::QFormat::new(self.width, self.width - 1).expect("valid width").sign_extend(bits)
     }
 
     fn width(&self) -> u32 {

@@ -60,15 +60,7 @@ impl ZoneSweep {
             });
         }
         let dither = Lfsr1::new(width, ShiftDirection::LsbToMsb)?;
-        Ok(ZoneSweep {
-            width,
-            frequency,
-            levels,
-            dwell,
-            dither,
-            t: 0,
-            name: "ZoneSweep".into(),
-        })
+        Ok(ZoneSweep { width, frequency, levels, dwell, dither, t: 0, name: "ZoneSweep".into() })
     }
 }
 

@@ -43,7 +43,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut serious = 0usize;
     let mut worst: Option<(faultsim::FaultId, i64)> = None;
     for fid in run.result.missed() {
-        let trace = faultsim::inject::trace_fault(design.netlist(), session.universe(), fid, &inputs);
+        let trace =
+            faultsim::inject::trace_fault(design.netlist(), session.universe(), fid, &inputs);
         let peak = trace.peak_error();
         if peak > 0 {
             serious += 1;

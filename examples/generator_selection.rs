@@ -16,7 +16,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let table = type_compatibility_table(&paper_generator_spectra(1024));
     println!("{:8} {:>8} {:>8} {:>8}", "", "Lowpass", "Bandpass", "Highpass");
     for (name, row) in &table {
-        println!("{:8} {:>8} {:>8} {:>8}", name, row[0].to_string(), row[1].to_string(), row[2].to_string());
+        println!(
+            "{:8} {:>8} {:>8} {:>8}",
+            name,
+            row[0].to_string(),
+            row[1].to_string(),
+            row[2].to_string()
+        );
     }
 
     // Per-design ratings and recommendations.

@@ -36,14 +36,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let run_mixed = session.run(&mut mixed, &RunConfig::new(2 * HALF))?;
 
     println!("design: {} faults in the universe", session.universe().len());
-    println!("{:12} misses {:5}  coverage {:6.2}%", "LFSR-1", run_normal.missed(), 100.0 * run_normal.coverage());
-    println!("{:12} misses {:5}  coverage {:6.2}%", "LFSR-M", run_maxvar.missed(), 100.0 * run_maxvar.coverage());
-    println!("{:12} misses {:5}  coverage {:6.2}%", "mixed", run_mixed.missed(), 100.0 * run_mixed.coverage());
+    println!(
+        "{:12} misses {:5}  coverage {:6.2}%",
+        "LFSR-1",
+        run_normal.missed(),
+        100.0 * run_normal.coverage()
+    );
+    println!(
+        "{:12} misses {:5}  coverage {:6.2}%",
+        "LFSR-M",
+        run_maxvar.missed(),
+        100.0 * run_maxvar.coverage()
+    );
+    println!(
+        "{:12} misses {:5}  coverage {:6.2}%",
+        "mixed",
+        run_mixed.missed(),
+        100.0 * run_mixed.coverage()
+    );
 
     let best_single = run_normal.missed().min(run_maxvar.missed());
     println!(
         "mixed testing reduces the untested faults by {:.1}x over the best single mode",
         best_single as f64 / run_mixed.missed().max(1) as f64
     );
+
+    // The mixed run's structured artifact: stage timings and the
+    // missed-fault census by difficult-test class.
+    println!("\n{}", run_mixed.artifact.summary());
     Ok(())
 }

@@ -58,5 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         run.missed(),
         run.signature
     );
+
+    // 4. Every run carries a structured artifact: stage timings, the
+    //    missed-fault census by difficult-test class, engine counters.
+    println!("\n{}", run.artifact.summary());
     Ok(())
 }

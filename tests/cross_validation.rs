@@ -106,8 +106,7 @@ fn predicted_distribution_matches_histogram() {
     let d = design();
     let node = d.output();
     let g = tpg::model::lfsr1_model(12, ShiftDirection::LsbToMsb);
-    let theory =
-        bist_core::distribution::predict_lfsr(d.netlist(), node, &g, 1.0 / 512.0);
+    let theory = bist_core::distribution::predict_lfsr(d.netlist(), node, &g, 1.0 / 512.0);
     let mut gen = tpg::Lfsr1::new(12, ShiftDirection::LsbToMsb).expect("lfsr");
     let inputs: Vec<i64> =
         collect_words(&mut gen, 4095).into_iter().map(|w| d.align_input(w)).collect();
@@ -124,13 +123,10 @@ fn misr_signature_flags_every_sampled_fault() {
     let session = bist_core::session::BistSession::new(&d).expect("session");
     let mut gen = tpg::Lfsr1::new(12, ShiftDirection::LsbToMsb).expect("lfsr");
     let vectors = 256usize;
-    let run = session
-        .run(&mut gen, &bist_core::session::RunConfig::new(vectors))
-        .expect("run");
+    let run = session.run(&mut gen, &bist_core::session::RunConfig::new(vectors)).expect("run");
 
     gen.reset();
-    let inputs: Vec<i64> =
-        (0..vectors).map(|_| d.align_input(gen.next_word())).collect();
+    let inputs: Vec<i64> = (0..vectors).map(|_| d.align_input(gen.next_word())).collect();
     let mut good_misr = bist_core::misr::Misr::new(16).expect("misr");
     let good = faultsim::inject::probe_node(d.netlist(), d.output(), &inputs);
     good_misr.absorb_all(&good);
@@ -140,8 +136,7 @@ fn misr_signature_flags_every_sampled_fault() {
         if run.result.detection_cycles()[fid.index()].is_none() {
             continue;
         }
-        let trace =
-            faultsim::inject::trace_fault(d.netlist(), session.universe(), fid, &inputs);
+        let trace = faultsim::inject::trace_fault(d.netlist(), session.universe(), fid, &inputs);
         let mut faulty_misr = bist_core::misr::Misr::new(16).expect("misr");
         faulty_misr.absorb_all(&trace.faulty);
         assert_ne!(

@@ -32,12 +32,7 @@ fn pipeline_produces_consistent_universe_and_results() {
     assert!(run.coverage() > 0.9, "coverage {}", run.coverage());
 
     // Detection cycles are within the run and consistent with counts.
-    let detected = run
-        .result
-        .detection_cycles()
-        .iter()
-        .filter_map(|&c| c)
-        .collect::<Vec<_>>();
+    let detected = run.result.detection_cycles().iter().filter_map(|&c| c).collect::<Vec<_>>();
     assert_eq!(detected.len() + run.missed(), session.universe().len());
     assert!(detected.iter().all(|&c| c < 768));
 }
@@ -125,8 +120,7 @@ fn injection_traces_agree_with_detection_results() {
     let run = session.run(&mut gen, &RunConfig::new(vectors)).expect("run");
 
     gen.reset();
-    let inputs: Vec<i64> =
-        (0..vectors).map(|_| d.align_input(gen.next_word())).collect();
+    let inputs: Vec<i64> = (0..vectors).map(|_| d.align_input(gen.next_word())).collect();
     for fid in session.universe().ids().take(200) {
         let trace = faultsim::inject::trace_fault(d.netlist(), session.universe(), fid, &inputs);
         let diverges = !trace.divergent_cycles().is_empty();

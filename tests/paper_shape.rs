@@ -32,9 +32,7 @@ fn fig4_spectrum_orderings() {
     // Paper Fig. 4: at low frequency Ramp >> LFSR-D > LFSR-2 > LFSR-1;
     // at high frequency Ramp collapses and LFSR-1 rises above flat.
     let specs = paper_generator_spectra(256);
-    let get = |name: &str| {
-        &specs.iter().find(|g| g.name == name).expect("generator").spectrum
-    };
+    let get = |name: &str| &specs.iter().find(|g| g.name == name).expect("generator").spectrum;
     let low = |s: &dsp::spectrum::PowerSpectrum| s.values()[1];
     let high = |s: &dsp::spectrum::PowerSpectrum| s.values()[250];
     assert!(low(get("Ramp")) > 10.0 * low(get("LFSR-D")));
@@ -99,12 +97,9 @@ fn compatibility_ratio_tracks_band_position() {
     let lfsr1 = tpg::spectra::lfsr1(12, 512);
     let mut prev = 0.0;
     for cutoff in [0.02, 0.05, 0.1, 0.2, 0.3] {
-        let h = dsp::firdesign::FirSpec::new(
-            dsp::firdesign::BandKind::Lowpass { cutoff },
-            41,
-        )
-        .design()
-        .expect("design");
+        let h = dsp::firdesign::FirSpec::new(dsp::firdesign::BandKind::Lowpass { cutoff }, 41)
+            .design()
+            .expect("design");
         let r = compatibility_ratio(&lfsr1, &reference, &h);
         assert!(r > prev, "ratio not increasing at cutoff {cutoff}");
         prev = r;

@@ -3,23 +3,37 @@
 //! 2x faster with 4 worker threads than with 1, with bit-identical
 //! results.
 //!
+//! The measured speedup is reported through an [`obs::Registry`]
+//! (spans per timed pass, gauges for the ratio) and written to
+//! `target/BENCH_threading_speedup.json` so the opt-in CI job
+//! (`.github/workflows/speedup.yml`) can upload it as an artifact.
+//! Set `SPEEDUP_JSON` to redirect the output path.
+//!
 //! Ignored by default: it needs a release build, a multi-core machine
 //! (>= 4 cores) and about a minute of wall clock. Run with
 //! `cargo test --release --test threading_speedup -- --ignored`.
 
 use bist_core::session::{BistSession, RunConfig};
-use std::time::Instant;
+use obs::{JsonValue, Registry};
+use std::sync::Arc;
 
 fn timed_run(
     session: &BistSession<'_>,
+    registry: &Arc<Registry>,
     threads: usize,
-) -> (std::time::Duration, Vec<Option<u32>>, usize) {
-    let config = RunConfig::new(8192).with_threads(threads);
-    let mut gen =
-        tpg::Decorrelated::maximal(12, tpg::ShiftDirection::LsbToMsb).expect("generator");
-    let start = Instant::now();
+) -> (f64, Vec<Option<u32>>, usize) {
+    let config = RunConfig::new(8192).with_threads(threads).with_metrics(Arc::clone(registry));
+    let mut gen = tpg::Decorrelated::maximal(12, tpg::ShiftDirection::LsbToMsb).expect("generator");
+    let span = obs::span!(registry, "speedup.threads{}", threads);
     let run = session.run(&mut gen, &config).expect("run");
-    (start.elapsed(), run.result.detection_cycles().to_vec(), run.missed())
+    let millis = span.finish();
+    (millis, run.result.detection_cycles().to_vec(), run.missed())
+}
+
+fn artifact_path() -> std::path::PathBuf {
+    std::env::var_os("SPEEDUP_JSON")
+        .map(Into::into)
+        .unwrap_or_else(|| std::path::PathBuf::from("target/BENCH_threading_speedup.json"))
 }
 
 #[test]
@@ -30,20 +44,42 @@ fn four_threads_at_least_double_single_thread_throughput() {
 
     let design = filters::designs::lowpass().expect("paper LP design");
     let session = BistSession::new(&design).expect("session");
+    let registry = Arc::new(Registry::new());
 
     // Warm-up pass so page faults and allocator growth don't bias the
-    // single-threaded measurement.
-    let _ = timed_run(&session, 1);
+    // single-threaded measurement (kept out of the registry).
+    let _ = timed_run(&session, &Arc::new(Registry::new()), 1);
 
-    let (t1, cycles1, missed1) = timed_run(&session, 1);
-    let (t4, cycles4, missed4) = timed_run(&session, 4);
+    let (t1_ms, cycles1, missed1) = timed_run(&session, &registry, 1);
+    let (t4_ms, cycles4, missed4) = timed_run(&session, &registry, 4);
+    let bit_identical = cycles1 == cycles4 && missed1 == missed4;
 
-    assert_eq!(cycles1, cycles4, "sharding changed the detection cycles");
-    assert_eq!(missed1, missed4);
+    let speedup = t1_ms / t4_ms.max(1e-9);
+    registry.set_gauge("speedup.cores", cores as f64);
+    registry.set_gauge("speedup.ratio", speedup);
 
-    let speedup = t1.as_secs_f64() / t4.as_secs_f64().max(1e-9);
+    let snapshot = registry.snapshot();
+    let doc = JsonValue::object()
+        .push("schema", 1u32)
+        .push("suite", "threading_speedup")
+        .push("cores", cores as u64)
+        .push("vectors", 8192u64)
+        .push("threads_1_ms", t1_ms)
+        .push("threads_4_ms", t4_ms)
+        .push("speedup", speedup)
+        .push("bit_identical", bit_identical)
+        .push("missed", missed1 as u64)
+        .push("metrics", snapshot.to_json());
+    let path = artifact_path();
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&path, doc.to_json_pretty()).expect("write speedup artifact");
+    eprintln!("speedup {speedup:.2}x ({t1_ms:.0} ms -> {t4_ms:.0} ms), wrote {}", path.display());
+
+    assert!(bit_identical, "sharding changed the detection results");
     assert!(
         speedup >= 2.0,
-        "4-thread speedup only {speedup:.2}x (1 thread: {t1:?}, 4 threads: {t4:?})"
+        "4-thread speedup only {speedup:.2}x (1 thread: {t1_ms:.0} ms, 4 threads: {t4_ms:.0} ms)"
     );
 }
