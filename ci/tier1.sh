@@ -10,3 +10,28 @@ cargo fmt --check
 cargo clippy --offline --all-targets -- -D warnings
 cargo build --release --offline
 cargo test -q --offline
+
+# Daemon smoke test: a bistd on a Unix socket must serve a campaign,
+# answer the identical resubmission from its result cache, and drain
+# cleanly on shutdown.
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+sock="$smoke_dir/bistd.sock"
+./target/release/bistd --unix "$sock" --workers 1 > "$smoke_dir/bistd.log" &
+bistd_pid=$!
+for _ in $(seq 1 50); do
+    [ -S "$sock" ] && break
+    sleep 0.1
+done
+[ -S "$sock" ] || { echo "bistd never created its socket"; cat "$smoke_dir/bistd.log"; exit 1; }
+smoke_run() {
+    ./target/release/bistctl --server "unix:$sock" run \
+        --design LP-MINI --gen LFSR-D --vectors 64
+}
+cold="$(smoke_run)"
+warm="$(smoke_run)"
+echo "$cold" | grep -q '"cached":false' || { echo "cold run unexpectedly cached: $cold"; exit 1; }
+echo "$warm" | grep -q '"cached":true' || { echo "warm run missed the cache: $warm"; exit 1; }
+./target/release/bistctl --server "unix:$sock" shutdown > /dev/null
+wait "$bistd_pid"
+echo "bistd smoke test: cache hit + graceful shutdown OK"

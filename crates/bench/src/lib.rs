@@ -10,32 +10,33 @@ pub mod artifacts;
 pub mod plot;
 pub mod table;
 
-use bist_core::session::{BistRun, BistSession, RunConfig};
+use bist_core::session::{BistRun, BistSession, RunConfig, SessionError};
 use filters::FilterDesign;
-use tpg::{Decorrelated, Lfsr1, Lfsr2, MaxVariance, Mixed, Ramp, ShiftDirection, TestGenerator};
+use tpg::{Mixed, TestGenerator};
 
 /// The paper's generator roster for the Section 8 experiments.
 pub const SECTION8_GENERATORS: [&str; 4] = ["LFSR-1", "LFSR-D", "LFSR-M", "Ramp"];
+
+/// Builds a 12-bit generator by display name, via the campaign
+/// registry (so the name set here and in [`bist_core::campaign`] can
+/// never drift apart).
+///
+/// # Errors
+///
+/// [`SessionError::InvalidConfig`] for an unknown name, listing the
+/// known ones — CLI callers print this as a usage message.
+pub fn try_generator(name: &str) -> Result<Box<dyn TestGenerator>, SessionError> {
+    bist_core::campaign::build_generator(name)
+}
 
 /// Builds a 12-bit generator by display name.
 ///
 /// # Panics
 ///
-/// Panics on an unknown name (callers pass compile-time names).
+/// Panics on an unknown name (callers pass compile-time names; use
+/// [`try_generator`] for user-supplied ones).
 pub fn generator(name: &str) -> Box<dyn TestGenerator> {
-    match name {
-        "LFSR-1" => Box::new(Lfsr1::new(12, ShiftDirection::LsbToMsb).expect("12-bit LFSR")),
-        "LFSR-2" => {
-            Box::new(Lfsr2::new(12, tpg::polynomials::PAPER_TYPE2_POLY).expect("paper poly"))
-        }
-        "LFSR-D" => {
-            Box::new(Decorrelated::maximal(12, ShiftDirection::LsbToMsb).expect("12-bit LFSR"))
-        }
-        "LFSR-M" => Box::new(MaxVariance::maximal(12).expect("12-bit LFSR")),
-        "Ramp" => Box::new(Ramp::new(12).expect("12-bit ramp")),
-        "Ideal" => Box::new(tpg::IdealWhite::new(12).expect("12-bit white")),
-        other => panic!("unknown generator {other}"),
-    }
+    try_generator(name).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// The mixed scheme of the paper's Section 9: LFSR-1 for
@@ -110,9 +111,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown generator")]
-    fn unknown_generator_panics() {
-        generator("nope");
+    fn unknown_generator_is_a_structured_error_naming_the_registry() {
+        let message = match try_generator("nope") {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("'nope' must not build"),
+        };
+        assert!(message.contains("unknown generator 'nope'"), "{message}");
+        assert!(message.contains("LFSR-D"), "lists the known names: {message}");
+    }
+
+    #[test]
+    fn mixed_scheme_builds_by_name_too() {
+        let mut m = try_generator("Mixed@2048").expect("registry spells mixed as Mixed@<n>");
+        assert_eq!(m.width(), 12);
+        m.next_word();
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! The campaign service control client.
+//!
+//! ```text
+//! bistctl --server unix:/tmp/bistd.sock run --design LP --gen LFSR-D --vectors 4096
+//! bistctl --server 127.0.0.1:4817 metrics
+//! bistctl --server 127.0.0.1:4817 shutdown
+//! ```
+//!
+//! `run` submits and waits, printing one JSON object
+//! `{"job":…,"cached":…,"key":…,"artifact":{…}}` on stdout — the
+//! `cached` field is what the CI smoke test asserts on. All errors go
+//! to stderr with a non-zero exit: 2 for usage problems (including an
+//! unknown `--design`/`--gen`, reported with the known names), 1 for
+//! server/transport failures.
+
+use bist_bistd::{Client, ClientError, ServerAddr};
+use bist_core::campaign::{CampaignSpec, KNOWN_DESIGNS, KNOWN_GENERATORS};
+use obs::JsonValue;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: bistctl --server <addr> <command> [options]
+  <addr> is host:port or unix:<path>
+commands:
+  run      --design <name> --gen <name> --vectors <n>
+           [--misr <bits>] [--threads <n>] [--boundaries <c1,c2,...>]
+           [--deadline-ms <ms>]        submit and wait; prints result JSON
+  submit   (same options as run)       submit without waiting; prints job JSON
+  status   <job>                       print a job's state
+  fetch    <job>                       wait for a job and print its artifact
+  cancel   <job>                       cancel a queued or running job
+  metrics                              print the daemon's metric snapshot
+  shutdown                             drain the daemon and stop it";
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CtlError::Usage(message)) => {
+            eprintln!("bistctl: {message}\n{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CtlError::Client(e)) => {
+            eprintln!("bistctl: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+enum CtlError {
+    Usage(String),
+    Client(ClientError),
+}
+
+impl From<ClientError> for CtlError {
+    fn from(e: ClientError) -> Self {
+        CtlError::Client(e)
+    }
+}
+
+fn usage(message: impl Into<String>) -> CtlError {
+    CtlError::Usage(message.into())
+}
+
+fn run(args: &[String]) -> Result<(), CtlError> {
+    let mut iter = args.iter();
+    let server = match (iter.next().map(String::as_str), iter.next()) {
+        (Some("--server"), Some(addr)) => ServerAddr::parse(addr),
+        _ => return Err(usage("expected --server <addr> first")),
+    };
+    let command = iter.next().ok_or_else(|| usage("missing command"))?;
+    let rest: Vec<&String> = iter.collect();
+    let connect = || Client::connect(&server).map_err(CtlError::Client);
+    match command.as_str() {
+        "run" => {
+            let (spec, deadline_ms) = parse_spec(&rest)?;
+            let result = connect()?.run_campaign(&spec, deadline_ms)?;
+            let line = JsonValue::object()
+                .push("job", result.job)
+                .push("cached", result.cached)
+                .push("key", result.key.as_str())
+                .push("artifact", result.artifact);
+            println!("{}", line.to_json());
+        }
+        "submit" => {
+            let (spec, deadline_ms) = parse_spec(&rest)?;
+            let (job, cached, key) = connect()?.submit(&spec, deadline_ms)?;
+            let line = JsonValue::object()
+                .push("job", job)
+                .push("cached", cached)
+                .push("key", key.as_str());
+            println!("{}", line.to_json());
+        }
+        "status" => {
+            let job = parse_job(&rest)?;
+            let (state, detail) = connect()?.status(job)?;
+            let mut line = JsonValue::object().push("job", job).push("state", state.as_str());
+            if let Some(d) = detail {
+                line = line.push("detail", d);
+            }
+            println!("{}", line.to_json());
+        }
+        "fetch" => {
+            let job = parse_job(&rest)?;
+            let (cached, artifact) = connect()?.fetch_artifact(job)?;
+            let line = JsonValue::object()
+                .push("job", job)
+                .push("cached", cached)
+                .push("artifact", artifact);
+            println!("{}", line.to_json());
+        }
+        "cancel" => {
+            let job = parse_job(&rest)?;
+            connect()?.cancel(job)?;
+            println!("{}", JsonValue::object().push("job", job).push("cancelled", true).to_json());
+        }
+        "metrics" => {
+            let snapshot = connect()?.metrics()?;
+            print!("{}", snapshot.to_json_pretty());
+        }
+        "shutdown" => {
+            connect()?.shutdown()?;
+            println!("{}", JsonValue::object().push("shutdown", true).to_json());
+        }
+        other => return Err(usage(format!("unknown command '{other}'"))),
+    }
+    Ok(())
+}
+
+fn parse_job(rest: &[&String]) -> Result<u64, CtlError> {
+    match rest {
+        [id] => id.parse().map_err(|_| usage(format!("'{id}' is not a job id"))),
+        _ => Err(usage("expected exactly one job id")),
+    }
+}
+
+/// Builds a [`CampaignSpec`] from `run`/`submit` flags, validating it
+/// locally so typos fail with the known names instead of a round trip.
+fn parse_spec(rest: &[&String]) -> Result<(CampaignSpec, Option<u64>), CtlError> {
+    let (mut design, mut generator, mut vectors) = (None, None, None);
+    let (mut misr, mut threads, mut boundaries, mut deadline_ms) = (None, None, None, None);
+    let mut iter = rest.iter();
+    while let Some(flag) = iter.next() {
+        let value = iter.next().ok_or_else(|| usage(format!("{flag} needs a value")))?;
+        match flag.as_str() {
+            "--design" => design = Some(value.to_string()),
+            "--gen" => generator = Some(value.to_string()),
+            "--vectors" => vectors = Some(num(flag, value)?),
+            "--misr" => misr = Some(num::<u32>(flag, value)?),
+            "--threads" => threads = Some(num(flag, value)?),
+            "--deadline-ms" => deadline_ms = Some(num::<u64>(flag, value)?),
+            "--boundaries" => {
+                let cycles: Result<Vec<u32>, _> =
+                    value.split(',').map(|c| num(flag, c.trim())).collect();
+                boundaries = Some(cycles?);
+            }
+            other => return Err(usage(format!("unknown option '{other}'"))),
+        }
+    }
+    let design = design.ok_or_else(|| usage("--design is required"))?;
+    let generator = generator.ok_or_else(|| usage("--gen is required"))?;
+    let vectors = vectors.ok_or_else(|| usage("--vectors is required"))?;
+    let mut spec = CampaignSpec::new(design, generator, vectors);
+    if let Some(m) = misr {
+        spec.misr_width = m;
+    }
+    if let Some(t) = threads {
+        spec.threads = t;
+    }
+    spec.boundaries = boundaries;
+    spec.validate().map_err(|e| {
+        usage(format!(
+            "{e}\n  known designs: {}\n  known generators: {}, or Mixed@<n>",
+            KNOWN_DESIGNS.join(", "),
+            KNOWN_GENERATORS.join(", ")
+        ))
+    })?;
+    Ok((spec, deadline_ms))
+}
+
+fn num<T: std::str::FromStr>(flag: &str, text: &str) -> Result<T, CtlError> {
+    text.parse().map_err(|_| usage(format!("{flag}: '{text}' is not a valid number")))
+}

@@ -1,0 +1,499 @@
+//! The campaign daemon: accept loops, request dispatch, lifecycle.
+//!
+//! A [`Daemon`] listens on TCP (localhost) and/or a Unix domain
+//! socket, speaks the framed protocol of [`crate::frame`] /
+//! [`crate::proto`], and drives submitted campaigns through the
+//! bounded queue and worker pool. Shutdown is graceful by
+//! construction: the accept loops stop, the queue closes (refusing new
+//! work while still draining everything queued), workers finish their
+//! in-flight jobs, and the result cache spills to disk.
+//!
+//! Per-connection threads hold no daemon state beyond an `Arc` to
+//! [`Shared`]'s internals, and every malformed input path answers with
+//! a structured [`Response::Error`] — the daemon never panics or
+//! silently drops a request it could still reply to.
+
+use crate::cache::ResultCache;
+use crate::frame::{self, FrameError};
+use crate::jobs::{JobState, JobTable};
+use crate::proto::{codes, Request, Response};
+use crate::queue::{JobQueue, PushError};
+use crate::worker;
+use bist_core::campaign::CampaignSpec;
+use faultsim::CancelToken;
+use obs::Registry;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long an accept loop sleeps between polls while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Upper bound on one `fetch` request's server-side wait, so a client
+/// asking for "forever" still gets periodic status replies to keep the
+/// connection visibly alive.
+const MAX_FETCH_WAIT: Duration = Duration::from_secs(30);
+
+/// Everything configurable about a daemon instance.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// TCP listen address (e.g. `127.0.0.1:0` for an ephemeral port);
+    /// `None` disables TCP.
+    pub tcp: Option<String>,
+    /// Unix domain socket path; `None` disables the Unix listener.
+    pub unix: Option<PathBuf>,
+    /// Worker threads executing campaigns (min 1).
+    pub workers: usize,
+    /// Job queue capacity; submits beyond it get `queue_full`.
+    pub queue_capacity: usize,
+    /// Result cache capacity, in artifacts.
+    pub cache_capacity: usize,
+    /// JSONL spill file: loaded at start, rewritten at shutdown.
+    pub spill: Option<PathBuf>,
+    /// Deadline applied to jobs that submit without one.
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            tcp: None,
+            unix: None,
+            workers: 2,
+            queue_capacity: 16,
+            cache_capacity: 64,
+            spill: None,
+            default_deadline_ms: None,
+        }
+    }
+}
+
+struct Shared {
+    queue: Arc<JobQueue<u64>>,
+    jobs: Arc<JobTable>,
+    cache: Arc<Mutex<ResultCache>>,
+    metrics: Arc<Registry>,
+    shutdown: AtomicBool,
+    default_deadline_ms: Option<u64>,
+}
+
+/// A running campaign daemon.
+pub struct Daemon {
+    shared: Arc<Shared>,
+    accept_handles: Vec<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+    tcp_addr: Option<SocketAddr>,
+    unix_path: Option<PathBuf>,
+    spill: Option<PathBuf>,
+}
+
+impl Daemon {
+    /// Binds the configured listeners, reloads the cache spill (if
+    /// any), and spawns the worker pool and accept loops.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/spawn failures; a config with no listener at
+    /// all is [`io::ErrorKind::InvalidInput`].
+    pub fn start(config: DaemonConfig) -> io::Result<Daemon> {
+        if config.tcp.is_none() && config.unix.is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "daemon config needs a tcp address or a unix socket path",
+            ));
+        }
+        let metrics = Arc::new(Registry::new());
+        let mut cache = ResultCache::new(config.cache_capacity);
+        if let Some(path) = &config.spill {
+            if let Ok(file) = std::fs::File::open(path) {
+                let (loaded, skipped) = cache.load(BufReader::new(file));
+                metrics.counter("bistd.cache.spill_loaded").add(loaded as u64);
+                metrics.counter("bistd.cache.spill_skipped").add(skipped as u64);
+            }
+        }
+        let shared = Arc::new(Shared {
+            queue: Arc::new(JobQueue::new(config.queue_capacity)),
+            jobs: Arc::new(JobTable::new()),
+            cache: Arc::new(Mutex::new(cache)),
+            metrics,
+            shutdown: AtomicBool::new(false),
+            default_deadline_ms: config.default_deadline_ms,
+        });
+        let worker_handles = worker::spawn_workers(
+            config.workers,
+            Arc::clone(&shared.queue),
+            Arc::clone(&shared.jobs),
+            Arc::clone(&shared.cache),
+            Arc::clone(&shared.metrics),
+        );
+
+        let mut accept_handles = Vec::new();
+        let mut tcp_addr = None;
+        if let Some(addr) = &config.tcp {
+            let listener = TcpListener::bind(addr)?;
+            tcp_addr = Some(listener.local_addr()?);
+            listener.set_nonblocking(true)?;
+            let shared = Arc::clone(&shared);
+            accept_handles.push(
+                std::thread::Builder::new().name("bistd-accept-tcp".into()).spawn(move || {
+                    accept_loop(
+                        &shared,
+                        || listener.accept().map(|(s, _)| s),
+                        |s| {
+                            s.set_nonblocking(false)?;
+                            let reader = BufReader::new(s.try_clone()?);
+                            Ok((
+                                Box::new(reader) as Box<dyn BufRead + Send>,
+                                Box::new(s) as Box<dyn Write + Send>,
+                            ))
+                        },
+                    );
+                })?,
+            );
+        }
+        let mut unix_path = None;
+        if let Some(path) = &config.unix {
+            // A previous unclean exit may have left the socket file.
+            let _ = std::fs::remove_file(path);
+            let listener = UnixListener::bind(path)?;
+            listener.set_nonblocking(true)?;
+            unix_path = Some(path.clone());
+            let shared = Arc::clone(&shared);
+            accept_handles.push(
+                std::thread::Builder::new().name("bistd-accept-unix".into()).spawn(move || {
+                    accept_loop(
+                        &shared,
+                        || listener.accept().map(|(s, _)| s),
+                        |s| {
+                            s.set_nonblocking(false)?;
+                            let reader = BufReader::new(s.try_clone()?);
+                            Ok((
+                                Box::new(reader) as Box<dyn BufRead + Send>,
+                                Box::new(s) as Box<dyn Write + Send>,
+                            ))
+                        },
+                    );
+                })?,
+            );
+        }
+        Ok(Daemon {
+            shared,
+            accept_handles,
+            worker_handles,
+            tcp_addr,
+            unix_path,
+            spill: config.spill,
+        })
+    }
+
+    /// The bound TCP address (with the real port when the config asked
+    /// for an ephemeral one).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The bound Unix socket path, if any.
+    pub fn unix_path(&self) -> Option<&PathBuf> {
+        self.unix_path.as_ref()
+    }
+
+    /// Initiates shutdown exactly as a `shutdown` request would: stop
+    /// accepting, close the queue (which still drains).
+    pub fn begin_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Blocks until the daemon has fully drained: accept loops exited,
+    /// all queued and in-flight jobs terminal, cache spilled. Returns
+    /// once a `shutdown` request (or [`Daemon::begin_shutdown`])
+    /// triggers the wind-down.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spill-file I/O errors (the drain itself cannot fail).
+    pub fn join(self) -> io::Result<()> {
+        for handle in self.accept_handles {
+            let _ = handle.join();
+        }
+        for handle in self.worker_handles {
+            let _ = handle.join();
+        }
+        if let Some(path) = &self.spill {
+            let mut file = io::BufWriter::new(std::fs::File::create(path)?);
+            let spilled = self.shared.cache.lock().expect("cache lock").spill(&mut file)? as u64;
+            self.shared.metrics.counter("bistd.cache.spilled").add(spilled);
+        }
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+}
+
+/// Polls `accept` until shutdown, spawning one detached handler thread
+/// per connection. Handler threads die with their connection (or the
+/// process); they are not joined, so an idle client cannot stall the
+/// drain.
+fn accept_loop<S>(
+    shared: &Arc<Shared>,
+    mut accept: impl FnMut() -> io::Result<S>,
+    split: impl Fn(S) -> io::Result<(Box<dyn BufRead + Send>, Box<dyn Write + Send>)>
+        + Send
+        + Copy
+        + 'static,
+) where
+    S: Send + 'static,
+{
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match accept() {
+            Ok(stream) => {
+                shared.metrics.counter("bistd.connections").inc();
+                let conn_shared = Arc::clone(shared);
+                let spawned = std::thread::Builder::new().name("bistd-conn".into()).spawn(
+                    move || match split(stream) {
+                        Ok((reader, writer)) => serve_connection(&conn_shared, reader, writer),
+                        Err(_) => conn_shared.metrics.counter("bistd.connection_errors").inc(),
+                    },
+                );
+                if spawned.is_err() {
+                    shared.metrics.counter("bistd.connection_errors").inc();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// One connection's request loop. Framing errors get a best-effort
+/// structured reply and close the connection (the stream can no longer
+/// be trusted to re-synchronize); malformed payloads inside a valid
+/// frame are answered and the connection keeps serving.
+fn serve_connection(
+    shared: &Arc<Shared>,
+    mut reader: Box<dyn BufRead + Send>,
+    mut writer: Box<dyn Write + Send>,
+) {
+    loop {
+        match frame::read_frame(&mut reader) {
+            Ok(None) => break,
+            Ok(Some(payload)) => {
+                shared.metrics.counter("bistd.requests").inc();
+                let response = match Request::parse(&payload) {
+                    Ok(request) => shared.handle(request),
+                    Err(e) => {
+                        shared.metrics.counter("bistd.bad_requests").inc();
+                        Response::Error {
+                            code: e.code.into(),
+                            message: e.message,
+                            retry_after_ms: None,
+                        }
+                    }
+                };
+                if frame::write_frame(&mut writer, &response.to_json().to_json()).is_err() {
+                    break;
+                }
+            }
+            Err(error) => {
+                shared.metrics.counter("bistd.frame_errors").inc();
+                let code = match &error {
+                    FrameError::UnsupportedVersion { .. } => codes::UNSUPPORTED_VERSION,
+                    _ => codes::BAD_FRAME,
+                };
+                let reply = Response::Error {
+                    code: code.into(),
+                    message: error.to_string(),
+                    retry_after_ms: None,
+                };
+                let _ = frame::write_frame(&mut writer, &reply.to_json().to_json());
+                break;
+            }
+        }
+    }
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::AcqRel) {
+            self.queue.close();
+        }
+    }
+
+    fn handle(&self, request: Request) -> Response {
+        match request {
+            Request::Submit { spec, deadline_ms } => self.submit(spec, deadline_ms),
+            Request::Status { job } => match self.jobs.get(job) {
+                Some(record) => Response::JobStatus {
+                    job,
+                    state: record.state.name().into(),
+                    detail: record.detail,
+                },
+                None => unknown_job(job),
+            },
+            Request::Fetch { job, wait_ms } => self.fetch(job, wait_ms),
+            Request::Cancel { job } => {
+                if self.jobs.cancel(job) {
+                    self.metrics.counter("bistd.cancel_requests").inc();
+                    Response::Ok
+                } else {
+                    unknown_job(job)
+                }
+            }
+            Request::Metrics => {
+                self.refresh_gauges();
+                Response::Metrics { snapshot: self.metrics.snapshot().to_json() }
+            }
+            Request::Shutdown => {
+                self.begin_shutdown();
+                Response::Ok
+            }
+        }
+    }
+
+    fn submit(&self, spec: CampaignSpec, deadline_ms: Option<u64>) -> Response {
+        if self.shutdown.load(Ordering::Acquire) {
+            return Response::Error {
+                code: codes::SHUTTING_DOWN.into(),
+                message: "daemon is draining and accepts no new campaigns".into(),
+                retry_after_ms: None,
+            };
+        }
+        if let Err(e) = spec.validate() {
+            self.metrics.counter("bistd.bad_requests").inc();
+            return Response::Error {
+                code: codes::BAD_REQUEST.into(),
+                message: e.to_string(),
+                retry_after_ms: None,
+            };
+        }
+        let key = spec.canonical();
+        let hit = self.cache.lock().expect("cache lock").get(&key);
+        if let Some(artifact) = hit {
+            self.metrics.counter("bistd.cache.hits").inc();
+            let job = self.jobs.create_done(spec, key.clone(), artifact);
+            return Response::Submitted { job, cached: true, key };
+        }
+        self.metrics.counter("bistd.cache.misses").inc();
+        let mut token = CancelToken::new();
+        if let Some(ms) = deadline_ms.or(self.default_deadline_ms) {
+            token = token.with_deadline(Instant::now() + Duration::from_millis(ms));
+        }
+        let job = self.jobs.create(spec, key.clone(), token, JobState::Queued);
+        match self.queue.push(job) {
+            Ok(()) => {
+                self.metrics.counter("bistd.jobs_submitted").inc();
+                Response::Submitted { job, cached: false, key }
+            }
+            Err(PushError::Full) => {
+                self.jobs.finish(
+                    job,
+                    JobState::Failed,
+                    Some("rejected: job queue full".into()),
+                    None,
+                );
+                self.metrics.counter("bistd.queue_rejections").inc();
+                // Heuristic backpressure hint: a slot frees when a
+                // worker finishes, so scale the wait with the backlog.
+                let backlog = self.queue.len() as u64;
+                Response::Error {
+                    code: codes::QUEUE_FULL.into(),
+                    message: format!(
+                        "job queue is at capacity ({}); retry later",
+                        self.queue.capacity()
+                    ),
+                    retry_after_ms: Some(250 * (backlog + 1)),
+                }
+            }
+            Err(PushError::Closed) => {
+                self.jobs.finish(
+                    job,
+                    JobState::Failed,
+                    Some("rejected: daemon shutting down".into()),
+                    None,
+                );
+                Response::Error {
+                    code: codes::SHUTTING_DOWN.into(),
+                    message: "daemon is draining and accepts no new campaigns".into(),
+                    retry_after_ms: None,
+                }
+            }
+        }
+    }
+
+    fn fetch(&self, job: u64, wait_ms: u64) -> Response {
+        let wait = Duration::from_millis(wait_ms).min(MAX_FETCH_WAIT);
+        let Some(record) = self.jobs.wait_terminal(job, wait) else {
+            return unknown_job(job);
+        };
+        match record.state {
+            JobState::Done => Response::Artifact {
+                job,
+                cached: record.cached,
+                artifact: record.artifact.unwrap_or(obs::JsonValue::Null),
+            },
+            JobState::Failed => Response::Error {
+                code: codes::JOB_FAILED.into(),
+                message: record.detail.unwrap_or_else(|| "job failed".into()),
+                retry_after_ms: None,
+            },
+            JobState::Cancelled => Response::Error {
+                code: codes::CANCELLED.into(),
+                message: record.detail.unwrap_or_else(|| "job cancelled".into()),
+                retry_after_ms: None,
+            },
+            state => Response::JobStatus { job, state: state.name().into(), detail: None },
+        }
+    }
+
+    fn refresh_gauges(&self) {
+        self.metrics.set_gauge("bistd.queue_depth", self.queue.len() as f64);
+        self.metrics
+            .set_gauge("bistd.cache.entries", self.cache.lock().expect("cache lock").len() as f64);
+        for (state, count) in self.jobs.counts() {
+            self.metrics.set_gauge(&format!("bistd.jobs.{state}"), count as f64);
+        }
+    }
+}
+
+fn unknown_job(job: u64) -> Response {
+    Response::Error {
+        code: codes::UNKNOWN_JOB.into(),
+        message: format!("no job with id {job}"),
+        retry_after_ms: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_sane_and_listenerless_start_is_rejected() {
+        let config = DaemonConfig::default();
+        assert!(config.workers >= 1);
+        assert!(config.queue_capacity > 0);
+        assert!(config.cache_capacity > 0);
+        match Daemon::start(config) {
+            Err(err) => assert_eq!(err.kind(), io::ErrorKind::InvalidInput),
+            Ok(_) => panic!("a daemon with no listeners must not start"),
+        }
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let daemon = Daemon::start(DaemonConfig {
+            tcp: Some("127.0.0.1:0".into()),
+            ..DaemonConfig::default()
+        })
+        .unwrap();
+        assert!(daemon.tcp_addr().is_some());
+        daemon.begin_shutdown();
+        daemon.begin_shutdown();
+        daemon.join().unwrap();
+    }
+}

@@ -1,0 +1,330 @@
+//! The daemon's job table: every submitted campaign's lifecycle, from
+//! `queued` through a terminal state, observable by id.
+//!
+//! The table is the single source of truth for job state; the queue
+//! only carries ids. All transitions happen under one lock so a
+//! concurrent `cancel` and a worker claiming the same job can never
+//! both win: [`JobTable::claim`] atomically checks the cancel token
+//! before flipping `queued → running`.
+
+use bist_core::campaign::CampaignSpec;
+use faultsim::CancelToken;
+use obs::JsonValue;
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A job's position in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished successfully; an artifact is attached.
+    Done,
+    /// Finished with an error; the detail says why.
+    Failed,
+    /// Cancelled explicitly or by deadline before finishing.
+    Cancelled,
+}
+
+impl JobState {
+    /// The lowercase wire name of the state.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether the state is final.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed | JobState::Cancelled)
+    }
+}
+
+/// Everything the daemon tracks about one job.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// The job's id (assigned at submit, starting from 1).
+    pub id: u64,
+    /// What was asked for.
+    pub spec: CampaignSpec,
+    /// The spec's canonical cache key.
+    pub key: String,
+    /// Lifecycle position.
+    pub state: JobState,
+    /// Failure / cancellation detail for terminal error states.
+    pub detail: Option<String>,
+    /// The run artifact, once `Done`.
+    pub artifact: Option<JsonValue>,
+    /// Whether the artifact came from the result cache.
+    pub cached: bool,
+    /// The cooperative cancellation handle shared with the worker.
+    pub cancel: CancelToken,
+}
+
+/// The concurrent id → [`JobRecord`] map.
+pub struct JobTable {
+    inner: Mutex<Inner>,
+    changed: Condvar,
+}
+
+struct Inner {
+    jobs: HashMap<u64, JobRecord>,
+    next_id: u64,
+}
+
+impl JobTable {
+    /// An empty table.
+    pub fn new() -> JobTable {
+        JobTable {
+            inner: Mutex::new(Inner { jobs: HashMap::new(), next_id: 1 }),
+            changed: Condvar::new(),
+        }
+    }
+
+    /// Registers a new job in `state` and returns its id.
+    pub fn create(
+        &self,
+        spec: CampaignSpec,
+        key: String,
+        cancel: CancelToken,
+        state: JobState,
+    ) -> u64 {
+        let mut inner = self.inner.lock().expect("job table lock");
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.jobs.insert(
+            id,
+            JobRecord { id, spec, key, state, detail: None, artifact: None, cached: false, cancel },
+        );
+        id
+    }
+
+    /// Registers an already-completed job (a cache hit) and returns its
+    /// id.
+    pub fn create_done(&self, spec: CampaignSpec, key: String, artifact: JsonValue) -> u64 {
+        let id = self.create(spec, key, CancelToken::new(), JobState::Done);
+        let mut inner = self.inner.lock().expect("job table lock");
+        let record = inner.jobs.get_mut(&id).expect("job just created");
+        record.artifact = Some(artifact);
+        record.cached = true;
+        id
+    }
+
+    /// A snapshot of one job.
+    pub fn get(&self, id: u64) -> Option<JobRecord> {
+        self.inner.lock().expect("job table lock").jobs.get(&id).cloned()
+    }
+
+    /// Atomically claims a queued job for execution: flips it to
+    /// `Running` and hands back what the worker needs, or — if its
+    /// token already fired — marks it `Cancelled` and returns `None`.
+    /// Also returns `None` for ids in any other state (e.g. cancelled
+    /// while queued).
+    pub fn claim(&self, id: u64) -> Option<(CampaignSpec, CancelToken)> {
+        let mut inner = self.inner.lock().expect("job table lock");
+        let record = inner.jobs.get_mut(&id)?;
+        if record.state != JobState::Queued {
+            return None;
+        }
+        if record.cancel.is_cancelled() {
+            record.state = JobState::Cancelled;
+            record.detail = Some(
+                if record.cancel.deadline_exceeded() {
+                    "deadline exceeded before the job started"
+                } else {
+                    "cancelled before the job started"
+                }
+                .into(),
+            );
+            self.changed.notify_all();
+            return None;
+        }
+        record.state = JobState::Running;
+        Some((record.spec.clone(), record.cancel.clone()))
+    }
+
+    /// Moves a job to a terminal state, attaching artifact or detail.
+    pub fn finish(
+        &self,
+        id: u64,
+        state: JobState,
+        detail: Option<String>,
+        artifact: Option<JsonValue>,
+    ) {
+        debug_assert!(state.is_terminal());
+        let mut inner = self.inner.lock().expect("job table lock");
+        if let Some(record) = inner.jobs.get_mut(&id) {
+            record.state = state;
+            record.detail = detail;
+            record.artifact = artifact;
+        }
+        self.changed.notify_all();
+    }
+
+    /// Fires a job's cancel token. A still-queued job is marked
+    /// cancelled immediately; a running one stops at its next stage
+    /// boundary and the worker records the terminal state. Returns
+    /// `false` for unknown ids.
+    pub fn cancel(&self, id: u64) -> bool {
+        let mut inner = self.inner.lock().expect("job table lock");
+        let Some(record) = inner.jobs.get_mut(&id) else {
+            return false;
+        };
+        record.cancel.cancel();
+        if record.state == JobState::Queued {
+            record.state = JobState::Cancelled;
+            record.detail = Some("cancelled while queued".into());
+            self.changed.notify_all();
+        }
+        true
+    }
+
+    /// Blocks until the job reaches a terminal state or `timeout`
+    /// elapses, returning the final (or last observed) snapshot.
+    /// `None` for unknown ids.
+    pub fn wait_terminal(&self, id: u64, timeout: Duration) -> Option<JobRecord> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock().expect("job table lock");
+        loop {
+            let record = inner.jobs.get(&id)?;
+            if record.state.is_terminal() {
+                return Some(record.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Some(record.clone());
+            }
+            let (guard, _) =
+                self.changed.wait_timeout(inner, deadline - now).expect("job table lock");
+            inner = guard;
+        }
+    }
+
+    /// How many jobs are in each state, as `(state name, count)` pairs
+    /// in lifecycle order (for gauges).
+    pub fn counts(&self) -> [(&'static str, usize); 5] {
+        let inner = self.inner.lock().expect("job table lock");
+        let mut out = [
+            (JobState::Queued.name(), 0),
+            (JobState::Running.name(), 0),
+            (JobState::Done.name(), 0),
+            (JobState::Failed.name(), 0),
+            (JobState::Cancelled.name(), 0),
+        ];
+        for record in inner.jobs.values() {
+            let slot = match record.state {
+                JobState::Queued => 0,
+                JobState::Running => 1,
+                JobState::Done => 2,
+                JobState::Failed => 3,
+                JobState::Cancelled => 4,
+            };
+            out[slot].1 += 1;
+        }
+        out
+    }
+}
+
+impl Default for JobTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CampaignSpec {
+        CampaignSpec::new("LP", "LFSR-D", 64)
+    }
+
+    #[test]
+    fn lifecycle_queued_running_done() {
+        let table = JobTable::new();
+        let id = table.create(spec(), "k".into(), CancelToken::new(), JobState::Queued);
+        assert_eq!(id, 1);
+        assert_eq!(table.get(id).unwrap().state, JobState::Queued);
+        let (claimed_spec, _token) = table.claim(id).unwrap();
+        assert_eq!(claimed_spec, spec());
+        assert_eq!(table.get(id).unwrap().state, JobState::Running);
+        assert!(table.claim(id).is_none(), "running jobs cannot be claimed twice");
+        table.finish(id, JobState::Done, None, Some(JsonValue::object()));
+        let record = table.get(id).unwrap();
+        assert_eq!(record.state, JobState::Done);
+        assert!(record.artifact.is_some());
+        assert!(record.state.is_terminal());
+    }
+
+    #[test]
+    fn cancel_while_queued_is_immediate() {
+        let table = JobTable::new();
+        let id = table.create(spec(), "k".into(), CancelToken::new(), JobState::Queued);
+        assert!(table.cancel(id));
+        let record = table.get(id).unwrap();
+        assert_eq!(record.state, JobState::Cancelled);
+        assert!(record.detail.unwrap().contains("queued"));
+        assert!(table.claim(id).is_none(), "a cancelled job is never claimed");
+        assert!(!table.cancel(999), "unknown ids report false");
+    }
+
+    #[test]
+    fn claim_observes_token_fired_between_submit_and_pop() {
+        let table = JobTable::new();
+        let token = CancelToken::new();
+        let id = table.create(spec(), "k".into(), token.clone(), JobState::Queued);
+        token.cancel();
+        assert!(table.claim(id).is_none());
+        assert_eq!(table.get(id).unwrap().state, JobState::Cancelled);
+    }
+
+    #[test]
+    fn cache_hits_register_as_done_and_cached() {
+        let table = JobTable::new();
+        let id = table.create_done(spec(), "k".into(), JsonValue::object().push("schema", 1u64));
+        let record = table.get(id).unwrap();
+        assert_eq!(record.state, JobState::Done);
+        assert!(record.cached);
+        assert!(record.artifact.is_some());
+    }
+
+    #[test]
+    fn wait_terminal_blocks_until_finish() {
+        let table = std::sync::Arc::new(JobTable::new());
+        let id = table.create(spec(), "k".into(), CancelToken::new(), JobState::Queued);
+        // A zero-ish timeout returns the non-terminal snapshot.
+        let early = table.wait_terminal(id, Duration::from_millis(1)).unwrap();
+        assert_eq!(early.state, JobState::Queued);
+        let finisher = {
+            let table = std::sync::Arc::clone(&table);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                table.finish(id, JobState::Failed, Some("boom".into()), None);
+            })
+        };
+        let record = table.wait_terminal(id, Duration::from_secs(10)).unwrap();
+        assert_eq!(record.state, JobState::Failed);
+        assert_eq!(record.detail.as_deref(), Some("boom"));
+        finisher.join().unwrap();
+        assert!(table.wait_terminal(999, Duration::from_millis(1)).is_none());
+    }
+
+    #[test]
+    fn counts_track_states() {
+        let table = JobTable::new();
+        let a = table.create(spec(), "k".into(), CancelToken::new(), JobState::Queued);
+        let _b = table.create(spec(), "k".into(), CancelToken::new(), JobState::Queued);
+        table.claim(a).unwrap();
+        let counts: std::collections::HashMap<_, _> = table.counts().into_iter().collect();
+        assert_eq!(counts["queued"], 1);
+        assert_eq!(counts["running"], 1);
+        assert_eq!(counts["done"], 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! `bistd` — the campaign service daemon: a long-lived BIST experiment
+//! runner with a job queue, a worker pool, and a content-addressed
+//! result cache, speaking a framed JSON protocol over TCP and Unix
+//! domain sockets.
+//!
+//! The library layers, bottom-up:
+//!
+//! * [`frame`] — length-prefixed `BISTD/1` framing with a hard size
+//!   cap; every malformed input is a structured error, never a panic.
+//! * [`proto`] — the request/response messages and their JSON wire
+//!   forms, built on `obs::json`.
+//! * [`queue`] — a bounded FIFO with blocking consumers and
+//!   reject-fast producers (the `queue_full` backpressure path).
+//! * [`jobs`] — the job table: every submission's lifecycle from
+//!   `queued` to a terminal state, with race-free cancellation.
+//! * [`cache`] — FNV-1a content addressing of canonical campaign keys
+//!   to completed artifacts, LRU-bounded, with JSONL spill/reload.
+//!   Hits replay artifacts bit-identically to the run that made them.
+//! * [`worker`] — N threads driving `CampaignSpec::run` with per-job
+//!   [`faultsim::CancelToken`]s (deadlines and `cancel` both land at
+//!   fault-simulation stage boundaries).
+//! * [`daemon`] — accept loops, dispatch, graceful drain-and-spill
+//!   shutdown, and a per-daemon [`obs::Registry`] served by the
+//!   `metrics` request.
+//! * [`client`] — the programmatic client used by `bistctl` and the
+//!   `bench` harness's `--server` mode.
+//!
+//! Everything is `std`-only, matching the workspace's offline build
+//! gate.
+
+pub mod cache;
+pub mod client;
+pub mod daemon;
+pub mod frame;
+pub mod jobs;
+pub mod proto;
+pub mod queue;
+pub mod worker;
+
+pub use client::{CampaignResult, Client, ClientError, ServerAddr};
+pub use daemon::{Daemon, DaemonConfig};

@@ -33,6 +33,9 @@
 //! * [`selection`] — generator ranking and mixed-scheme recommendation
 //!   (the paper's Section 9: a Type 1 LFSR switched to maximum-variance
 //!   mode beats any single-mode generator).
+//! * [`campaign`] — serializable campaign specifications with a
+//!   canonical key form: the unit of work the `bistd` daemon queues,
+//!   executes and content-addresses.
 //!
 //! # Example
 //!
@@ -53,6 +56,7 @@
 //! ```
 
 pub mod analysis;
+pub mod campaign;
 pub mod compat;
 pub mod distribution;
 pub mod misr;

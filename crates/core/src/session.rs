@@ -6,7 +6,9 @@
 //! paper's Tables 4–6 and Figs. 10–13.
 
 use crate::misr::Misr;
-use faultsim::{FaultSimResult, FaultUniverse, ParallelFaultSimulator, SimOptions, StageSchedule};
+use faultsim::{
+    CancelToken, FaultSimResult, FaultUniverse, ParallelFaultSimulator, SimOptions, StageSchedule,
+};
 use filters::FilterDesign;
 use obs::{Registry, RunArtifact, StageTiming};
 use rtl::range::RangeAnalysis;
@@ -36,6 +38,13 @@ pub enum SessionError {
         /// Human-readable description.
         reason: String,
     },
+    /// The run's [`CancelToken`] fired (explicit cancellation or a
+    /// deadline) and the session stopped at a stage boundary.
+    Cancelled {
+        /// Whether the token read cancelled because its deadline
+        /// passed, rather than an explicit cancel call.
+        deadline_exceeded: bool,
+    },
 }
 
 impl fmt::Display for SessionError {
@@ -47,6 +56,12 @@ impl fmt::Display for SessionError {
             SessionError::Dsp(e) => write!(f, "dsp error: {e}"),
             SessionError::InvalidConfig { reason } => {
                 write!(f, "invalid session configuration: {reason}")
+            }
+            SessionError::Cancelled { deadline_exceeded: true } => {
+                write!(f, "session run cancelled: deadline exceeded")
+            }
+            SessionError::Cancelled { deadline_exceeded: false } => {
+                write!(f, "session run cancelled")
             }
         }
     }
@@ -60,6 +75,7 @@ impl Error for SessionError {
             SessionError::Rtl(e) => Some(e),
             SessionError::Dsp(e) => Some(e),
             SessionError::InvalidConfig { .. } => None,
+            SessionError::Cancelled { .. } => None,
         }
     }
 }
@@ -109,6 +125,7 @@ pub struct RunConfig {
     schedule: StageSchedule,
     threads: usize,
     metrics: Option<Arc<Registry>>,
+    cancel: Option<CancelToken>,
 }
 
 impl RunConfig {
@@ -121,6 +138,7 @@ impl RunConfig {
             schedule: StageSchedule::new(),
             threads: 0,
             metrics: None,
+            cancel: None,
         }
     }
 
@@ -183,6 +201,20 @@ impl RunConfig {
     /// The attached campaign metric registry, if any.
     pub fn metrics(&self) -> Option<&Arc<Registry>> {
         self.metrics.as_ref()
+    }
+
+    /// Attaches a cancellation token. [`BistSession::run`] checks it
+    /// between pipeline phases, and the fault simulator checks it at
+    /// every stage boundary; a fired token surfaces as
+    /// [`SessionError::Cancelled`].
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
     }
 }
 
@@ -282,6 +314,14 @@ impl<'d> BistSession<'d> {
             });
         }
         let mut misr = Misr::new(config.misr_width())?;
+        let cancelled = |token: &CancelToken| SessionError::Cancelled {
+            deadline_exceeded: token.deadline_exceeded(),
+        };
+        if let Some(token) = config.cancel() {
+            if token.is_cancelled() {
+                return Err(cancelled(token));
+            }
+        }
 
         // A fresh per-run registry keeps the artifact's spans and
         // counters scoped to exactly this run; the caller's campaign
@@ -294,16 +334,22 @@ impl<'d> BistSession<'d> {
             (0..config.vectors()).map(|_| self.design.align_input(generator.next_word())).collect()
         };
 
-        let options = SimOptions::new()
+        let mut options = SimOptions::new()
             .with_schedule(config.schedule().clone())
             .with_threads(config.threads())
             .with_metrics(Arc::clone(&registry));
+        if let Some(token) = config.cancel() {
+            options = options.with_cancel(token.clone());
+        }
         let threads_used = options.effective_threads();
         let result = {
             let _span = registry.span("session.fault_sim");
             ParallelFaultSimulator::new(self.design.netlist(), &self.universe)
                 .with_options(options)
-                .run(&inputs)
+                .try_run(&inputs)
+                .map_err(|_| {
+                    cancelled(config.cancel().expect("only an attached token cancels a run"))
+                })?
         };
 
         // Signature of the good response (the production BIST readout).
@@ -550,6 +596,42 @@ mod tests {
         let cfg = cfg.with_vectors(128).with_schedule(StageSchedule::with_boundaries(vec![8]));
         assert_eq!(cfg.vectors(), 128);
         assert_eq!(cfg.schedule(), &StageSchedule::with_boundaries(vec![8]));
+    }
+
+    #[test]
+    fn cancelled_token_aborts_the_run_as_a_session_error() {
+        let d = small_design(0.15);
+        let s = BistSession::new(&d).unwrap();
+        let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = s.run(&mut gen, &RunConfig::new(128).with_cancel(token)).unwrap_err();
+        assert!(matches!(err, SessionError::Cancelled { deadline_exceeded: false }), "{err}");
+        assert!(err.to_string().contains("cancelled"), "{err}");
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline_exceeded() {
+        let d = small_design(0.15);
+        let s = BistSession::new(&d).unwrap();
+        let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
+        let token = CancelToken::new().with_deadline(std::time::Instant::now());
+        let err = s.run(&mut gen, &RunConfig::new(128).with_cancel(token)).unwrap_err();
+        assert!(matches!(err, SessionError::Cancelled { deadline_exceeded: true }), "{err}");
+        assert!(err.to_string().contains("deadline"), "{err}");
+        assert!(std::error::Error::source(&err).is_none());
+    }
+
+    #[test]
+    fn unfired_token_leaves_results_bit_identical() {
+        let d = small_design(0.15);
+        let s = BistSession::new(&d).unwrap();
+        let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
+        let plain = s.run(&mut gen, &RunConfig::new(128)).unwrap();
+        let watched =
+            s.run(&mut gen, &RunConfig::new(128).with_cancel(CancelToken::new())).unwrap();
+        assert_eq!(plain.signature, watched.signature);
+        assert_eq!(plain.result.detection_cycles(), watched.result.detection_cycles());
     }
 
     #[test]

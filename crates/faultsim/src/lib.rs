@@ -54,4 +54,6 @@ pub mod inject;
 pub mod report;
 
 pub use fault::{FaultId, FaultSite, FaultUniverse};
-pub use sim::{FaultSimResult, ParallelFaultSimulator, SimOptions, StageSchedule};
+pub use sim::{
+    CancelToken, Cancelled, FaultSimResult, ParallelFaultSimulator, SimOptions, StageSchedule,
+};

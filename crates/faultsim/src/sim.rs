@@ -3,9 +3,71 @@ use obs::Registry;
 use rtl::sim::{BitSlicedSim, CellFault};
 use rtl::Netlist;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// A shared cooperative-cancellation handle: an atomic flag plus an
+/// optional hard deadline. Clones observe the same flag, so a token
+/// handed to a long fault-simulation run can be cancelled from another
+/// thread (the campaign daemon's `CancelJob` path). The simulator
+/// checks the token **at stage boundaries** only — between
+/// [`StageSchedule`] stages, never inside the bit-sliced inner loop —
+/// so cancellation latency is one stage, and a run that completes was
+/// never perturbed.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token with no deadline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a hard deadline: the token reads as cancelled once
+    /// `deadline` passes, with no explicit [`CancelToken::cancel`] call.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Requests cancellation; every clone of this token observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation was requested or the deadline has passed.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire) || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Whether the token reads cancelled *because of its deadline*
+    /// (used to distinguish "timed out" from "cancelled" job states).
+    pub fn deadline_exceeded(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// The error a cancellable fault-simulation run returns when its
+/// [`CancelToken`] fired at a stage boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cancelled {
+    /// The cycle (start of the unentered stage) simulation stopped at.
+    pub at_cycle: u32,
+}
+
+impl fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fault simulation cancelled at stage boundary (cycle {})", self.at_cycle)
+    }
+}
+
+impl Error for Cancelled {}
 
 /// Faulty machines per 64-lane bit-sliced pass (lane 0 is the good
 /// machine).
@@ -71,13 +133,14 @@ pub struct SimOptions {
     schedule: StageSchedule,
     threads: usize,
     metrics: Option<Arc<Registry>>,
+    cancel: Option<CancelToken>,
 }
 
 impl SimOptions {
     /// Default options: the default stage schedule, one worker per
-    /// available core, no metrics.
+    /// available core, no metrics, not cancellable.
     pub fn new() -> Self {
-        SimOptions { schedule: StageSchedule::new(), threads: 0, metrics: None }
+        SimOptions { schedule: StageSchedule::new(), threads: 0, metrics: None, cancel: None }
     }
 
     /// Overrides the fault-dropping stage schedule.
@@ -107,6 +170,18 @@ impl SimOptions {
     /// The attached metric registry, if any.
     pub fn metrics(&self) -> Option<&Arc<Registry>> {
         self.metrics.as_ref()
+    }
+
+    /// Attaches a cancellation token, checked at every stage boundary
+    /// by [`ParallelFaultSimulator::try_run`].
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
     }
 
     /// The configured stage schedule.
@@ -251,13 +326,31 @@ impl<'a> ParallelFaultSimulator<'a> {
     /// is carried exactly across stage repacks, so results are identical
     /// to simulating each fault individually from cycle 0 — and
     /// identical at every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`CancelToken`] attached via
+    /// [`SimOptions::with_cancel`] fires mid-run; cancellable callers
+    /// must use [`ParallelFaultSimulator::try_run`].
     pub fn run(&self, inputs: &[i64]) -> FaultSimResult {
+        self.try_run(inputs).expect("run() without a cancel token cannot be cancelled")
+    }
+
+    /// Like [`ParallelFaultSimulator::run`], but checks the attached
+    /// [`CancelToken`] (if any) at every [`StageSchedule`] boundary and
+    /// returns [`Cancelled`] instead of entering the next stage.
+    ///
+    /// # Errors
+    ///
+    /// [`Cancelled`] when the token fired; partial detection results
+    /// are discarded (reruns are cheap relative to serving wrong data).
+    pub fn try_run(&self, inputs: &[i64]) -> Result<FaultSimResult, Cancelled> {
         let total = inputs.len() as u32;
         let metrics = self.options.metrics.as_deref();
         let mut detection: Vec<Option<u32>> = vec![None; self.universe.len()];
         if self.universe.is_empty() || total == 0 {
             Self::record_totals(metrics, &detection);
-            return FaultSimResult { detection_cycle: detection, total_cycles: total };
+            return Ok(FaultSimResult { detection_cycle: detection, total_cycles: total });
         }
         let threads = self.options.effective_threads().max(1);
 
@@ -274,6 +367,12 @@ impl<'a> ParallelFaultSimulator<'a> {
         {
             if active.is_empty() {
                 break;
+            }
+            if self.options.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                if let Some(m) = metrics {
+                    m.counter("faultsim.cancelled_runs").inc();
+                }
+                return Err(Cancelled { at_cycle: start });
             }
             let stage_span = metrics.map(|m| obs::span!(m, "faultsim.stage{}", stage_index));
             let shards: Vec<&[FaultId]> = active.chunks(LANES_PER_PASS).collect();
@@ -356,7 +455,7 @@ impl<'a> ParallelFaultSimulator<'a> {
         }
 
         Self::record_totals(metrics, &detection);
-        FaultSimResult { detection_cycle: detection, total_cycles: total }
+        Ok(FaultSimResult { detection_cycle: detection, total_cycles: total })
     }
 
     /// Final detected/undetected counters for a completed run.
@@ -656,6 +755,75 @@ mod tests {
         let s = registry.snapshot();
         assert_eq!(s.counters["faultsim.faults_detected"], 0);
         assert_eq!(s.counters["faultsim.faults_undetected"], u.len() as u64);
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_at_the_first_boundary() {
+        let n = filterish(10);
+        let u = universe(&n);
+        let inputs = pseudo_inputs(150, 10);
+        let token = CancelToken::new();
+        token.cancel();
+        let err = ParallelFaultSimulator::new(&n, &u)
+            .with_options(SimOptions::new().with_cancel(token))
+            .try_run(&inputs)
+            .unwrap_err();
+        assert_eq!(err.at_cycle, 0);
+        assert!(err.to_string().contains("cycle 0"), "{err}");
+    }
+
+    #[test]
+    fn deadline_cancels_between_stages() {
+        let n = filterish(10);
+        let u = universe(&n);
+        let inputs = pseudo_inputs(512, 10);
+        // Already-expired deadline: the run must stop at some boundary
+        // of the many-stage schedule without an explicit cancel().
+        let token = CancelToken::new().with_deadline(Instant::now());
+        assert!(token.deadline_exceeded());
+        let registry = Arc::new(Registry::new());
+        let err = ParallelFaultSimulator::new(&n, &u)
+            .with_options(
+                SimOptions::new()
+                    .with_cancel(token)
+                    .with_metrics(Arc::clone(&registry))
+                    .with_schedule(StageSchedule::with_boundaries(vec![8, 16, 32, 64, 128, 256])),
+            )
+            .try_run(&inputs)
+            .unwrap_err();
+        assert_eq!(err.at_cycle, 0);
+        assert_eq!(registry.snapshot().counters["faultsim.cancelled_runs"], 1);
+    }
+
+    #[test]
+    fn uncancelled_token_does_not_change_results() {
+        let n = filterish(10);
+        let u = universe(&n);
+        let inputs = pseudo_inputs(150, 10);
+        let plain = ParallelFaultSimulator::new(&n, &u)
+            .with_schedule(StageSchedule::with_boundaries(vec![16, 48]))
+            .run(&inputs);
+        let token = CancelToken::new();
+        let watched = ParallelFaultSimulator::new(&n, &u)
+            .with_options(
+                SimOptions::new()
+                    .with_schedule(StageSchedule::with_boundaries(vec![16, 48]))
+                    .with_cancel(token.clone()),
+            )
+            .try_run(&inputs)
+            .unwrap();
+        assert_eq!(plain.detection_cycles(), watched.detection_cycles());
+        assert!(!token.is_cancelled());
+    }
+
+    #[test]
+    fn token_clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+        assert!(!b.deadline_exceeded(), "no deadline was attached");
     }
 
     #[test]

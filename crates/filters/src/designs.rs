@@ -81,6 +81,27 @@ pub fn paper_designs() -> Result<Vec<FilterDesign>, FilterError> {
     Ok(vec![lowpass()?, bandpass()?, highpass()?])
 }
 
+/// A 16-tap miniature of the LP design: same 12-bit input and 16-bit
+/// datapath, an order of magnitude fewer faults. Not a paper circuit —
+/// it exists so service smoke tests and CI can run a complete campaign
+/// in milliseconds instead of seconds.
+///
+/// # Errors
+///
+/// Propagates [`FilterError`] from elaboration.
+pub fn lowpass_mini() -> Result<FilterDesign, FilterError> {
+    FilterDesign::elaborate(FilterSpec {
+        name: "LP-MINI".into(),
+        band: BandKind::Lowpass { cutoff: 0.1 },
+        taps: 16,
+        input_bits: 12,
+        coef_frac_bits: 14,
+        max_csd_digits: 3,
+        width: 16,
+        kaiser_beta: 4.0,
+    })
+}
+
 /// The LP design rebuilt in folded (symmetric, linear-phase) direct
 /// form: half the multipliers, a delay line on the input.
 ///
@@ -210,6 +231,19 @@ mod tests {
                 "cycle {t}"
             );
         }
+    }
+
+    #[test]
+    fn mini_design_is_small_and_lowpass() {
+        let d = lowpass_mini().unwrap();
+        assert_eq!(d.name(), "LP-MINI");
+        assert_eq!(d.netlist().stats().registers, 16);
+        assert!(
+            d.netlist().stats().arithmetic() < lowpass().unwrap().netlist().stats().arithmetic()
+        );
+        let c = d.coefficients();
+        assert!(magnitude_at(&c, 0.02) > 0.3);
+        assert!(magnitude_at(&c, 0.4) < 0.05);
     }
 
     #[test]

@@ -12,8 +12,9 @@
 //! * [`Span`] / [`span!`] — RAII wall-clock timers: one guard per
 //!   pipeline phase, recorded into the registry's span log (and a
 //!   same-named duration histogram) on drop.
-//! * [`JsonValue`] — a ~200-line hand-rolled JSON writer (no serde)
-//!   with insertion-ordered objects.
+//! * [`JsonValue`] — a hand-rolled JSON writer *and* parser (no serde)
+//!   with insertion-ordered objects; the campaign daemon's wire
+//!   protocol and cache spill files ride on it.
 //! * [`JsonlSink`] — a thread-safe one-JSON-document-per-line event
 //!   writer.
 //! * [`RunArtifact`] — the structured end-of-run record (coverage,
@@ -51,7 +52,7 @@ pub mod span;
 
 pub use artifact::{RunArtifact, StageTiming, ARTIFACT_SCHEMA};
 pub use hist::{Histogram, HistogramSnapshot, DURATION_MS_BOUNDS};
-pub use json::JsonValue;
+pub use json::{JsonError, JsonValue};
 pub use metrics::{Counter, Registry, Snapshot, SpanRecord};
 pub use sink::JsonlSink;
 pub use span::Span;
