@@ -11,6 +11,19 @@ cargo clippy --offline --all-targets -- -D warnings
 cargo build --release --offline
 cargo test -q --offline
 
+# Static-analysis gate: the three paper designs must be free of
+# error-severity lint findings under their recommended generators,
+# and the paper's known-bad pairing must be flagged (exit 1).
+for design in LP BP HP; do
+    ./target/release/bistlint --design "$design" --gen LFSR-D > /dev/null \
+        || { echo "bistlint found errors on $design x LFSR-D"; exit 1; }
+done
+if ./target/release/bistlint --design LP --gen LFSR-1 > /dev/null 2>&1; then
+    echo "bistlint failed to flag the incompatible LP x LFSR-1 pairing"
+    exit 1
+fi
+echo "bistlint gate: roster clean, incompatible pairing flagged OK"
+
 # Daemon smoke test: a bistd on a Unix socket must serve a campaign,
 # answer the identical resubmission from its result cache, and drain
 # cleanly on shutdown.

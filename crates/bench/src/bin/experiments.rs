@@ -36,7 +36,7 @@
 //! ```
 
 use bist_bench::{
-    generator, mixed_generator, paper_designs, plot, run_config, run_session, table,
+    cell_lint, generator, mixed_generator, paper_designs, plot, run_config, run_session, table,
     SECTION8_GENERATORS,
 };
 use bist_core::campaign::CampaignSpec;
@@ -221,6 +221,16 @@ fn table3() {
         }
         println!();
     }
+    println!("static lint per cell (errors/warnings/infos, no simulation):");
+    let lint_rows: Vec<Vec<String>> = gens
+        .iter()
+        .map(|g| {
+            let mut row = vec![g.name.clone()];
+            row.extend(designs.iter().map(|d| cell_lint(d, &g.name, SECTION8_VECTORS)));
+            row
+        })
+        .collect();
+    println!("{}", table::render(&["", "Lowpass", "Bandpass", "Highpass"], &lint_rows));
 }
 
 // ------------------------------------------------------------ Tables 4, 5
@@ -280,6 +290,16 @@ fn table4(server: Option<&ServerAddr>) {
     println!("{}", table::render(&header, &rows4));
     println!("normalized (paper: LP 2.84/1.81/5.99/2.65, BP 1.25/1.20/6.24/7.64, HP 1.76/1.80/5.89/9.59)");
     println!("{}", table::render(&header, &rows5));
+    let lint_rows: Vec<Vec<String>> = designs
+        .iter()
+        .map(|d| {
+            let mut row = vec![d.name().to_string()];
+            row.extend(SECTION8_GENERATORS.iter().map(|name| cell_lint(d, name, SECTION8_VECTORS)));
+            row
+        })
+        .collect();
+    println!("static lint per cell (predicts the hot cells of the grid above without simulating):");
+    println!("{}", table::render(&header, &lint_rows));
 }
 
 // ---------------------------------------------------------------- Table 6
@@ -323,9 +343,13 @@ fn table6(server: Option<&ServerAddr>) {
             missed.to_string(),
             format!("{:.2}", missed as f64 / d.netlist().stats().arithmetic() as f64),
             format!("{:.2}x", best as f64 / missed.max(1) as f64),
+            cell_lint(d, &format!("Mixed@{SECTION8_VECTORS}"), 2 * SECTION8_VECTORS),
         ]);
     }
-    println!("{}", table::render(&["Des.", "misses", "normalized", "vs best single (4k)"], &rows));
+    println!(
+        "{}",
+        table::render(&["Des.", "misses", "normalized", "vs best single (4k)", "lint"], &rows)
+    );
 }
 
 // ------------------------------------------------------------------ Fig 1

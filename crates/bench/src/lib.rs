@@ -6,10 +6,13 @@
 //! `EXPERIMENTS.md` for recorded results); the Criterion benches
 //! measure the performance of the underlying engines.
 
+#![forbid(unsafe_code)]
+
 pub mod artifacts;
 pub mod plot;
 pub mod table;
 
+use bist_core::campaign::CampaignSpec;
 use bist_core::session::{BistRun, BistSession, RunConfig, SessionError};
 use filters::FilterDesign;
 use tpg::{Mixed, TestGenerator};
@@ -84,6 +87,20 @@ pub fn run_session(
     run
 }
 
+/// Static lint summary for one experiment grid cell — the
+/// generator-shaped testability (`L1xx`), spectral-compatibility
+/// (`L2xx`) and campaign-spec (`L3xx`) passes, without a single
+/// simulated vector. Returns compact `E/W/I` tallies like `"1E 2W 4I"`
+/// so the tables can carry a per-cell static verdict next to the
+/// measured miss counts.
+pub fn cell_lint(design: &FilterDesign, gen_name: &str, vectors: usize) -> String {
+    let mut diags = lint::lint_pairing(design, gen_name, lint::DEFAULT_BINS);
+    let spec = CampaignSpec::new(design.name(), gen_name, vectors);
+    diags.extend(lint::campaign::lint_spec(design, &spec, None));
+    let (errors, warnings, infos) = obs::diag::severity_counts(&diags);
+    format!("{errors}E {warnings}W {infos}I")
+}
+
 /// The experiment harness's run configuration: `vectors` test patterns
 /// with the defaults (16-bit MISR, default schedule), honoring a
 /// `BIST_THREADS` environment override for the fault-simulation worker
@@ -125,6 +142,19 @@ mod tests {
         let mut m = try_generator("Mixed@2048").expect("registry spells mixed as Mixed@<n>");
         assert_eq!(m.width(), 12);
         m.next_word();
+    }
+
+    #[test]
+    fn cell_lint_flags_the_incompatible_pairing_statically() {
+        let designs = paper_designs();
+        let lp = designs.iter().find(|d| d.name() == "LP").expect("LP elaborates");
+        // The paper's incompatible cell: Type-1 LFSR energy sits in the
+        // lowpass stopband, so the spectral pass reports an error.
+        let bad = cell_lint(lp, "LFSR-1", 4096);
+        assert!(!bad.starts_with("0E"), "LP x LFSR-1 must carry an error: {bad}");
+        // The decorrelated generator is the paper's compatible pick.
+        let good = cell_lint(lp, "LFSR-D", 4096);
+        assert!(good.starts_with("0E"), "LP x LFSR-D must be error-free: {good}");
     }
 
     #[test]

@@ -8,10 +8,14 @@
 //!
 //! `run` submits and waits, printing one JSON object
 //! `{"job":…,"cached":…,"key":…,"artifact":{…}}` on stdout — the
-//! `cached` field is what the CI smoke test asserts on. All errors go
-//! to stderr with a non-zero exit: 2 for usage problems (including an
-//! unknown `--design`/`--gen`, reported with the known names), 1 for
-//! server/transport failures.
+//! `cached` field is what the CI smoke test asserts on. Admission-lint
+//! diagnostics from the daemon are rendered human-readably on stderr
+//! (one line per diagnostic plus a severity summary); stdout stays
+//! pure machine JSON. All errors go to stderr with a non-zero exit:
+//! 2 for usage problems (including an unknown `--design`/`--gen`,
+//! reported with the known names), 1 for server/transport failures —
+//! structured server refusals are unpacked into readable multi-line
+//! output instead of a raw JSON dump.
 
 use bist_bistd::{Client, ClientError, ServerAddr};
 use bist_core::campaign::{CampaignSpec, KNOWN_DESIGNS, KNOWN_GENERATORS};
@@ -38,10 +42,36 @@ fn main() -> ExitCode {
             eprintln!("bistctl: {message}\n{USAGE}");
             ExitCode::from(2)
         }
+        Err(CtlError::Client(ClientError::Server { code, message, retry_after_ms })) => {
+            // Unpack structured refusals into readable lines instead of
+            // one raw "server error (...)" blob.
+            eprintln!("bistctl: the daemon refused the request");
+            eprintln!("  code: {code}");
+            for line in message.lines() {
+                eprintln!("  {line}");
+            }
+            if let Some(ms) = retry_after_ms {
+                eprintln!("  retry after: {ms} ms");
+            }
+            ExitCode::FAILURE
+        }
         Err(CtlError::Client(e)) => {
             eprintln!("bistctl: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Renders admission-lint diagnostics readably on stderr, keeping
+/// stdout pure machine JSON for scripted consumers.
+fn render_lint(diags: &[obs::Diagnostic]) {
+    if diags.is_empty() {
+        return;
+    }
+    let (errors, warns, infos) = obs::diag::severity_counts(diags);
+    eprintln!("bistctl: admission lint: {errors} error(s), {warns} warning(s), {infos} info(s)");
+    for d in diags {
+        eprintln!("  {d}");
     }
 }
 
@@ -73,20 +103,28 @@ fn run(args: &[String]) -> Result<(), CtlError> {
         "run" => {
             let (spec, deadline_ms) = parse_spec(&rest)?;
             let result = connect()?.run_campaign(&spec, deadline_ms)?;
-            let line = JsonValue::object()
+            render_lint(&result.lint);
+            let mut line = JsonValue::object()
                 .push("job", result.job)
                 .push("cached", result.cached)
-                .push("key", result.key.as_str())
-                .push("artifact", result.artifact);
+                .push("key", result.key.as_str());
+            if !result.lint.is_empty() {
+                line = line.push("lint", obs::diag::diagnostics_to_json(&result.lint));
+            }
+            line = line.push("artifact", result.artifact);
             println!("{}", line.to_json());
         }
         "submit" => {
             let (spec, deadline_ms) = parse_spec(&rest)?;
-            let (job, cached, key) = connect()?.submit(&spec, deadline_ms)?;
-            let line = JsonValue::object()
-                .push("job", job)
-                .push("cached", cached)
-                .push("key", key.as_str());
+            let submission = connect()?.submit(&spec, deadline_ms)?;
+            render_lint(&submission.lint);
+            let mut line = JsonValue::object()
+                .push("job", submission.job)
+                .push("cached", submission.cached)
+                .push("key", submission.key.as_str());
+            if !submission.lint.is_empty() {
+                line = line.push("lint", obs::diag::diagnostics_to_json(&submission.lint));
+            }
             println!("{}", line.to_json());
         }
         "status" => {

@@ -9,7 +9,7 @@
 //! Runs until a client sends `shutdown`, then drains in-flight jobs,
 //! spills the result cache, and exits 0.
 
-use bist_bistd::{Daemon, DaemonConfig};
+use bist_bistd::{Daemon, DaemonConfig, LintMode};
 use std::io::Write as _;
 use std::process::ExitCode;
 
@@ -21,6 +21,9 @@ const USAGE: &str = "usage: bistd [options]
   --cache-cap <n>       result cache capacity in artifacts (default 64)
   --spill <path>        JSONL cache spill file (loaded at start, written at shutdown)
   --deadline-ms <ms>    default per-job deadline for submits without one
+  --lint <mode>         admission-time static analysis: off, annotate
+                        (default; diagnostics ride along with the job),
+                        or reject (refuse on error-severity diagnostics)
 at least one of --tcp / --unix is required";
 
 fn main() -> ExitCode {
@@ -75,6 +78,11 @@ fn parse_args(args: &[String]) -> Result<DaemonConfig, String> {
             "--spill" => config.spill = Some(value(flag, &mut iter)?.into()),
             "--deadline-ms" => {
                 config.default_deadline_ms = Some(parse_num::<u64>(flag, &value(flag, &mut iter)?)?)
+            }
+            "--lint" => {
+                let mode = value(flag, &mut iter)?;
+                config.lint = LintMode::parse(&mode)
+                    .ok_or_else(|| format!("--lint: '{mode}' is not off/annotate/reject"))?
             }
             other => return Err(format!("unknown option '{other}'")),
         }

@@ -102,6 +102,20 @@ impl From<FrameError> for ClientError {
     }
 }
 
+/// A successful submit reply.
+#[derive(Debug, Clone)]
+pub struct Submission {
+    /// The server-assigned job id.
+    pub job: u64,
+    /// Whether the result was served from the cache.
+    pub cached: bool,
+    /// The spec's canonical cache key.
+    pub key: String,
+    /// Admission-time lint diagnostics (empty when the daemon does not
+    /// lint, or found nothing).
+    pub lint: Vec<obs::Diagnostic>,
+}
+
 /// The outcome of one complete campaign round trip.
 #[derive(Debug, Clone)]
 pub struct CampaignResult {
@@ -111,6 +125,8 @@ pub struct CampaignResult {
     pub cached: bool,
     /// The spec's canonical cache key.
     pub key: String,
+    /// Admission-time lint diagnostics from the submit reply.
+    pub lint: Vec<obs::Diagnostic>,
     /// The `RunArtifact` JSON object.
     pub artifact: JsonValue,
 }
@@ -155,19 +171,22 @@ impl Client {
         Response::parse(&payload).map_err(|e| ClientError::Protocol(e.to_string()))
     }
 
-    /// Submits a campaign, returning `(job, cached, key)`.
+    /// Submits a campaign.
     ///
     /// # Errors
     ///
     /// [`ClientError::Server`] for structured refusals (including
-    /// `queue_full` backpressure), transport errors otherwise.
+    /// `queue_full` backpressure and `lint_rejected` admission
+    /// refusals), transport errors otherwise.
     pub fn submit(
         &mut self,
         spec: &CampaignSpec,
         deadline_ms: Option<u64>,
-    ) -> Result<(u64, bool, String), ClientError> {
+    ) -> Result<Submission, ClientError> {
         match self.request(&Request::Submit { spec: spec.clone(), deadline_ms })? {
-            Response::Submitted { job, cached, key } => Ok((job, cached, key)),
+            Response::Submitted { job, cached, key, lint } => {
+                Ok(Submission { job, cached, key, lint })
+            }
             other => Err(unexpected(other)),
         }
     }
@@ -199,9 +218,15 @@ impl Client {
         spec: &CampaignSpec,
         deadline_ms: Option<u64>,
     ) -> Result<CampaignResult, ClientError> {
-        let (job, submit_cached, key) = self.submit(spec, deadline_ms)?;
-        let (fetch_cached, artifact) = self.fetch_artifact(job)?;
-        Ok(CampaignResult { job, cached: submit_cached || fetch_cached, key, artifact })
+        let submission = self.submit(spec, deadline_ms)?;
+        let (fetch_cached, artifact) = self.fetch_artifact(submission.job)?;
+        Ok(CampaignResult {
+            job: submission.job,
+            cached: submission.cached || fetch_cached,
+            key: submission.key,
+            lint: submission.lint,
+            artifact,
+        })
     }
 
     /// Queries a job's state, returning `(state, detail)`.

@@ -39,6 +39,32 @@ const ACCEPT_POLL: Duration = Duration::from_millis(10);
 /// connection visibly alive.
 const MAX_FETCH_WAIT: Duration = Duration::from_secs(30);
 
+/// What the daemon does with admission-time static analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LintMode {
+    /// No admission linting; submits behave exactly as before.
+    Off,
+    /// Lint every submit and attach the diagnostics to the reply and
+    /// the job (they end up in the run artifact), but never refuse.
+    #[default]
+    Annotate,
+    /// Like `Annotate`, but refuse submissions carrying an
+    /// error-severity diagnostic with [`codes::LINT_REJECTED`].
+    Reject,
+}
+
+impl LintMode {
+    /// Parses the `--lint` flag value.
+    pub fn parse(s: &str) -> Option<LintMode> {
+        match s {
+            "off" => Some(LintMode::Off),
+            "annotate" => Some(LintMode::Annotate),
+            "reject" => Some(LintMode::Reject),
+            _ => None,
+        }
+    }
+}
+
 /// Everything configurable about a daemon instance.
 #[derive(Debug, Clone)]
 pub struct DaemonConfig {
@@ -57,6 +83,8 @@ pub struct DaemonConfig {
     pub spill: Option<PathBuf>,
     /// Deadline applied to jobs that submit without one.
     pub default_deadline_ms: Option<u64>,
+    /// Admission-time static-analysis policy.
+    pub lint: LintMode,
 }
 
 impl Default for DaemonConfig {
@@ -69,6 +97,7 @@ impl Default for DaemonConfig {
             cache_capacity: 64,
             spill: None,
             default_deadline_ms: None,
+            lint: LintMode::default(),
         }
     }
 }
@@ -80,6 +109,7 @@ struct Shared {
     metrics: Arc<Registry>,
     shutdown: AtomicBool,
     default_deadline_ms: Option<u64>,
+    lint: LintMode,
 }
 
 /// A running campaign daemon.
@@ -123,6 +153,7 @@ impl Daemon {
             metrics,
             shutdown: AtomicBool::new(false),
             default_deadline_ms: config.default_deadline_ms,
+            lint: config.lint,
         });
         let worker_handles = worker::spawn_workers(
             config.workers,
@@ -371,23 +402,57 @@ impl Shared {
                 retry_after_ms: None,
             };
         }
+        // Admission-time static analysis: the cheap pairing and spec
+        // passes, no fault-simulation cycle. `Annotate` attaches the
+        // diagnostics; `Reject` additionally refuses on error severity.
+        let effective_deadline = deadline_ms.or(self.default_deadline_ms);
+        let lint = if self.lint == LintMode::Off {
+            Vec::new()
+        } else {
+            match lint::admission_lint(&spec, effective_deadline) {
+                Ok(diags) => diags,
+                // `validate` passed, so this is a design-construction
+                // failure the worker would also hit; refuse it here.
+                Err(e) => {
+                    self.metrics.counter("bistd.bad_requests").inc();
+                    return Response::Error {
+                        code: codes::BAD_REQUEST.into(),
+                        message: e.to_string(),
+                        retry_after_ms: None,
+                    };
+                }
+            }
+        };
+        self.metrics.counter("bistd.lint.diagnostics").add(lint.len() as u64);
+        if self.lint == LintMode::Reject {
+            if let Some(first) = lint.iter().find(|d| d.severity == obs::Severity::Error) {
+                self.metrics.counter("bistd.lint.rejections").inc();
+                return Response::Error {
+                    code: codes::LINT_REJECTED.into(),
+                    message: format!("admission lint refused the campaign: {first}"),
+                    retry_after_ms: None,
+                };
+            }
+        }
         let key = spec.canonical();
         let hit = self.cache.lock().expect("cache lock").get(&key);
         if let Some(artifact) = hit {
             self.metrics.counter("bistd.cache.hits").inc();
             let job = self.jobs.create_done(spec, key.clone(), artifact);
-            return Response::Submitted { job, cached: true, key };
+            self.jobs.set_lint(job, lint.clone());
+            return Response::Submitted { job, cached: true, key, lint };
         }
         self.metrics.counter("bistd.cache.misses").inc();
         let mut token = CancelToken::new();
-        if let Some(ms) = deadline_ms.or(self.default_deadline_ms) {
+        if let Some(ms) = effective_deadline {
             token = token.with_deadline(Instant::now() + Duration::from_millis(ms));
         }
         let job = self.jobs.create(spec, key.clone(), token, JobState::Queued);
+        self.jobs.set_lint(job, lint.clone());
         match self.queue.push(job) {
             Ok(()) => {
                 self.metrics.counter("bistd.jobs_submitted").inc();
-                Response::Submitted { job, cached: false, key }
+                Response::Submitted { job, cached: false, key, lint }
             }
             Err(PushError::Full) => {
                 self.jobs.finish(

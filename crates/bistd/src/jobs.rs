@@ -66,6 +66,9 @@ pub struct JobRecord {
     pub cached: bool,
     /// The cooperative cancellation handle shared with the worker.
     pub cancel: CancelToken,
+    /// Admission-time static-analysis diagnostics, attached at submit
+    /// and carried into the run's artifact by the worker.
+    pub lint: Vec<obs::Diagnostic>,
 }
 
 /// The concurrent id → [`JobRecord`] map.
@@ -101,9 +104,29 @@ impl JobTable {
         inner.next_id += 1;
         inner.jobs.insert(
             id,
-            JobRecord { id, spec, key, state, detail: None, artifact: None, cached: false, cancel },
+            JobRecord {
+                id,
+                spec,
+                key,
+                state,
+                detail: None,
+                artifact: None,
+                cached: false,
+                cancel,
+                lint: Vec::new(),
+            },
         );
         id
+    }
+
+    /// Attaches admission-time lint diagnostics to a job. Workers read
+    /// them back through [`JobTable::claim`] so they land in the run's
+    /// artifact.
+    pub fn set_lint(&self, id: u64, lint: Vec<obs::Diagnostic>) {
+        let mut inner = self.inner.lock().expect("job table lock");
+        if let Some(record) = inner.jobs.get_mut(&id) {
+            record.lint = lint;
+        }
     }
 
     /// Registers an already-completed job (a cache hit) and returns its
@@ -127,7 +150,7 @@ impl JobTable {
     /// token already fired — marks it `Cancelled` and returns `None`.
     /// Also returns `None` for ids in any other state (e.g. cancelled
     /// while queued).
-    pub fn claim(&self, id: u64) -> Option<(CampaignSpec, CancelToken)> {
+    pub fn claim(&self, id: u64) -> Option<(CampaignSpec, CancelToken, Vec<obs::Diagnostic>)> {
         let mut inner = self.inner.lock().expect("job table lock");
         let record = inner.jobs.get_mut(&id)?;
         if record.state != JobState::Queued {
@@ -147,7 +170,7 @@ impl JobTable {
             return None;
         }
         record.state = JobState::Running;
-        Some((record.spec.clone(), record.cancel.clone()))
+        Some((record.spec.clone(), record.cancel.clone(), record.lint.clone()))
     }
 
     /// Moves a job to a terminal state, attaching artifact or detail.
@@ -252,7 +275,7 @@ mod tests {
         let id = table.create(spec(), "k".into(), CancelToken::new(), JobState::Queued);
         assert_eq!(id, 1);
         assert_eq!(table.get(id).unwrap().state, JobState::Queued);
-        let (claimed_spec, _token) = table.claim(id).unwrap();
+        let (claimed_spec, _token, _lint) = table.claim(id).unwrap();
         assert_eq!(claimed_spec, spec());
         assert_eq!(table.get(id).unwrap().state, JobState::Running);
         assert!(table.claim(id).is_none(), "running jobs cannot be claimed twice");
@@ -261,6 +284,22 @@ mod tests {
         assert_eq!(record.state, JobState::Done);
         assert!(record.artifact.is_some());
         assert!(record.state.is_terminal());
+    }
+
+    #[test]
+    fn lint_attached_at_submit_reaches_the_claiming_worker() {
+        let table = JobTable::new();
+        let id = table.create(spec(), "k".into(), CancelToken::new(), JobState::Queued);
+        let diag = obs::Diagnostic::new(
+            "L102",
+            obs::Severity::Warn,
+            obs::Location::Node { label: "tap20.acc".into(), cell: Some(15) },
+            "variance mismatch",
+        );
+        table.set_lint(id, vec![diag.clone()]);
+        let (_spec, _token, lint) = table.claim(id).unwrap();
+        assert_eq!(lint, vec![diag]);
+        table.set_lint(999, vec![]); // unknown ids are a no-op
     }
 
     #[test]

@@ -21,12 +21,17 @@
 //!   fault-simulation stage boundaries).
 //! * [`daemon`] — accept loops, dispatch, graceful drain-and-spill
 //!   shutdown, and a per-daemon [`obs::Registry`] served by the
-//!   `metrics` request.
+//!   `metrics` request. Submits are statically linted at admission
+//!   ([`daemon::LintMode`]): diagnostics annotate the reply and the
+//!   run's artifact, and `--lint reject` refuses campaigns carrying an
+//!   error-severity diagnostic without simulating a single vector.
 //! * [`client`] — the programmatic client used by `bistctl` and the
 //!   `bench` harness's `--server` mode.
 //!
 //! Everything is `std`-only, matching the workspace's offline build
 //! gate.
+
+#![forbid(unsafe_code)]
 
 pub mod cache;
 pub mod client;
@@ -37,5 +42,5 @@ pub mod proto;
 pub mod queue;
 pub mod worker;
 
-pub use client::{CampaignResult, Client, ClientError, ServerAddr};
-pub use daemon::{Daemon, DaemonConfig};
+pub use client::{CampaignResult, Client, ClientError, ServerAddr, Submission};
+pub use daemon::{Daemon, DaemonConfig, LintMode};

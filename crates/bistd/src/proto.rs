@@ -28,6 +28,10 @@ pub mod codes {
     pub const JOB_FAILED: &str = "job_failed";
     /// The job was cancelled (explicitly or by its deadline).
     pub const CANCELLED: &str = "cancelled";
+    /// Admission-time static analysis found an error-severity
+    /// diagnostic and the daemon is configured to reject on error; the
+    /// message carries the first offending diagnostic.
+    pub const LINT_REJECTED: &str = "lint_rejected";
     /// The client's frame header advertised a protocol generation this
     /// daemon does not speak.
     pub const UNSUPPORTED_VERSION: &str = "unsupported_version";
@@ -147,6 +151,10 @@ pub enum Response {
         cached: bool,
         /// The canonical cache key the spec hashed to.
         key: String,
+        /// Admission-time static-analysis diagnostics (empty when
+        /// linting is off or found nothing; omitted from the wire form
+        /// when empty).
+        lint: Vec<obs::Diagnostic>,
     },
     /// A job's current, possibly non-terminal state.
     JobStatus {
@@ -188,11 +196,17 @@ impl Response {
     /// Renders the response as its JSON wire object.
     pub fn to_json(&self) -> JsonValue {
         match self {
-            Response::Submitted { job, cached, key } => JsonValue::object()
-                .push("reply", "submitted")
-                .push("job", *job)
-                .push("cached", *cached)
-                .push("key", key.as_str()),
+            Response::Submitted { job, cached, key, lint } => {
+                let mut v = JsonValue::object()
+                    .push("reply", "submitted")
+                    .push("job", *job)
+                    .push("cached", *cached)
+                    .push("key", key.as_str());
+                if !lint.is_empty() {
+                    v = v.push("lint", obs::diag::diagnostics_to_json(lint));
+                }
+                v
+            }
             Response::JobStatus { job, state, detail } => {
                 let mut v = JsonValue::object()
                     .push("reply", "status")
@@ -253,6 +267,11 @@ impl Response {
                 job: job(&v)?,
                 cached: v.get("cached").and_then(JsonValue::as_bool).unwrap_or(false),
                 key: text(&v, "key")?,
+                lint: match v.get("lint") {
+                    Some(diags) => obs::diag::diagnostics_from_json(diags)
+                        .ok_or_else(|| bad("submitted response with bad 'lint'".into()))?,
+                    None => Vec::new(),
+                },
             }),
             "status" => Ok(Response::JobStatus {
                 job: job(&v)?,
@@ -335,7 +354,18 @@ mod tests {
     #[test]
     fn responses_round_trip_through_json() {
         let all = [
-            Response::Submitted { job: 1, cached: true, key: "design=LP;...".into() },
+            Response::Submitted { job: 1, cached: true, key: "design=LP;...".into(), lint: vec![] },
+            Response::Submitted {
+                job: 3,
+                cached: false,
+                key: "design=LP;...".into(),
+                lint: vec![obs::Diagnostic::new(
+                    "L201",
+                    obs::Severity::Error,
+                    obs::Location::Bin { bin: 7, bins: 512 },
+                    "spectral null over the passband",
+                )],
+            },
             Response::JobStatus { job: 1, state: "running".into(), detail: None },
             Response::JobStatus {
                 job: 2,
@@ -379,6 +409,15 @@ mod tests {
             assert_eq!(e.code, codes::BAD_REQUEST, "{payload}: {e}");
             assert!(!e.message.is_empty());
         }
+    }
+
+    #[test]
+    fn empty_lint_is_omitted_from_the_wire_form() {
+        // The daemon smoke test (and any line-oriented tooling) greps
+        // the submitted reply; an unlinted daemon must produce exactly
+        // the pre-lint wire bytes.
+        let clean = Response::Submitted { job: 1, cached: false, key: "k".into(), lint: vec![] };
+        assert!(!clean.to_json().to_json().contains("lint"));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The worker pool: N threads draining the job queue through
-//! `CampaignSpec::run`.
+//! `CampaignSpec::run_linted`, so admission-time diagnostics ride into
+//! the run's artifact.
 //!
 //! Workers claim jobs through [`JobTable::claim`] (which atomically
 //! loses races against cancellation), execute the campaign with the
@@ -47,14 +48,14 @@ pub fn spawn_workers(
 }
 
 fn run_one(id: u64, jobs: &JobTable, cache: &Mutex<ResultCache>, metrics: &Registry) {
-    let Some((spec, token)) = jobs.claim(id) else {
+    let Some((spec, token, lint)) = jobs.claim(id) else {
         // Cancelled between submit and claim; `claim` already recorded
         // the terminal state.
         metrics.counter("bistd.jobs_cancelled").inc();
         return;
     };
     let started = Instant::now();
-    match spec.run(Some(token.clone())) {
+    match spec.run_linted(Some(token.clone()), lint) {
         Ok(run) => {
             let artifact = run.artifact.to_json();
             cache.lock().expect("cache lock").insert(&spec.canonical(), artifact.clone());

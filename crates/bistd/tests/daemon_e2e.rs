@@ -111,7 +111,10 @@ fn remote_artifact_matches_inline_run_byte_for_byte() {
     let mut client = Client::connect(&addr).unwrap();
     let spec = mini_spec(48);
     let remote = client.run_campaign(&spec, None).unwrap();
-    let inline = spec.run(None).unwrap();
+    // The daemon (default: annotate) attaches admission lint to the
+    // artifact, so the equivalent inline run is the linted one.
+    let admission = lint::admission_lint(&spec, None).unwrap();
+    let inline = spec.run_linted(None, admission).unwrap();
     // Stage wall-clock timings are the one nondeterministic field;
     // everything else must agree byte-for-byte.
     assert_eq!(
@@ -119,6 +122,7 @@ fn remote_artifact_matches_inline_run_byte_for_byte() {
         without_timings(&inline.artifact.to_json()).to_json(),
         "the daemon path and the inline path produce identical artifacts"
     );
+    assert_eq!(remote.lint, inline.artifact.lint, "submit reply carries the same diagnostics");
     client.shutdown().unwrap();
     daemon.join().unwrap();
 }
@@ -127,8 +131,9 @@ fn remote_artifact_matches_inline_run_byte_for_byte() {
 fn cancel_stops_a_job_and_reports_cancelled() {
     let (daemon, addr) = tcp_daemon(DaemonConfig { workers: 1, ..DaemonConfig::default() });
     let mut client = Client::connect(&addr).unwrap();
-    let (job, cached, _) = client.submit(&slow_spec(), None).unwrap();
-    assert!(!cached);
+    let sub = client.submit(&slow_spec(), None).unwrap();
+    assert!(!sub.cached);
+    let job = sub.job;
     client.cancel(job).unwrap();
     let err = client.fetch_artifact(job).unwrap_err();
     match err {
@@ -146,7 +151,7 @@ fn cancel_stops_a_job_and_reports_cancelled() {
 fn deadline_expires_a_job_with_deadline_detail() {
     let (daemon, addr) = tcp_daemon(DaemonConfig { workers: 1, ..DaemonConfig::default() });
     let mut client = Client::connect(&addr).unwrap();
-    let (job, _, _) = client.submit(&slow_spec(), Some(1)).unwrap();
+    let job = client.submit(&slow_spec(), Some(1)).unwrap().job;
     let err = client.fetch_artifact(job).unwrap_err();
     match err {
         ClientError::Server { code, message, .. } => {
@@ -172,7 +177,7 @@ fn full_queue_rejects_with_retry_hint_and_keeps_serving() {
     let mut rejected = 0;
     for spec in &specs {
         match client.submit(spec, None) {
-            Ok((job, _, _)) => accepted.push(job),
+            Ok(sub) => accepted.push(sub.job),
             Err(ClientError::Server { code, retry_after_ms, .. }) => {
                 assert_eq!(code, "queue_full");
                 assert!(retry_after_ms.unwrap_or(0) > 0, "backpressure carries a retry hint");
@@ -234,8 +239,9 @@ fn shutdown_drains_in_flight_jobs_and_spills_the_cache() {
     let mut client = Client::connect(&addr).unwrap();
     // Queue two jobs, then shut down immediately: both must still
     // complete (drain), and their artifacts must reach the spill file.
-    let (job_a, _, key_a) = client.submit(&mini_spec(64), None).unwrap();
-    let (job_b, _, key_b) = client.submit(&mini_spec(96), None).unwrap();
+    let sub_a = client.submit(&mini_spec(64), None).unwrap();
+    let sub_b = client.submit(&mini_spec(96), None).unwrap();
+    let ((job_a, key_a), (job_b, key_b)) = ((sub_a.job, sub_a.key), (sub_b.job, sub_b.key));
     client.shutdown().unwrap();
     daemon.join().unwrap();
     assert!(job_a != job_b);
@@ -253,6 +259,46 @@ fn shutdown_drains_in_flight_jobs_and_spills_the_cache() {
     client.shutdown().unwrap();
     daemon.join().unwrap();
     let _ = std::fs::remove_file(&spill);
+}
+
+#[test]
+fn lint_modes_annotate_reject_and_off() {
+    use bist_bistd::LintMode;
+    // Annotate (default): the spectrally incompatible LP x LFSR-1
+    // pairing is accepted but the reply carries the L201 error.
+    let (daemon, addr) = tcp_daemon(DaemonConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+    let incompatible = CampaignSpec { threads: 1, ..CampaignSpec::new("LP", "LFSR-1", 16) };
+    let sub = client.submit(&incompatible, None).unwrap();
+    assert!(sub.lint.iter().any(|d| d.code == "L201"), "{:?}", sub.lint);
+    client.cancel(sub.job).unwrap();
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+
+    // Reject: the same submission is refused with lint_rejected, no
+    // fault-simulation cycle runs, and compatible work still passes.
+    let (daemon, addr) = tcp_daemon(DaemonConfig { lint: LintMode::Reject, ..Default::default() });
+    let mut client = Client::connect(&addr).unwrap();
+    match client.submit(&incompatible, None).unwrap_err() {
+        ClientError::Server { code, message, .. } => {
+            assert_eq!(code, "lint_rejected");
+            assert!(message.contains("L201"), "{message}");
+        }
+        other => panic!("{other}"),
+    }
+    let ok = client.run_campaign(&mini_spec(16), None).unwrap();
+    assert!(ok.artifact.get("lint").is_some(), "annotations still attach under reject");
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+
+    // Off: no diagnostics anywhere, wire bytes match the pre-lint form.
+    let (daemon, addr) = tcp_daemon(DaemonConfig { lint: LintMode::Off, ..Default::default() });
+    let mut client = Client::connect(&addr).unwrap();
+    let sub = client.submit(&incompatible, None).unwrap();
+    assert!(sub.lint.is_empty());
+    client.cancel(sub.job).unwrap();
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
 }
 
 #[test]

@@ -244,6 +244,23 @@ impl CampaignSpec {
     /// Any [`SessionError`]: invalid spec, elaboration failure, or
     /// [`SessionError::Cancelled`].
     pub fn run(&self, cancel: Option<CancelToken>) -> Result<BistRun, SessionError> {
+        self.run_linted(cancel, Vec::new())
+    }
+
+    /// Like [`CampaignSpec::run`], but attaches admission-time lint
+    /// diagnostics to the run's artifact (see
+    /// [`RunConfig::with_lint`]). The diagnostics are observational:
+    /// they never change what is simulated.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SessionError`]: invalid spec, elaboration failure, or
+    /// [`SessionError::Cancelled`].
+    pub fn run_linted(
+        &self,
+        cancel: Option<CancelToken>,
+        lint: Vec<obs::Diagnostic>,
+    ) -> Result<BistRun, SessionError> {
         self.validate()?;
         let design = self.build_design()?;
         if let Some(token) = &cancel {
@@ -255,7 +272,7 @@ impl CampaignSpec {
         }
         let session = BistSession::new(&design)?;
         let mut generator = self.build_generator()?;
-        session.run(&mut *generator, &self.run_config(cancel))
+        session.run(&mut *generator, &self.run_config(cancel).with_lint(lint))
     }
 }
 
@@ -313,8 +330,10 @@ pub fn build_generator(name: &str) -> Result<Box<dyn TestGenerator>, SessionErro
     Ok(generator)
 }
 
-/// Parses `Mixed@<n>` into its switch-over vector count.
-fn parse_mixed(name: &str) -> Option<u64> {
+/// Parses `Mixed@<n>` into its switch-over vector count. Static
+/// analyzers use this to decompose a mixed scheme into its phases
+/// (LFSR-1 for `n` vectors, then LFSR-M).
+pub fn parse_mixed(name: &str) -> Option<u64> {
     name.strip_prefix("Mixed@")?.parse().ok()
 }
 
@@ -429,6 +448,23 @@ mod tests {
 
         let bad = CampaignSpec::new("nope", "LFSR-D", 32);
         assert!(bad.run(None).is_err());
+    }
+
+    #[test]
+    fn run_linted_attaches_diagnostics_to_the_artifact() {
+        let spec = CampaignSpec { threads: 1, ..CampaignSpec::new("LP-MINI", "LFSR-D", 32) };
+        let diags = vec![obs::Diagnostic::new(
+            "L301",
+            obs::Severity::Warn,
+            obs::Location::Field { name: "vectors".into() },
+            "degenerate vector count",
+        )];
+        let run = spec.run_linted(None, diags.clone()).unwrap();
+        assert_eq!(run.artifact.lint, diags);
+        // Plain run() is the unlinted shorthand with identical results.
+        let plain = spec.run(None).unwrap();
+        assert!(plain.artifact.lint.is_empty());
+        assert_eq!(plain.signature, run.signature);
     }
 
     #[test]

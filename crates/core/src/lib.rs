@@ -55,6 +55,8 @@
 //! # Ok::<(), dsp::DspError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod campaign;
 pub mod compat;

@@ -10,7 +10,7 @@ use faultsim::{
     CancelToken, FaultSimResult, FaultUniverse, ParallelFaultSimulator, SimOptions, StageSchedule,
 };
 use filters::FilterDesign;
-use obs::{Registry, RunArtifact, StageTiming};
+use obs::{Diagnostic, Registry, RunArtifact, StageTiming};
 use rtl::range::RangeAnalysis;
 use std::error::Error;
 use std::fmt;
@@ -126,6 +126,7 @@ pub struct RunConfig {
     threads: usize,
     metrics: Option<Arc<Registry>>,
     cancel: Option<CancelToken>,
+    lint: Vec<Diagnostic>,
 }
 
 impl RunConfig {
@@ -139,6 +140,7 @@ impl RunConfig {
             threads: 0,
             metrics: None,
             cancel: None,
+            lint: Vec::new(),
         }
     }
 
@@ -215,6 +217,21 @@ impl RunConfig {
     /// The attached cancellation token, if any.
     pub fn cancel(&self) -> Option<&CancelToken> {
         self.cancel.as_ref()
+    }
+
+    /// Attaches static-analysis diagnostics produced at admission time
+    /// (e.g. by the `lint` crate). [`BistSession::run`] copies them
+    /// verbatim into the run's [`RunArtifact::lint`], so downstream
+    /// consumers of the artifact see the predictions alongside the
+    /// measured coverage. Diagnostics never change what is simulated.
+    pub fn with_lint(mut self, lint: Vec<Diagnostic>) -> Self {
+        self.lint = lint;
+        self
+    }
+
+    /// The attached admission-time diagnostics (empty when unlinted).
+    pub fn lint(&self) -> &[Diagnostic] {
+        &self.lint
     }
 }
 
@@ -381,6 +398,7 @@ impl<'d> BistSession<'d> {
             .map(|s| StageTiming { name: s.name.clone(), millis: s.millis() })
             .collect();
         artifact.counters = snapshot.counters.into_iter().collect();
+        artifact.lint = config.lint().to_vec();
 
         Ok(BistRun { generator: generator.name().to_string(), result, signature, artifact })
     }
@@ -710,6 +728,26 @@ mod tests {
         // The artifact renders to JSON and a human summary.
         assert!(a.to_json().to_json().contains("\"design\":\"T\""));
         assert!(a.summary().contains("coverage"));
+    }
+
+    #[test]
+    fn run_attaches_lint_diagnostics_verbatim() {
+        let d = small_design(0.15);
+        let s = BistSession::new(&d).unwrap();
+        let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
+        let diags = vec![obs::Diagnostic::new(
+            "L201",
+            obs::Severity::Error,
+            obs::Location::Design,
+            "predicted incompatibility",
+        )];
+        let linted = s.run(&mut gen, &RunConfig::new(64).with_lint(diags.clone())).unwrap();
+        assert_eq!(linted.artifact.lint, diags);
+        assert!(linted.artifact.to_json().to_json().contains("\"lint\":[{\"code\":\"L201\""));
+        // Linting is observational: results stay bit-identical.
+        let plain = s.run(&mut gen, &RunConfig::new(64)).unwrap();
+        assert!(plain.artifact.lint.is_empty());
+        assert_eq!(plain.signature, linted.signature);
     }
 
     #[test]

@@ -27,6 +27,8 @@
 //! assert_eq!(csd.to_integer(), 7);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod digit;
 mod quantize;
 

@@ -40,6 +40,8 @@
 //! # Ok::<(), bist_dsp::DspError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod complex;
 mod error;
 

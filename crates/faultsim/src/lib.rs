@@ -46,6 +46,8 @@
 //! # Ok::<(), rtl::RtlError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod fault;
 mod sim;
 

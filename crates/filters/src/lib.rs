@@ -27,6 +27,8 @@
 //! # Ok::<(), bist_filters::FilterError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod build;
 mod design;
 mod error;

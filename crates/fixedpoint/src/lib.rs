@@ -25,6 +25,8 @@
 //! # Ok::<(), bist_fixedpoint::FixedPointError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod error;
 mod format;
 mod value;

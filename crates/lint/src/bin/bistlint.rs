@@ -1,0 +1,140 @@
+//! Static testability analyzer CLI.
+//!
+//! ```text
+//! bistlint [--json] (--design <name> | --all) [--gen <name>]
+//!          [--vectors <n>] [--deadline-ms <ms>] [--bins <n>]
+//! ```
+//!
+//! Runs the `lint` crate's passes over the named design (or all three
+//! paper designs with `--all`) and prints the diagnostics. Without
+//! `--gen`, only the design-level passes run (`L0xx` dataflow, `L101`
+//! headroom); with `--gen`, the pairing passes (`L102`, `L2xx`) and the
+//! campaign-spec pass (`L3xx`, using `--vectors`/`--deadline-ms`) run
+//! too — all without a single fault-simulation cycle.
+//!
+//! Exit status: `0` when no error-severity diagnostic was produced,
+//! `1` when at least one was, `2` on usage errors. `--json` prints the
+//! machine-readable report (byte-deterministic; the golden-file tests
+//! snapshot it).
+
+use bist_core::campaign::{CampaignSpec, KNOWN_DESIGNS, KNOWN_GENERATORS};
+use bist_lint::LintReport;
+use obs::JsonValue;
+
+const USAGE: &str = "usage: bistlint [--json] (--design <name> | --all) [--gen <name>]\n\
+                     \x20               [--vectors <n>] [--deadline-ms <ms>] [--bins <n>]\n\
+                     designs: LP, BP, HP, LP-SYM, LP-CSA, LP-MINI (--all = LP, BP, HP)\n\
+                     generators: LFSR-1, LFSR-2, LFSR-D, LFSR-M, Ramp, Ideal, Mixed@<n>";
+
+struct Options {
+    json: bool,
+    designs: Vec<String>,
+    generator: Option<String>,
+    vectors: usize,
+    deadline_ms: Option<u64>,
+    bins: usize,
+}
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("bistlint: {message}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        json: false,
+        designs: Vec::new(),
+        generator: None,
+        vectors: 4096,
+        deadline_ms: None,
+        bins: bist_lint::DEFAULT_BINS,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| usage_error(&format!("{flag} needs a value")))
+        };
+        match a.as_str() {
+            "--json" => options.json = true,
+            "--all" => options.designs = vec!["LP".into(), "BP".into(), "HP".into()],
+            "--design" => options.designs.push(value("--design")),
+            "--gen" => options.generator = Some(value("--gen")),
+            "--vectors" => {
+                options.vectors = value("--vectors")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--vectors needs a positive integer"))
+            }
+            "--deadline-ms" => {
+                options.deadline_ms = Some(
+                    value("--deadline-ms")
+                        .parse()
+                        .unwrap_or_else(|_| usage_error("--deadline-ms needs an integer")),
+                )
+            }
+            "--bins" => {
+                options.bins = value("--bins")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--bins needs a positive integer"))
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => usage_error(&format!("unknown argument '{other}'")),
+        }
+    }
+    if options.designs.is_empty() {
+        usage_error("pick a design with --design <name> or --all");
+    }
+    if options.vectors == 0 || options.bins == 0 {
+        usage_error("--vectors and --bins must be positive");
+    }
+    options
+}
+
+fn lint_one(design_name: &str, options: &Options) -> LintReport {
+    let design = bist_core::campaign::build_design(design_name)
+        .unwrap_or_else(|e| usage_error(&format!("{e} (known: {})", KNOWN_DESIGNS.join(", "))));
+    let mut diagnostics = bist_lint::lint_design(&design);
+    if let Some(generator) = &options.generator {
+        let spec = CampaignSpec::new(design_name, generator.clone(), options.vectors);
+        if let Err(e) = spec.validate() {
+            usage_error(&format!("{e} (known: {}, or Mixed@<n>)", KNOWN_GENERATORS.join(", ")));
+        }
+        diagnostics.extend(bist_lint::lint_pairing(&design, generator, options.bins));
+        diagnostics.extend(bist_lint::campaign::lint_spec(&design, &spec, options.deadline_ms));
+    }
+    LintReport {
+        design: design_name.to_string(),
+        generator: options.generator.clone(),
+        diagnostics,
+    }
+}
+
+fn main() {
+    let options = parse_args();
+    let reports: Vec<LintReport> = options.designs.iter().map(|d| lint_one(d, &options)).collect();
+
+    if options.json {
+        let json = if reports.len() == 1 {
+            reports[0].to_json()
+        } else {
+            JsonValue::Array(reports.iter().map(LintReport::to_json).collect())
+        };
+        println!("{}", json.to_json_pretty());
+    } else {
+        for report in &reports {
+            match &report.generator {
+                Some(g) => println!("== {} x {} ==", report.design, g),
+                None => println!("== {} ==", report.design),
+            }
+            for d in &report.diagnostics {
+                println!("{d}");
+            }
+            println!("{}", report.summary_line());
+        }
+    }
+    if reports.iter().any(LintReport::has_errors) {
+        std::process::exit(1);
+    }
+}

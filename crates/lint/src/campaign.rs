@@ -1,0 +1,172 @@
+//! `L3xx` — campaign-spec lints.
+//!
+//! Static checks on the experiment description itself:
+//!
+//! * `L301` *warn* — degenerate vector count: the test is shorter than
+//!   twice the design's register pipeline, so most faults never
+//!   propagate to the output before the test ends.
+//! * `L302` *warn* — wasted test length: a mixed scheme whose
+//!   switch-over point lies at or beyond the test length (the
+//!   max-variance phase never runs), or a test so long the generator's
+//!   period makes most of it a repeat.
+//! * `L303` *error* — a submission deadline shorter than a deliberately
+//!   optimistic static cost estimate: the run is predicted to be
+//!   cancelled before it completes, so admission should refuse it.
+
+use bist_core::campaign::{parse_mixed, CampaignSpec};
+use filters::FilterDesign;
+use obs::{Diagnostic, Location, Severity};
+
+/// Optimistic simulation throughput used by [`estimated_cost_ms`]:
+/// node-evaluations per millisecond. Deliberately high (a fast machine,
+/// perfect scaling) so `L303` only fires on deadlines no hardware could
+/// meet — the estimate is a lower bound, never a prediction.
+pub const OPTIMISTIC_NODE_EVALS_PER_MS: u64 = 1_000_000;
+
+/// Period of the 12-bit maximal LFSR generators (`2^12 - 1`).
+const LFSR12_PERIOD: usize = 4095;
+
+/// A deliberately optimistic lower bound on the campaign's
+/// fault-simulation cost in milliseconds, from static quantities only:
+/// active full-adder cells (≈4 collapsed classes each), 64 bit-sliced
+/// fault lanes per pass, one netlist sweep per vector per pass.
+pub fn estimated_cost_ms(design: &FilterDesign, spec: &CampaignSpec) -> u64 {
+    let netlist = design.netlist();
+    let ranges = design.claimed_ranges();
+    let active_cells: u64 = netlist
+        .arithmetic_ids()
+        .into_iter()
+        .filter_map(|id| ranges.active_span(netlist, id))
+        .map(|(lsb, msb)| u64::from(msb - lsb + 1))
+        .sum();
+    let classes = active_cells * 4;
+    let passes = classes.div_ceil(64).max(1);
+    let node_evals = passes * spec.vectors as u64 * netlist.nodes().len() as u64;
+    node_evals / OPTIMISTIC_NODE_EVALS_PER_MS
+}
+
+/// Runs the spec pass. `deadline_ms` is the submission deadline, when
+/// one applies (the daemon's per-job deadline; `None` for inline runs).
+pub fn lint_spec(
+    design: &FilterDesign,
+    spec: &CampaignSpec,
+    deadline_ms: Option<u64>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let registers = design.netlist().stats().registers as usize;
+    if spec.vectors < 2 * registers {
+        out.push(Diagnostic::new(
+            "L301",
+            Severity::Warn,
+            Location::Field { name: "vectors".into() },
+            format!(
+                "degenerate vector count: {} vectors barely flushes the \
+                 {registers}-register pipeline (want at least {})",
+                spec.vectors,
+                2 * registers
+            ),
+        ));
+    }
+    if let Some(switch) = parse_mixed(&spec.generator) {
+        if switch >= spec.vectors as u64 {
+            out.push(Diagnostic::new(
+                "L302",
+                Severity::Warn,
+                Location::Field { name: "generator".into() },
+                format!(
+                    "mixed scheme switches to the max-variance phase after \
+                     {switch} vectors but the test is only {} long: the second \
+                     phase never runs",
+                    spec.vectors
+                ),
+            ));
+        }
+    } else if matches!(spec.generator.as_str(), "LFSR-1" | "LFSR-2" | "Ramp") {
+        let period = if spec.generator == "Ramp" { 4096 } else { LFSR12_PERIOD };
+        if spec.vectors >= 2 * period {
+            out.push(Diagnostic::new(
+                "L302",
+                Severity::Warn,
+                Location::Field { name: "vectors".into() },
+                format!(
+                    "{} vectors exceed twice the {}'s period ({period}): most of \
+                     the test repeats earlier vectors and detects nothing new",
+                    spec.vectors, spec.generator
+                ),
+            ));
+        }
+    }
+    if let Some(deadline) = deadline_ms {
+        let estimate = estimated_cost_ms(design, spec);
+        if deadline < estimate {
+            out.push(Diagnostic::new(
+                "L303",
+                Severity::Error,
+                Location::Field { name: "deadline_ms".into() },
+                format!(
+                    "deadline {deadline} ms is below an optimistic cost lower \
+                     bound of {estimate} ms: the run is predicted to be \
+                     cancelled before completion"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini() -> FilterDesign {
+        filters::designs::lowpass_mini().unwrap()
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<String> {
+        diags.iter().map(|d| d.code.clone()).collect()
+    }
+
+    #[test]
+    fn short_tests_are_degenerate() {
+        let d = mini();
+        let spec = CampaignSpec::new("LP-MINI", "LFSR-D", 16);
+        assert_eq!(codes(&lint_spec(&d, &spec, None)), ["L301"]);
+        let ok = CampaignSpec::new("LP-MINI", "LFSR-D", 4096);
+        assert!(lint_spec(&d, &ok, None).is_empty());
+    }
+
+    #[test]
+    fn dead_mixed_phase_and_period_overrun_warn() {
+        let d = mini();
+        let dead = CampaignSpec::new("LP-MINI", "Mixed@4096", 4096);
+        assert_eq!(codes(&lint_spec(&d, &dead, None)), ["L302"]);
+        let live = CampaignSpec::new("LP-MINI", "Mixed@2048", 4096);
+        assert!(lint_spec(&d, &live, None).is_empty());
+        let repeat = CampaignSpec::new("LP-MINI", "LFSR-1", 8192);
+        assert_eq!(codes(&lint_spec(&d, &repeat, None)), ["L302"]);
+        // The paper's standard 4096-vector LFSR-1 test is not flagged.
+        let paper = CampaignSpec::new("LP-MINI", "LFSR-1", 4096);
+        assert!(lint_spec(&d, &paper, None).is_empty());
+    }
+
+    #[test]
+    fn impossible_deadlines_are_errors() {
+        let d = mini();
+        let spec = CampaignSpec::new("LP-MINI", "LFSR-D", 4096);
+        let estimate = estimated_cost_ms(&d, &spec);
+        assert!(estimate > 0, "estimate degenerate");
+        let tight = lint_spec(&d, &spec, Some(estimate.saturating_sub(1)));
+        assert_eq!(codes(&tight), ["L303"]);
+        assert!(tight[0].severity == Severity::Error);
+        assert!(lint_spec(&d, &spec, Some(estimate)).is_empty());
+        assert!(lint_spec(&d, &spec, None).is_empty());
+    }
+
+    #[test]
+    fn estimate_scales_with_vectors() {
+        let d = mini();
+        let short = CampaignSpec::new("LP-MINI", "LFSR-D", 1024);
+        let long = CampaignSpec::new("LP-MINI", "LFSR-D", 8192);
+        assert!(estimated_cost_ms(&d, &long) > estimated_cost_ms(&d, &short));
+    }
+}

@@ -1,0 +1,171 @@
+//! `L0xx` — the shared dataflow pass.
+//!
+//! Re-exposes the netlist-level analyses (interval/granularity from
+//! `rtl::range`, input-cone reachability from `rtl::reachability`) as
+//! structured diagnostics:
+//!
+//! * `L001` *info* — redundant sign bits: cells above an adder's active
+//!   span, guaranteed untestable headroom (the paper's "redundant sign
+//!   bits" of conservatively scaled designs).
+//! * `L002` *info* — hardwired-zero cells: cells below the active span,
+//!   structurally zero because of input granularity (the left-aligned
+//!   12-bit input in a 16-bit path).
+//! * `L003` *info* — provably-redundant fault sites *inside* the active
+//!   span: full-adder fault classes none of whose detecting input
+//!   combinations is reachable from the input cone.
+//! * `L004` *warn* — a degenerate adder whose active span is empty
+//!   (provably constant); every fault on it is redundant.
+
+use filters::FilterDesign;
+use obs::{Diagnostic, Location, Severity};
+use rtl::fulladder::fault_classes;
+use rtl::reachability::Reachability;
+use rtl::{Netlist, NodeId};
+
+/// The node's label, falling back to its id (`nNN`) when unnamed.
+pub(crate) fn label_of(netlist: &Netlist, id: NodeId) -> String {
+    let label = &netlist.node(id).label;
+    if label.is_empty() {
+        id.to_string()
+    } else {
+        label.clone()
+    }
+}
+
+/// Runs the dataflow pass over every arithmetic node, in node order.
+pub fn lint_netlist(design: &FilterDesign) -> Vec<Diagnostic> {
+    let netlist = design.netlist();
+    let ranges = design.claimed_ranges();
+    let reach = Reachability::analyze(netlist, design.spec().input_bits);
+    let classes = fault_classes(None);
+    let width = netlist.width();
+
+    let mut out = Vec::new();
+    for id in netlist.arithmetic_ids() {
+        let label = label_of(netlist, id);
+        let Some((lsb, msb)) = ranges.active_span(netlist, id) else {
+            out.push(Diagnostic::new(
+                "L004",
+                Severity::Warn,
+                Location::Node { label, cell: None },
+                "adder is provably constant: its active cell span is empty, \
+                 so every fault on it is redundant",
+            ));
+            continue;
+        };
+        let headroom = width - 1 - msb;
+        if headroom > 0 {
+            let (lo, hi) = ranges.value_range(id);
+            out.push(Diagnostic::new(
+                "L001",
+                Severity::Info,
+                Location::Node { label: label.clone(), cell: Some(msb + 1) },
+                format!(
+                    "{headroom} redundant sign bit(s): value range [{lo:.4}, {hi:.4}] \
+                     never exercises cells {} and above",
+                    msb + 1
+                ),
+            ));
+        }
+        if lsb > 0 {
+            out.push(Diagnostic::new(
+                "L002",
+                Severity::Info,
+                Location::Node { label: label.clone(), cell: Some(0) },
+                format!("{lsb} low cell(s) hardwired to zero by input granularity"),
+            ));
+        }
+        let candidates = classes.len() * (msb - lsb + 1) as usize;
+        let redundant: usize = (lsb..=msb)
+            .map(|cell| {
+                let mask = reach.combo_mask(id, cell);
+                classes.iter().filter(|c| c.detecting_tests & mask == 0).count()
+            })
+            .sum();
+        if redundant > 0 {
+            out.push(Diagnostic::new(
+                "L003",
+                Severity::Info,
+                Location::Node { label, cell: None },
+                format!(
+                    "{redundant} of {candidates} in-span fault classes are provably \
+                     redundant: no reachable input combination detects them"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mini_lowpass_reports_headroom_granularity_and_reachability() {
+        let d = filters::designs::lowpass_mini().unwrap();
+        let diags = lint_netlist(&d);
+        let codes: Vec<&str> = diags.iter().map(|d| d.code.as_str()).collect();
+        // A conservatively scaled design has redundant sign bits.
+        assert!(codes.contains(&"L001"), "{codes:?}");
+        // The CSD shift structure leaves unreachable combinations.
+        assert!(codes.contains(&"L003"), "{codes:?}");
+        // Nothing in a real design is constant, and the pass is info-only.
+        assert!(diags.iter().all(|d| d.code != "L004"));
+        assert!(diags.iter().all(|d| d.severity == Severity::Info));
+        // Every finding points at a node.
+        assert!(diags.iter().all(|d| matches!(d.location, Location::Node { .. })));
+    }
+
+    #[test]
+    fn symmetric_design_reports_hardwired_zero_cells() {
+        // LP-SYM's symmetric pre-adders sum two unshifted input words,
+        // so the left-aligned 12-bit input's low zero cells survive to
+        // the adder and L002 fires; the CSD designs consume them in
+        // their shift network.
+        let d = filters::designs::lowpass_symmetric().unwrap();
+        let diags = lint_netlist(&d);
+        let l002: Vec<_> = diags.iter().filter(|x| x.code == "L002").collect();
+        assert!(!l002.is_empty());
+        assert!(l002.iter().all(|x| x.severity == Severity::Info
+            && matches!(x.location, Location::Node { cell: Some(0), .. })));
+    }
+
+    #[test]
+    fn pass_is_deterministic() {
+        let d = filters::designs::lowpass_mini().unwrap();
+        assert_eq!(lint_netlist(&d), lint_netlist(&d));
+    }
+
+    #[test]
+    fn degenerate_constant_adder_is_flagged_l004() {
+        // An adder of two constant zeros has an empty active span: its
+        // operands' granularity covers the whole word and its value
+        // range is the single point zero.
+        let mut b = rtl::NetlistBuilder::new(16).unwrap();
+        let x = b.input("x");
+        let z0 = b.constant(0);
+        let dead = b.add_labeled(z0, z0, "dead");
+        let live = b.add_labeled(x, x, "live");
+        let merged = b.add(dead, live);
+        b.output(merged, "y");
+        let netlist = b.finish().unwrap();
+        let ranges =
+            rtl::range::RangeAnalysis::analyze(&netlist, rtl::range::aligned_input_range(12, 16));
+        // Drive the lint internals directly at the netlist level via a
+        // minimal design-like harness: reuse active_span semantics.
+        assert_eq!(ranges.active_span(&netlist, dead), None);
+        assert!(ranges.active_span(&netlist, live).is_some());
+    }
+
+    #[test]
+    fn unnamed_nodes_fall_back_to_their_id() {
+        let mut b = rtl::NetlistBuilder::new(16).unwrap();
+        let x = b.input("x");
+        let s = b.add(x, x);
+        b.output(s, "y");
+        let n = b.finish().unwrap();
+        assert_eq!(label_of(&n, s), format!("{s}"));
+        assert_eq!(label_of(&n, x), "x");
+    }
+}

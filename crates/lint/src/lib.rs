@@ -1,0 +1,205 @@
+//! Static testability analysis with stable diagnostic codes.
+//!
+//! The paper's central analytical claim (Sections 4 and 7) is that hard
+//! faults are *predictable without fault simulation*: they concentrate
+//! in the upper carry cells of variance-mismatched and excess-headroom
+//! adders, and generator/filter incompatibility is visible directly in
+//! the spectra. This crate packages the workspace's analysis passes —
+//! interval/granularity analysis, input-cone reachability, subfilter
+//! variance, spectral compatibility — into a multi-pass analyzer that
+//! emits structured [`Diagnostic`]s with stable codes:
+//!
+//! | range  | pass                 | module         |
+//! |--------|----------------------|----------------|
+//! | `L0xx` | netlist dataflow     | [`dataflow`]   |
+//! | `L1xx` | testability          | [`testability`]|
+//! | `L2xx` | spectral match       | [`spectral`]   |
+//! | `L3xx` | campaign spec        | [`campaign`]   |
+//!
+//! The full code table lives in `DESIGN.md` §9. Every entry point of
+//! the repository runs some subset before spending a simulation cycle:
+//! the `bistlint` binary runs everything, `bistd` lints at admission
+//! time ([`admission_lint`]), and linted runs carry their diagnostics
+//! in the run artifact (`RunConfig::with_lint`).
+
+#![forbid(unsafe_code)]
+
+pub mod campaign;
+pub mod dataflow;
+pub mod spectral;
+pub mod testability;
+
+use bist_core::campaign::CampaignSpec;
+use bist_core::session::SessionError;
+use filters::FilterDesign;
+use obs::{diag, Diagnostic, JsonValue, Severity};
+
+/// Frequency bins used by the spectral pass when the caller does not
+/// pick a resolution (matches `bist_core::selection`).
+pub const DEFAULT_BINS: usize = 512;
+
+/// Schema version of [`LintReport::to_json`].
+pub const LINT_SCHEMA: u32 = 1;
+
+/// The result of linting one design (optionally paired with a
+/// generator and a campaign spec): the diagnostics, in pass order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintReport {
+    /// The linted design's name.
+    pub design: String,
+    /// The paired generator's name, when a pairing was linted.
+    pub generator: Option<String>,
+    /// Findings, in pass order (`L0xx`, `L1xx`, `L2xx`, `L3xx`),
+    /// node-id order within a pass.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// `true` if any diagnostic has [`Severity::Error`].
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// `(errors, warnings, infos)` tallies.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        diag::severity_counts(&self.diagnostics)
+    }
+
+    /// Machine-readable form: schema, identity, diagnostics, tallies.
+    /// Field order is fixed, so output is byte-deterministic.
+    pub fn to_json(&self) -> JsonValue {
+        let (errors, warnings, infos) = self.counts();
+        let mut v =
+            JsonValue::object().push("schema", LINT_SCHEMA).push("design", self.design.as_str());
+        v = match &self.generator {
+            Some(g) => v.push("generator", g.as_str()),
+            None => v.push("generator", JsonValue::Null),
+        };
+        v.push("diagnostics", diag::diagnostics_to_json(&self.diagnostics)).push(
+            "summary",
+            JsonValue::object()
+                .push("errors", errors)
+                .push("warnings", warnings)
+                .push("infos", infos),
+        )
+    }
+
+    /// One-line tally (`"2 error(s), 3 warning(s), 40 info(s)"`).
+    pub fn summary_line(&self) -> String {
+        let (errors, warnings, infos) = self.counts();
+        format!("{errors} error(s), {warnings} warning(s), {infos} info(s)")
+    }
+}
+
+/// Lints a design alone (no generator pairing): the `L0xx` dataflow
+/// pass plus the source-independent `L1xx` headroom predictor.
+pub fn lint_design(design: &FilterDesign) -> Vec<Diagnostic> {
+    let mut out = dataflow::lint_netlist(design);
+    out.extend(testability::lint_headroom(design));
+    out
+}
+
+/// Lints a design/generator pairing: the generator-shaped `L1xx`
+/// variance predictor plus the `L2xx` spectral-compatibility pass.
+/// `generator` is a registry name (`KNOWN_GENERATORS` or `Mixed@<n>`);
+/// unknown names yield no diagnostics (spec validation reports them).
+pub fn lint_pairing(design: &FilterDesign, generator: &str, bins: usize) -> Vec<Diagnostic> {
+    let mut out = testability::lint_variance_mismatch(design, generator);
+    out.extend(spectral::lint_spectra(design, generator, bins));
+    out
+}
+
+/// Runs every pass over a campaign spec: elaborates the design, then
+/// the dataflow, testability, spectral and spec passes in order.
+///
+/// # Errors
+///
+/// [`SessionError`] if the spec is invalid or elaboration fails.
+pub fn lint_campaign(
+    spec: &CampaignSpec,
+    deadline_ms: Option<u64>,
+) -> Result<LintReport, SessionError> {
+    spec.validate()?;
+    let design = spec.build_design()?;
+    let mut diagnostics = lint_design(&design);
+    diagnostics.extend(lint_pairing(&design, &spec.generator, DEFAULT_BINS));
+    diagnostics.extend(campaign::lint_spec(&design, spec, deadline_ms));
+    Ok(LintReport {
+        design: spec.design.clone(),
+        generator: Some(spec.generator.clone()),
+        diagnostics,
+    })
+}
+
+/// The cheap subset a daemon can afford on every submission: the
+/// `L1xx` variance, `L2xx` spectral and `L3xx` spec passes — design
+/// elaboration plus a few FFT-sized loops, no input-cone enumeration.
+///
+/// # Errors
+///
+/// [`SessionError`] if the spec is invalid or elaboration fails.
+pub fn admission_lint(
+    spec: &CampaignSpec,
+    deadline_ms: Option<u64>,
+) -> Result<Vec<Diagnostic>, SessionError> {
+    spec.validate()?;
+    let design = spec.build_design()?;
+    let mut out = lint_pairing(&design, &spec.generator, DEFAULT_BINS);
+    out.extend(campaign::lint_spec(&design, spec, deadline_ms));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::Location;
+
+    #[test]
+    fn report_tallies_and_serializes_deterministically() {
+        let report = LintReport {
+            design: "LP".into(),
+            generator: Some("LFSR-1".into()),
+            diagnostics: vec![
+                Diagnostic::new("L201", Severity::Error, Location::Design, "incompatible"),
+                Diagnostic::new("L101", Severity::Warn, Location::Design, "headroom"),
+            ],
+        };
+        assert!(report.has_errors());
+        assert_eq!(report.counts(), (1, 1, 0));
+        assert_eq!(report.summary_line(), "1 error(s), 1 warning(s), 0 info(s)");
+        let json = report.to_json().to_json();
+        assert!(
+            json.starts_with("{\"schema\":1,\"design\":\"LP\",\"generator\":\"LFSR-1\""),
+            "{json}"
+        );
+        assert!(json.contains("\"summary\":{\"errors\":1,\"warnings\":1,\"infos\":0}"), "{json}");
+        assert_eq!(json, report.to_json().to_json());
+    }
+
+    #[test]
+    fn design_only_report_has_null_generator() {
+        let report = LintReport { design: "HP".into(), generator: None, diagnostics: vec![] };
+        assert!(!report.has_errors());
+        assert!(report.to_json().to_json().contains("\"generator\":null"));
+    }
+
+    #[test]
+    fn campaign_lint_rejects_invalid_specs() {
+        let bad = CampaignSpec::new("XX", "LFSR-1", 64);
+        assert!(lint_campaign(&bad, None).is_err());
+        assert!(admission_lint(&bad, None).is_err());
+    }
+
+    #[test]
+    fn mini_design_lints_clean_of_errors() {
+        let spec = CampaignSpec::new("LP-MINI", "LFSR-D", 4096);
+        let report = lint_campaign(&spec, None).unwrap();
+        assert!(!report.has_errors(), "{:?}", report.diagnostics);
+        assert_eq!(report.generator.as_deref(), Some("LFSR-D"));
+        // Admission linting is a subset of the full report.
+        let admission = admission_lint(&spec, None).unwrap();
+        for d in &admission {
+            assert!(report.diagnostics.contains(d), "{d}");
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! `L2xx` — generator/filter spectral-compatibility lints.
+//!
+//! The paper's Section 6.1 estimate
+//! `sigma_y^2 = (1/L) sum |G[k]|^2 |H[k]|^2` judged against an ideal
+//! white generator of equal word variance, recast as lints:
+//!
+//! * `L201` *error* — the generator's spectral nulls overlap the
+//!   passband (the Type-1-LFSR-vs-lowpass failure): predicted output
+//!   variance below 35% of the white reference. The message recommends
+//!   the `bist_core::selection` primary with a max-variance tail.
+//! * `L202` *warn* — marginal match (35–85% of the reference).
+//! * `L203` *info* — compatible pairing, with the measured ratio.
+//! * `L204` *warn* — a degenerate sole generator: max-variance words
+//!   (fully correlated bits, lower cells untested) or the ramp (a slow
+//!   near-DC sweep).
+//!
+//! A mixed scheme (`Mixed@<n>`) is judged by its best phase: the
+//! max-variance tail restores the passband energy a Type 1 LFSR
+//! primary lacks.
+
+use bist_core::compat::{classify, compatibility_ratio, output_variance, Compatibility};
+use bist_core::{campaign, selection};
+use dsp::response::response_at;
+use dsp::spectrum::PowerSpectrum;
+use filters::FilterDesign;
+use obs::{Diagnostic, Location, Severity};
+
+/// The phase spectra a registry generator name denotes, in run order.
+/// Unknown names yield an empty list (spec validation reports those).
+fn phase_spectra(generator: &str, bins: usize) -> Vec<(String, PowerSpectrum)> {
+    let flat = |v| tpg::spectra::flat(v, bins);
+    match generator {
+        "LFSR-1" => vec![("LFSR-1".into(), tpg::spectra::lfsr1(12, bins))],
+        "LFSR-2" => {
+            let lfsr = tpg::Lfsr2::new(12, tpg::polynomials::PAPER_TYPE2_POLY)
+                .expect("paper polynomial is valid");
+            vec![("LFSR-2".into(), tpg::spectra::lfsr2(&lfsr, bins))]
+        }
+        "LFSR-D" | "Ideal" => vec![(generator.to_string(), flat(1.0 / 3.0))],
+        "LFSR-M" => vec![("LFSR-M".into(), flat(1.0))],
+        "Ramp" => vec![("Ramp".into(), tpg::spectra::ramp(12, bins))],
+        name if campaign::parse_mixed(name).is_some() => {
+            vec![("LFSR-1".into(), tpg::spectra::lfsr1(12, bins)), ("LFSR-M".into(), flat(1.0))]
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// The frequency bin where the filter passes the most energy — where a
+/// generator null hurts the most.
+fn passband_peak_bin(h: &[f64], reference: &PowerSpectrum) -> usize {
+    let mut best = (0usize, f64::NEG_INFINITY);
+    for k in 0..reference.len() {
+        let gain = response_at(h, reference.frequency(k)).norm_sqr();
+        if gain > best.1 {
+            best = (k, gain);
+        }
+    }
+    best.0
+}
+
+/// Runs the spectral pass on one design/generator pairing.
+pub fn lint_spectra(design: &FilterDesign, generator: &str, bins: usize) -> Vec<Diagnostic> {
+    let phases = phase_spectra(generator, bins);
+    if phases.is_empty() {
+        return Vec::new();
+    }
+    let h = design.coefficients();
+    let reference = tpg::spectra::flat(1.0 / 3.0, bins);
+    let reference_variance = output_variance(&reference, &h);
+    let (best_phase, best_ratio) = phases
+        .iter()
+        .map(|(name, g)| (name.as_str(), compatibility_ratio(g, &reference, &h)))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("at least one phase");
+    let best_spectrum = &phases.iter().find(|(n, _)| n == best_phase).expect("phase present").1;
+    let rating = classify(output_variance(best_spectrum, &h), reference_variance);
+    let peak = passband_peak_bin(&h, &reference);
+
+    let mut out = Vec::new();
+    match rating {
+        Compatibility::Poor => {
+            let primary = selection::recommend(design).primary;
+            out.push(Diagnostic::new(
+                "L201",
+                Severity::Error,
+                Location::Bin { bin: peak, bins },
+                format!(
+                    "generator {generator} is spectrally incompatible with design \
+                     '{}': predicted output variance is {:.1}% of the white \
+                     reference (spectral null over the passband peak); recommend \
+                     primary {primary} with a max-variance tail (mixed scheme)",
+                    design.name(),
+                    100.0 * best_ratio
+                ),
+            ));
+        }
+        Compatibility::Marginal => {
+            out.push(Diagnostic::new(
+                "L202",
+                Severity::Warn,
+                Location::Bin { bin: peak, bins },
+                format!(
+                    "marginal spectral match: best phase {best_phase} delivers \
+                     {:.1}% of the white-reference output variance",
+                    100.0 * best_ratio
+                ),
+            ));
+        }
+        Compatibility::Good => {
+            out.push(Diagnostic::new(
+                "L203",
+                Severity::Info,
+                Location::Design,
+                format!(
+                    "spectrally compatible: best phase {best_phase} delivers \
+                     {:.1}% of the white-reference output variance",
+                    100.0 * best_ratio
+                ),
+            ));
+        }
+    }
+    if phases.len() == 1 {
+        match generator {
+            "LFSR-M" => out.push(Diagnostic::new(
+                "L204",
+                Severity::Warn,
+                Location::Design,
+                "max-variance generator alone: word bits are fully correlated, so \
+                 lower-cell faults go untested; use it as the second phase of a \
+                 mixed scheme",
+            )),
+            "Ramp" => out.push(Diagnostic::new(
+                "L204",
+                Severity::Warn,
+                Location::Design,
+                "ramp generator alone: a slow near-DC sweep cannot exercise mid/high \
+                 bands; use it only as an auxiliary phase",
+            )),
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lp() -> FilterDesign {
+        filters::designs::lowpass().unwrap()
+    }
+
+    #[test]
+    fn lfsr1_on_lowpass_is_an_error_and_recommends_a_primary() {
+        let diags = lint_spectra(&lp(), "LFSR-1", 512);
+        assert_eq!(diags.len(), 1);
+        let d = &diags[0];
+        assert_eq!(d.code, "L201");
+        assert_eq!(d.severity, Severity::Error);
+        assert!(matches!(d.location, Location::Bin { bins: 512, .. }));
+        // The recommendation must not be the failing generator.
+        assert!(!d.message.contains("primary LFSR-1"), "{}", d.message);
+        assert!(d.message.contains("recommend primary"), "{}", d.message);
+    }
+
+    #[test]
+    fn mixed_scheme_rescues_the_lowpass_pairing() {
+        let diags = lint_spectra(&lp(), "Mixed@2048", 512);
+        assert!(diags.iter().all(|d| d.severity != Severity::Error), "{diags:?}");
+        assert!(diags.iter().any(|d| d.code == "L203"), "{diags:?}");
+    }
+
+    #[test]
+    fn lfsr1_on_highpass_is_compatible() {
+        let hp = filters::designs::highpass().unwrap();
+        let diags = lint_spectra(&hp, "LFSR-1", 512);
+        assert!(diags.iter().all(|d| d.severity != Severity::Error), "{diags:?}");
+    }
+
+    #[test]
+    fn ramp_on_highpass_is_incompatible_and_degenerate() {
+        let hp = filters::designs::highpass().unwrap();
+        let codes: Vec<String> =
+            lint_spectra(&hp, "Ramp", 512).iter().map(|d| d.code.clone()).collect();
+        assert!(codes.contains(&"L201".to_string()), "{codes:?}");
+        assert!(codes.contains(&"L204".to_string()), "{codes:?}");
+    }
+
+    #[test]
+    fn maxvar_alone_warns_even_when_compatible() {
+        let diags = lint_spectra(&lp(), "LFSR-M", 512);
+        assert!(diags.iter().any(|d| d.code == "L203"));
+        assert!(diags.iter().any(|d| d.code == "L204" && d.severity == Severity::Warn));
+    }
+
+    #[test]
+    fn unknown_generator_yields_nothing() {
+        assert!(lint_spectra(&lp(), "bogus", 64).is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! `L1xx` — testability predictors.
+//!
+//! The paper's Section 7.1 variance analysis, recast as lints: an adder
+//! whose predicted test-signal deviation is small relative to its MSB
+//! cell weight will rarely activate the difficult tests T1/T2/T5/T6 in
+//! its upper cells, so its faults are the ones random-pattern BIST
+//! misses.
+//!
+//! * `L101` *warn* — excess headroom: the adder is under-utilized even
+//!   under an ideal white source of word variance 1/3 (a scaling
+//!   artifact, generator-independent).
+//! * `L102` *warn* — variance mismatch: a spectrally shaped generator
+//!   (the Type 1 LFSR) attenuates the adder's test signal well below
+//!   what a white source would deliver — the paper's tap-20 case.
+
+use bist_core::variance::{analyze_design, NodeVariance, SourceModel};
+use filters::FilterDesign;
+use obs::{Diagnostic, Location, Severity};
+use tpg::ShiftDirection;
+
+/// `L101` fires when MSB utilization under the ideal white source falls
+/// below this.
+pub const HEADROOM_UTILIZATION: f64 = 0.125;
+
+/// `L102` fires when MSB utilization under the generator's shaped model
+/// falls below this...
+pub const MISMATCH_UTILIZATION: f64 = 0.15;
+
+/// ...and is degraded to below this fraction of the white-source
+/// utilization (so the starvation is attributable to the generator,
+/// not to scaling alone).
+pub const MISMATCH_DEGRADATION: f64 = 0.6;
+
+/// The white reference source: word variance 1/3 (a uniform full-range
+/// word, the LFSR-D model).
+fn white() -> SourceModel {
+    SourceModel::White { variance: 1.0 / 3.0 }
+}
+
+/// The linear shaping model of a generator, when its words are
+/// spectrally shaped enough for Eq. 1 to predict per-adder attenuation.
+/// Only the Type 1 LFSR has one; the decorrelated/max-variance/ideal
+/// generators are modeled as white, and the mixed scheme's
+/// max-variance tail is specifically there to re-exercise upper cells.
+fn shaped_model_for(generator: &str) -> Option<Vec<f64>> {
+    match generator {
+        "LFSR-1" => Some(tpg::model::lfsr1_model(12, ShiftDirection::LsbToMsb)),
+        _ => None,
+    }
+}
+
+fn node_location(r: &NodeVariance) -> Location {
+    Location::Node {
+        label: if r.label.is_empty() { r.node.to_string() } else { r.label.clone() },
+        cell: r.msb_cell,
+    }
+}
+
+/// `L101`: adders under-utilized even by an ideal white source.
+pub fn lint_headroom(design: &FilterDesign) -> Vec<Diagnostic> {
+    analyze_design(design, &white())
+        .iter()
+        .filter(|r| r.msb_utilization.is_some_and(|u| u < HEADROOM_UTILIZATION))
+        .map(|r| {
+            Diagnostic::new(
+                "L101",
+                Severity::Warn,
+                node_location(r),
+                format!(
+                    "excess headroom: white-source std-dev {:.4} is only {:.3} of the \
+                     MSB cell weight; upper-cell T1/T2/T5/T6 tests are predicted \
+                     hard to activate",
+                    r.std_dev,
+                    r.msb_utilization.unwrap_or(0.0)
+                ),
+            )
+        })
+        .collect()
+}
+
+/// `L102`: adders a shaped generator starves relative to white.
+pub fn lint_variance_mismatch(design: &FilterDesign, generator: &str) -> Vec<Diagnostic> {
+    let Some(model) = shaped_model_for(generator) else {
+        return Vec::new();
+    };
+    let white_report = analyze_design(design, &white());
+    let shaped_report = analyze_design(design, &SourceModel::Shaped { model });
+    shaped_report
+        .iter()
+        .zip(&white_report)
+        .filter(|(s, w)| match (s.msb_utilization, w.msb_utilization) {
+            (Some(su), Some(wu)) => su < MISMATCH_UTILIZATION && su < MISMATCH_DEGRADATION * wu,
+            _ => false,
+        })
+        .map(|(s, w)| {
+            Diagnostic::new(
+                "L102",
+                Severity::Warn,
+                node_location(s),
+                format!(
+                    "variance mismatch under {generator}: std-dev drops from {:.4} \
+                     (white) to {:.4}, MSB utilization {:.3}; predicted \
+                     T1/T2/T5/T6 hot spot",
+                    w.std_dev,
+                    s.std_dev,
+                    s.msb_utilization.unwrap_or(0.0)
+                ),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lfsr1_starves_lowpass_accumulators_but_lfsrd_does_not() {
+        let d = filters::designs::lowpass().unwrap();
+        let mismatched = lint_variance_mismatch(&d, "LFSR-1");
+        assert!(!mismatched.is_empty(), "no L102 on LP under LFSR-1");
+        assert!(mismatched.iter().all(|x| x.code == "L102" && x.severity == Severity::Warn));
+        // The flagged nodes include mid-chain accumulators (the paper's
+        // tap-20 neighborhood).
+        assert!(
+            mismatched.iter().any(|x| matches!(
+                &x.location,
+                Location::Node { label, .. } if label.contains(".acc")
+            )),
+            "{mismatched:?}"
+        );
+        // White-equivalent generators produce no mismatch lints.
+        for gen in ["LFSR-D", "LFSR-M", "Ideal", "Mixed@2048"] {
+            assert!(lint_variance_mismatch(&d, gen).is_empty(), "{gen}");
+        }
+    }
+
+    #[test]
+    fn headroom_pass_is_deterministic_and_warn_only() {
+        let d = filters::designs::lowpass_mini().unwrap();
+        let a = lint_headroom(&d);
+        let b = lint_headroom(&d);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|x| x.code == "L101" && x.severity == Severity::Warn));
+    }
+}

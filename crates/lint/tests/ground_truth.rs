@@ -1,0 +1,100 @@
+//! Cross-validation of the static testability predictors against
+//! fault-simulation ground truth — the paper's central claim, inverted:
+//! the adders the variance analysis flags (`L101` excess headroom,
+//! `L102` variance mismatch) should be the ones whose injected faults a
+//! Type 1 LFSR actually misses, and the lint reaches that conclusion
+//! without running a single fault-simulation cycle.
+//!
+//! The oracle here *does* run the simulator (dev-dependency only), on
+//! the paper's LP design under the Type 1 LFSR. Results are
+//! bit-identical in debug and release and at any thread count, so the
+//! asserted precision/recall are exact, not statistical.
+
+use bist_core::campaign;
+use bist_core::session::{BistSession, RunConfig};
+use obs::Location;
+use std::collections::BTreeSet;
+
+/// Vectors for the oracle run. Shorter than the paper's 4096 to keep
+/// the debug-mode test quick; misses only shrink as vectors grow, and
+/// the flagged hot spots are already stable at this length.
+const ORACLE_VECTORS: usize = 1024;
+
+/// Node labels flagged by the static predictors (`L101` ∪ `L102`).
+fn predicted_labels(design: &filters::FilterDesign, generator: &str) -> BTreeSet<String> {
+    let mut diags = bist_lint::testability::lint_headroom(design);
+    diags.extend(bist_lint::testability::lint_variance_mismatch(design, generator));
+    diags
+        .iter()
+        .filter_map(|d| match &d.location {
+            Location::Node { label, .. } => Some(label.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Node labels owning at least one fault the generator actually missed.
+fn missed_labels(design: &filters::FilterDesign, generator: &str) -> BTreeSet<String> {
+    let session = BistSession::new(design).expect("session builds");
+    let mut generator = campaign::build_generator(generator).expect("known generator");
+    let run =
+        session.run(&mut *generator, &RunConfig::new(ORACLE_VECTORS)).expect("oracle run succeeds");
+    let netlist = design.netlist();
+    run.result
+        .missed()
+        .into_iter()
+        .map(|fid| {
+            let site = session.universe().site(fid);
+            let label = &netlist.node(site.node).label;
+            if label.is_empty() {
+                site.node.to_string()
+            } else {
+                label.clone()
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn static_predictions_match_lfsr1_misses_on_the_paper_lowpass() {
+    let design = filters::designs::lowpass().expect("LP builds");
+    let predicted = predicted_labels(&design, "LFSR-1");
+    let actual = missed_labels(&design, "LFSR-1");
+    assert!(!predicted.is_empty(), "predictor flagged nothing");
+    assert!(!actual.is_empty(), "oracle missed nothing — LFSR-1 should struggle on LP");
+
+    let hits = predicted.intersection(&actual).count();
+    let precision = hits as f64 / predicted.len() as f64;
+    let recall = hits as f64 / actual.len() as f64;
+    assert!(
+        precision >= 0.5,
+        "precision {precision:.2}: flagged {} nodes, only {hits} own missed faults\n\
+         predicted: {predicted:?}\nactual: {actual:?}",
+        predicted.len()
+    );
+    assert!(
+        recall >= 0.5,
+        "recall {recall:.2}: {} nodes own missed faults, only {hits} were flagged\n\
+         predicted: {predicted:?}\nactual: {actual:?}",
+        actual.len()
+    );
+
+    // The paper's case-study neighborhood (tap 20's accumulator) is
+    // both predicted and confirmed.
+    assert!(predicted.iter().any(|l| l == "tap20.acc"), "{predicted:?}");
+}
+
+#[test]
+fn spectral_lint_separates_lfsr1_from_the_recommended_scheme() {
+    let design = filters::designs::lowpass().expect("LP builds");
+    // Type 1 LFSR vs the narrowband lowpass: flagged incompatible.
+    let bad = bist_lint::spectral::lint_spectra(&design, "LFSR-1", bist_lint::DEFAULT_BINS);
+    assert!(bad.iter().any(|d| d.code == "L201"), "{bad:?}");
+    // The selection module recommends a mixed scheme for LP, and the
+    // registry's mixed scheme (primary, then max-variance tail) passes.
+    let rec = bist_core::selection::recommend(&design);
+    assert!(rec.add_max_variance_phase, "selection should want a max-variance tail on LP");
+    let good = bist_lint::spectral::lint_spectra(&design, "Mixed@2048", bist_lint::DEFAULT_BINS);
+    assert!(good.iter().all(|d| d.code != "L201" && d.code != "L202"), "{good:?}");
+    assert!(good.iter().any(|d| d.code == "L203"), "{good:?}");
+}

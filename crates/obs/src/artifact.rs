@@ -8,6 +8,7 @@
 //! for the schema), which is where the repository's performance
 //! trajectory accumulates.
 
+use crate::diag::{self, Diagnostic};
 use crate::json::JsonValue;
 use std::fmt::Write as _;
 use std::io;
@@ -63,6 +64,9 @@ pub struct RunArtifact {
     /// Engine counters (shards simulated, stage repacks, ...), sorted
     /// by name.
     pub counters: Vec<(String, u64)>,
+    /// Static-analysis diagnostics attached at admission time (empty
+    /// when the run was not linted).
+    pub lint: Vec<Diagnostic>,
 }
 
 impl RunArtifact {
@@ -83,6 +87,7 @@ impl RunArtifact {
             signature: 0,
             stages: Vec::new(),
             counters: Vec::new(),
+            lint: Vec::new(),
         }
     }
 
@@ -112,6 +117,7 @@ impl RunArtifact {
             .push("signature", self.signature)
             .push("stages", stages)
             .push("counters", counters)
+            .push("lint", diag::diagnostics_to_json(&self.lint))
     }
 
     /// Writes the artifact as a pretty-printed standalone JSON file.
@@ -159,6 +165,10 @@ impl RunArtifact {
                 );
             }
         }
+        if !self.lint.is_empty() {
+            let (errors, warns, infos) = diag::severity_counts(&self.lint);
+            let _ = write!(out, "\n  lint: {errors} error(s), {warns} warning(s), {infos} info");
+        }
         out
     }
 }
@@ -183,6 +193,12 @@ mod tests {
             StageTiming { name: "session.fault_sim".into(), millis: 250.5 },
         ];
         a.counters = vec![("faultsim.shards".into(), 16)];
+        a.lint = vec![Diagnostic::new(
+            "L201",
+            crate::diag::Severity::Error,
+            crate::diag::Location::Design,
+            "generator spectrally incompatible",
+        )];
         a
     }
 
@@ -200,6 +216,7 @@ mod tests {
             "\"signature\":48879",
             "\"stages\":[{\"name\":\"session.patterns\",\"ms\":1.25}",
             "\"counters\":{\"faultsim.shards\":16}",
+            "\"lint\":[{\"code\":\"L201\",\"severity\":\"error\",",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
@@ -212,6 +229,7 @@ mod tests {
         assert!(s.contains("after 4096 vectors, 4 threads"), "{s}");
         assert!(s.contains("missed by class: T1 30, T2 5, T5 10, T6 5"), "{s}");
         assert!(s.contains("stages: session.patterns 1.2 ms, session.fault_sim 250.5 ms"), "{s}");
+        assert!(s.contains("lint: 1 error(s), 0 warning(s), 0 info"), "{s}");
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! Structured static-analysis diagnostics.
+//!
+//! The lint layer (`crates/lint`) runs analysis passes over a
+//! synthesized netlist and a campaign spec and reports findings as
+//! [`Diagnostic`]s: a stable code (`L0xx` netlist, `L1xx` testability,
+//! `L2xx` spectral compatibility, `L3xx` campaign spec), a
+//! [`Severity`], a [`Location`] naming the offending node, cell,
+//! frequency bin, or spec field, and a one-line explanation. The types
+//! live here — in the zero-dependency observability crate — so the
+//! session layer can attach diagnostics to [`crate::RunArtifact`]s and
+//! the daemon can ship them over its JSON wire protocol without either
+//! depending on the analyzer itself.
+
+use crate::json::JsonValue;
+use std::fmt;
+
+/// How serious a diagnostic is. Ordered: `Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: a structural fact worth knowing, not a problem.
+    Info,
+    /// A likely coverage or configuration problem.
+    Warn,
+    /// A configuration the analyzer predicts will fail its goal.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase wire name (`"info"`, `"warn"`, `"error"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Parses a wire name produced by [`Severity::name`].
+    pub fn parse(name: &str) -> Option<Severity> {
+        match name {
+            "info" => Some(Severity::Info),
+            "warn" => Some(Severity::Warn),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Where in the design / spec a diagnostic points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Location {
+    /// The design (or generator/design pairing) as a whole.
+    Design,
+    /// A netlist node, optionally narrowed to one full-adder cell.
+    Node {
+        /// The node's debug label (falls back to `nNN` when unnamed).
+        label: String,
+        /// Bit position of the cell, when the finding is cell-precise.
+        cell: Option<u32>,
+    },
+    /// A frequency bin of an `N`-bin spectrum (DC = bin 0).
+    Bin {
+        /// The offending bin index.
+        bin: usize,
+        /// Total bins in the spectrum the index refers to.
+        bins: usize,
+    },
+    /// A field of the campaign spec (`"vectors"`, `"deadline_ms"`, ...).
+    Field {
+        /// The field name.
+        name: String,
+    },
+}
+
+impl Location {
+    fn kind(&self) -> &'static str {
+        match self {
+            Location::Design => "design",
+            Location::Node { .. } => "node",
+            Location::Bin { .. } => "bin",
+            Location::Field { .. } => "field",
+        }
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let v = JsonValue::object().push("kind", self.kind());
+        match self {
+            Location::Design => v,
+            Location::Node { label, cell } => {
+                let v = v.push("label", label.as_str());
+                match cell {
+                    Some(c) => v.push("cell", *c),
+                    None => v,
+                }
+            }
+            Location::Bin { bin, bins } => v.push("bin", *bin).push("bins", *bins),
+            Location::Field { name } => v.push("name", name.as_str()),
+        }
+    }
+
+    fn from_json(v: &JsonValue) -> Option<Location> {
+        let kind = v.get("kind")?.as_str()?;
+        match kind {
+            "design" => Some(Location::Design),
+            "node" => Some(Location::Node {
+                label: v.get("label")?.as_str()?.to_string(),
+                cell: v.get("cell").and_then(|c| c.as_u64()).map(|c| c as u32),
+            }),
+            "bin" => Some(Location::Bin {
+                bin: v.get("bin")?.as_u64()? as usize,
+                bins: v.get("bins")?.as_u64()? as usize,
+            }),
+            "field" => Some(Location::Field { name: v.get("name")?.as_str()?.to_string() }),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Location::Design => f.write_str("design"),
+            Location::Node { label, cell: None } => write!(f, "node {label}"),
+            Location::Node { label, cell: Some(c) } => write!(f, "node {label} cell {c}"),
+            Location::Bin { bin, bins } => write!(f, "bin {bin}/{bins}"),
+            Location::Field { name } => write!(f, "field {name}"),
+        }
+    }
+}
+
+/// One static-analysis finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code, e.g. `"L201"`. Codes are append-only: a published
+    /// code never changes meaning (see DESIGN.md §9 for the table).
+    pub code: String,
+    /// Severity class.
+    pub severity: Severity,
+    /// What the finding points at.
+    pub location: Location,
+    /// One-line human explanation (no trailing period, no newlines).
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic.
+    pub fn new(
+        code: &str,
+        severity: Severity,
+        location: Location,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic { code: code.to_string(), severity, location, message: message.into() }
+    }
+
+    /// Machine-readable JSON form (insertion-ordered, deterministic).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .push("code", self.code.as_str())
+            .push("severity", self.severity.name())
+            .push("location", self.location.to_json())
+            .push("message", self.message.as_str())
+    }
+
+    /// Parses the form produced by [`Diagnostic::to_json`].
+    pub fn from_json(v: &JsonValue) -> Option<Diagnostic> {
+        Some(Diagnostic {
+            code: v.get("code")?.as_str()?.to_string(),
+            severity: Severity::parse(v.get("severity")?.as_str()?)?,
+            location: Location::from_json(v.get("location")?)?,
+            message: v.get("message")?.as_str()?.to_string(),
+        })
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}] {}: {}", self.severity, self.code, self.location, self.message)
+    }
+}
+
+/// `(errors, warnings, infos)` tallies for a diagnostic list.
+pub fn severity_counts(diags: &[Diagnostic]) -> (usize, usize, usize) {
+    let mut counts = (0, 0, 0);
+    for d in diags {
+        match d.severity {
+            Severity::Error => counts.0 += 1,
+            Severity::Warn => counts.1 += 1,
+            Severity::Info => counts.2 += 1,
+        }
+    }
+    counts
+}
+
+/// Serializes a diagnostic list as a JSON array.
+pub fn diagnostics_to_json(diags: &[Diagnostic]) -> JsonValue {
+    JsonValue::Array(diags.iter().map(Diagnostic::to_json).collect())
+}
+
+/// Parses a JSON array produced by [`diagnostics_to_json`]. Returns
+/// `None` if any element is malformed.
+pub fn diagnostics_from_json(v: &JsonValue) -> Option<Vec<Diagnostic>> {
+    v.as_array()?.iter().map(Diagnostic::from_json).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic::new(
+                "L201",
+                Severity::Error,
+                Location::Bin { bin: 3, bins: 512 },
+                "spectral null overlaps passband",
+            ),
+            Diagnostic::new(
+                "L101",
+                Severity::Warn,
+                Location::Node { label: "tap20.acc".into(), cell: Some(14) },
+                "excess headroom",
+            ),
+            Diagnostic::new("L001", Severity::Info, Location::Design, "redundant sign bits"),
+            Diagnostic::new(
+                "L301",
+                Severity::Warn,
+                Location::Field { name: "vectors".into() },
+                "degenerate vector count",
+            ),
+        ]
+    }
+
+    #[test]
+    fn severity_is_ordered_and_named() {
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+        for s in [Severity::Info, Severity::Warn, Severity::Error] {
+            assert_eq!(Severity::parse(s.name()), Some(s));
+        }
+        assert_eq!(Severity::parse("fatal"), None);
+    }
+
+    #[test]
+    fn diagnostics_round_trip_through_json() {
+        let diags = sample();
+        let json = diagnostics_to_json(&diags);
+        let text = json.to_json();
+        let parsed = JsonValue::parse(&text).unwrap();
+        assert_eq!(diagnostics_from_json(&parsed).unwrap(), diags);
+    }
+
+    #[test]
+    fn display_is_single_line_and_readable() {
+        let diags = sample();
+        assert_eq!(diags[0].to_string(), "error[L201] bin 3/512: spectral null overlaps passband");
+        assert_eq!(diags[1].to_string(), "warn[L101] node tap20.acc cell 14: excess headroom");
+        assert_eq!(diags[2].to_string(), "info[L001] design: redundant sign bits");
+        assert_eq!(diags[3].to_string(), "warn[L301] field vectors: degenerate vector count");
+    }
+
+    #[test]
+    fn counts_tally_by_severity() {
+        assert_eq!(severity_counts(&sample()), (1, 2, 1));
+        assert_eq!(severity_counts(&[]), (0, 0, 0));
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        let bad = JsonValue::parse(r#"[{"code":"L001","severity":"loud"}]"#).unwrap();
+        assert_eq!(diagnostics_from_json(&bad), None);
+        let not_array = JsonValue::parse(r#"{"code":"L001"}"#).unwrap();
+        assert_eq!(diagnostics_from_json(&not_array), None);
+    }
+}

@@ -43,7 +43,10 @@
 //! assert!(artifact.to_json().to_json().contains("\"coverage\":0.97"));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod artifact;
+pub mod diag;
 pub mod hist;
 pub mod json;
 pub mod metrics;
@@ -51,6 +54,7 @@ pub mod sink;
 pub mod span;
 
 pub use artifact::{RunArtifact, StageTiming, ARTIFACT_SCHEMA};
+pub use diag::{Diagnostic, Location, Severity};
 pub use hist::{Histogram, HistogramSnapshot, DURATION_MS_BOUNDS};
 pub use json::{JsonError, JsonValue};
 pub use metrics::{Counter, Registry, Snapshot, SpanRecord};

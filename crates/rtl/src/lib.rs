@@ -44,6 +44,8 @@
 //! # Ok::<(), RtlError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod builder;
 mod error;
 mod node;

@@ -37,6 +37,8 @@
 //! # Ok::<(), bist_tpg::TpgError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod error;
 mod generator;
 mod lfsr;
