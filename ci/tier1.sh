@@ -8,6 +8,7 @@ cd "$(dirname "$0")/.."
 
 cargo fmt --check
 cargo clippy --offline --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
 cargo build --release --offline
 cargo test -q --offline
 
@@ -23,6 +24,12 @@ if ./target/release/bistlint --design LP --gen LFSR-1 > /dev/null 2>&1; then
     exit 1
 fi
 echo "bistlint gate: roster clean, incompatible pairing flagged OK"
+
+# Signature-mode smoke cell: every roster generator on LP-MINI must
+# produce bit-identical verdicts in trace and signature mode with zero
+# aliased faults on the default 16-bit MISR (exits non-zero otherwise).
+./target/release/experiments smoke
+echo "experiments smoke cell: signature mode bit-identical, zero aliasing OK"
 
 # Daemon smoke test: a bistd on a Unix socket must serve a campaign,
 # answer the identical resubmission from its result cache, and drain

@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [--json <path>] [--server <addr>] <subcommand>
+//! experiments [--json <path>] [--server <addr>] [--signature] <subcommand>
 //!     table1   design statistics                     (paper Table 1)
 //!     table2   difficult test classes                (paper Table 2)
 //!     table3   generator/filter compatibility        (paper Table 3)
@@ -20,6 +20,8 @@
 //!     scaling  aggressive-scaling trade-off          (Conclusion item)
 //!     ablation pruning stages & drop schedules       (engine study)
 //!     csa      ripple vs carry-save vs symmetric     (Section 3)
+//!     bench5   trace vs signature checking           (compaction study)
+//!     smoke    signature-mode zero-aliasing gate     (CI tier 1)
 //!     all      everything above
 //!
 //! With `--json <path>`, every BIST run's structured artifact
@@ -33,14 +35,23 @@
 //! running `bistd` daemon instead of simulating inline, so repeated
 //! sweeps hit its result cache. Other subcommands, and the `--json`
 //! artifact log, still run locally.
+//!
+//! With `--signature`, the Section 8 grid (`table4`, `table6`) checks
+//! responses through the 16-bit MISR instead of the direct trace
+//! compare, and the tables grow an aliased-fault column (expected all
+//! zero — see DESIGN.md §10). `bench5` always runs both modes and
+//! emits the trace-vs-signature memory/throughput comparison
+//! (`BENCH_5.json` with `--json`); `smoke` is the CI cell: it exits
+//! non-zero unless signature-mode verdicts match trace-mode verdicts
+//! with zero aliasing across the gated roster.
 //! ```
 
 use bist_bench::{
-    cell_lint, generator, mixed_generator, paper_designs, plot, run_config, run_session, table,
-    SECTION8_GENERATORS,
+    cell_lint, cell_lint_mode, generator, mixed_generator, paper_designs, plot, run_config,
+    run_config_mode, run_session, table, SECTION8_GENERATORS,
 };
 use bist_core::campaign::CampaignSpec;
-use bist_core::session::BistSession;
+use bist_core::session::{BistSession, ResponseCheck};
 use bist_core::{compat, distribution, variance, zones};
 use bistd::{Client, ServerAddr};
 use dsp::stats::Summary;
@@ -55,6 +66,7 @@ fn main() {
     let mut json_path: Option<std::path::PathBuf> = None;
     let mut server: Option<ServerAddr> = None;
     let mut subcommand: Option<String> = None;
+    let mut mode = ResponseCheck::Trace;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--json" {
@@ -69,6 +81,8 @@ fn main() {
                 std::process::exit(2);
             };
             server = Some(ServerAddr::parse(&addr));
+        } else if a == "--signature" {
+            mode = ResponseCheck::Signature;
         } else if subcommand.is_none() {
             subcommand = Some(a);
         } else {
@@ -88,8 +102,8 @@ fn main() {
     run("table1", &table1);
     run("table2", &table2);
     run("table3", &table3);
-    run("table4", &|| table4(server.as_ref()));
-    run("table6", &|| table6(server.as_ref()));
+    run("table4", &|| table4(server.as_ref(), mode));
+    run("table6", &|| table6(server.as_ref(), mode));
     run("fig1", &fig1);
     run("fig2", &fig2);
     run("fig4", &fig4);
@@ -103,12 +117,17 @@ fn main() {
     run("scaling", &scaling);
     run("ablation", &ablation);
     run("csa", &csa);
+    run("bench5", &bench5);
+    run("smoke", &smoke);
     if !ran {
         eprintln!("unknown experiment '{arg}'; see source header for the list");
         std::process::exit(2);
     }
     if let Some(path) = json_path {
-        match bist_bench::artifacts::write_bench_json(&arg, &path) {
+        // The compaction study's artifact is named `BENCH_5.json`
+        // (see EXPERIMENTS.md), not `BENCH_bench5.json`.
+        let tag = if arg == "bench5" { "5" } else { arg.as_str() };
+        match bist_bench::artifacts::write_bench_json(tag, &path) {
             Ok(written) => {
                 let runs = bist_bench::artifacts::collected().len();
                 eprintln!("wrote {} ({runs} run artifacts)", written.display());
@@ -235,13 +254,20 @@ fn table3() {
 
 // ------------------------------------------------------------ Tables 4, 5
 
-/// Missed-fault count for one grid cell, farmed out to a `bistd`
-/// daemon. Normalization and table layout stay local: everything the
-/// tables need beyond the miss count is derivable from the design.
-fn remote_missed(server: &ServerAddr, design: &str, gen_name: &str, vectors: usize) -> usize {
+/// Missed- and aliased-fault counts for one grid cell, farmed out to a
+/// `bistd` daemon. Normalization and table layout stay local:
+/// everything the tables need beyond these counts is derivable from
+/// the design.
+fn remote_cell(
+    server: &ServerAddr,
+    design: &str,
+    gen_name: &str,
+    vectors: usize,
+    mode: ResponseCheck,
+) -> (usize, usize) {
     let run = Client::connect(server)
         .and_then(|mut client| {
-            let mut spec = CampaignSpec::new(design, gen_name, vectors);
+            let mut spec = CampaignSpec::new(design, gen_name, vectors).with_mode(mode);
             spec.threads = std::env::var("BIST_THREADS")
                 .ok()
                 .and_then(|v| v.parse::<usize>().ok())
@@ -252,36 +278,45 @@ fn remote_missed(server: &ServerAddr, design: &str, gen_name: &str, vectors: usi
             eprintln!("--server {server}: {design}/{gen_name} failed: {e}");
             std::process::exit(1);
         });
-    run.artifact
-        .get("missed")
-        .and_then(obs::JsonValue::as_u64)
-        .expect("campaign artifacts report 'missed'") as usize
+    let count = |field: &str| {
+        run.artifact
+            .get(field)
+            .and_then(obs::JsonValue::as_u64)
+            .unwrap_or_else(|| panic!("campaign artifacts report '{field}'")) as usize
+    };
+    (count("missed"), count("aliased"))
 }
 
-fn table4(server: Option<&ServerAddr>) {
+fn table4(server: Option<&ServerAddr>, mode: ResponseCheck) {
     banner("Tables 4 & 5: missed faults after 4k vectors (paper Table 4) and normalized by adder count (paper Table 5)");
     let designs = paper_designs();
     let mut rows4 = Vec::new();
     let mut rows5 = Vec::new();
+    let mut rows_aliased = Vec::new();
     for d in &designs {
         let session = server.is_none().then(|| BistSession::new(d).expect("session"));
         let adders = d.netlist().stats().arithmetic() as f64;
         let mut row4 = vec![d.name().to_string()];
         let mut row5 = vec![d.name().to_string()];
+        let mut row_aliased = vec![d.name().to_string()];
         for name in SECTION8_GENERATORS {
-            let missed = match (server, &session) {
-                (Some(addr), _) => remote_missed(addr, d.name(), name, SECTION8_VECTORS),
+            let (missed, aliased) = match (server, &session) {
+                (Some(addr), _) => remote_cell(addr, d.name(), name, SECTION8_VECTORS, mode),
                 (None, Some(session)) => {
                     let mut gen = generator(name);
-                    run_session(session, &mut *gen, &run_config(SECTION8_VECTORS)).missed()
+                    let run =
+                        run_session(session, &mut *gen, &run_config_mode(SECTION8_VECTORS, mode));
+                    (run.missed(), run.artifact.aliased)
                 }
                 (None, None) => unreachable!("inline mode builds a session"),
             };
             row4.push(missed.to_string());
             row5.push(format!("{:.2}", missed as f64 / adders));
+            row_aliased.push(aliased.to_string());
         }
         rows4.push(row4);
         rows5.push(row5);
+        rows_aliased.push(row_aliased);
     }
     let header = ["Des.", "LFSR-1", "LFSR-D", "LFSR-M", "Ramp"];
     println!(
@@ -290,11 +325,21 @@ fn table4(server: Option<&ServerAddr>) {
     println!("{}", table::render(&header, &rows4));
     println!("normalized (paper: LP 2.84/1.81/5.99/2.65, BP 1.25/1.20/6.24/7.64, HP 1.76/1.80/5.89/9.59)");
     println!("{}", table::render(&header, &rows5));
+    if mode == ResponseCheck::Signature {
+        println!(
+            "aliased faults (detected by compare, missed by the 16-bit signature; expected 0):"
+        );
+        println!("{}", table::render(&header, &rows_aliased));
+    }
     let lint_rows: Vec<Vec<String>> = designs
         .iter()
         .map(|d| {
             let mut row = vec![d.name().to_string()];
-            row.extend(SECTION8_GENERATORS.iter().map(|name| cell_lint(d, name, SECTION8_VECTORS)));
+            row.extend(
+                SECTION8_GENERATORS
+                    .iter()
+                    .map(|name| cell_lint_mode(d, name, SECTION8_VECTORS, mode)),
+            );
             row
         })
         .collect();
@@ -304,7 +349,7 @@ fn table4(server: Option<&ServerAddr>) {
 
 // ---------------------------------------------------------------- Table 6
 
-fn table6(server: Option<&ServerAddr>) {
+fn table6(server: Option<&ServerAddr>, mode: ResponseCheck) {
     banner(
         "Table 6: mixed LFSR-1/LFSR-M test, 4k + 4k vectors (paper: LP 148 (0.81), HP 137 (0.40))",
     );
@@ -313,29 +358,32 @@ fn table6(server: Option<&ServerAddr>) {
     for d in designs.iter().filter(|d| d.name() == "LP" || d.name() == "HP") {
         // Mixed run at 8k, plus the best single-mode baseline at 4k
         // for the improvement factor.
-        let (missed, best) = match server {
+        let (missed, aliased, best) = match server {
             Some(addr) => {
                 let mixed = format!("Mixed@{SECTION8_VECTORS}");
-                let missed = remote_missed(addr, d.name(), &mixed, 2 * SECTION8_VECTORS);
+                let (missed, aliased) =
+                    remote_cell(addr, d.name(), &mixed, 2 * SECTION8_VECTORS, mode);
                 let best = SECTION8_GENERATORS
                     .iter()
-                    .map(|name| remote_missed(addr, d.name(), name, SECTION8_VECTORS))
+                    .map(|name| remote_cell(addr, d.name(), name, SECTION8_VECTORS, mode).0)
                     .min()
                     .expect("nonempty roster");
-                (missed, best)
+                (missed, aliased, best)
             }
             None => {
                 let session = BistSession::new(d).expect("session");
                 let mut gen = mixed_generator(SECTION8_VECTORS as u64);
-                let run = run_session(&session, &mut *gen, &run_config(2 * SECTION8_VECTORS));
+                let run =
+                    run_session(&session, &mut *gen, &run_config_mode(2 * SECTION8_VECTORS, mode));
                 let mut best = usize::MAX;
                 for name in SECTION8_GENERATORS {
                     let mut g = generator(name);
                     best = best.min(
-                        run_session(&session, &mut *g, &run_config(SECTION8_VECTORS)).missed(),
+                        run_session(&session, &mut *g, &run_config_mode(SECTION8_VECTORS, mode))
+                            .missed(),
                     );
                 }
-                (run.missed(), best)
+                (run.missed(), run.artifact.aliased, best)
             }
         };
         rows.push(vec![
@@ -343,12 +391,16 @@ fn table6(server: Option<&ServerAddr>) {
             missed.to_string(),
             format!("{:.2}", missed as f64 / d.netlist().stats().arithmetic() as f64),
             format!("{:.2}x", best as f64 / missed.max(1) as f64),
-            cell_lint(d, &format!("Mixed@{SECTION8_VECTORS}"), 2 * SECTION8_VECTORS),
+            if mode == ResponseCheck::Signature { aliased.to_string() } else { "-".to_string() },
+            cell_lint_mode(d, &format!("Mixed@{SECTION8_VECTORS}"), 2 * SECTION8_VECTORS, mode),
         ]);
     }
     println!(
         "{}",
-        table::render(&["Des.", "misses", "normalized", "vs best single (4k)", "lint"], &rows)
+        table::render(
+            &["Des.", "misses", "normalized", "vs best single (4k)", "aliased", "lint"],
+            &rows
+        )
     );
 }
 
@@ -874,6 +926,155 @@ fn ablation() {
         "{}",
         table::render(&["schedule", "wall time", "missed (identical by construction)"], &rows)
     );
+}
+
+// ------------------------------------------------------- compaction study
+
+/// Runs one design under one generator in the given mode, timing the
+/// whole session (pattern generation + fault simulation + readout).
+fn timed_run(
+    session: &BistSession<'_>,
+    gen_name: &str,
+    vectors: usize,
+    mode: ResponseCheck,
+) -> (bist_core::session::BistRun, f64) {
+    let mut gen = generator(gen_name);
+    let started = std::time::Instant::now();
+    let run = run_session(session, &mut *gen, &run_config_mode(vectors, mode));
+    (run, started.elapsed().as_secs_f64() * 1000.0)
+}
+
+/// The `bench5` compaction study: every paper design runs the same
+/// LFSR-D test twice — trace compare vs MISR signature — and the table
+/// (and, with `--json`, the `BENCH_5.json` `comparison` object) records
+/// the memory/throughput trade: O(vectors) response storage and staged
+/// fault dropping on one side, O(lanes) storage and full-length
+/// simulation on the other, with verdicts bit-identical up to measured
+/// aliasing (zero on this roster).
+fn bench5() {
+    banner("Compaction study: trace compare vs 16-bit MISR signature (memory and throughput)");
+    let designs = paper_designs();
+    let mut rows = Vec::new();
+    let mut entries = Vec::new();
+    let mut mismatches = 0usize;
+    for d in &designs {
+        let session = BistSession::new(d).expect("session");
+        let (trace, trace_ms) =
+            timed_run(&session, "LFSR-D", SECTION8_VECTORS, ResponseCheck::Trace);
+        let (signed, sig_ms) =
+            timed_run(&session, "LFSR-D", SECTION8_VECTORS, ResponseCheck::Signature);
+        if trace.result.detection_cycles() != signed.result.detection_cycles() {
+            eprintln!("{}: signature-mode detection cycles diverge from trace mode", d.name());
+            mismatches += 1;
+        }
+        let aliased = signed.artifact.aliased;
+        let store_trace = trace.artifact.response_store_words;
+        let store_sig = signed.artifact.response_store_words;
+        // Nominal throughput: fault-cycles checked per second. The
+        // numerator is the same in both modes (every fault's verdict
+        // covers the full test), so the ratio is the inverse wall-time
+        // ratio; trace mode's fault dropping is why it wins.
+        let fault_cycles = session.universe().len() as f64 * SECTION8_VECTORS as f64;
+        rows.push(vec![
+            d.name().to_string(),
+            trace.missed().to_string(),
+            signed.missed().to_string(),
+            aliased.to_string(),
+            format!("{trace_ms:.0} / {sig_ms:.0}"),
+            format!("{:.2}x", sig_ms / trace_ms.max(1e-9)),
+            format!("{store_trace} / {store_sig}"),
+            format!("{:.0}x", store_trace as f64 / store_sig as f64),
+        ]);
+        entries.push(
+            obs::JsonValue::object()
+                .push("design", d.name())
+                .push("missed_trace", trace.missed() as u64)
+                .push("missed_signature", signed.missed() as u64)
+                .push("aliased", aliased as u64)
+                .push("trace_ms", trace_ms)
+                .push("signature_ms", sig_ms)
+                .push("signature_slowdown", sig_ms / trace_ms.max(1e-9))
+                .push("trace_store_words", store_trace)
+                .push("signature_store_words", store_sig)
+                .push("store_ratio", store_trace as f64 / store_sig as f64)
+                .push("fault_cycles", fault_cycles)
+                .push("trace_mcps", fault_cycles / trace_ms.max(1e-9) / 1e3)
+                .push("signature_mcps", fault_cycles / sig_ms.max(1e-9) / 1e3),
+        );
+    }
+    println!(
+        "{}",
+        table::render(
+            &[
+                "Des.",
+                "missed (trace)",
+                "missed (sig)",
+                "aliased",
+                "wall ms (t/s)",
+                "slowdown",
+                "store words (t/s)",
+                "memory"
+            ],
+            &rows
+        )
+    );
+    println!("LFSR-D @4k; 'store words' is the peak response-storage footprint per run:");
+    println!("the materialized fault-free trace vs one 16-bit signature per bit-sliced lane.");
+    bist_bench::artifacts::set_comparison(
+        obs::JsonValue::object()
+            .push("study", "trace_vs_signature")
+            .push("generator", "LFSR-D")
+            .push("vectors", SECTION8_VECTORS as u64)
+            .push("misr_width", 16u64)
+            .push("designs", obs::JsonValue::Array(entries)),
+    );
+    if mismatches > 0 {
+        eprintln!("{mismatches} design(s) had trace/signature verdict mismatches");
+        std::process::exit(1);
+    }
+}
+
+/// The `smoke` CI cell (tier1.sh): the gated roster — LP-MINI under all
+/// four Section 8 generators — must produce *identical* verdicts in
+/// trace and signature mode with zero aliased faults, and the trace
+/// path's separately computed good signature must equal the one the
+/// fault simulator folded on the fly. Exits non-zero on any mismatch.
+fn smoke() {
+    banner("CI smoke cell: signature mode vs trace mode on the gated roster (LP-MINI)");
+    let d = filters::designs::lowpass_mini().expect("LP-MINI elaborates");
+    let session = BistSession::new(&d).expect("session");
+    let vectors = 1024;
+    let mut failures = 0usize;
+    for name in SECTION8_GENERATORS {
+        let (trace, _) = timed_run(&session, name, vectors, ResponseCheck::Trace);
+        let (signed, _) = timed_run(&session, name, vectors, ResponseCheck::Signature);
+        let mut verdict = "ok";
+        if trace.result.detection_cycles() != signed.result.detection_cycles() {
+            verdict = "VERDICT MISMATCH";
+            failures += 1;
+        } else if signed.artifact.aliased != 0 {
+            verdict = "ALIASED FAULTS";
+            failures += 1;
+        } else if trace.signature != signed.signature {
+            verdict = "SIGNATURE MISMATCH";
+            failures += 1;
+        }
+        println!(
+            "  {:7} missed {:4} / {:4}  aliased {}  signature {:#06x} / {:#06x}  {}",
+            name,
+            trace.missed(),
+            signed.missed(),
+            signed.artifact.aliased,
+            trace.signature,
+            signed.signature,
+            verdict
+        );
+    }
+    if failures > 0 {
+        eprintln!("smoke cell failed: {failures} roster cell(s) diverged");
+        std::process::exit(1);
+    }
+    println!("smoke cell: {} roster cells bit-identical, zero aliasing", SECTION8_GENERATORS.len());
 }
 
 // ------------------------------------------------------------------ util

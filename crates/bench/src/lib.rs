@@ -13,7 +13,7 @@ pub mod plot;
 pub mod table;
 
 use bist_core::campaign::CampaignSpec;
-use bist_core::session::{BistRun, BistSession, RunConfig, SessionError};
+use bist_core::session::{BistRun, BistSession, ResponseCheck, RunConfig, SessionError};
 use filters::FilterDesign;
 use tpg::{Mixed, TestGenerator};
 
@@ -89,26 +89,45 @@ pub fn run_session(
 
 /// Static lint summary for one experiment grid cell — the
 /// generator-shaped testability (`L1xx`), spectral-compatibility
-/// (`L2xx`) and campaign-spec (`L3xx`) passes, without a single
-/// simulated vector. Returns compact `E/W/I` tallies like `"1E 2W 4I"`
-/// so the tables can carry a per-cell static verdict next to the
-/// measured miss counts.
+/// (`L2xx`), campaign-spec (`L3xx`) and response-compaction (`L4xx`)
+/// passes, without a single simulated vector. Returns compact `E/W/I`
+/// tallies like `"1E 2W 4I"` so the tables can carry a per-cell static
+/// verdict next to the measured miss counts.
 pub fn cell_lint(design: &FilterDesign, gen_name: &str, vectors: usize) -> String {
+    cell_lint_mode(design, gen_name, vectors, ResponseCheck::Trace)
+}
+
+/// [`cell_lint`] for an explicit response-check mode, so
+/// signature-mode tables carry their `L4xx` verdicts too.
+pub fn cell_lint_mode(
+    design: &FilterDesign,
+    gen_name: &str,
+    vectors: usize,
+    mode: ResponseCheck,
+) -> String {
     let mut diags = lint::lint_pairing(design, gen_name, lint::DEFAULT_BINS);
-    let spec = CampaignSpec::new(design.name(), gen_name, vectors);
+    let spec = CampaignSpec::new(design.name(), gen_name, vectors).with_mode(mode);
     diags.extend(lint::campaign::lint_spec(design, &spec, None));
+    diags.extend(lint::aliasing::lint_aliasing(design, &spec));
     let (errors, warnings, infos) = obs::diag::severity_counts(&diags);
     format!("{errors}E {warnings}W {infos}I")
 }
 
 /// The experiment harness's run configuration: `vectors` test patterns
-/// with the defaults (16-bit MISR, default schedule), honoring a
-/// `BIST_THREADS` environment override for the fault-simulation worker
-/// count (unset or `0` = one thread per core).
+/// with the defaults (16-bit MISR, trace-mode response checking,
+/// default schedule), honoring a `BIST_THREADS` environment override
+/// for the fault-simulation worker count (unset or `0` = one thread
+/// per core).
 pub fn run_config(vectors: usize) -> RunConfig {
+    run_config_mode(vectors, ResponseCheck::Trace)
+}
+
+/// [`run_config`] with an explicit response-check mode — what the
+/// experiments binary builds under its `--signature` flag.
+pub fn run_config_mode(vectors: usize, mode: ResponseCheck) -> RunConfig {
     let threads =
         std::env::var("BIST_THREADS").ok().and_then(|v| v.parse::<usize>().ok()).unwrap_or(0);
-    RunConfig::new(vectors).with_threads(threads)
+    RunConfig::new(vectors).with_threads(threads).with_response_check(mode)
 }
 
 #[cfg(test)]
@@ -162,5 +181,20 @@ mod tests {
         let cfg = run_config(777);
         assert_eq!(cfg.vectors(), 777);
         assert_eq!(cfg.misr_width(), 16);
+        assert_eq!(cfg.response_check(), ResponseCheck::Trace);
+        let sig = run_config_mode(777, ResponseCheck::Signature);
+        assert_eq!(sig.response_check(), ResponseCheck::Signature);
+    }
+
+    #[test]
+    fn signature_cells_carry_their_compaction_verdict() {
+        let designs = paper_designs();
+        let lp = designs.iter().find(|d| d.name() == "LP").expect("LP elaborates");
+        let trace = cell_lint(lp, "LFSR-D", 4096);
+        let sig = cell_lint_mode(lp, "LFSR-D", 4096, ResponseCheck::Signature);
+        // Signature mode adds the informational L403 dropping note but
+        // no errors on the paper roster.
+        assert!(sig.starts_with("0E"), "{sig}");
+        assert_ne!(trace, sig, "the L4xx pass must show in the tally");
     }
 }

@@ -19,6 +19,7 @@
 
 use bist_bistd::{Client, ClientError, ServerAddr};
 use bist_core::campaign::{CampaignSpec, KNOWN_DESIGNS, KNOWN_GENERATORS};
+use bist_core::session::ResponseCheck;
 use obs::JsonValue;
 use std::process::ExitCode;
 
@@ -26,7 +27,8 @@ const USAGE: &str = "usage: bistctl --server <addr> <command> [options]
   <addr> is host:port or unix:<path>
 commands:
   run      --design <name> --gen <name> --vectors <n>
-           [--misr <bits>] [--threads <n>] [--boundaries <c1,c2,...>]
+           [--misr <bits>] [--mode trace|signature] [--threads <n>]
+           [--boundaries <c1,c2,...>]
            [--deadline-ms <ms>]        submit and wait; prints result JSON
   submit   (same options as run)       submit without waiting; prints job JSON
   status   <job>                       print a job's state
@@ -107,7 +109,8 @@ fn run(args: &[String]) -> Result<(), CtlError> {
             let mut line = JsonValue::object()
                 .push("job", result.job)
                 .push("cached", result.cached)
-                .push("key", result.key.as_str());
+                .push("key", result.key.as_str())
+                .push("mode", result.mode.as_str());
             if !result.lint.is_empty() {
                 line = line.push("lint", obs::diag::diagnostics_to_json(&result.lint));
             }
@@ -121,7 +124,8 @@ fn run(args: &[String]) -> Result<(), CtlError> {
             let mut line = JsonValue::object()
                 .push("job", submission.job)
                 .push("cached", submission.cached)
-                .push("key", submission.key.as_str());
+                .push("key", submission.key.as_str())
+                .push("mode", submission.mode.as_str());
             if !submission.lint.is_empty() {
                 line = line.push("lint", obs::diag::diagnostics_to_json(&submission.lint));
             }
@@ -173,7 +177,7 @@ fn parse_job(rest: &[&String]) -> Result<u64, CtlError> {
 /// Builds a [`CampaignSpec`] from `run`/`submit` flags, validating it
 /// locally so typos fail with the known names instead of a round trip.
 fn parse_spec(rest: &[&String]) -> Result<(CampaignSpec, Option<u64>), CtlError> {
-    let (mut design, mut generator, mut vectors) = (None, None, None);
+    let (mut design, mut generator, mut vectors, mut mode) = (None, None, None, None);
     let (mut misr, mut threads, mut boundaries, mut deadline_ms) = (None, None, None, None);
     let mut iter = rest.iter();
     while let Some(flag) = iter.next() {
@@ -183,6 +187,11 @@ fn parse_spec(rest: &[&String]) -> Result<(CampaignSpec, Option<u64>), CtlError>
             "--gen" => generator = Some(value.to_string()),
             "--vectors" => vectors = Some(num(flag, value)?),
             "--misr" => misr = Some(num::<u32>(flag, value)?),
+            "--mode" => {
+                mode = Some(ResponseCheck::parse(value).ok_or_else(|| {
+                    usage(format!("--mode: '{value}' is not 'trace' or 'signature'"))
+                })?);
+            }
             "--threads" => threads = Some(num(flag, value)?),
             "--deadline-ms" => deadline_ms = Some(num::<u64>(flag, value)?),
             "--boundaries" => {
@@ -199,6 +208,9 @@ fn parse_spec(rest: &[&String]) -> Result<(CampaignSpec, Option<u64>), CtlError>
     let mut spec = CampaignSpec::new(design, generator, vectors);
     if let Some(m) = misr {
         spec.misr_width = m;
+    }
+    if let Some(m) = mode {
+        spec.mode = m;
     }
     if let Some(t) = threads {
         spec.threads = t;

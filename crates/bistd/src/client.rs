@@ -111,6 +111,8 @@ pub struct Submission {
     pub cached: bool,
     /// The spec's canonical cache key.
     pub key: String,
+    /// The accepted response-check mode (`"trace"` or `"signature"`).
+    pub mode: String,
     /// Admission-time lint diagnostics (empty when the daemon does not
     /// lint, or found nothing).
     pub lint: Vec<obs::Diagnostic>,
@@ -125,6 +127,8 @@ pub struct CampaignResult {
     pub cached: bool,
     /// The spec's canonical cache key.
     pub key: String,
+    /// The accepted response-check mode (`"trace"` or `"signature"`).
+    pub mode: String,
     /// Admission-time lint diagnostics from the submit reply.
     pub lint: Vec<obs::Diagnostic>,
     /// The `RunArtifact` JSON object.
@@ -184,8 +188,8 @@ impl Client {
         deadline_ms: Option<u64>,
     ) -> Result<Submission, ClientError> {
         match self.request(&Request::Submit { spec: spec.clone(), deadline_ms })? {
-            Response::Submitted { job, cached, key, lint } => {
-                Ok(Submission { job, cached, key, lint })
+            Response::Submitted { job, cached, key, mode, lint } => {
+                Ok(Submission { job, cached, key, mode, lint })
             }
             other => Err(unexpected(other)),
         }
@@ -224,6 +228,7 @@ impl Client {
             job: submission.job,
             cached: submission.cached || fetch_cached,
             key: submission.key,
+            mode: submission.mode,
             lint: submission.lint,
             artifact,
         })

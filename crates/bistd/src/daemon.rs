@@ -9,7 +9,7 @@
 //! in-flight jobs, and the result cache spills to disk.
 //!
 //! Per-connection threads hold no daemon state beyond an `Arc` to
-//! [`Shared`]'s internals, and every malformed input path answers with
+//! the daemon's shared internals, and every malformed input path answers with
 //! a structured [`Response::Error`] — the daemon never panics or
 //! silently drops a request it could still reply to.
 
@@ -435,12 +435,13 @@ impl Shared {
             }
         }
         let key = spec.canonical();
+        let mode = spec.mode.as_str().to_string();
         let hit = self.cache.lock().expect("cache lock").get(&key);
         if let Some(artifact) = hit {
             self.metrics.counter("bistd.cache.hits").inc();
             let job = self.jobs.create_done(spec, key.clone(), artifact);
             self.jobs.set_lint(job, lint.clone());
-            return Response::Submitted { job, cached: true, key, lint };
+            return Response::Submitted { job, cached: true, key, mode, lint };
         }
         self.metrics.counter("bistd.cache.misses").inc();
         let mut token = CancelToken::new();
@@ -452,7 +453,7 @@ impl Shared {
         match self.queue.push(job) {
             Ok(()) => {
                 self.metrics.counter("bistd.jobs_submitted").inc();
-                Response::Submitted { job, cached: false, key, lint }
+                Response::Submitted { job, cached: false, key, mode, lint }
             }
             Err(PushError::Full) => {
                 self.jobs.finish(

@@ -151,6 +151,10 @@ pub enum Response {
         cached: bool,
         /// The canonical cache key the spec hashed to.
         key: String,
+        /// The accepted spec's response-check mode (`"trace"` or
+        /// `"signature"`), echoed so clients know which verdict
+        /// semantics the artifact will carry.
+        mode: String,
         /// Admission-time static-analysis diagnostics (empty when
         /// linting is off or found nothing; omitted from the wire form
         /// when empty).
@@ -196,12 +200,13 @@ impl Response {
     /// Renders the response as its JSON wire object.
     pub fn to_json(&self) -> JsonValue {
         match self {
-            Response::Submitted { job, cached, key, lint } => {
+            Response::Submitted { job, cached, key, mode, lint } => {
                 let mut v = JsonValue::object()
                     .push("reply", "submitted")
                     .push("job", *job)
                     .push("cached", *cached)
-                    .push("key", key.as_str());
+                    .push("key", key.as_str())
+                    .push("mode", mode.as_str());
                 if !lint.is_empty() {
                     v = v.push("lint", obs::diag::diagnostics_to_json(lint));
                 }
@@ -267,6 +272,7 @@ impl Response {
                 job: job(&v)?,
                 cached: v.get("cached").and_then(JsonValue::as_bool).unwrap_or(false),
                 key: text(&v, "key")?,
+                mode: v.get("mode").and_then(JsonValue::as_str).unwrap_or("trace").to_string(),
                 lint: match v.get("lint") {
                     Some(diags) => obs::diag::diagnostics_from_json(diags)
                         .ok_or_else(|| bad("submitted response with bad 'lint'".into()))?,
@@ -354,11 +360,18 @@ mod tests {
     #[test]
     fn responses_round_trip_through_json() {
         let all = [
-            Response::Submitted { job: 1, cached: true, key: "design=LP;...".into(), lint: vec![] },
+            Response::Submitted {
+                job: 1,
+                cached: true,
+                key: "design=LP;...".into(),
+                mode: "trace".into(),
+                lint: vec![],
+            },
             Response::Submitted {
                 job: 3,
                 cached: false,
                 key: "design=LP;...".into(),
+                mode: "signature".into(),
                 lint: vec![obs::Diagnostic::new(
                     "L201",
                     obs::Severity::Error,
@@ -416,8 +429,25 @@ mod tests {
         // The daemon smoke test (and any line-oriented tooling) greps
         // the submitted reply; an unlinted daemon must produce exactly
         // the pre-lint wire bytes.
-        let clean = Response::Submitted { job: 1, cached: false, key: "k".into(), lint: vec![] };
+        let clean = Response::Submitted {
+            job: 1,
+            cached: false,
+            key: "k".into(),
+            mode: "trace".into(),
+            lint: vec![],
+        };
         assert!(!clean.to_json().to_json().contains("lint"));
+    }
+
+    #[test]
+    fn submitted_without_mode_defaults_to_trace() {
+        // Pre-compaction daemons never sent 'mode'; old wire captures
+        // must still parse.
+        let parsed = Response::parse("{\"reply\":\"submitted\",\"job\":4,\"key\":\"k\"}").unwrap();
+        match parsed {
+            Response::Submitted { mode, .. } => assert_eq!(mode, "trace"),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

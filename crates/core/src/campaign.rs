@@ -11,7 +11,7 @@
 //! generators through the same registry, so a cached artifact is
 //! interchangeable with a fresh run.
 
-use crate::session::{BistRun, BistSession, RunConfig, SessionError};
+use crate::session::{BistRun, BistSession, ResponseCheck, RunConfig, SessionError};
 use faultsim::{CancelToken, StageSchedule};
 use filters::FilterDesign;
 use obs::JsonValue;
@@ -45,6 +45,9 @@ pub struct CampaignSpec {
     pub vectors: usize,
     /// Signature-register width in bits.
     pub misr_width: u32,
+    /// How responses are checked: `Trace` direct compare (the paper's
+    /// oracle) or `Signature` MISR compaction with aliasing accounting.
+    pub mode: ResponseCheck,
     /// Fault-dropping stage boundaries; `None` = the default schedule.
     pub boundaries: Option<Vec<u32>>,
     /// Fault-simulation worker threads (`0` = one per core).
@@ -52,17 +55,25 @@ pub struct CampaignSpec {
 }
 
 impl CampaignSpec {
-    /// A spec with the session defaults: 16-bit MISR, default stage
-    /// schedule, one worker thread per core.
+    /// A spec with the session defaults: 16-bit MISR, trace-mode
+    /// response checking, default stage schedule, one worker thread per
+    /// core.
     pub fn new(design: impl Into<String>, generator: impl Into<String>, vectors: usize) -> Self {
         CampaignSpec {
             design: design.into(),
             generator: generator.into(),
             vectors,
             misr_width: 16,
+            mode: ResponseCheck::default(),
             boundaries: None,
             threads: 0,
         }
+    }
+
+    /// The same spec in signature mode (builder-style convenience).
+    pub fn with_mode(mut self, mode: ResponseCheck) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// Checks every field against the registries and basic bounds,
@@ -115,15 +126,15 @@ impl CampaignSpec {
     /// let spec = CampaignSpec::new("LP", "LFSR-D", 4096);
     /// assert_eq!(
     ///     spec.canonical(),
-    ///     "design=LP;generator=LFSR-D;vectors=4096;misr=16;schedule=64,256,1024;threads=0"
+    ///     "design=LP;generator=LFSR-D;vectors=4096;misr=16;mode=trace;schedule=64,256,1024;threads=0"
     /// );
     /// ```
     pub fn canonical(&self) -> String {
         let mut out = String::new();
         let _ = write!(
             out,
-            "design={};generator={};vectors={};misr={};schedule=",
-            self.design, self.generator, self.vectors, self.misr_width
+            "design={};generator={};vectors={};misr={};mode={};schedule=",
+            self.design, self.generator, self.vectors, self.misr_width, self.mode
         );
         let default_boundaries = vec![64, 256, 1024];
         let boundaries = self.boundaries.as_ref().unwrap_or(&default_boundaries);
@@ -140,7 +151,8 @@ impl CampaignSpec {
             .push("design", self.design.as_str())
             .push("generator", self.generator.as_str())
             .push("vectors", self.vectors)
-            .push("misr_width", self.misr_width);
+            .push("misr_width", self.misr_width)
+            .push("mode", self.mode.as_str());
         if let Some(b) = &self.boundaries {
             v = v.push("boundaries", b.clone());
         }
@@ -148,7 +160,8 @@ impl CampaignSpec {
     }
 
     /// Reads a spec back from its wire form. Missing optional fields
-    /// (`misr_width`, `boundaries`, `threads`) take the defaults.
+    /// (`misr_width`, `mode`, `boundaries`, `threads`) take the
+    /// defaults.
     ///
     /// # Errors
     ///
@@ -191,11 +204,23 @@ impl CampaignSpec {
                 Some(out)
             }
         };
+        let mode = match v.get("mode") {
+            None => ResponseCheck::default(),
+            Some(m) => {
+                let name = m.as_str().ok_or_else(|| SessionError::InvalidConfig {
+                    reason: "'mode' must be a string".into(),
+                })?;
+                ResponseCheck::parse(name).ok_or_else(|| SessionError::InvalidConfig {
+                    reason: format!("unknown response-check mode '{name}'"),
+                })?
+            }
+        };
         Ok(CampaignSpec {
             design: text("design")?,
             generator: text("generator")?,
             vectors: number("vectors", 0)? as usize,
             misr_width: number("misr_width", 16)? as u32,
+            mode,
             boundaries,
             threads: number("threads", 0)? as usize,
         })
@@ -226,6 +251,7 @@ impl CampaignSpec {
     pub fn run_config(&self, cancel: Option<CancelToken>) -> RunConfig {
         let mut config = RunConfig::new(self.vectors)
             .with_misr_width(self.misr_width)
+            .with_response_check(self.mode)
             .with_threads(self.threads);
         if let Some(b) = &self.boundaries {
             config = config.with_schedule(StageSchedule::with_boundaries(b.clone()));
@@ -354,6 +380,7 @@ mod tests {
             CampaignSpec { generator: "Ramp".into(), ..base.clone() },
             CampaignSpec { vectors: 4095, ..base.clone() },
             CampaignSpec { misr_width: 12, ..base.clone() },
+            CampaignSpec { mode: ResponseCheck::Signature, ..base.clone() },
             CampaignSpec { boundaries: Some(vec![64]), ..base.clone() },
             CampaignSpec { threads: 2, ..base.clone() },
         ] {
@@ -368,6 +395,7 @@ mod tests {
             generator: "Mixed@2048".into(),
             vectors: 8192,
             misr_width: 12,
+            mode: ResponseCheck::Signature,
             boundaries: Some(vec![16, 64]),
             threads: 4,
         };
@@ -378,6 +406,7 @@ mod tests {
         let spec = CampaignSpec::from_json(&minimal).unwrap();
         assert_eq!(spec, CampaignSpec::new("LP", "LFSR-1", 64));
         assert_eq!(spec.misr_width, 16);
+        assert_eq!(spec.mode, ResponseCheck::Trace);
     }
 
     #[test]
@@ -389,6 +418,10 @@ mod tests {
             (
                 "{\"design\":\"LP\",\"generator\":\"LFSR-1\",\"vectors\":64,\"boundaries\":7}",
                 "array",
+            ),
+            (
+                "{\"design\":\"LP\",\"generator\":\"LFSR-1\",\"vectors\":64,\"mode\":\"crc\"}",
+                "unknown response-check mode 'crc'",
             ),
         ] {
             let v = JsonValue::parse(text).unwrap();
@@ -474,12 +507,14 @@ mod tests {
             generator: "LFSR-D".into(),
             vectors: 777,
             misr_width: 12,
+            mode: ResponseCheck::Signature,
             boundaries: Some(vec![8, 32]),
             threads: 3,
         };
         let config = spec.run_config(Some(CancelToken::new()));
         assert_eq!(config.vectors(), 777);
         assert_eq!(config.misr_width(), 12);
+        assert_eq!(config.response_check(), ResponseCheck::Signature);
         assert_eq!(config.threads(), 3);
         assert_eq!(config.schedule(), &StageSchedule::with_boundaries(vec![8, 32]));
         assert!(config.cancel().is_some());

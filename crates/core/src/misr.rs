@@ -1,16 +1,24 @@
-//! Multiple-input signature register (MISR) for response compaction.
+//! Multiple-input signature register (MISR) for response compaction,
+//! plus the analytical aliasing-probability estimator.
 //!
 //! The paper's fault-simulation results assume *no aliasing* in the
-//! response analyzer (detection by direct output compare, which this
-//! workspace's fault simulator implements); a production BIST datapath
-//! compacts the filter output into a MISR signature instead. This
-//! module provides that compactor so complete BIST sessions can be
-//! assembled, and so aliasing behaviour can be studied.
+//! response analyzer (detection by direct output compare); a production
+//! BIST datapath compacts the filter output into a MISR signature
+//! instead. This module pairs the hardware model in [`rtl::misr`] with
+//! the workspace's tabulated primitive polynomials (from
+//! `tpg::polynomials`), and provides the estimator behind the `L4xx`
+//! aliasing lints: for a `w`-bit MISR with a primitive feedback
+//! polynomial, a detected fault's error stream escapes the signature
+//! check with probability ≈ `2^-w` (see `DESIGN.md` §10 for the
+//! derivation and the measured escape rates on the paper roster).
 
 use tpg::polynomials;
 use tpg::TpgError;
 
-/// A Galois-feedback multiple-input signature register.
+/// A Galois-feedback multiple-input signature register using the
+/// tabulated primitive polynomial for its width — a thin wrapper over
+/// the hardware model in [`rtl::misr::Misr`], which takes the
+/// polynomial explicitly.
 ///
 /// # Example
 ///
@@ -28,9 +36,7 @@ use tpg::TpgError;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Misr {
-    width: u32,
-    poly_low: u64,
-    state: u64,
+    inner: rtl::misr::Misr,
 }
 
 impl Misr {
@@ -43,38 +49,59 @@ impl Misr {
     /// tabulated for `width`.
     pub fn new(width: u32) -> Result<Self, TpgError> {
         let poly = polynomials::primitive(width)?;
-        Ok(Misr { width, poly_low: poly & ((1u64 << width) - 1), state: 0 })
+        let inner = rtl::misr::Misr::with_polynomial(width, poly)
+            .expect("tabulated polynomial widths are 4..=24");
+        Ok(Misr { inner })
     }
 
     /// Absorbs one output word (its low `width` bits).
     pub fn absorb(&mut self, word: i64) {
-        let mask = (1u64 << self.width) - 1;
-        let msb = (self.state >> (self.width - 1)) & 1;
-        self.state = ((self.state << 1) & mask) ^ if msb == 1 { self.poly_low } else { 0 };
-        self.state ^= (word as u64) & mask;
+        self.inner.absorb(word);
     }
 
     /// Absorbs a whole response sequence.
     pub fn absorb_all(&mut self, words: &[i64]) {
-        for &w in words {
-            self.absorb(w);
-        }
+        self.inner.absorb_all(words);
     }
 
     /// The current signature.
     pub fn signature(&self) -> u64 {
-        self.state
+        self.inner.signature()
     }
 
     /// Resets the signature to zero.
     pub fn reset(&mut self) {
-        self.state = 0;
+        self.inner.reset();
     }
 
     /// Register width in bits.
     pub fn width(&self) -> u32 {
-        self.width
+        self.inner.width()
     }
+
+    /// The feedback polynomial's low terms (the `x^width` term is
+    /// implicit) — what a [`faultsim::SignatureConfig`] needs.
+    pub fn poly_low(&self) -> u64 {
+        self.inner.poly_low()
+    }
+}
+
+/// Analytical probability that one *detected* fault escapes a `width`-
+/// bit MISR check: the compactor is linear over GF(2), so a fault
+/// aliases exactly when its non-zero error stream lies in the
+/// polynomial's `(n-width)`-dimensional code — `(2^(n-width) - 1) /
+/// (2^n - 1) ≈ 2^-width` of the non-zero streams for an `n`-cycle test
+/// with an unstructured error pattern.
+pub fn aliasing_probability(width: u32) -> f64 {
+    0.5f64.powi(width.min(1024) as i32)
+}
+
+/// Expected number of aliased faults among `detected` detected ones,
+/// under the per-fault escape probability of [`aliasing_probability`]
+/// (independence across faults is an approximation; it is what the
+/// `L401` lint budgets against).
+pub fn expected_aliased(detected: usize, width: u32) -> f64 {
+    detected as f64 * aliasing_probability(width)
 }
 
 #[cfg(test)]
@@ -146,5 +173,29 @@ mod tests {
         m.reset();
         assert_eq!(m.signature(), 0);
         assert_eq!(m.width(), 12);
+    }
+
+    #[test]
+    fn wrapper_matches_the_rtl_model_bit_for_bit() {
+        // The session-facing Misr is the rtl hardware model plus a
+        // polynomial table lookup — nothing else.
+        let seq: Vec<i64> = (0..300).map(|i| (i * 911 % 65536) - 32768).collect();
+        let mut wrapped = Misr::new(16).unwrap();
+        let mut raw =
+            rtl::misr::Misr::with_polynomial(16, tpg::polynomials::primitive(16).unwrap()).unwrap();
+        wrapped.absorb_all(&seq);
+        raw.absorb_all(&seq);
+        assert_eq!(wrapped.signature(), raw.signature());
+        assert_eq!(wrapped.poly_low(), raw.poly_low());
+    }
+
+    #[test]
+    fn estimator_halves_per_bit() {
+        assert_eq!(aliasing_probability(1), 0.5);
+        assert_eq!(aliasing_probability(16), 2f64.powi(-16));
+        assert!(aliasing_probability(16) > aliasing_probability(17));
+        let e = expected_aliased(1000, 10);
+        assert!((e - 1000.0 / 1024.0).abs() < 1e-12, "{e}");
+        assert_eq!(expected_aliased(0, 16), 0.0);
     }
 }

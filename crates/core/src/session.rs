@@ -7,7 +7,8 @@
 
 use crate::misr::Misr;
 use faultsim::{
-    CancelToken, FaultSimResult, FaultUniverse, ParallelFaultSimulator, SimOptions, StageSchedule,
+    CancelToken, FaultSimResult, FaultUniverse, ParallelFaultSimulator, SignatureConfig,
+    SimOptions, StageSchedule,
 };
 use filters::FilterDesign;
 use obs::{Diagnostic, Registry, RunArtifact, StageTiming};
@@ -104,12 +105,61 @@ impl From<dsp::DspError> for SessionError {
     }
 }
 
-/// Configuration of one BIST run: test length, MISR width, the fault
-/// simulator's stage schedule and its worker-thread count.
+/// How a run decides that a fault was observed.
+///
+/// The two checks share the same simulated machines and report the
+/// same per-fault first-divergence cycles; they differ in what the
+/// (modelled) tester stores and reads out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResponseCheck {
+    /// Direct output compare against the materialized fault-free
+    /// response trace — the paper's "no aliasing in the response
+    /// analyzer" oracle. Response storage is `O(vectors)` words.
+    #[default]
+    Trace,
+    /// MISR signature compaction inside the fault simulator: every
+    /// lane folds its output stream into a per-lane signature register
+    /// and only end-of-test signatures are kept — `O(lanes)` words of
+    /// response storage, the production BIST readout. Compare-detected
+    /// faults whose signatures collide with the fault-free one are
+    /// counted and reported as *aliased* (see
+    /// [`faultsim::FaultSimResult::aliased`]), never silently passed.
+    Signature,
+}
+
+impl ResponseCheck {
+    /// Canonical lower-case name (`"trace"` / `"signature"`), used in
+    /// campaign specs, cache keys and artifacts.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ResponseCheck::Trace => "trace",
+            ResponseCheck::Signature => "signature",
+        }
+    }
+
+    /// Parses a canonical name back; `None` for anything else.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "trace" => Some(ResponseCheck::Trace),
+            "signature" => Some(ResponseCheck::Signature),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ResponseCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Configuration of one BIST run: test length, MISR width, response
+/// check ([`ResponseCheck`]), the fault simulator's stage schedule and
+/// its worker-thread count.
 ///
 /// Built builder-style from [`RunConfig::new`]; the defaults are a
-/// 16-bit MISR, the default [`StageSchedule`], and one worker thread
-/// per available core:
+/// 16-bit MISR, trace-mode response checking, the default
+/// [`StageSchedule`], and one worker thread per available core:
 ///
 /// ```
 /// use bist_core::session::RunConfig;
@@ -122,6 +172,7 @@ impl From<dsp::DspError> for SessionError {
 pub struct RunConfig {
     vectors: usize,
     misr_width: u32,
+    response_check: ResponseCheck,
     schedule: StageSchedule,
     threads: usize,
     metrics: Option<Arc<Registry>>,
@@ -131,11 +182,13 @@ pub struct RunConfig {
 
 impl RunConfig {
     /// A configuration applying `vectors` test patterns, with default
-    /// MISR width (16), stage schedule and thread count (one per core).
+    /// MISR width (16), trace-mode response checking, stage schedule
+    /// and thread count (one per core).
     pub fn new(vectors: usize) -> Self {
         RunConfig {
             vectors,
             misr_width: 16,
+            response_check: ResponseCheck::default(),
             schedule: StageSchedule::new(),
             threads: 0,
             metrics: None,
@@ -154,6 +207,13 @@ impl RunConfig {
     /// primitive polynomial; checked by [`BistSession::run`]).
     pub fn with_misr_width(mut self, width: u32) -> Self {
         self.misr_width = width;
+        self
+    }
+
+    /// Selects the response check (trace compare vs. MISR signature
+    /// compaction; see [`ResponseCheck`]).
+    pub fn with_response_check(mut self, check: ResponseCheck) -> Self {
+        self.response_check = check;
         self
     }
 
@@ -188,6 +248,11 @@ impl RunConfig {
     /// Signature-register width in bits.
     pub fn misr_width(&self) -> u32 {
         self.misr_width
+    }
+
+    /// The configured response check.
+    pub fn response_check(&self) -> ResponseCheck {
+        self.response_check
     }
 
     /// The fault simulator's stage schedule.
@@ -307,6 +372,13 @@ impl<'d> BistSession<'d> {
     /// [`RunConfig::with_metrics`] additionally receives every metric
     /// for cross-run aggregation.
     ///
+    /// Under [`ResponseCheck::Signature`] the compaction happens
+    /// *inside* the fault simulator (per-lane MISRs, no separate
+    /// `session.signature` phase, no materialized response trace), the
+    /// good-machine signature is bit-identical to the trace-mode one,
+    /// and any compare-detected fault whose signature aliases the
+    /// fault-free value is counted in the artifact's `aliased` field.
+    ///
     /// # Errors
     ///
     /// * [`SessionError::InvalidConfig`] if the generator's word width
@@ -358,6 +430,10 @@ impl<'d> BistSession<'d> {
         if let Some(token) = config.cancel() {
             options = options.with_cancel(token.clone());
         }
+        if config.response_check() == ResponseCheck::Signature {
+            options = options
+                .with_signature(SignatureConfig { width: misr.width(), poly: misr.poly_low() });
+        }
         let threads_used = options.effective_threads();
         let result = {
             let _span = registry.span("session.fault_sim");
@@ -370,13 +446,24 @@ impl<'d> BistSession<'d> {
         };
 
         // Signature of the good response (the production BIST readout).
-        let signature = {
-            let _span = registry.span("session.signature");
-            let good =
-                faultsim::inject::probe_node(self.design.netlist(), self.design.output(), &inputs);
-            misr.absorb_all(&good);
-            misr.signature()
+        // In signature mode the fault simulator's good lane already
+        // folded the response on the fly (O(lanes) storage); in trace
+        // mode the fault-free response is re-simulated and materialized
+        // (O(vectors) storage) before compaction.
+        let signature = match result.good_signature() {
+            Some(sig) => sig,
+            None => {
+                let _span = registry.span("session.signature");
+                let good = faultsim::inject::probe_node(
+                    self.design.netlist(),
+                    self.design.output(),
+                    &inputs,
+                );
+                misr.absorb_all(&good);
+                misr.signature()
+            }
         };
+        let aliased = result.aliased().len();
 
         let snapshot = registry.snapshot();
         if let Some(campaign) = config.metrics() {
@@ -392,6 +479,14 @@ impl<'d> BistSession<'d> {
         artifact.coverage = result.coverage_after(result.total_cycles());
         artifact.missed_by_class = self.missed_census(&result);
         artifact.signature = signature;
+        artifact.mode = config.response_check().as_str().to_string();
+        artifact.aliased = aliased;
+        artifact.response_store_words = match config.response_check() {
+            // The materialized fault-free response trace.
+            ResponseCheck::Trace => result.total_cycles() as u64,
+            // One signature word per bit-sliced lane.
+            ResponseCheck::Signature => 64,
+        };
         artifact.stages = snapshot
             .spans
             .iter()
@@ -544,6 +639,96 @@ mod tests {
         let mut b = Ramp::new(12).unwrap();
         let cfg = RunConfig::new(64);
         assert_ne!(s.run(&mut a, &cfg).unwrap().signature, s.run(&mut b, &cfg).unwrap().signature);
+    }
+
+    #[test]
+    fn signature_mode_matches_trace_mode_verdicts() {
+        let d = small_design(0.15);
+        let s = BistSession::new(&d).unwrap();
+        let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
+        let trace = s.run(&mut gen, &RunConfig::new(192)).unwrap();
+        let signed = s
+            .run(&mut gen, &RunConfig::new(192).with_response_check(ResponseCheck::Signature))
+            .unwrap();
+        // Same detected-fault set, cycle for cycle, and the same
+        // good-machine signature — compaction changes what is stored,
+        // not what is observed.
+        assert_eq!(trace.result.detection_cycles(), signed.result.detection_cycles());
+        assert_eq!(trace.signature, signed.signature);
+        assert!(trace.result.signatures().is_none());
+        let sigs = signed.result.signatures().expect("signature mode keeps per-fault signatures");
+        assert_eq!(sigs.good, signed.signature);
+        assert_eq!(signed.artifact.mode, "signature");
+        assert_eq!(trace.artifact.mode, "trace");
+        assert_eq!(trace.artifact.response_store_words, 192);
+        assert_eq!(signed.artifact.response_store_words, 64);
+        assert_eq!(signed.artifact.aliased, signed.result.aliased().len());
+    }
+
+    #[test]
+    fn signature_mode_is_thread_and_schedule_invariant() {
+        let d = small_design(0.15);
+        let s = BistSession::new(&d).unwrap();
+        let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
+        let base_cfg = RunConfig::new(160).with_response_check(ResponseCheck::Signature);
+        let reference = s
+            .run(
+                &mut gen,
+                &base_cfg
+                    .clone()
+                    .with_threads(1)
+                    .with_schedule(StageSchedule::with_boundaries(vec![])),
+            )
+            .unwrap();
+        for (threads, boundaries) in
+            [(2usize, vec![16u32, 48]), (4, vec![1, 7, 100]), (8, vec![64])]
+        {
+            let run = s
+                .run(
+                    &mut gen,
+                    &base_cfg
+                        .clone()
+                        .with_threads(threads)
+                        .with_schedule(StageSchedule::with_boundaries(boundaries.clone())),
+                )
+                .unwrap();
+            assert_eq!(run.signature, reference.signature, "threads {threads} {boundaries:?}");
+            assert_eq!(
+                run.result.signatures(),
+                reference.result.signatures(),
+                "threads {threads} {boundaries:?}"
+            );
+            assert_eq!(
+                run.result.detection_cycles(),
+                reference.result.detection_cycles(),
+                "threads {threads} {boundaries:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn signature_mode_skips_the_trace_compaction_phase() {
+        let d = small_design(0.2);
+        let s = BistSession::new(&d).unwrap();
+        let mut gen = Ramp::new(12).unwrap();
+        let trace = s.run(&mut gen, &RunConfig::new(64)).unwrap();
+        let signed = s
+            .run(&mut gen, &RunConfig::new(64).with_response_check(ResponseCheck::Signature))
+            .unwrap();
+        let has_phase =
+            |run: &BistRun| run.artifact.stages.iter().any(|t| t.name == "session.signature");
+        assert!(has_phase(&trace), "trace mode re-simulates the good response");
+        assert!(!has_phase(&signed), "signature mode folds inside the fault simulator");
+    }
+
+    #[test]
+    fn response_check_parses_and_displays_canonically() {
+        assert_eq!(ResponseCheck::Trace.as_str(), "trace");
+        assert_eq!(ResponseCheck::Signature.to_string(), "signature");
+        assert_eq!(ResponseCheck::parse("trace"), Some(ResponseCheck::Trace));
+        assert_eq!(ResponseCheck::parse("signature"), Some(ResponseCheck::Signature));
+        assert_eq!(ResponseCheck::parse("Trace"), None);
+        assert_eq!(ResponseCheck::default(), ResponseCheck::Trace);
     }
 
     #[test]

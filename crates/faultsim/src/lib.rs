@@ -17,7 +17,12 @@
 //!   state-preserving repacking; records each fault's first detection
 //!   cycle, so fault coverage curves (paper Figs. 10–13) and
 //!   end-of-test missed-fault counts (Tables 4–6) come from a single
-//!   run that is bit-identical at every thread count.
+//!   run that is bit-identical at every thread count. In *signature
+//!   mode* ([`SimOptions::with_signature`]) every lane additionally
+//!   folds its output stream into a per-lane MISR, so the run also
+//!   reports end-of-test signatures and the exact set of
+//!   compare-detected faults that would escape a signature-only check
+//!   ([`FaultSimResult::aliased`]).
 //! * [`inject`] — functional simulation of one specific fault, used for
 //!   the paper's Section 5 case study (Fig. 2: a missed fault's spike
 //!   train on a sine response).
@@ -57,5 +62,6 @@ pub mod report;
 
 pub use fault::{FaultId, FaultSite, FaultUniverse};
 pub use sim::{
-    CancelToken, Cancelled, FaultSimResult, ParallelFaultSimulator, SimOptions, StageSchedule,
+    CancelToken, Cancelled, FaultSimResult, ParallelFaultSimulator, SignatureConfig, SignatureSet,
+    SimOptions, StageSchedule,
 };

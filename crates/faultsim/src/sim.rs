@@ -1,5 +1,6 @@
 use crate::fault::{FaultId, FaultUniverse};
 use obs::Registry;
+use rtl::misr::MisrBank;
 use rtl::sim::{BitSlicedSim, CellFault};
 use rtl::Netlist;
 use std::collections::HashMap;
@@ -120,6 +121,19 @@ impl Default for StageSchedule {
     }
 }
 
+/// Configuration of the response-compacting signature register used by
+/// [`SimOptions::with_signature`]: the MISR's width and feedback
+/// polynomial (see [`rtl::misr`]). The simulator takes the polynomial
+/// as data — choosing one (the tabulated primitive polynomials live in
+/// the `tpg` crate) is the session layer's job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignatureConfig {
+    /// Register width in bits (`1..=63`).
+    pub width: u32,
+    /// Feedback polynomial; an `x^width` term, if present, is ignored.
+    pub poly: u64,
+}
+
 /// Options controlling a fault-simulation run: the fault-dropping
 /// [`StageSchedule`] and the number of worker threads the fault
 /// universe is sharded across.
@@ -134,13 +148,21 @@ pub struct SimOptions {
     threads: usize,
     metrics: Option<Arc<Registry>>,
     cancel: Option<CancelToken>,
+    signature: Option<SignatureConfig>,
 }
 
 impl SimOptions {
     /// Default options: the default stage schedule, one worker per
-    /// available core, no metrics, not cancellable.
+    /// available core, no metrics, not cancellable, direct-compare
+    /// detection (no signature compaction).
     pub fn new() -> Self {
-        SimOptions { schedule: StageSchedule::new(), threads: 0, metrics: None, cancel: None }
+        SimOptions {
+            schedule: StageSchedule::new(),
+            threads: 0,
+            metrics: None,
+            cancel: None,
+            signature: None,
+        }
     }
 
     /// Overrides the fault-dropping stage schedule.
@@ -184,6 +206,36 @@ impl SimOptions {
         self.cancel.as_ref()
     }
 
+    /// Enables signature mode: every lane folds its output stream into
+    /// a per-lane MISR ([`rtl::misr::MisrBank`]) inside the bit-sliced
+    /// inner loop, and the run reports per-fault end-of-test signatures
+    /// next to the direct-compare detection cycles.
+    ///
+    /// Two semantic consequences, both faithful to a hardware MISR
+    /// readout at the end of the test:
+    ///
+    /// * **No fault dropping.** A signature exists only at the end of
+    ///   the full test, so every faulty machine is simulated to the
+    ///   last vector; [`StageSchedule`] boundaries become pure repack
+    ///   (and cancellation) points. Expect signature runs to cost more
+    ///   wall-clock than compare runs — that cost is what the O(lanes)
+    ///   response memory buys.
+    /// * **Aliasing is observable.** A fault whose output stream
+    ///   diverged (compare-detected) but whose final signature equals
+    ///   the fault-free one escapes the signature check; such faults
+    ///   are reported by [`FaultSimResult::aliased`], never silently
+    ///   dropped. Detection cycles themselves stay bit-identical to a
+    ///   compare-mode run.
+    pub fn with_signature(mut self, signature: SignatureConfig) -> Self {
+        self.signature = Some(signature);
+        self
+    }
+
+    /// The signature configuration, if signature mode is enabled.
+    pub fn signature(&self) -> Option<SignatureConfig> {
+        self.signature
+    }
+
     /// The configured stage schedule.
     pub fn schedule(&self) -> &StageSchedule {
         &self.schedule
@@ -211,11 +263,24 @@ impl Default for SimOptions {
     }
 }
 
+/// End-of-test signatures of a signature-mode run (see
+/// [`SimOptions::with_signature`]): the fault-free machine's signature
+/// plus one final MISR state per fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignatureSet {
+    /// The fault-free machine's end-of-test signature.
+    pub good: u64,
+    /// Each fault's end-of-test signature, indexed by
+    /// [`FaultId::index`].
+    pub per_fault: Vec<u64>,
+}
+
 /// Result of a fault-simulation run.
 #[derive(Debug, Clone)]
 pub struct FaultSimResult {
     detection_cycle: Vec<Option<u32>>,
     total_cycles: u32,
+    signatures: Option<SignatureSet>,
 }
 
 impl FaultSimResult {
@@ -262,13 +327,59 @@ impl FaultSimResult {
     pub fn curve(&self, cycles: &[u32]) -> Vec<(u32, f64)> {
         cycles.iter().map(|&c| (c, self.coverage_after(c))).collect()
     }
+
+    /// The end-of-test signatures, when the run compacted responses
+    /// (`None` for direct-compare runs).
+    pub fn signatures(&self) -> Option<&SignatureSet> {
+        self.signatures.as_ref()
+    }
+
+    /// The fault-free machine's end-of-test signature, in signature
+    /// mode.
+    pub fn good_signature(&self) -> Option<u64> {
+        self.signatures.as_ref().map(|s| s.good)
+    }
+
+    /// Faults that *escape* the signature check: compare-detected (the
+    /// output stream diverged at some cycle) yet ending with a
+    /// signature equal to the fault-free one. Empty for compare-mode
+    /// runs, and expected empty for a well-sized MISR — the analytical
+    /// escape probability is ≈ `2^-width` per detected fault (the
+    /// `L4xx` lints budget it; `DESIGN.md` §10 derives it).
+    pub fn aliased(&self) -> Vec<FaultId> {
+        let Some(sigs) = &self.signatures else { return Vec::new() };
+        self.detection_cycle
+            .iter()
+            .enumerate()
+            .filter(|&(i, d)| d.is_some() && sigs.per_fault[i] == sigs.good)
+            .map(|(i, _)| FaultId(i as u32))
+            .collect()
+    }
+
+    /// Number of faults a signature-only tester would flag: final
+    /// signature differs from the fault-free one. Equals
+    /// [`FaultSimResult::detected_count`] minus the aliased count. In
+    /// compare mode this is just `detected_count`.
+    pub fn signature_detected_count(&self) -> usize {
+        self.detected_count() - self.aliased().len()
+    }
+}
+
+/// One faulty machine's carried state at a stage boundary: its
+/// register snapshot plus, in signature mode, its partially
+/// accumulated MISR state.
+struct MachineState {
+    regs: Vec<u64>,
+    misr: u64,
 }
 
 /// What one shard (a group of up to 63 faults) produced over one stage:
-/// detections and the register-state snapshots of the survivors.
+/// detections and the machine-state snapshots of the survivors (in
+/// signature mode every fault survives — dropping would truncate its
+/// signature).
 struct ShardOutcome {
     detections: Vec<(FaultId, u32)>,
-    survivors: Vec<(FaultId, Vec<u64>)>,
+    survivors: Vec<(FaultId, MachineState)>,
 }
 
 /// The staged, sharded, 64-lane parallel fault simulator.
@@ -349,18 +460,33 @@ impl<'a> ParallelFaultSimulator<'a> {
         let metrics = self.options.metrics.as_deref();
         let mut detection: Vec<Option<u32>> = vec![None; self.universe.len()];
         if self.universe.is_empty() || total == 0 {
-            Self::record_totals(metrics, &detection);
-            return Ok(FaultSimResult { detection_cycle: detection, total_cycles: total });
+            // Nothing absorbed: every signature is the zero reset state.
+            let signatures = self
+                .options
+                .signature
+                .map(|_| SignatureSet { good: 0, per_fault: vec![0; self.universe.len()] });
+            let result =
+                FaultSimResult { detection_cycle: detection, total_cycles: total, signatures };
+            Self::record_totals(metrics, &result);
+            return Ok(result);
         }
         let threads = self.options.effective_threads().max(1);
 
-        // Good-machine register state at the start of the current stage.
+        // Good-machine register state at the start of the current stage,
+        // and (in signature mode) its response-compacting MISR. All 64
+        // lanes of `good_sim` are fault-free copies, so lane 0 of its
+        // bank is the fault-free signature — computed by the exact
+        // word-parallel code path the shards use.
         let mut good_sim = BitSlicedSim::new(self.netlist);
-        let mut good_state = good_sim.register_state_lane(0);
+        let mut good = MachineState { regs: good_sim.register_state_lane(0), misr: 0 };
+        let mut good_bank = self.options.signature.map(|cfg| {
+            MisrBank::with_polynomial(cfg.width, cfg.poly)
+                .expect("signature width validated by the session layer")
+        });
 
         // Surviving faults and their machine states at stage start.
         let mut active: Vec<FaultId> = self.universe.ids().collect();
-        let mut states: HashMap<FaultId, Vec<u64>> = HashMap::new();
+        let mut states: HashMap<FaultId, MachineState> = HashMap::new();
 
         for (stage_index, (start, end)) in
             self.options.schedule.stages(total).into_iter().enumerate()
@@ -385,10 +511,13 @@ impl<'a> ParallelFaultSimulator<'a> {
             let outcomes: Vec<ShardOutcome> = if workers <= 1 {
                 let out = shards
                     .iter()
-                    .map(|g| self.simulate_shard(g, &good_state, &states, inputs, start, end))
+                    .map(|g| self.simulate_shard(g, &good, &states, inputs, start, end))
                     .collect();
                 for cycle in start..end {
                     good_sim.step(inputs[cycle as usize]);
+                    if let Some(bank) = good_bank.as_mut() {
+                        good_sim.fold_outputs(bank);
+                    }
                 }
                 out
             } else {
@@ -410,12 +539,7 @@ impl<'a> ParallelFaultSimulator<'a> {
                                 local.push((
                                     i,
                                     self.simulate_shard(
-                                        shards[i],
-                                        &good_state,
-                                        &states,
-                                        inputs,
-                                        start,
-                                        end,
+                                        shards[i], &good, &states, inputs, start, end,
                                     ),
                                 ));
                             }
@@ -424,21 +548,33 @@ impl<'a> ParallelFaultSimulator<'a> {
                     }
                     for cycle in start..end {
                         good_sim.step(inputs[cycle as usize]);
+                        if let Some(bank) = good_bank.as_mut() {
+                            good_sim.fold_outputs(bank);
+                        }
                     }
                 });
                 let mut indexed = collected.into_inner().expect("workers joined");
                 indexed.sort_by_key(|&(i, _)| i);
                 indexed.into_iter().map(|(_, o)| o).collect()
             };
-            good_state = good_sim.register_state_lane(0);
+            good.regs = good_sim.register_state_lane(0);
+            if let Some(bank) = good_bank.as_ref() {
+                good.misr = bank.lane_signature(0);
+            }
 
             // Stage-boundary merge, in shard order.
             let merge_started = metrics.map(|_| Instant::now());
             let mut survivors: Vec<FaultId> = Vec::new();
-            let mut new_states: HashMap<FaultId, Vec<u64>> = HashMap::new();
+            let mut new_states: HashMap<FaultId, MachineState> = HashMap::new();
             for outcome in outcomes {
                 for (fid, cycle) in outcome.detections {
-                    detection[fid.index()] = Some(cycle);
+                    // First detection wins: signature mode keeps detected
+                    // faults alive, so later stages re-observe their
+                    // (still diverging) outputs.
+                    let slot = &mut detection[fid.index()];
+                    if slot.is_none() {
+                        *slot = Some(cycle);
+                    }
                 }
                 for (fid, state) in outcome.survivors {
                     survivors.push(fid);
@@ -454,42 +590,66 @@ impl<'a> ParallelFaultSimulator<'a> {
             drop(stage_span);
         }
 
-        Self::record_totals(metrics, &detection);
-        Ok(FaultSimResult { detection_cycle: detection, total_cycles: total })
+        // Signature readout: every fault survived to the end in
+        // signature mode, so its final MISR state sits in `states`.
+        let signatures = good_bank.map(|bank| SignatureSet {
+            good: bank.lane_signature(0),
+            per_fault: (0..self.universe.len())
+                .map(|i| states.get(&FaultId(i as u32)).map_or(0, |s| s.misr))
+                .collect(),
+        });
+        let result = FaultSimResult { detection_cycle: detection, total_cycles: total, signatures };
+        Self::record_totals(metrics, &result);
+        Ok(result)
     }
 
-    /// Final detected/undetected counters for a completed run.
-    fn record_totals(metrics: Option<&Registry>, detection: &[Option<u32>]) {
+    /// Final detected/undetected (and, in signature mode, aliased)
+    /// counters for a completed run.
+    fn record_totals(metrics: Option<&Registry>, result: &FaultSimResult) {
         if let Some(m) = metrics {
-            let detected = detection.iter().filter(|d| d.is_some()).count();
+            let detected = result.detected_count();
             m.counter("faultsim.faults_detected").add(detected as u64);
-            m.counter("faultsim.faults_undetected").add((detection.len() - detected) as u64);
+            m.counter("faultsim.faults_undetected")
+                .add((result.detection_cycle.len() - detected) as u64);
+            if result.signatures.is_some() {
+                m.counter("faultsim.faults_aliased").add(result.aliased().len() as u64);
+            }
         }
     }
 
     /// Simulates one shard of up to 63 faults over one stage, starting
-    /// every machine from its stage-entry register state. Independent of
-    /// every other shard, so shards can run on any thread in any order.
+    /// every machine from its stage-entry register state (and, in
+    /// signature mode, its partial MISR state). Independent of every
+    /// other shard, so shards can run on any thread in any order.
     fn simulate_shard(
         &self,
         group: &[FaultId],
-        good_state: &[u64],
-        states: &HashMap<FaultId, Vec<u64>>,
+        good: &MachineState,
+        states: &HashMap<FaultId, MachineState>,
         inputs: &[i64],
         start: u32,
         end: u32,
     ) -> ShardOutcome {
         let shard_started = self.options.metrics.as_ref().map(|_| Instant::now());
         let mut sim = BitSlicedSim::new(self.netlist);
+        let mut bank = self.options.signature.map(|cfg| {
+            let mut b = MisrBank::with_polynomial(cfg.width, cfg.poly)
+                .expect("signature width validated by the session layer");
+            b.fill(good.misr);
+            b
+        });
         // All lanes start from the good state, then faulty lanes get
-        // their own diverged state.
+        // their own diverged state (registers and partial signature).
         for lane in 0..64 {
-            sim.set_register_state_lane(lane, good_state);
+            sim.set_register_state_lane(lane, &good.regs);
         }
         for (slot, &fid) in group.iter().enumerate() {
             let lane = slot as u32 + 1;
             if let Some(s) = states.get(&fid) {
-                sim.set_register_state_lane(lane, s);
+                sim.set_register_state_lane(lane, &s.regs);
+                if let Some(bank) = bank.as_mut() {
+                    bank.set_lane_signature(lane, s.misr);
+                }
             }
         }
         // Inject the group's faults, batched per node.
@@ -513,6 +673,9 @@ impl<'a> ParallelFaultSimulator<'a> {
         }
         for cycle in start..end {
             sim.step(inputs[cycle as usize]);
+            if let Some(bank) = bank.as_mut() {
+                sim.fold_outputs(bank);
+            }
             let diff = sim.output_diff_lanes(0) & undetected_mask;
             if diff != 0 {
                 let mut d = diff;
@@ -522,19 +685,40 @@ impl<'a> ParallelFaultSimulator<'a> {
                     detections.push((group[(lane - 1) as usize], cycle));
                 }
                 undetected_mask &= !diff;
-                if undetected_mask == 0 {
+                // Compare mode drops a fully detected shard early; a
+                // signature only exists at end of test, so signature
+                // mode always plays the stage out.
+                if undetected_mask == 0 && bank.is_none() {
                     break;
                 }
             }
         }
-        // Snapshot survivors' states for the next stage.
-        let mut survivors: Vec<(FaultId, Vec<u64>)> = Vec::new();
-        let mut m = undetected_mask;
-        while m != 0 {
-            let lane = m.trailing_zeros();
-            m &= m - 1;
-            let fid = group[(lane - 1) as usize];
-            survivors.push((fid, sim.register_state_lane(lane)));
+        // Snapshot survivors' states for the next stage: the undetected
+        // lanes in compare mode, every lane in signature mode.
+        let mut survivors: Vec<(FaultId, MachineState)> = Vec::new();
+        match bank.as_ref() {
+            Some(bank) => {
+                for (slot, &fid) in group.iter().enumerate() {
+                    let lane = slot as u32 + 1;
+                    survivors.push((
+                        fid,
+                        MachineState {
+                            regs: sim.register_state_lane(lane),
+                            misr: bank.lane_signature(lane),
+                        },
+                    ));
+                }
+            }
+            None => {
+                let mut m = undetected_mask;
+                while m != 0 {
+                    let lane = m.trailing_zeros();
+                    m &= m - 1;
+                    let fid = group[(lane - 1) as usize];
+                    survivors
+                        .push((fid, MachineState { regs: sim.register_state_lane(lane), misr: 0 }));
+                }
+            }
         }
         if let (Some(m), Some(t)) = (self.options.metrics.as_deref(), shard_started) {
             m.histogram("faultsim.shard_ms").record(t.elapsed().as_secs_f64() * 1000.0);
@@ -824,6 +1008,193 @@ mod tests {
         a.cancel();
         assert!(b.is_cancelled());
         assert!(!b.deadline_exceeded(), "no deadline was attached");
+    }
+
+    /// The workspace's tabulated 16-bit primitive polynomial
+    /// (`x^16 + x^12 + x^3 + x + 1`), restated here so these tests pin
+    /// concrete hardware rather than a table lookup.
+    const SIG16: SignatureConfig = SignatureConfig { width: 16, poly: 0x1100B };
+
+    /// Serial reference for signature mode: one scalar MISR per
+    /// machine, fed the machine's output stream word by word.
+    fn serial_signatures(
+        n: &Netlist,
+        u: &FaultUniverse,
+        inputs: &[i64],
+        cfg: SignatureConfig,
+    ) -> (u64, Vec<u64>) {
+        let absorb_outputs = |sim: &BitSlicedSim, lane: u32, m: &mut rtl::misr::Misr| {
+            for out in n.output_ids() {
+                m.absorb(sim.lane_value(out, lane));
+            }
+        };
+        let mut good_misr = rtl::misr::Misr::with_polynomial(cfg.width, cfg.poly).unwrap();
+        let mut good_sim = BitSlicedSim::new(n);
+        for &x in inputs {
+            good_sim.step(x);
+            absorb_outputs(&good_sim, 0, &mut good_misr);
+        }
+        let per_fault = u
+            .ids()
+            .map(|fid| {
+                let site = u.site(fid);
+                let mut sim = BitSlicedSim::new(n);
+                sim.set_faults(
+                    site.node,
+                    vec![CellFault { cell: site.cell, fault: site.representative, lanes: 2 }],
+                );
+                let mut m = rtl::misr::Misr::with_polynomial(cfg.width, cfg.poly).unwrap();
+                for &x in inputs {
+                    sim.step(x);
+                    absorb_outputs(&sim, 1, &mut m);
+                }
+                m.signature()
+            })
+            .collect();
+        (good_misr.signature(), per_fault)
+    }
+
+    #[test]
+    fn signature_mode_keeps_detection_cycles_bit_identical() {
+        let n = filterish(10);
+        let u = universe(&n);
+        let inputs = pseudo_inputs(150, 10);
+        let compare = ParallelFaultSimulator::new(&n, &u)
+            .with_schedule(StageSchedule::with_boundaries(vec![16, 48]))
+            .run(&inputs);
+        let signature = ParallelFaultSimulator::new(&n, &u)
+            .with_options(
+                SimOptions::new()
+                    .with_schedule(StageSchedule::with_boundaries(vec![16, 48]))
+                    .with_signature(SIG16),
+            )
+            .run(&inputs);
+        assert_eq!(compare.detection_cycles(), signature.detection_cycles());
+        assert!(compare.signatures().is_none());
+        assert!(compare.aliased().is_empty());
+        assert!(signature.signatures().is_some());
+    }
+
+    #[test]
+    fn signature_mode_matches_serial_scalar_misrs() {
+        let n = filterish(10);
+        let u = universe(&n);
+        let inputs = pseudo_inputs(100, 10);
+        let (good, per_fault) = serial_signatures(&n, &u, &inputs, SIG16);
+        let result = ParallelFaultSimulator::new(&n, &u)
+            .with_options(
+                SimOptions::new()
+                    .with_schedule(StageSchedule::with_boundaries(vec![16, 48]))
+                    .with_signature(SIG16),
+            )
+            .run(&inputs);
+        let sigs = result.signatures().expect("signature mode reports signatures");
+        assert_eq!(sigs.good, good);
+        assert_eq!(sigs.per_fault, per_fault);
+        assert_eq!(result.good_signature(), Some(good));
+    }
+
+    #[test]
+    fn signature_verdicts_invariant_across_threads_and_schedules() {
+        let n = filterish(10);
+        let u = universe(&n);
+        let inputs = pseudo_inputs(150, 10);
+        let reference = ParallelFaultSimulator::new(&n, &u)
+            .with_options(
+                SimOptions::new()
+                    .with_schedule(StageSchedule::with_boundaries(vec![]))
+                    .with_threads(1)
+                    .with_signature(SIG16),
+            )
+            .run(&inputs);
+        let ref_sigs = reference.signatures().unwrap();
+        for (threads, boundaries) in
+            [(2usize, vec![16u32, 48]), (3, vec![1, 2, 3]), (8, vec![64]), (4, vec![8, 16, 32, 64])]
+        {
+            let result = ParallelFaultSimulator::new(&n, &u)
+                .with_options(
+                    SimOptions::new()
+                        .with_schedule(StageSchedule::with_boundaries(boundaries.clone()))
+                        .with_threads(threads)
+                        .with_signature(SIG16),
+                )
+                .run(&inputs);
+            assert_eq!(
+                result.detection_cycles(),
+                reference.detection_cycles(),
+                "threads={threads} boundaries={boundaries:?}"
+            );
+            assert_eq!(
+                result.signatures().unwrap(),
+                ref_sigs,
+                "threads={threads} boundaries={boundaries:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn one_bit_misr_aliases_and_is_reported_not_dropped() {
+        // A 1-bit MISR (poly x + 1: state ^= msb ^ word) aliases with
+        // probability ~1/2 per detected fault — the degenerate register
+        // makes escapes certain to appear, and every one of them must
+        // be reported as compare-detected-but-aliased.
+        let n = filterish(12);
+        let u = universe(&n);
+        let inputs = pseudo_inputs(256, 12);
+        let result = ParallelFaultSimulator::new(&n, &u)
+            .with_options(SimOptions::new().with_signature(SignatureConfig { width: 1, poly: 1 }))
+            .run(&inputs);
+        let aliased = result.aliased();
+        assert!(!aliased.is_empty(), "a 1-bit signature cannot separate hundreds of faults");
+        for fid in &aliased {
+            assert!(
+                result.detection_cycles()[fid.index()].is_some(),
+                "aliasing is only meaningful for compare-detected faults"
+            );
+        }
+        assert_eq!(result.signature_detected_count(), result.detected_count() - aliased.len());
+    }
+
+    #[test]
+    fn sixteen_bit_misr_has_no_aliasing_on_this_circuit() {
+        let n = filterish(12);
+        let u = universe(&n);
+        let inputs = pseudo_inputs(256, 12);
+        let result = ParallelFaultSimulator::new(&n, &u)
+            .with_options(SimOptions::new().with_signature(SIG16))
+            .run(&inputs);
+        assert_eq!(result.aliased(), Vec::new());
+        assert_eq!(result.signature_detected_count(), result.detected_count());
+    }
+
+    #[test]
+    fn signature_metrics_count_aliased_faults() {
+        let n = filterish(10);
+        let u = universe(&n);
+        let inputs = pseudo_inputs(100, 10);
+        let registry = Arc::new(Registry::new());
+        let result = ParallelFaultSimulator::new(&n, &u)
+            .with_options(
+                SimOptions::new()
+                    .with_metrics(Arc::clone(&registry))
+                    .with_signature(SignatureConfig { width: 1, poly: 1 }),
+            )
+            .run(&inputs);
+        let s = registry.snapshot();
+        assert_eq!(s.counters["faultsim.faults_aliased"], result.aliased().len() as u64);
+    }
+
+    #[test]
+    fn empty_signature_run_reports_reset_signatures() {
+        let n = filterish(10);
+        let u = universe(&n);
+        let result = ParallelFaultSimulator::new(&n, &u)
+            .with_options(SimOptions::new().with_signature(SIG16))
+            .run(&[]);
+        let sigs = result.signatures().unwrap();
+        assert_eq!(sigs.good, 0);
+        assert_eq!(sigs.per_fault, vec![0; u.len()]);
+        assert!(result.aliased().is_empty(), "undetected faults never count as aliased");
     }
 
     #[test]

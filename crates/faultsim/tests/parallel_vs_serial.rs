@@ -155,6 +155,7 @@ fn empty_universe_runs_with_worker_threads() {
 #[cfg(feature = "proptest")]
 mod proptests {
     use super::*;
+    use bist_faultsim::SignatureConfig;
     use proptest::prelude::*;
 
     fn op_strategy(max_src: usize) -> impl Strategy<Value = Op> {
@@ -191,6 +192,50 @@ mod proptests {
                 .run(&inputs);
             let serial = serial_reference(&netlist, &universe, &inputs);
             prop_assert_eq!(parallel.detection_cycles(), &serial[..]);
+        }
+
+        #[test]
+        fn signature_verdicts_invariant_across_threads_and_schedules(
+            ops in proptest::collection::vec(op_strategy(10), 2..10),
+            inputs in proptest::collection::vec(-128i64..=127, 4..40),
+            boundaries in proptest::collection::btree_set(1u32..38, 0..4),
+            threads in 2usize..6,
+        ) {
+            // Signature-mode determinism: the per-fault end-of-test
+            // signatures, the good signature and the detection cycles
+            // must not depend on the worker-thread count or on where
+            // the StageSchedule places its repack boundaries.
+            let netlist = build(8, &ops);
+            if netlist.arithmetic_ids().is_empty() {
+                return Ok(());
+            }
+            let ranges = RangeAnalysis::analyze(&netlist, aligned_input_range(8, 8));
+            let reach = rtl::reachability::Reachability::analyze(&netlist, 8);
+            let universe = FaultUniverse::enumerate_pruned(&netlist, &ranges, &reach);
+            if universe.is_empty() {
+                return Ok(());
+            }
+            let cfg = SignatureConfig { width: 16, poly: 0x1100B };
+            let reference = ParallelFaultSimulator::new(&netlist, &universe)
+                .with_options(
+                    SimOptions::new()
+                        .with_schedule(StageSchedule::with_boundaries(vec![]))
+                        .with_threads(1)
+                        .with_signature(cfg),
+                )
+                .run(&inputs);
+            let schedule = StageSchedule::with_boundaries(boundaries.into_iter().collect());
+            let run = ParallelFaultSimulator::new(&netlist, &universe)
+                .with_options(
+                    SimOptions::new()
+                        .with_schedule(schedule)
+                        .with_threads(threads)
+                        .with_signature(cfg),
+                )
+                .run(&inputs);
+            prop_assert_eq!(run.detection_cycles(), reference.detection_cycles());
+            prop_assert_eq!(run.signatures(), reference.signatures());
+            prop_assert_eq!(run.aliased(), reference.aliased());
         }
 
         #[test]

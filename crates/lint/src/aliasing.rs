@@ -1,0 +1,169 @@
+//! `L4xx` — response-compaction (MISR aliasing) lints.
+//!
+//! Signature-mode campaigns replace the paper's direct output compare
+//! with a MISR signature check ([`bist_core::misr`]); the compactor is
+//! lossy, so this pass budgets the analytical aliasing risk *before*
+//! simulation spends a cycle:
+//!
+//! * `L401` *warn* — aliasing budget exceeded: the expected number of
+//!   detected-but-aliased faults (`classes × 2^-width`, see
+//!   [`bist_core::misr::expected_aliased`]) is above
+//!   [`ALIASING_BUDGET`] for the configured MISR width.
+//! * `L402` *warn* — compactor narrower than the response word: output
+//!   bits above the MISR width never enter the signature in the cycle
+//!   they appear, so single-cycle upper-bit errors rely entirely on
+//!   later recirculation to be observed.
+//! * `L403` *info* — signature mode disables staged fault dropping
+//!   (every fault simulates full-length so its end-of-test signature
+//!   exists); stage boundaries degrade to repack points.
+//! * `L404` *info* — a long trace-mode campaign: the fault-free
+//!   response trace costs one word per vector, where a signature check
+//!   would hold 64 words total (one per bit-sliced lane).
+//!
+//! All four are observational: none changes what is simulated, and the
+//! paper-roster defaults (trace mode, 4096 vectors, 16-bit MISR) emit
+//! nothing.
+
+use bist_core::campaign::CampaignSpec;
+use bist_core::misr::expected_aliased;
+use bist_core::session::ResponseCheck;
+use filters::FilterDesign;
+use obs::{Diagnostic, Location, Severity};
+
+/// Expected aliased-fault budget for `L401`: half a fault. At the
+/// workspace default (16-bit MISR, class bounds of a few thousand) the
+/// expectation stays near 0.1, comfortably under; a 12-bit register on
+/// the full LP universe (~7.6 k bound, ~1.9 expected) crosses it.
+pub const ALIASING_BUDGET: f64 = 0.5;
+
+/// Trace-mode test length at which `L404` points out the storage
+/// asymmetry. The paper's standard 4096-vector runs stay quiet.
+pub const TRACE_STORE_NOTE_VECTORS: usize = 8192;
+
+/// Static upper bound on the collapsed fault-class count, from the
+/// range analysis alone: four collapsed classes per active full-adder
+/// cell (the same bound [`crate::campaign::estimated_cost_ms`] prices).
+pub fn estimated_fault_classes(design: &FilterDesign) -> u64 {
+    let netlist = design.netlist();
+    let ranges = design.claimed_ranges();
+    let active_cells: u64 = netlist
+        .arithmetic_ids()
+        .into_iter()
+        .filter_map(|id| ranges.active_span(netlist, id))
+        .map(|(lsb, msb)| u64::from(msb - lsb + 1))
+        .sum();
+    active_cells * 4
+}
+
+/// Runs the response-compaction pass over a spec.
+pub fn lint_aliasing(design: &FilterDesign, spec: &CampaignSpec) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    match spec.mode {
+        ResponseCheck::Signature => {
+            let classes = estimated_fault_classes(design);
+            let expected = expected_aliased(classes as usize, spec.misr_width);
+            if expected > ALIASING_BUDGET {
+                out.push(Diagnostic::new(
+                    "L401",
+                    Severity::Warn,
+                    Location::Field { name: "misr_width".into() },
+                    format!(
+                        "a {}-bit MISR over up to {classes} detected fault classes \
+                         expects {expected:.2} aliased faults (budget {ALIASING_BUDGET}): \
+                         widen the register or fall back to trace mode",
+                        spec.misr_width
+                    ),
+                ));
+            }
+            let word = design.netlist().width();
+            if spec.misr_width < word {
+                out.push(Diagnostic::new(
+                    "L402",
+                    Severity::Warn,
+                    Location::Field { name: "misr_width".into() },
+                    format!(
+                        "the {}-bit MISR is narrower than the {word}-bit response \
+                         word: upper output bits never enter the signature in the \
+                         cycle they appear",
+                        spec.misr_width
+                    ),
+                ));
+            }
+            out.push(Diagnostic::new(
+                "L403",
+                Severity::Info,
+                Location::Field { name: "mode".into() },
+                "signature mode simulates every fault full-length (end-of-test \
+                 signatures need complete streams); staged dropping becomes \
+                 repack-only, so expect trace-mode coverage at higher runtime",
+            ));
+        }
+        ResponseCheck::Trace => {
+            if spec.vectors >= TRACE_STORE_NOTE_VECTORS {
+                out.push(Diagnostic::new(
+                    "L404",
+                    Severity::Info,
+                    Location::Field { name: "vectors".into() },
+                    format!(
+                        "trace mode stores the {}-word fault-free response trace; \
+                         a signature check would hold 64 words total",
+                        spec.vectors
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini() -> FilterDesign {
+        filters::designs::lowpass_mini().unwrap()
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<String> {
+        diags.iter().map(|d| d.code.clone()).collect()
+    }
+
+    fn sig_spec(width: u32) -> CampaignSpec {
+        let mut spec = CampaignSpec::new("LP-MINI", "LFSR-D", 4096);
+        spec.mode = ResponseCheck::Signature;
+        spec.misr_width = width;
+        spec
+    }
+
+    #[test]
+    fn paper_roster_defaults_emit_nothing() {
+        let d = mini();
+        let spec = CampaignSpec::new("LP-MINI", "LFSR-D", 4096);
+        assert!(lint_aliasing(&d, &spec).is_empty());
+    }
+
+    #[test]
+    fn narrow_registers_blow_the_budget() {
+        let d = mini();
+        let classes = estimated_fault_classes(&d);
+        assert!(classes > 0, "degenerate class bound");
+        // A 4-bit register expects classes/16 aliased faults — far over.
+        let narrow = lint_aliasing(&d, &sig_spec(4));
+        assert_eq!(codes(&narrow), ["L401", "L402", "L403"]);
+        assert_eq!(narrow[0].severity, Severity::Warn);
+        // The default 16-bit register is under budget and as wide as
+        // the response word: only the informational dropping note.
+        let default = lint_aliasing(&d, &sig_spec(16));
+        assert_eq!(codes(&default), ["L403"]);
+        assert_eq!(default[0].severity, Severity::Info);
+    }
+
+    #[test]
+    fn long_trace_campaigns_get_the_storage_note() {
+        let d = mini();
+        let long = CampaignSpec::new("LP-MINI", "LFSR-D", TRACE_STORE_NOTE_VECTORS);
+        assert_eq!(codes(&lint_aliasing(&d, &long)), ["L404"]);
+        let short = CampaignSpec::new("LP-MINI", "LFSR-D", 4096);
+        assert!(lint_aliasing(&d, &short).is_empty());
+    }
+}

@@ -15,6 +15,7 @@
 //! | `L1xx` | testability          | [`testability`]|
 //! | `L2xx` | spectral match       | [`spectral`]   |
 //! | `L3xx` | campaign spec        | [`campaign`]   |
+//! | `L4xx` | response compaction  | [`aliasing`]   |
 //!
 //! The full code table lives in `DESIGN.md` §9. Every entry point of
 //! the repository runs some subset before spending a simulation cycle:
@@ -24,6 +25,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod aliasing;
 pub mod campaign;
 pub mod dataflow;
 pub mod spectral;
@@ -49,8 +51,8 @@ pub struct LintReport {
     pub design: String,
     /// The paired generator's name, when a pairing was linted.
     pub generator: Option<String>,
-    /// Findings, in pass order (`L0xx`, `L1xx`, `L2xx`, `L3xx`),
-    /// node-id order within a pass.
+    /// Findings, in pass order (`L0xx`, `L1xx`, `L2xx`, `L3xx`,
+    /// `L4xx`), node-id order within a pass.
     pub diagnostics: Vec<Diagnostic>,
 }
 
@@ -110,7 +112,8 @@ pub fn lint_pairing(design: &FilterDesign, generator: &str, bins: usize) -> Vec<
 }
 
 /// Runs every pass over a campaign spec: elaborates the design, then
-/// the dataflow, testability, spectral and spec passes in order.
+/// the dataflow, testability, spectral, spec and response-compaction
+/// passes in order.
 ///
 /// # Errors
 ///
@@ -124,6 +127,7 @@ pub fn lint_campaign(
     let mut diagnostics = lint_design(&design);
     diagnostics.extend(lint_pairing(&design, &spec.generator, DEFAULT_BINS));
     diagnostics.extend(campaign::lint_spec(&design, spec, deadline_ms));
+    diagnostics.extend(aliasing::lint_aliasing(&design, spec));
     Ok(LintReport {
         design: spec.design.clone(),
         generator: Some(spec.generator.clone()),
@@ -132,8 +136,9 @@ pub fn lint_campaign(
 }
 
 /// The cheap subset a daemon can afford on every submission: the
-/// `L1xx` variance, `L2xx` spectral and `L3xx` spec passes — design
-/// elaboration plus a few FFT-sized loops, no input-cone enumeration.
+/// `L1xx` variance, `L2xx` spectral, `L3xx` spec and `L4xx`
+/// response-compaction passes — design elaboration plus a few
+/// FFT-sized loops, no input-cone enumeration.
 ///
 /// # Errors
 ///
@@ -146,6 +151,7 @@ pub fn admission_lint(
     let design = spec.build_design()?;
     let mut out = lint_pairing(&design, &spec.generator, DEFAULT_BINS);
     out.extend(campaign::lint_spec(&design, spec, deadline_ms));
+    out.extend(aliasing::lint_aliasing(&design, spec));
     Ok(out)
 }
 
@@ -197,6 +203,20 @@ mod tests {
         assert!(!report.has_errors(), "{:?}", report.diagnostics);
         assert_eq!(report.generator.as_deref(), Some("LFSR-D"));
         // Admission linting is a subset of the full report.
+        let admission = admission_lint(&spec, None).unwrap();
+        for d in &admission {
+            assert!(report.diagnostics.contains(d), "{d}");
+        }
+    }
+
+    #[test]
+    fn signature_mode_defaults_stay_error_free() {
+        use bist_core::session::ResponseCheck;
+        let spec = CampaignSpec::new("LP-MINI", "LFSR-D", 4096).with_mode(ResponseCheck::Signature);
+        let report = lint_campaign(&spec, None).unwrap();
+        assert!(!report.has_errors(), "{:?}", report.diagnostics);
+        // The L403 dropping note is present, and admission sees it too.
+        assert!(report.diagnostics.iter().any(|d| d.code == "L403"), "{:?}", report.diagnostics);
         let admission = admission_lint(&spec, None).unwrap();
         for d in &admission {
             assert!(report.diagnostics.contains(d), "{d}");

@@ -59,6 +59,17 @@ pub struct RunArtifact {
     pub missed_by_class: Vec<(String, usize)>,
     /// Good-machine MISR signature.
     pub signature: u64,
+    /// The response-check mode (`"trace"` direct compare or
+    /// `"signature"` MISR compaction).
+    pub mode: String,
+    /// Compare-detected faults whose end-of-test signature collided
+    /// with the fault-free one (always `0` in trace mode; expected `0`
+    /// for a well-sized MISR in signature mode).
+    pub aliased: usize,
+    /// Peak response-storage footprint in words: the materialized
+    /// fault-free trace (`vectors`) in trace mode, one signature per
+    /// bit-sliced lane (`64`) in signature mode.
+    pub response_store_words: u64,
     /// Per-stage wall-clock durations, in pipeline order.
     pub stages: Vec<StageTiming>,
     /// Engine counters (shards simulated, stage repacks, ...), sorted
@@ -85,6 +96,9 @@ impl RunArtifact {
             coverage: 0.0,
             missed_by_class: Vec::new(),
             signature: 0,
+            mode: "trace".to_string(),
+            aliased: 0,
+            response_store_words: 0,
             stages: Vec::new(),
             counters: Vec::new(),
             lint: Vec::new(),
@@ -115,6 +129,9 @@ impl RunArtifact {
             .push("coverage", self.coverage)
             .push("missed_by_class", classes)
             .push("signature", self.signature)
+            .push("mode", self.mode.as_str())
+            .push("aliased", self.aliased)
+            .push("response_store_words", self.response_store_words)
             .push("stages", stages)
             .push("counters", counters)
             .push("lint", diag::diagnostics_to_json(&self.lint))
@@ -147,6 +164,9 @@ impl RunArtifact {
             self.threads,
             if self.threads == 1 { "" } else { "s" },
         );
+        if self.mode == "signature" {
+            let _ = write!(out, ", signature mode ({} aliased)", self.aliased);
+        }
         if !self.missed_by_class.is_empty() {
             let _ = write!(out, "\n  missed by class:");
             for (i, (class, n)) in self.missed_by_class.iter().enumerate() {
@@ -188,6 +208,9 @@ mod tests {
         a.missed_by_class =
             vec![("T1".into(), 30), ("T2".into(), 5), ("T5".into(), 10), ("T6".into(), 5)];
         a.signature = 0xBEEF;
+        a.mode = "signature".into();
+        a.aliased = 2;
+        a.response_store_words = 64;
         a.stages = vec![
             StageTiming { name: "session.patterns".into(), millis: 1.25 },
             StageTiming { name: "session.fault_sim".into(), millis: 250.5 },
@@ -214,6 +237,9 @@ mod tests {
             "\"coverage\":0.95",
             "\"missed_by_class\":{\"T1\":30,\"T2\":5,\"T5\":10,\"T6\":5}",
             "\"signature\":48879",
+            "\"mode\":\"signature\"",
+            "\"aliased\":2",
+            "\"response_store_words\":64",
             "\"stages\":[{\"name\":\"session.patterns\",\"ms\":1.25}",
             "\"counters\":{\"faultsim.shards\":16}",
             "\"lint\":[{\"code\":\"L201\",\"severity\":\"error\",",
@@ -227,6 +253,7 @@ mod tests {
         let s = sample().summary();
         assert!(s.starts_with("LFSR-D on LP: coverage 95.00% (950/1000, 50 missed)"), "{s}");
         assert!(s.contains("after 4096 vectors, 4 threads"), "{s}");
+        assert!(s.contains("signature mode (2 aliased)"), "{s}");
         assert!(s.contains("missed by class: T1 30, T2 5, T5 10, T6 5"), "{s}");
         assert!(s.contains("stages: session.patterns 1.2 ms, session.fault_sim 250.5 ms"), "{s}");
         assert!(s.contains("lint: 1 error(s), 0 warning(s), 0 info"), "{s}");
@@ -248,7 +275,10 @@ mod tests {
         assert_eq!(a.schema, ARTIFACT_SCHEMA);
         assert_eq!(a.coverage, 0.0);
         assert!(a.stages.is_empty());
+        assert_eq!(a.mode, "trace");
+        assert_eq!(a.aliased, 0);
         let s = a.summary();
         assert!(s.contains("0 threads"), "{s}");
+        assert!(!s.contains("signature mode"), "trace summaries stay unchanged: {s}");
     }
 }

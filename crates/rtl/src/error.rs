@@ -27,6 +27,11 @@ pub enum RtlError {
         /// `"input"` or `"output"`.
         kind: &'static str,
     },
+    /// Signature-register width outside the supported `1..=63` bits.
+    InvalidMisrWidth {
+        /// The offending width.
+        width: u32,
+    },
 }
 
 impl fmt::Display for RtlError {
@@ -40,6 +45,9 @@ impl fmt::Display for RtlError {
                 write!(f, "combinational cycle through node {node:?}")
             }
             RtlError::MissingPort { kind } => write!(f, "netlist has no {kind}"),
+            RtlError::InvalidMisrWidth { width } => {
+                write!(f, "MISR width {width} is not in 1..=63")
+            }
         }
     }
 }

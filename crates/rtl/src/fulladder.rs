@@ -128,6 +128,37 @@ pub fn eval_faulty(a: bool, b: bool, ci: bool, fault: FaFault) -> (bool, bool) {
     (sum, cout)
 }
 
+/// Forces every fault in `faults` that sits on `line` into the 64-lane
+/// word `v`, each only in its masked lanes — the one place the
+/// stuck-at semantics of word-parallel evaluation is written down
+/// (shared by [`eval_word`] and [`eval_word_sum_only`]).
+///
+/// # Example
+///
+/// ```
+/// use bist_rtl::fulladder::{apply_line_faults, FaFault, Line};
+///
+/// // Stuck-at-1 on the sum line, forced only in lanes 1 and 3.
+/// let faults = [(FaFault { line: Line::Sum, stuck_one: true }, 0b1010)];
+/// assert_eq!(apply_line_faults(Line::Sum, 0b0100, &faults), 0b1110);
+/// // Other lines — and unmasked lanes — pass through untouched.
+/// assert_eq!(apply_line_faults(Line::Cout, 0b0100, &faults), 0b0100);
+/// ```
+#[inline]
+pub fn apply_line_faults(line: Line, v: u64, faults: &[(FaFault, u64)]) -> u64 {
+    let mut out = v;
+    for &(fault, mask) in faults {
+        if fault.line == line {
+            if fault.stuck_one {
+                out |= mask;
+            } else {
+                out &= !mask;
+            }
+        }
+    }
+    out
+}
+
 /// Word-parallel (64-lane bit-sliced) evaluation of the cell with a set
 /// of per-lane faults. `faults` pairs each [`FaFault`] with a lane mask;
 /// the fault is forced only in masked lanes.
@@ -139,19 +170,7 @@ pub fn eval_word(a: u64, b: u64, ci: u64, faults: &[(FaFault, u64)]) -> (u64, u6
         let x1 = a ^ b;
         return (x1 ^ ci, (a & b) | (x1 & ci));
     }
-    let apply = |line: Line, v: u64| -> u64 {
-        let mut out = v;
-        for &(fault, mask) in faults {
-            if fault.line == line {
-                if fault.stuck_one {
-                    out |= mask;
-                } else {
-                    out &= !mask;
-                }
-            }
-        }
-        out
-    };
+    let apply = |line: Line, v: u64| -> u64 { apply_line_faults(line, v, faults) };
     let a_stem = apply(Line::AStem, a);
     let a_xor = apply(Line::AXor, a_stem);
     let a_and = apply(Line::AAnd, a_stem);
@@ -181,19 +200,7 @@ pub fn eval_word_sum_only(a: u64, b: u64, ci: u64, faults: &[(FaFault, u64)]) ->
     if faults.is_empty() {
         return a ^ b ^ ci;
     }
-    let apply = |line: Line, v: u64| -> u64 {
-        let mut out = v;
-        for &(fault, mask) in faults {
-            if fault.line == line {
-                if fault.stuck_one {
-                    out |= mask;
-                } else {
-                    out &= !mask;
-                }
-            }
-        }
-        out
-    };
+    let apply = |line: Line, v: u64| -> u64 { apply_line_faults(line, v, faults) };
     // Stems and their single XOR branches coincide in this cell.
     let av = apply(Line::AXor, apply(Line::AStem, a));
     let bv = apply(Line::BXor, apply(Line::BStem, b));

@@ -24,6 +24,10 @@
 //! * [`linear`] — exact linear (floating-point) evaluation of the same
 //!   netlist, giving per-node impulse responses for the paper's Eq. 1
 //!   variance analysis.
+//! * [`misr`] — polynomial-configurable multiple-input signature
+//!   registers: a scalar reference model plus a 64-lane word-parallel
+//!   bank that folds every simulator lane's output stream into a
+//!   per-lane signature inside the bit-sliced inner loop.
 //!
 //! # Example
 //!
@@ -52,6 +56,7 @@ mod node;
 
 pub mod fulladder;
 pub mod linear;
+pub mod misr;
 pub mod range;
 pub mod reachability;
 pub mod sim;

@@ -361,6 +361,23 @@ impl<'n> BitSlicedSim<'n> {
         diff & !(1u64 << reference_lane)
     }
 
+    /// Folds the current cycle's output word of every lane into a
+    /// signature bank, one [`crate::misr::MisrBank::absorb_planes`] per
+    /// output node in [`Netlist::output_ids`] order.
+    ///
+    /// The planes go straight from the simulator into the bank — no
+    /// per-lane word extraction — so compaction costs `O(width)` word
+    /// operations per cycle for all 64 machines together. Lane `l` of
+    /// the bank then tracks exactly the signature a scalar
+    /// [`crate::misr::Misr`] would compute over lane `l`'s
+    /// (sign-extended) output stream.
+    pub fn fold_outputs(&self, bank: &mut crate::misr::MisrBank) {
+        for out in self.netlist.output_ids() {
+            let base = out.index() * self.w;
+            bank.absorb_planes(&self.planes[base..base + self.w]);
+        }
+    }
+
     /// Snapshot of one lane's register state (one `width`-bit word per
     /// register, in [`Netlist::register_indices`] order).
     pub fn register_state_lane(&self, lane: u32) -> Vec<u64> {
