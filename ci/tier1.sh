@@ -31,6 +31,13 @@ echo "bistlint gate: roster clean, incompatible pairing flagged OK"
 ./target/release/experiments smoke
 echo "experiments smoke cell: signature mode bit-identical, zero aliasing OK"
 
+# ATPG smoke cell: the LP-MINI campaign residue must be fully resolved
+# by the deterministic top-off — every residual fault detected by the
+# verified seed plan or proven untestable, none unresolved (exits
+# non-zero otherwise).
+./target/release/experiments atpg
+echo "experiments atpg cell: top-off covers 100% of testable faults OK"
+
 # Daemon smoke test: a bistd on a Unix socket must serve a campaign,
 # answer the identical resubmission from its result cache, and drain
 # cleanly on shutdown.

@@ -1,0 +1,413 @@
+//! Uniform-delay purity analysis and the exact single-sample cone
+//! evaluator behind backward justification.
+//!
+//! The paper's circuits are single-input feedforward datapaths: a delay
+//! line feeding per-tap CSD multipliers feeding an accumulator chain.
+//! Every multiplier node is a function of exactly *one* delayed input
+//! sample `x[t-d]` — the generalization of the reachability analysis's
+//! "pure" nodes (functions of the *current* sample) to arbitrary but
+//! uniform register depth. For such nodes, backward justification is
+//! exhaustive: enumerating the `2^input_bits` values of the one driving
+//! sample yields the exact set of reachable full-adder cell input
+//! combinations, so an activating input either exists (and is in hand)
+//! or provably does not (the fault is untestable).
+
+use rtl::{Netlist, NodeId, NodeKind};
+
+/// How a node's value depends on the input history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Purity {
+    /// Constant, independent of the input.
+    Const,
+    /// A function of exactly one input sample, `x[t - delay]`.
+    Pure(u32),
+    /// Depends on samples at two or more distinct delays (a window).
+    Window,
+}
+
+/// Per-node purity classification of a feedforward netlist.
+#[derive(Debug, Clone)]
+pub struct ConeAnalysis {
+    purity: Vec<Purity>,
+}
+
+impl ConeAnalysis {
+    /// Classifies every node. Node ids are creation-ordered in a
+    /// [`NetlistBuilder`](rtl::NetlistBuilder) DAG, so one forward pass
+    /// suffices — operands always precede their users.
+    pub fn analyze(netlist: &Netlist) -> ConeAnalysis {
+        let nodes = netlist.nodes();
+        let mut purity = vec![Purity::Window; nodes.len()];
+        let join = |a: Purity, b: Purity| match (a, b) {
+            (Purity::Const, p) | (p, Purity::Const) => p,
+            (Purity::Pure(d1), Purity::Pure(d2)) if d1 == d2 => Purity::Pure(d1),
+            _ => Purity::Window,
+        };
+        for (i, node) in nodes.iter().enumerate() {
+            purity[i] = match node.kind {
+                NodeKind::Input => Purity::Pure(0),
+                NodeKind::Const { .. } => Purity::Const,
+                // A register stays pure only on a clean delay line (its
+                // source is the input or another register). Elsewhere
+                // the reset state (zero) differs from the value a zero
+                // sample would propagate, so warm-up cycles could show
+                // combinations outside the enumerated set and the
+                // untestability proof would be unsound.
+                NodeKind::Register { src } => match (purity[src.index()], &nodes[src.index()].kind)
+                {
+                    (Purity::Pure(d), NodeKind::Input | NodeKind::Register { .. }) => {
+                        Purity::Pure(d + 1)
+                    }
+                    _ => Purity::Window,
+                },
+                NodeKind::Output { src }
+                | NodeKind::ShiftRight { src, .. }
+                | NodeKind::Not { src }
+                | NodeKind::SetLsb { src } => purity[src.index()],
+                NodeKind::Add { a, b } | NodeKind::Sub { a, b } => {
+                    join(purity[a.index()], purity[b.index()])
+                }
+                NodeKind::CsaSum { a, b, c } | NodeKind::CsaCarry { a, b, c, .. } => {
+                    join(join(purity[a.index()], purity[b.index()]), purity[c.index()])
+                }
+                // Future node kinds: conservatively opaque, never pure.
+                _ => Purity::Window,
+            };
+        }
+        ConeAnalysis { purity }
+    }
+
+    /// The node's classification.
+    pub fn purity(&self, node: NodeId) -> Purity {
+        self.purity[node.index()]
+    }
+
+    /// The node's uniform sample delay, if it is pure.
+    pub fn delay(&self, node: NodeId) -> Option<u32> {
+        match self.purity[node.index()] {
+            Purity::Pure(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+/// Scalar evaluator of the netlist as a function of *one* input sample,
+/// with registers treated as pass-throughs. The computed value of a
+/// node classified [`Purity::Pure`]`(d)` is exactly its word at time
+/// `t + d` when the sample is applied at time `t` (after the `d`-deep
+/// register chain has been fed the same sample); values at
+/// [`Purity::Window`] nodes are meaningless and must not be read.
+pub struct ConeEval<'n> {
+    netlist: &'n Netlist,
+    align: u32,
+    values: Vec<i64>,
+}
+
+impl<'n> ConeEval<'n> {
+    /// An evaluator for an `input_bits`-wide sample left-aligned into
+    /// the datapath (the alignment every design and analysis in this
+    /// workspace uses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_bits` exceeds the datapath width.
+    pub fn new(netlist: &'n Netlist, input_bits: u32) -> Self {
+        assert!(input_bits <= netlist.width(), "input wider than the datapath");
+        ConeEval {
+            netlist,
+            align: netlist.width() - input_bits,
+            values: vec![0; netlist.nodes().len()],
+        }
+    }
+
+    /// Evaluates every node for the signed `input_bits`-wide sample `v`.
+    pub fn eval(&mut self, v: i64) {
+        let q = self.netlist.format();
+        let raw = v << self.align;
+        for (i, node) in self.netlist.nodes().iter().enumerate() {
+            self.values[i] = match node.kind {
+                NodeKind::Input => raw,
+                NodeKind::Const { raw } => raw,
+                NodeKind::Register { src } | NodeKind::Output { src } => self.values[src.index()],
+                NodeKind::ShiftRight { src, amount } => self.values[src.index()] >> amount.min(62),
+                NodeKind::Not { src } => q.wrap(-self.values[src.index()] - 1),
+                NodeKind::SetLsb { src } => q.sign_extend(q.to_bits(self.values[src.index()]) | 1),
+                NodeKind::Add { a, b } => q.wrap(self.values[a.index()] + self.values[b.index()]),
+                NodeKind::Sub { a, b } => q.wrap(self.values[a.index()] - self.values[b.index()]),
+                NodeKind::CsaSum { a, b, c } => q.sign_extend(
+                    (q.to_bits(self.values[a.index()])
+                        ^ q.to_bits(self.values[b.index()])
+                        ^ q.to_bits(self.values[c.index()]))
+                        & q.to_bits(-1),
+                ),
+                NodeKind::CsaCarry { a, b, c, .. } => {
+                    let (av, bv, cv) = (
+                        q.to_bits(self.values[a.index()]),
+                        q.to_bits(self.values[b.index()]),
+                        q.to_bits(self.values[c.index()]),
+                    );
+                    let carry = (av & bv) | ((av ^ bv) & cv);
+                    q.sign_extend((carry << 1) & q.to_bits(-1))
+                }
+                // Unknown kinds are classified Window by the purity
+                // analysis, so their values are never read.
+                _ => 0,
+            };
+        }
+    }
+
+    /// The evaluated word at a node (valid for pure nodes only).
+    pub fn value(&self, node: NodeId) -> i64 {
+        self.values[node.index()]
+    }
+
+    /// The full-adder input combination `(a << 2) | (b_line << 1) | ci`
+    /// seen by `cell` of an arithmetic node under the evaluated sample:
+    /// the carry is rippled up from the node's LSB exactly as the
+    /// bit-sliced simulator does (initial carry 1 and an inverted B
+    /// line for a subtractor; the three operand bits directly for a
+    /// carry-save cell).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not an adder, subtractor or carry-save sum.
+    pub fn combo(&self, node: NodeId, cell: u32) -> u8 {
+        combo_from_values(self.netlist, &self.values, node, cell)
+    }
+}
+
+/// [`ConeEval::combo`] over an explicit node-value table.
+///
+/// # Panics
+///
+/// Panics if `node` is not an adder, subtractor or carry-save sum.
+pub fn combo_from_values(netlist: &Netlist, values: &[i64], node: NodeId, cell: u32) -> u8 {
+    let q = netlist.format();
+    match netlist.node(node).kind {
+        NodeKind::Add { a, b } | NodeKind::Sub { a, b } => {
+            let is_sub = matches!(netlist.node(node).kind, NodeKind::Sub { .. });
+            let a_bits = q.to_bits(values[a.index()]);
+            let b_line =
+                if is_sub { !q.to_bits(values[b.index()]) } else { q.to_bits(values[b.index()]) };
+            let mut carry = u64::from(is_sub);
+            for bit in 0..cell {
+                let av = (a_bits >> bit) & 1;
+                let bv = (b_line >> bit) & 1;
+                carry = (av & bv) | ((av ^ bv) & carry);
+            }
+            let av = (a_bits >> cell) & 1;
+            let bv = (b_line >> cell) & 1;
+            ((av << 2) | (bv << 1) | carry) as u8
+        }
+        NodeKind::CsaSum { a, b, c } => {
+            let av = (q.to_bits(values[a.index()]) >> cell) & 1;
+            let bv = (q.to_bits(values[b.index()]) >> cell) & 1;
+            let cv = (q.to_bits(values[c.index()]) >> cell) & 1;
+            ((av << 2) | (bv << 1) | cv) as u8
+        }
+        ref kind => panic!("no full-adder cells on {kind:?}"),
+    }
+}
+
+/// All cells' combinations of an arithmetic node in one LSB-to-MSB
+/// ripple (`out[cell]` = [`combo_from_values`] at `cell`), `O(width)`
+/// total. `out` is resized to the datapath width.
+///
+/// # Panics
+///
+/// Panics if `node` is not an adder, subtractor or carry-save sum.
+pub fn combos_from_values(netlist: &Netlist, values: &[i64], node: NodeId, out: &mut Vec<u8>) {
+    let q = netlist.format();
+    let w = netlist.width();
+    out.clear();
+    match netlist.node(node).kind {
+        NodeKind::Add { a, b } | NodeKind::Sub { a, b } => {
+            let is_sub = matches!(netlist.node(node).kind, NodeKind::Sub { .. });
+            let a_bits = q.to_bits(values[a.index()]);
+            let b_line =
+                if is_sub { !q.to_bits(values[b.index()]) } else { q.to_bits(values[b.index()]) };
+            let mut carry = u64::from(is_sub);
+            for bit in 0..w {
+                let av = (a_bits >> bit) & 1;
+                let bv = (b_line >> bit) & 1;
+                out.push(((av << 2) | (bv << 1) | carry) as u8);
+                carry = (av & bv) | ((av ^ bv) & carry);
+            }
+        }
+        NodeKind::CsaSum { a, b, c } => {
+            let a_bits = q.to_bits(values[a.index()]);
+            let b_bits = q.to_bits(values[b.index()]);
+            let c_bits = q.to_bits(values[c.index()]);
+            for bit in 0..w {
+                let av = (a_bits >> bit) & 1;
+                let bv = (b_bits >> bit) & 1;
+                let cv = (c_bits >> bit) & 1;
+                out.push(((av << 2) | (bv << 1) | cv) as u8);
+            }
+        }
+        ref kind => panic!("no full-adder cells on {kind:?}"),
+    }
+}
+
+/// A plain scalar (one machine, no fault injection) simulator: exact
+/// register semantics, reset to zero, one raw aligned input word per
+/// cycle. The witness sweeps drive thousands of short runs through it;
+/// register state can be snapshotted and restored so multi-phase
+/// stimuli don't replay their shared prefix.
+pub struct ScalarSim<'n> {
+    netlist: &'n Netlist,
+    values: Vec<i64>,
+    regs: Vec<i64>,
+}
+
+impl<'n> ScalarSim<'n> {
+    /// A simulator at reset.
+    pub fn new(netlist: &'n Netlist) -> Self {
+        let n = netlist.nodes().len();
+        ScalarSim { netlist, values: vec![0; n], regs: vec![0; n] }
+    }
+
+    /// Back to the all-zero reset state.
+    pub fn reset(&mut self) {
+        self.values.fill(0);
+        self.regs.fill(0);
+    }
+
+    /// Advances one cycle with the given raw (aligned) input word.
+    pub fn step(&mut self, raw: i64) {
+        let q = self.netlist.format();
+        for (i, node) in self.netlist.nodes().iter().enumerate() {
+            self.values[i] = match node.kind {
+                NodeKind::Input => raw,
+                NodeKind::Const { raw } => raw,
+                NodeKind::Register { .. } => self.regs[i],
+                NodeKind::Output { src } => self.values[src.index()],
+                NodeKind::ShiftRight { src, amount } => self.values[src.index()] >> amount.min(62),
+                NodeKind::Not { src } => q.wrap(-self.values[src.index()] - 1),
+                NodeKind::SetLsb { src } => q.sign_extend(q.to_bits(self.values[src.index()]) | 1),
+                NodeKind::Add { a, b } => q.wrap(self.values[a.index()] + self.values[b.index()]),
+                NodeKind::Sub { a, b } => q.wrap(self.values[a.index()] - self.values[b.index()]),
+                NodeKind::CsaSum { a, b, c } => q.sign_extend(
+                    (q.to_bits(self.values[a.index()])
+                        ^ q.to_bits(self.values[b.index()])
+                        ^ q.to_bits(self.values[c.index()]))
+                        & q.to_bits(-1),
+                ),
+                NodeKind::CsaCarry { a, b, c, .. } => {
+                    let (av, bv, cv) = (
+                        q.to_bits(self.values[a.index()]),
+                        q.to_bits(self.values[b.index()]),
+                        q.to_bits(self.values[c.index()]),
+                    );
+                    let carry = (av & bv) | ((av ^ bv) & cv);
+                    q.sign_extend((carry << 1) & q.to_bits(-1))
+                }
+                _ => 0,
+            };
+        }
+        for (i, node) in self.netlist.nodes().iter().enumerate() {
+            if let NodeKind::Register { src } = node.kind {
+                self.regs[i] = self.values[src.index()];
+            }
+        }
+    }
+
+    /// The node values of the current cycle.
+    pub fn values(&self) -> &[i64] {
+        &self.values
+    }
+
+    /// Snapshot of the register state (restorable).
+    pub fn save_regs(&self) -> Vec<i64> {
+        self.regs.clone()
+    }
+
+    /// Restores a [`ScalarSim::save_regs`] snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot came from a different netlist.
+    pub fn restore_regs(&mut self, snapshot: &[i64]) {
+        assert_eq!(snapshot.len(), self.regs.len(), "snapshot from a different netlist");
+        self.regs.copy_from_slice(snapshot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtl::sim::BitSlicedSim;
+    use rtl::NetlistBuilder;
+
+    /// A two-tap toy: tap 0 multiplies the current sample, tap 1 a
+    /// one-cycle-delayed sample; the accumulator mixes both delays.
+    fn taps() -> Netlist {
+        let mut b = NetlistBuilder::new(10).unwrap();
+        let x = b.input("x");
+        let m0 = b.shift_right(x, 1);
+        let d1 = b.register(x);
+        let h1 = b.shift_right(d1, 2);
+        let m1 = b.add_labeled(h1, d1, "tap1");
+        let acc = b.add_labeled(m0, m1, "acc");
+        b.output(acc, "y");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn purity_tracks_uniform_delays() {
+        let n = taps();
+        let cone = ConeAnalysis::analyze(&n);
+        let tap1 = n.find_label("tap1").unwrap();
+        let acc = n.find_label("acc").unwrap();
+        // tap1 adds two delay-1 views of the input: pure at delay 1.
+        assert_eq!(cone.purity(tap1), Purity::Pure(1));
+        // acc mixes delay 0 and delay 1: a window.
+        assert_eq!(cone.purity(acc), Purity::Window);
+        assert_eq!(cone.delay(tap1), Some(1));
+        assert_eq!(cone.delay(acc), None);
+    }
+
+    #[test]
+    fn cone_eval_matches_the_bit_sliced_simulator() {
+        // Drive the real simulator with a constant sample until the
+        // pipeline fills; every pure node must then hold exactly the
+        // cone evaluator's value for that sample.
+        let n = taps();
+        let cone = ConeAnalysis::analyze(&n);
+        let mut eval = ConeEval::new(&n, 10);
+        for v in [-512i64, -100, -1, 0, 1, 37, 511] {
+            eval.eval(v);
+            let mut sim = BitSlicedSim::new(&n);
+            for _ in 0..4 {
+                sim.step(v);
+            }
+            for id in n.node_ids() {
+                if cone.delay(id).is_some() {
+                    assert_eq!(sim.lane_value(id, 0), eval.value(id), "node {id} sample {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn combos_match_a_direct_ripple() {
+        let n = taps();
+        let tap1 = n.find_label("tap1").unwrap();
+        let mut eval = ConeEval::new(&n, 10);
+        let q = n.format();
+        for v in [-512i64, -3, 0, 5, 511] {
+            eval.eval(v);
+            // tap1 = (d1 >> 2) + d1 with d1 = v: rebuild the ripple.
+            let a_bits = q.to_bits(v >> 2);
+            let b_bits = q.to_bits(v);
+            let mut carry = 0u64;
+            for cell in 0..10u32 {
+                let av = (a_bits >> cell) & 1;
+                let bv = (b_bits >> cell) & 1;
+                let expect = ((av << 2) | (bv << 1) | carry) as u8;
+                assert_eq!(eval.combo(tap1, cell), expect, "cell {cell} sample {v}");
+                carry = (av & bv) | ((av ^ bv) & carry);
+            }
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Hybrid LFSR reseeding: compress the deterministic pattern set into
+//! a handful of seeds for the on-chip generator.
+//!
+//! The deployment shape follows the hybrid BIST literature: the tester
+//! stores a short seed list instead of raw vectors; between seeds the
+//! existing maximal-length LFSR free-runs for a fixed block length. A
+//! fault whose activating word is `v` is covered by the seed that is
+//! `v`'s *predecessor* state — loading it makes the LFSR emit `v` on
+//! its first cycle and pseudorandom follow-on stimulus afterwards,
+//! which frequently detects several other residual faults for free.
+//! Seed selection is a greedy set cover over measured (simulated)
+//! per-block detections, so a block's claimed coverage is always
+//! ground truth. Faults no seed covers fall back to raw stored
+//! patterns, so the plan never silently drops a justified fault.
+
+use faultsim::{FaultId, FaultUniverse, ParallelFaultSimulator, StageSchedule};
+use rtl::Netlist;
+use std::collections::BTreeMap;
+use tpg::{polynomials, Lfsr1, ShiftDirection, TestGenerator};
+
+/// Knobs for the top-off stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopOffConfig {
+    /// Vectors the LFSR free-runs per loaded seed.
+    pub block_len: u32,
+    /// Maximum number of stored seeds.
+    pub max_seeds: u32,
+}
+
+impl Default for TopOffConfig {
+    fn default() -> Self {
+        TopOffConfig { block_len: 256, max_seeds: 16 }
+    }
+}
+
+/// One selected seed and the residual faults its block detects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeedBlock {
+    /// The LFSR state to load (nonzero, `width` bits).
+    pub seed: u64,
+    /// Faults (parent-universe ids) the simulated block detects.
+    pub covers: Vec<FaultId>,
+}
+
+/// The complete compressed top-off plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReseedPlan {
+    /// LFSR width in bits (= the design's input width).
+    pub width: u32,
+    /// Primitive feedback polynomial (from [`tpg::polynomials`]).
+    pub poly: u64,
+    /// Vectors expanded per seed.
+    pub block_len: u32,
+    /// Selected seeds, in greedy pick order.
+    pub seeds: Vec<SeedBlock>,
+    /// Raw fallback patterns (aligned words) for faults no seed
+    /// covers, in ascending fault-id order.
+    pub stored: Vec<(FaultId, Vec<i64>)>,
+}
+
+impl ReseedPlan {
+    /// Tester storage spent on seeds.
+    pub fn seed_bits(&self) -> usize {
+        self.seeds.len() * self.width as usize
+    }
+
+    /// Tester storage spent on raw fallback patterns (`width` bits per
+    /// stored input word — only the input sample is stored, not the
+    /// aligned datapath word).
+    pub fn stored_bits(&self) -> usize {
+        self.stored.iter().map(|(_, p)| p.len() * self.width as usize).sum()
+    }
+
+    /// Total top-off test length in clock cycles.
+    pub fn total_vectors(&self) -> usize {
+        self.seeds.len() * self.block_len as usize
+            + self.stored.iter().map(|(_, p)| p.len()).sum::<usize>()
+    }
+
+    /// Expands one seed into its block of aligned input words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the seed is zero or wider than the LFSR (plans only
+    /// ever hold seeds they expanded themselves).
+    pub fn expand(&self, seed: u64, align: u32) -> Vec<i64> {
+        let mut lfsr =
+            Lfsr1::with_polynomial(self.width, self.poly, seed, ShiftDirection::LsbToMsb)
+                .expect("plan seed must load");
+        (0..self.block_len).map(|_| lfsr.next_word() << align).collect()
+    }
+}
+
+/// The LFSR state whose *next* emitted word is `word` (nonzero,
+/// `width`-bit): stepping the maximal-length sequence `period - 1`
+/// times walks back one state. `None` for the all-zero word, which a
+/// maximal LFSR never emits.
+pub fn predecessor_seed(word: u64, width: u32, poly: u64) -> Option<u64> {
+    let mask = (1u64 << width) - 1;
+    let state = word & mask;
+    if state == 0 {
+        return None;
+    }
+    let mut lfsr = Lfsr1::with_polynomial(width, poly, state, ShiftDirection::LsbToMsb).ok()?;
+    let steps = lfsr.period() - 1;
+    let mut s = state;
+    for _ in 0..steps {
+        s = lfsr.step();
+    }
+    Some(s)
+}
+
+/// Maximum candidate seeds evaluated per greedy round.
+const CANDIDATE_CAP: usize = 32;
+
+/// Builds the greedy seed-cover plan for `targets` (the non-untestable
+/// residue, parent-universe ids). `patterns` maps the justified subset
+/// of `targets` to their verified activating patterns; justified
+/// faults left uncovered by every selected seed are stored raw, so the
+/// plan detects at least the justified set.
+///
+/// Deterministic: candidate generation, gain measurement (the parallel
+/// fault simulator is bit-identical at every thread count) and
+/// tie-breaking (smallest seed) are all order-stable.
+pub fn plan_reseeding(
+    netlist: &Netlist,
+    universe: &FaultUniverse,
+    targets: &[FaultId],
+    patterns: &BTreeMap<FaultId, Vec<i64>>,
+    input_bits: u32,
+    cfg: &TopOffConfig,
+) -> ReseedPlan {
+    let Ok(poly) = polynomials::primitive(input_bits) else {
+        // No tabulated polynomial at this width: store every justified
+        // pattern raw rather than fail.
+        return ReseedPlan {
+            width: input_bits,
+            poly: 0,
+            block_len: cfg.block_len,
+            seeds: Vec::new(),
+            stored: patterns.iter().map(|(&id, p)| (id, p.clone())).collect(),
+        };
+    };
+    let align = netlist.width() - input_bits;
+    let word_mask = (1u64 << input_bits) - 1;
+    let mut plan = ReseedPlan {
+        width: input_bits,
+        poly,
+        block_len: cfg.block_len,
+        seeds: Vec::new(),
+        stored: Vec::new(),
+    };
+    let mut uncovered: Vec<FaultId> = targets.to_vec();
+    let mut used: Vec<u64> = Vec::new();
+    while !uncovered.is_empty() && (plan.seeds.len() as u32) < cfg.max_seeds {
+        // Candidates: the predecessor of each uncovered fault's first
+        // pattern word (its activating sample), so that word leads the
+        // block. Sorted/deduped for determinism, capped per round.
+        let mut candidates: Vec<u64> = uncovered
+            .iter()
+            .filter_map(|id| patterns.get(id))
+            .filter_map(|p| p.first())
+            .filter_map(|&raw| {
+                predecessor_seed((raw >> align) as u64 & word_mask, input_bits, poly)
+            })
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        candidates.retain(|s| !used.contains(s));
+        candidates.truncate(CANDIDATE_CAP);
+        if candidates.is_empty() {
+            break;
+        }
+        let sub = universe.subset(&uncovered);
+        let sim = ParallelFaultSimulator::new(netlist, &sub)
+            .with_schedule(StageSchedule::with_boundaries(vec![]));
+        let mut best: Option<(u64, Vec<FaultId>)> = None;
+        for &seed in &candidates {
+            let inputs = plan.expand(seed, align);
+            let result = sim.run(&inputs);
+            // Map subset detections back to parent-universe ids.
+            let covers: Vec<FaultId> = result
+                .detection_cycles()
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.is_some())
+                .map(|(i, _)| uncovered[i])
+                .collect();
+            let better = match &best {
+                None => !covers.is_empty(),
+                Some((_, b)) => covers.len() > b.len(),
+            };
+            if better {
+                best = Some((seed, covers));
+            }
+        }
+        let Some((seed, covers)) = best else { break };
+        uncovered.retain(|id| !covers.contains(id));
+        used.push(seed);
+        plan.seeds.push(SeedBlock { seed, covers });
+    }
+    // Justified faults no seed block reached: store their patterns raw.
+    plan.stored =
+        uncovered.iter().filter_map(|id| patterns.get(id).map(|p| (*id, p.clone()))).collect();
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predecessor_seed_leads_with_the_requested_word() {
+        let poly = polynomials::primitive(12).unwrap();
+        for word in [1u64, 2, 0x7FF, 0xFFF, 0x800, 0x123] {
+            let seed = predecessor_seed(word, 12, poly).expect("nonzero word has a predecessor");
+            assert_ne!(seed, 0);
+            let mut lfsr =
+                Lfsr1::with_polynomial(12, poly, seed, ShiftDirection::LsbToMsb).unwrap();
+            assert_eq!(lfsr.step(), word, "seed {seed:#x} must step to {word:#x}");
+        }
+        assert_eq!(predecessor_seed(0, 12, poly), None);
+    }
+
+    #[test]
+    fn expand_is_deterministic_and_starts_at_the_seed_successor() {
+        let poly = polynomials::primitive(12).unwrap();
+        let plan = ReseedPlan { width: 12, poly, block_len: 8, seeds: vec![], stored: vec![] };
+        let a = plan.expand(0x0AB, 4);
+        let b = plan.expand(0x0AB, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        let mut lfsr = Lfsr1::with_polynomial(12, poly, 0x0AB, ShiftDirection::LsbToMsb).unwrap();
+        assert_eq!(a[0], lfsr.next_word() << 4);
+    }
+
+    #[test]
+    fn storage_accounting_adds_up() {
+        let plan = ReseedPlan {
+            width: 12,
+            poly: 0x1053,
+            block_len: 64,
+            seeds: vec![
+                SeedBlock { seed: 1, covers: vec![FaultId(0)] },
+                SeedBlock { seed: 2, covers: vec![FaultId(1), FaultId(2)] },
+            ],
+            stored: vec![(FaultId(3), vec![16, 0, 0]), (FaultId(4), vec![-16])],
+        };
+        assert_eq!(plan.seed_bits(), 24);
+        assert_eq!(plan.stored_bits(), 4 * 12);
+        assert_eq!(plan.total_vectors(), 2 * 64 + 4);
+    }
+}

@@ -1,0 +1,97 @@
+//! Golden snapshot of the LP-MINI top-off: the deterministic pattern
+//! set and the hybrid reseeding plan, byte for byte.
+//!
+//! The plan is a tester artifact — seeds and stored patterns are what
+//! a production flow burns into the BIST controller — so its exact
+//! content is pinned: any change to the justifier's search order, the
+//! greedy seed cover, or the fallback storage must re-bless this file
+//! and be reviewed as a behavior change, not slip through as noise.
+//!
+//! Regenerate with `BLESS=1 cargo test -p bist-atpg --test golden_plan`.
+
+use bist_atpg::{top_off, TopOffConfig, Verdict};
+use faultsim::{FaultId, FaultUniverse, ParallelFaultSimulator};
+use rtl::reachability::Reachability;
+use std::fmt::Write as _;
+use tpg::{Lfsr1, ShiftDirection, TestGenerator};
+
+fn ids(list: &[FaultId]) -> String {
+    let strs: Vec<String> = list.iter().map(|id| id.0.to_string()).collect();
+    strs.join(",")
+}
+
+fn words(pattern: &[i64]) -> String {
+    let strs: Vec<String> = pattern.iter().map(|w| w.to_string()).collect();
+    strs.join(",")
+}
+
+/// Runs the pipeline the snapshot pins: LP-MINI, a 256-vector Type 1
+/// LFSR campaign, then a block-64 / 8-seed top-off of the residue.
+fn render_plan() -> String {
+    let design = filters::designs::lowpass_mini().expect("design LP-MINI");
+    let netlist = design.netlist().clone();
+    let input_bits = design.spec().input_bits;
+    let reach = Reachability::analyze(&netlist, input_bits);
+    let universe = FaultUniverse::enumerate_pruned(&netlist, design.claimed_ranges(), &reach);
+    let mut lfsr = Lfsr1::new(input_bits, ShiftDirection::LsbToMsb).unwrap();
+    let align = netlist.width() - input_bits;
+    let inputs: Vec<i64> = (0..256).map(|_| lfsr.next_word() << align).collect();
+    let residue = ParallelFaultSimulator::new(&netlist, &universe).run(&inputs).missed();
+
+    let cfg = TopOffConfig { block_len: 64, max_seeds: 8 };
+    let top = top_off(&netlist, &universe, &residue, input_bits, &cfg);
+
+    let mut out = String::new();
+    let mut w = |line: String| writeln!(out, "{line}").expect("string write");
+    w("# LP-MINI LFSR-1 @256 top-off, block_len 64, max_seeds 8".into());
+    w(format!("residue {}", residue.len()));
+    for (id, verdict) in &top.verdicts {
+        match verdict {
+            Verdict::Untestable => w(format!("fault {} untestable", id.0)),
+            Verdict::Unresolved => w(format!("fault {} unresolved", id.0)),
+            Verdict::Detected { pattern } => {
+                w(format!("fault {} pattern {}", id.0, words(pattern)));
+            }
+        }
+    }
+    w(format!(
+        "plan width {} poly {:#x} block_len {}",
+        top.plan.width, top.plan.poly, top.plan.block_len
+    ));
+    for block in &top.plan.seeds {
+        w(format!("seed {:#x} covers {}", block.seed, ids(&block.covers)));
+    }
+    for (id, pattern) in &top.plan.stored {
+        w(format!("stored {} words {}", id.0, words(pattern)));
+    }
+    w(format!("detected {}", ids(&top.detected)));
+    w(format!("unresolved {}", ids(&top.unresolved)));
+    w(format!(
+        "storage seed_bits {} stored_bits {} total_vectors {}",
+        top.plan.seed_bits(),
+        top.plan.stored_bits(),
+        top.plan.total_vectors()
+    ));
+    out
+}
+
+#[test]
+fn lp_mini_pattern_set_and_seed_plan_are_byte_stable() {
+    let actual = render_plan();
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/lp_mini_topoff.txt");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {}: {e} (run with BLESS=1)", path.display())
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "the LP-MINI top-off plan drifted from {}; re-bless with BLESS=1 \
+         only if the justifier/planner change is intentional",
+        path.display()
+    );
+}

@@ -21,7 +21,9 @@
 //!     ablation pruning stages & drop schedules       (engine study)
 //!     csa      ripple vs carry-save vs symmetric     (Section 3)
 //!     bench5   trace vs signature checking           (compaction study)
+//!     bench7   top-off seed storage vs misses        (reseeding study)
 //!     smoke    signature-mode zero-aliasing gate     (CI tier 1)
+//!     atpg     deterministic top-off coverage gate   (CI tier 1)
 //!     all      everything above
 //!
 //! With `--json <path>`, every BIST run's structured artifact
@@ -118,15 +120,24 @@ fn main() {
     run("ablation", &ablation);
     run("csa", &csa);
     run("bench5", &bench5);
+    run("bench7", &bench7);
     run("smoke", &smoke);
+    run("atpg", &atpg_smoke);
     if !ran {
         eprintln!("unknown experiment '{arg}'; see source header for the list");
         std::process::exit(2);
     }
     if let Some(path) = json_path {
-        // The compaction study's artifact is named `BENCH_5.json`
-        // (see EXPERIMENTS.md), not `BENCH_bench5.json`.
-        let tag = if arg == "bench5" { "5" } else { arg.as_str() };
+        // The numbered studies' artifacts are `BENCH_5.json` (the
+        // compaction study), `BENCH_6.json` (the paper's Table 6
+        // mixed-mode grid) and `BENCH_7.json` (the top-off study) —
+        // see EXPERIMENTS.md — not `BENCH_bench5.json`.
+        let tag = match arg.as_str() {
+            "bench5" => "5",
+            "table6" => "6",
+            "bench7" => "7",
+            other => other,
+        };
         match bist_bench::artifacts::write_bench_json(tag, &path) {
             Ok(written) => {
                 let runs = bist_bench::artifacts::collected().len();
@@ -1032,6 +1043,178 @@ fn bench5() {
         eprintln!("{mismatches} design(s) had trace/signature verdict mismatches");
         std::process::exit(1);
     }
+}
+
+// ------------------------------------------------------- reseeding study
+
+/// The `bench7` reseeding study: every Section 8 grid cell's residue
+/// is justified once, then compressed under several seed block
+/// lengths, recording the tester-storage vs residual-miss trade-off
+/// against the paper's hand-built mixed-mode patch (Table 6). With
+/// `--json`, the per-cell curve lands in `BENCH_7.json`'s `comparison`
+/// object.
+fn bench7() {
+    banner("Top-off study: seed storage vs residual misses (baseline: paper Table 6 mixed mode)");
+    const BLOCKS: [u32; 3] = [64, 256, 1024];
+    const MAX_SEEDS: u32 = 16;
+    let designs = paper_designs();
+    let mut rows = Vec::new();
+    let mut entries = Vec::new();
+    for d in &designs {
+        let session = BistSession::new(d).expect("session");
+        let input_bits = d.spec().input_bits;
+        // The paper's patch for the same residue problem: a mixed
+        // LFSR-1/LFSR-M test at double length, vectors stored nowhere
+        // but misses never classified.
+        let mixed_missed = {
+            let mut gen = mixed_generator(SECTION8_VECTORS as u64);
+            run_session(&session, &mut *gen, &run_config(2 * SECTION8_VECTORS)).missed()
+        };
+        for name in SECTION8_GENERATORS {
+            let mut gen = generator(name);
+            let run = run_session(&session, &mut *gen, &run_config(SECTION8_VECTORS));
+            let residue = run.result.missed();
+            // Justify each residual fault once; only the compression
+            // knobs vary across the block-length sweep.
+            let justifier = atpg::Justifier::new(d.netlist(), session.universe(), input_bits);
+            let mut untestable = 0usize;
+            let mut targets = Vec::new();
+            let mut patterns = std::collections::BTreeMap::new();
+            for &id in &residue {
+                match justifier.justify(id) {
+                    atpg::Verdict::Untestable => untestable += 1,
+                    atpg::Verdict::Detected { pattern } => {
+                        targets.push(id);
+                        patterns.insert(id, pattern);
+                    }
+                    atpg::Verdict::Unresolved => targets.push(id),
+                }
+            }
+            for block_len in BLOCKS {
+                let cfg = bist_core::TopOffConfig { block_len, max_seeds: MAX_SEEDS };
+                let plan = atpg::plan_reseeding(
+                    d.netlist(),
+                    session.universe(),
+                    &targets,
+                    &patterns,
+                    input_bits,
+                    &cfg,
+                );
+                let (detected, unresolved) =
+                    atpg::verify_plan(d.netlist(), session.universe(), &targets, &plan, input_bits);
+                let storage_bits = plan.seed_bits() + plan.stored_bits();
+                rows.push(vec![
+                    d.name().to_string(),
+                    name.to_string(),
+                    block_len.to_string(),
+                    residue.len().to_string(),
+                    format!("{}+{}", plan.seeds.len(), plan.stored.len()),
+                    storage_bits.to_string(),
+                    plan.total_vectors().to_string(),
+                    untestable.to_string(),
+                    unresolved.len().to_string(),
+                    mixed_missed.to_string(),
+                ]);
+                entries.push(
+                    obs::JsonValue::object()
+                        .push("design", d.name())
+                        .push("generator", name)
+                        .push("block_len", block_len as u64)
+                        .push("max_seeds", MAX_SEEDS as u64)
+                        .push("residue", residue.len() as u64)
+                        .push("untestable", untestable as u64)
+                        .push("seeds", plan.seeds.len() as u64)
+                        .push("seed_bits", plan.seed_bits() as u64)
+                        .push("stored_patterns", plan.stored.len() as u64)
+                        .push("stored_bits", plan.stored_bits() as u64)
+                        .push("storage_bits", storage_bits as u64)
+                        .push("topoff_vectors", plan.total_vectors() as u64)
+                        .push("detected", detected.len() as u64)
+                        .push("unresolved", unresolved.len() as u64)
+                        .push("mixed_missed", mixed_missed as u64),
+                );
+            }
+        }
+    }
+    println!(
+        "{}",
+        table::render(
+            &[
+                "Des.",
+                "gen",
+                "block",
+                "residue",
+                "seeds+raw",
+                "stored bits",
+                "top-off vec",
+                "untest.",
+                "unresolved",
+                "mixed missed"
+            ],
+            &rows
+        )
+    );
+    println!("'stored bits' is the tester storage: seed bits plus raw fallback pattern bits;");
+    println!("'unresolved' are honest misses after the verified plan (untestable faults are");
+    println!("proven unactivatable, not missed). The mixed baseline stores nothing but leaves");
+    println!("its whole column of misses unclassified.");
+    bist_bench::artifacts::set_comparison(
+        obs::JsonValue::object()
+            .push("study", "topoff_tradeoff")
+            .push("vectors", SECTION8_VECTORS as u64)
+            .push("max_seeds", MAX_SEEDS as u64)
+            .push(
+                "baseline",
+                format!("Mixed@{SECTION8_VECTORS} over {} vectors", 2 * SECTION8_VECTORS),
+            )
+            .push("cells", obs::JsonValue::Array(entries)),
+    );
+}
+
+/// The `atpg` CI cell (tier1.sh): LP-MINI's LFSR-D residue must be
+/// fully resolved by the deterministic top-off — every residual fault
+/// either detected by the verified seed plan or proven untestable,
+/// none unresolved, i.e. 100% coverage of the testable universe.
+/// Exits non-zero otherwise.
+fn atpg_smoke() {
+    banner("CI ATPG cell: LP-MINI residue -> deterministic top-off -> zero unresolved");
+    let d = filters::designs::lowpass_mini().expect("LP-MINI elaborates");
+    let session = BistSession::new(&d).expect("session");
+    let config = run_config(256).with_top_off(bist_core::TopOffConfig::default());
+    let mut gen = generator("LFSR-D");
+    let run = run_session(&session, &mut *gen, &config);
+    let report = run.artifact.topoff.clone().expect("top-off runs attach their report");
+    println!(
+        "  residue {}: {} detected / {} untestable / {} unresolved; \
+         {} seed(s) + {} stored = {} bits ({} screened pre-sim)",
+        report.residue,
+        report.detected,
+        report.untestable,
+        report.unresolved,
+        report.seeds,
+        report.stored_patterns,
+        report.seed_bits + report.stored_bits,
+        report.screened_untestable,
+    );
+    if report.residue == 0 {
+        eprintln!("atpg cell inconclusive: the campaign left no residue to top off");
+        std::process::exit(1);
+    }
+    if report.detected + report.untestable + report.unresolved != report.residue {
+        eprintln!("atpg cell failed: verdicts do not partition the residue");
+        std::process::exit(1);
+    }
+    if report.unresolved != 0 {
+        eprintln!(
+            "atpg cell failed: {} residual fault(s) neither detected nor proven untestable",
+            report.unresolved
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "atpg cell: 100% of testable faults covered (campaign + top-off), {} proven untestable",
+        report.untestable + report.screened_untestable
+    );
 }
 
 /// The `smoke` CI cell (tier1.sh): the gated roster — LP-MINI under all

@@ -20,6 +20,7 @@
 use bist_bistd::{Client, ClientError, ServerAddr};
 use bist_core::campaign::{CampaignSpec, KNOWN_DESIGNS, KNOWN_GENERATORS};
 use bist_core::session::ResponseCheck;
+use bist_core::TopOffConfig;
 use obs::JsonValue;
 use std::process::ExitCode;
 
@@ -28,11 +29,14 @@ const USAGE: &str = "usage: bistctl --server <addr> <command> [options]
 commands:
   run      --design <name> --gen <name> --vectors <n>
            [--misr <bits>] [--mode trace|signature] [--threads <n>]
-           [--boundaries <c1,c2,...>]
+           [--boundaries <c1,c2,...>] [--topoff <block>,<seeds>]
            [--deadline-ms <ms>]        submit and wait; prints result JSON
   submit   (same options as run)       submit without waiting; prints job JSON
   status   <job>                       print a job's state
   fetch    <job>                       wait for a job and print its artifact
+  result   <job> [--residues] [--json] wait for a job and summarize its top-off
+                                       outcome (--residues lists per-fault
+                                       verdicts; --json prints the raw report)
   cancel   <job>                       cancel a queued or running job
   metrics                              print the daemon's metric snapshot
   shutdown                             drain the daemon and stop it";
@@ -149,6 +153,22 @@ fn run(args: &[String]) -> Result<(), CtlError> {
                 .push("artifact", artifact);
             println!("{}", line.to_json());
         }
+        "result" => {
+            let (job, residues, json) = parse_result_args(&rest)?;
+            let (_, artifact) = connect()?.fetch_artifact(job)?;
+            if json {
+                let report = match artifact.get("topoff") {
+                    Some(t) => t.clone(),
+                    None => JsonValue::Null,
+                };
+                println!(
+                    "{}",
+                    JsonValue::object().push("job", job).push("topoff", report).to_json()
+                );
+            } else {
+                render_result(job, &artifact, residues);
+            }
+        }
         "cancel" => {
             let job = parse_job(&rest)?;
             connect()?.cancel(job)?;
@@ -174,11 +194,93 @@ fn parse_job(rest: &[&String]) -> Result<u64, CtlError> {
     }
 }
 
+/// Parses `result <job> [--residues] [--json]`.
+fn parse_result_args(rest: &[&String]) -> Result<(u64, bool, bool), CtlError> {
+    let (mut job, mut residues, mut json) = (None, false, false);
+    for arg in rest {
+        match arg.as_str() {
+            "--residues" => residues = true,
+            "--json" => json = true,
+            id if job.is_none() => {
+                job = Some(id.parse().map_err(|_| usage(format!("'{id}' is not a job id")))?);
+            }
+            other => return Err(usage(format!("unknown option '{other}'"))),
+        }
+    }
+    Ok((job.ok_or_else(|| usage("result needs a job id"))?, residues, json))
+}
+
+/// Human-readable `result` rendering: the run's headline coverage line
+/// plus the top-off verdict partition and plan storage, and (with
+/// `--residues`) one line per residual fault with its site provenance.
+fn render_result(job: u64, artifact: &JsonValue, residues: bool) {
+    let text = |v: Option<&JsonValue>| v.and_then(JsonValue::as_str).unwrap_or("?").to_string();
+    let count = |v: Option<&JsonValue>| v.and_then(JsonValue::as_u64).unwrap_or(0);
+    let coverage = artifact.get("coverage").and_then(JsonValue::as_f64).unwrap_or(0.0);
+    println!(
+        "job {job}: {} on {}, coverage {:.2}% ({}/{}, {} missed)",
+        text(artifact.get("generator")),
+        text(artifact.get("design")),
+        100.0 * coverage,
+        count(artifact.get("detected")),
+        count(artifact.get("total_faults")),
+        count(artifact.get("missed")),
+    );
+    let Some(top) = artifact.get("topoff") else {
+        println!("no top-off report (submit with --topoff to enable the stage)");
+        return;
+    };
+    println!(
+        "top-off: {} residual — {} detected, {} untestable, {} unresolved",
+        count(top.get("residue")),
+        count(top.get("detected")),
+        count(top.get("untestable")),
+        count(top.get("unresolved")),
+    );
+    println!(
+        "  plan: {} seed(s) ({} bits) + {} stored pattern(s) ({} bits), \
+         {} top-off vectors (block {})",
+        count(top.get("seeds")),
+        count(top.get("seed_bits")),
+        count(top.get("stored_patterns")),
+        count(top.get("stored_bits")),
+        count(top.get("total_vectors")),
+        count(top.get("block_len")),
+    );
+    println!("  screened untestable before simulation: {}", count(top.get("screened_untestable")));
+    if !residues {
+        return;
+    }
+    let verdicts = top.get("verdicts").and_then(JsonValue::as_array);
+    match verdicts {
+        None => println!("residues: (none recorded)"),
+        Some(list) => {
+            println!("residues:");
+            for v in list {
+                let stuck = if v.get("stuck_one").and_then(JsonValue::as_bool).unwrap_or(false) {
+                    1
+                } else {
+                    0
+                };
+                println!(
+                    "  fault {:>5}  {}[cell {}] {} s-a-{stuck}  {}",
+                    count(v.get("fault")),
+                    text(v.get("node")),
+                    count(v.get("cell")),
+                    text(v.get("line")),
+                    text(v.get("verdict")),
+                );
+            }
+        }
+    }
+}
+
 /// Builds a [`CampaignSpec`] from `run`/`submit` flags, validating it
 /// locally so typos fail with the known names instead of a round trip.
 fn parse_spec(rest: &[&String]) -> Result<(CampaignSpec, Option<u64>), CtlError> {
     let (mut design, mut generator, mut vectors, mut mode) = (None, None, None, None);
     let (mut misr, mut threads, mut boundaries, mut deadline_ms) = (None, None, None, None);
+    let mut topoff = None;
     let mut iter = rest.iter();
     while let Some(flag) = iter.next() {
         let value = iter.next().ok_or_else(|| usage(format!("{flag} needs a value")))?;
@@ -199,6 +301,18 @@ fn parse_spec(rest: &[&String]) -> Result<(CampaignSpec, Option<u64>), CtlError>
                     value.split(',').map(|c| num(flag, c.trim())).collect();
                 boundaries = Some(cycles?);
             }
+            "--topoff" => {
+                let parts: Vec<&str> = value.split(',').collect();
+                let [block, seeds] = parts.as_slice() else {
+                    return Err(usage(format!(
+                        "--topoff: '{value}' is not <block_len>,<max_seeds>"
+                    )));
+                };
+                topoff = Some(TopOffConfig {
+                    block_len: num(flag, block.trim())?,
+                    max_seeds: num(flag, seeds.trim())?,
+                });
+            }
             other => return Err(usage(format!("unknown option '{other}'"))),
         }
     }
@@ -216,6 +330,7 @@ fn parse_spec(rest: &[&String]) -> Result<(CampaignSpec, Option<u64>), CtlError>
         spec.threads = t;
     }
     spec.boundaries = boundaries;
+    spec.topoff = topoff;
     spec.validate().map_err(|e| {
         usage(format!(
             "{e}\n  known designs: {}\n  known generators: {}, or Mixed@<n>",

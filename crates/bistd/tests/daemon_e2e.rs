@@ -87,6 +87,35 @@ fn unix_socket_serves_the_same_protocol() {
     assert!(!socket.exists(), "socket file removed on clean shutdown");
 }
 
+#[test]
+fn topoff_specs_round_trip_through_the_daemon() {
+    let (daemon, addr) = tcp_daemon(DaemonConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+
+    let spec = CampaignSpec {
+        topoff: Some(bist_core::TopOffConfig { block_len: 64, max_seeds: 8 }),
+        ..mini_spec(64)
+    };
+    let cold = client.run_campaign(&spec, None).unwrap();
+    assert!(cold.key.ends_with(";topoff=block64,seeds8"), "{}", cold.key);
+    let report = cold.artifact.get("topoff").expect("artifact carries the top-off report");
+    let residue = report.get("residue").and_then(JsonValue::as_u64).unwrap();
+    let parts: u64 = ["untestable", "detected", "unresolved"]
+        .iter()
+        .map(|k| report.get(k).and_then(JsonValue::as_u64).unwrap())
+        .sum();
+    assert_eq!(parts, residue, "verdicts partition the residue");
+
+    // The same campaign without the stage is a distinct cache entry
+    // whose artifact has no top-off key at all.
+    let plain = client.run_campaign(&mini_spec(64), None).unwrap();
+    assert!(!plain.cached);
+    assert!(plain.artifact.get("topoff").is_none());
+
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+}
+
 /// Rebuilds a JSON value with every `ms` object entry dropped, so two
 /// artifacts can be compared byte-for-byte modulo wall-clock timings.
 fn without_timings(v: &JsonValue) -> JsonValue {

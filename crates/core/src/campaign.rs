@@ -12,6 +12,7 @@
 //! interchangeable with a fresh run.
 
 use crate::session::{BistRun, BistSession, ResponseCheck, RunConfig, SessionError};
+use atpg::TopOffConfig;
 use faultsim::{CancelToken, StageSchedule};
 use filters::FilterDesign;
 use obs::JsonValue;
@@ -52,6 +53,9 @@ pub struct CampaignSpec {
     pub boundaries: Option<Vec<u32>>,
     /// Fault-simulation worker threads (`0` = one per core).
     pub threads: usize,
+    /// Deterministic top-off stage (ATPG screen + justification +
+    /// hybrid LFSR reseeding); `None` = disabled.
+    pub topoff: Option<TopOffConfig>,
 }
 
 impl CampaignSpec {
@@ -67,12 +71,20 @@ impl CampaignSpec {
             mode: ResponseCheck::default(),
             boundaries: None,
             threads: 0,
+            topoff: None,
         }
     }
 
     /// The same spec in signature mode (builder-style convenience).
     pub fn with_mode(mut self, mode: ResponseCheck) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// The same spec with the deterministic top-off stage enabled
+    /// (builder-style convenience).
+    pub fn with_topoff(mut self, cfg: TopOffConfig) -> Self {
+        self.topoff = Some(cfg);
         self
     }
 
@@ -113,6 +125,13 @@ impl CampaignSpec {
                 });
             }
         }
+        if let Some(t) = &self.topoff {
+            if t.block_len == 0 {
+                return Err(SessionError::InvalidConfig {
+                    reason: "topoff block_len must be positive".into(),
+                });
+            }
+        }
         Ok(())
     }
 
@@ -126,7 +145,7 @@ impl CampaignSpec {
     /// let spec = CampaignSpec::new("LP", "LFSR-D", 4096);
     /// assert_eq!(
     ///     spec.canonical(),
-    ///     "design=LP;generator=LFSR-D;vectors=4096;misr=16;mode=trace;schedule=64,256,1024;threads=0"
+    ///     "design=LP;generator=LFSR-D;vectors=4096;misr=16;mode=trace;schedule=64,256,1024;threads=0;topoff=off"
     /// );
     /// ```
     pub fn canonical(&self) -> String {
@@ -142,6 +161,12 @@ impl CampaignSpec {
             let _ = write!(out, "{}{b}", if i == 0 { "" } else { "," });
         }
         let _ = write!(out, ";threads={}", self.threads);
+        match &self.topoff {
+            None => out.push_str(";topoff=off"),
+            Some(t) => {
+                let _ = write!(out, ";topoff=block{},seeds{}", t.block_len, t.max_seeds);
+            }
+        }
         out
     }
 
@@ -156,7 +181,14 @@ impl CampaignSpec {
         if let Some(b) = &self.boundaries {
             v = v.push("boundaries", b.clone());
         }
-        v.push("threads", self.threads)
+        v = v.push("threads", self.threads);
+        if let Some(t) = &self.topoff {
+            v = v.push(
+                "topoff",
+                JsonValue::object().push("block_len", t.block_len).push("max_seeds", t.max_seeds),
+            );
+        }
+        v
     }
 
     /// Reads a spec back from its wire form. Missing optional fields
@@ -215,6 +247,22 @@ impl CampaignSpec {
                 })?
             }
         };
+        let topoff = match v.get("topoff") {
+            None | Some(JsonValue::Null) => None,
+            Some(t) => {
+                let sub = |name: &str| {
+                    t.get(name).and_then(JsonValue::as_u64).and_then(|n| u32::try_from(n).ok())
+                };
+                let (Some(block_len), Some(max_seeds)) = (sub("block_len"), sub("max_seeds"))
+                else {
+                    return Err(SessionError::InvalidConfig {
+                        reason: "'topoff' must be an object with u32 'block_len' and 'max_seeds'"
+                            .into(),
+                    });
+                };
+                Some(TopOffConfig { block_len, max_seeds })
+            }
+        };
         Ok(CampaignSpec {
             design: text("design")?,
             generator: text("generator")?,
@@ -223,6 +271,7 @@ impl CampaignSpec {
             mode,
             boundaries,
             threads: number("threads", 0)? as usize,
+            topoff,
         })
     }
 
@@ -255,6 +304,9 @@ impl CampaignSpec {
             .with_threads(self.threads);
         if let Some(b) = &self.boundaries {
             config = config.with_schedule(StageSchedule::with_boundaries(b.clone()));
+        }
+        if let Some(t) = &self.topoff {
+            config = config.with_top_off(*t);
         }
         if let Some(token) = cancel {
             config = config.with_cancel(token);
@@ -383,9 +435,15 @@ mod tests {
             CampaignSpec { mode: ResponseCheck::Signature, ..base.clone() },
             CampaignSpec { boundaries: Some(vec![64]), ..base.clone() },
             CampaignSpec { threads: 2, ..base.clone() },
+            base.clone().with_topoff(TopOffConfig::default()),
         ] {
             assert_ne!(base.canonical(), changed.canonical(), "{changed:?}");
         }
+        // Different top-off knobs get different cache keys too.
+        let a = base.clone().with_topoff(TopOffConfig { block_len: 64, max_seeds: 8 });
+        let b = base.clone().with_topoff(TopOffConfig { block_len: 256, max_seeds: 8 });
+        assert_ne!(a.canonical(), b.canonical());
+        assert!(a.canonical().ends_with(";topoff=block64,seeds8"), "{}", a.canonical());
     }
 
     #[test]
@@ -398,8 +456,13 @@ mod tests {
             mode: ResponseCheck::Signature,
             boundaries: Some(vec![16, 64]),
             threads: 4,
+            topoff: Some(TopOffConfig { block_len: 128, max_seeds: 4 }),
         };
         assert_eq!(CampaignSpec::from_json(&full.to_json()).unwrap(), full);
+        assert!(full
+            .to_json()
+            .to_json()
+            .contains("\"topoff\":{\"block_len\":128,\"max_seeds\":4}"));
         let minimal =
             JsonValue::parse("{\"design\":\"LP\",\"generator\":\"LFSR-1\",\"vectors\":64}")
                 .unwrap();
@@ -407,6 +470,8 @@ mod tests {
         assert_eq!(spec, CampaignSpec::new("LP", "LFSR-1", 64));
         assert_eq!(spec.misr_width, 16);
         assert_eq!(spec.mode, ResponseCheck::Trace);
+        assert_eq!(spec.topoff, None);
+        assert!(!spec.to_json().to_json().contains("topoff"), "absent knob stays off the wire");
     }
 
     #[test]
@@ -422,6 +487,15 @@ mod tests {
             (
                 "{\"design\":\"LP\",\"generator\":\"LFSR-1\",\"vectors\":64,\"mode\":\"crc\"}",
                 "unknown response-check mode 'crc'",
+            ),
+            (
+                "{\"design\":\"LP\",\"generator\":\"LFSR-1\",\"vectors\":64,\"topoff\":7}",
+                "'topoff' must be an object",
+            ),
+            (
+                "{\"design\":\"LP\",\"generator\":\"LFSR-1\",\"vectors\":64,\
+                 \"topoff\":{\"block_len\":64}}",
+                "'topoff' must be an object",
             ),
         ] {
             let v = JsonValue::parse(text).unwrap();
@@ -447,6 +521,11 @@ mod tests {
             ..CampaignSpec::new("LP", "LFSR-D", 128)
         };
         assert!(bad.validate().unwrap_err().to_string().contains("ascending"));
+        let bad = CampaignSpec::new("LP", "LFSR-D", 128)
+            .with_topoff(TopOffConfig { block_len: 0, max_seeds: 4 });
+        assert!(bad.validate().unwrap_err().to_string().contains("block_len"), "{bad:?}");
+        let ok = CampaignSpec::new("LP", "LFSR-D", 128).with_topoff(TopOffConfig::default());
+        assert!(ok.validate().is_ok());
     }
 
     #[test]
@@ -510,6 +589,7 @@ mod tests {
             mode: ResponseCheck::Signature,
             boundaries: Some(vec![8, 32]),
             threads: 3,
+            topoff: Some(TopOffConfig { block_len: 64, max_seeds: 2 }),
         };
         let config = spec.run_config(Some(CancelToken::new()));
         assert_eq!(config.vectors(), 777);
@@ -518,5 +598,8 @@ mod tests {
         assert_eq!(config.threads(), 3);
         assert_eq!(config.schedule(), &StageSchedule::with_boundaries(vec![8, 32]));
         assert!(config.cancel().is_some());
+        assert_eq!(config.top_off(), Some(&TopOffConfig { block_len: 64, max_seeds: 2 }));
+        // Without the knob the config leaves the stage off.
+        assert_eq!(CampaignSpec::new("LP", "LFSR-D", 64).run_config(None).top_off(), None);
     }
 }

@@ -67,4 +67,5 @@ pub mod session;
 pub mod variance;
 pub mod zones;
 
+pub use atpg::TopOffConfig;
 pub use session::{BistRun, BistSession, RunConfig, SessionError};

@@ -6,12 +6,13 @@
 //! paper's Tables 4–6 and Figs. 10–13.
 
 use crate::misr::Misr;
+use atpg::TopOffConfig;
 use faultsim::{
-    CancelToken, FaultSimResult, FaultUniverse, ParallelFaultSimulator, SignatureConfig,
+    CancelToken, FaultId, FaultSimResult, FaultUniverse, ParallelFaultSimulator, SignatureConfig,
     SimOptions, StageSchedule,
 };
 use filters::FilterDesign;
-use obs::{Diagnostic, Registry, RunArtifact, StageTiming};
+use obs::{Diagnostic, Registry, ResidueVerdict, RunArtifact, StageTiming, TopOffReport};
 use rtl::range::RangeAnalysis;
 use std::error::Error;
 use std::fmt;
@@ -178,6 +179,7 @@ pub struct RunConfig {
     metrics: Option<Arc<Registry>>,
     cancel: Option<CancelToken>,
     lint: Vec<Diagnostic>,
+    top_off: Option<TopOffConfig>,
 }
 
 impl RunConfig {
@@ -194,6 +196,7 @@ impl RunConfig {
             metrics: None,
             cancel: None,
             lint: Vec::new(),
+            top_off: None,
         }
     }
 
@@ -297,6 +300,23 @@ impl RunConfig {
     /// The attached admission-time diagnostics (empty when unlinted).
     pub fn lint(&self) -> &[Diagnostic] {
         &self.lint
+    }
+
+    /// Enables the deterministic top-off stage: before simulation the
+    /// ATPG static screen removes provably-untestable faults from the
+    /// universe, and after it every still-undetected fault is either
+    /// justified deterministically (and compressed into an LFSR
+    /// reseeding plan) or proven unactivatable. The outcome lands in
+    /// [`obs::RunArtifact::topoff`]; the run's coverage is then
+    /// measured over the *testable* universe.
+    pub fn with_top_off(mut self, cfg: TopOffConfig) -> Self {
+        self.top_off = Some(cfg);
+        self
+    }
+
+    /// The top-off configuration, if the stage is enabled.
+    pub fn top_off(&self) -> Option<&TopOffConfig> {
+        self.top_off.as_ref()
     }
 }
 
@@ -417,6 +437,33 @@ impl<'d> BistSession<'d> {
         // registry (if any) absorbs the snapshot at the end.
         let registry = Arc::new(Registry::new());
 
+        // With the top-off stage enabled, the ATPG static screen
+        // removes provably-untestable faults before a single vector is
+        // simulated, so coverage is measured over the testable
+        // universe. Without the knob the session's own universe is used
+        // untouched and results stay bit-identical to prior schemas.
+        let screened_owned;
+        let universe: &FaultUniverse;
+        let mut screened_untestable = 0usize;
+        if config.top_off().is_some() {
+            let _span = registry.span("session.atpg_screen");
+            let untestable =
+                atpg::untestable_faults(self.design.netlist(), &self.universe, input_bits);
+            screened_untestable = untestable.len();
+            if untestable.is_empty() {
+                universe = &self.universe;
+            } else {
+                let keep: Vec<FaultId> = (0..self.universe.len() as u32)
+                    .map(FaultId)
+                    .filter(|id| !untestable.contains(id))
+                    .collect();
+                screened_owned = self.universe.subset(&keep);
+                universe = &screened_owned;
+            }
+        } else {
+            universe = &self.universe;
+        }
+
         let inputs: Vec<i64> = {
             let _span = registry.span("session.patterns");
             generator.reset();
@@ -437,7 +484,7 @@ impl<'d> BistSession<'d> {
         let threads_used = options.effective_threads();
         let result = {
             let _span = registry.span("session.fault_sim");
-            ParallelFaultSimulator::new(self.design.netlist(), &self.universe)
+            ParallelFaultSimulator::new(self.design.netlist(), universe)
                 .with_options(options)
                 .try_run(&inputs)
                 .map_err(|_| {
@@ -465,6 +512,47 @@ impl<'d> BistSession<'d> {
         };
         let aliased = result.aliased().len();
 
+        // Deterministic top-off: justify every undetected fault, plan
+        // the seed compression, and verify the plan by re-simulation.
+        let topoff_report = config.top_off().map(|tcfg| {
+            let _span = registry.span("session.top_off");
+            let top =
+                atpg::top_off(self.design.netlist(), universe, &result.missed(), input_bits, tcfg);
+            let residue = faultsim::report::residue(self.design.netlist(), universe, &result);
+            let verdicts = residue
+                .iter()
+                .map(|rf| ResidueVerdict {
+                    fault: rf.id.0,
+                    node: rf.label.clone(),
+                    cell: rf.cell,
+                    line: format!("{:?}", rf.line),
+                    stuck_one: rf.stuck_one,
+                    verdict: if top.untestable.contains(&rf.id) {
+                        "untestable"
+                    } else if top.detected.contains(&rf.id) {
+                        "detected"
+                    } else {
+                        "unresolved"
+                    }
+                    .to_string(),
+                })
+                .collect();
+            TopOffReport {
+                screened_untestable,
+                residue: residue.len(),
+                untestable: top.untestable.len(),
+                detected: top.detected.len(),
+                unresolved: top.unresolved.len(),
+                seeds: top.plan.seeds.len(),
+                seed_bits: top.plan.seed_bits(),
+                stored_patterns: top.plan.stored.len(),
+                stored_bits: top.plan.stored_bits(),
+                total_vectors: top.plan.total_vectors(),
+                block_len: top.plan.block_len,
+                verdicts,
+            }
+        });
+
         let snapshot = registry.snapshot();
         if let Some(campaign) = config.metrics() {
             campaign.absorb(&snapshot);
@@ -473,11 +561,11 @@ impl<'d> BistSession<'d> {
         let mut artifact = RunArtifact::new(self.design.name(), generator.name());
         artifact.vectors = result.total_cycles();
         artifact.threads = threads_used;
-        artifact.total_faults = self.universe.len();
+        artifact.total_faults = universe.len();
         artifact.detected = result.detected_count();
-        artifact.missed = self.universe.len() - result.detected_count();
+        artifact.missed = universe.len() - result.detected_count();
         artifact.coverage = result.coverage_after(result.total_cycles());
-        artifact.missed_by_class = self.missed_census(&result);
+        artifact.missed_by_class = Self::missed_census(universe, &result);
         artifact.signature = signature;
         artifact.mode = config.response_check().as_str().to_string();
         artifact.aliased = aliased;
@@ -494,6 +582,7 @@ impl<'d> BistSession<'d> {
             .collect();
         artifact.counters = snapshot.counters.into_iter().collect();
         artifact.lint = config.lint().to_vec();
+        artifact.topoff = topoff_report;
 
         Ok(BistRun { generator: generator.name().to_string(), result, signature, artifact })
     }
@@ -502,10 +591,10 @@ impl<'d> BistSession<'d> {
     /// Table 2): for each of T1/T2/T5/T6, how many missed fault classes
     /// are detectable by that cell-level test. A fault detectable by
     /// several difficult tests counts toward each.
-    fn missed_census(&self, result: &FaultSimResult) -> Vec<(String, usize)> {
+    fn missed_census(universe: &FaultUniverse, result: &FaultSimResult) -> Vec<(String, usize)> {
         let mut counts = [0usize; 4];
         for fid in result.missed() {
-            let tests = self.universe.site(fid).detecting_tests;
+            let tests = universe.site(fid).detecting_tests;
             for (slot, t) in crate::zones::DifficultTest::all().into_iter().enumerate() {
                 if tests & (1u8 << t.number()) != 0 {
                     counts[slot] += 1;
@@ -952,6 +1041,65 @@ mod tests {
             (a.artifact.detected + b.artifact.detected) as u64
         );
         assert_eq!(snap.spans.iter().filter(|sp| sp.name == "session.fault_sim").count(), 2);
+    }
+
+    #[test]
+    fn top_off_stage_partitions_the_residue_and_reports_the_plan() {
+        let d = small_design(0.15);
+        let s = BistSession::new(&d).unwrap();
+        let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
+        let cfg = RunConfig::new(96).with_top_off(TopOffConfig { block_len: 64, max_seeds: 8 });
+        let run = s.run(&mut gen, &cfg).unwrap();
+        let a = &run.artifact;
+        let t = a.topoff.as_ref().expect("the knob fills the report");
+        // The screen shrinks (or keeps) the simulated universe; the
+        // artifact counts faults over the testable universe.
+        assert_eq!(a.total_faults + t.screened_untestable, s.universe().len());
+        assert_eq!(a.detected + a.missed, a.total_faults);
+        // Exact verdict partition over the residue, one verdict per
+        // residual fault.
+        assert_eq!(t.residue, a.missed);
+        assert_eq!(t.detected + t.untestable + t.unresolved, t.residue);
+        assert_eq!(t.verdicts.len(), t.residue);
+        for v in &t.verdicts {
+            assert!(
+                matches!(v.verdict.as_str(), "detected" | "untestable" | "unresolved"),
+                "{v:?}"
+            );
+            assert!(!v.node.is_empty());
+        }
+        // Storage accounting is consistent with the plan shape.
+        assert_eq!(t.seed_bits, t.seeds * 12);
+        assert_eq!(t.block_len, 64);
+        // The stage ran under its own spans.
+        let names: Vec<&str> = a.stages.iter().map(|st| st.name.as_str()).collect();
+        assert!(names.contains(&"session.atpg_screen"), "{names:?}");
+        assert!(names.contains(&"session.top_off"), "{names:?}");
+        assert!(a.to_json().to_json().contains("\"topoff\":{\"screened_untestable\":"));
+    }
+
+    #[test]
+    fn top_off_stage_is_thread_count_invariant() {
+        let d = small_design(0.15);
+        let s = BistSession::new(&d).unwrap();
+        let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
+        let base = RunConfig::new(96).with_top_off(TopOffConfig { block_len: 64, max_seeds: 8 });
+        let one = s.run(&mut gen, &base.clone().with_threads(1)).unwrap();
+        let four = s.run(&mut gen, &base.with_threads(4)).unwrap();
+        let (a, b) = (one.artifact.topoff.unwrap(), four.artifact.topoff.unwrap());
+        assert_eq!(a, b, "top-off verdicts and plan must not depend on the worker count");
+        assert_eq!(one.signature, four.signature);
+    }
+
+    #[test]
+    fn runs_without_the_knob_carry_no_topoff_report() {
+        let d = small_design(0.15);
+        let s = BistSession::new(&d).unwrap();
+        let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
+        let run = s.run(&mut gen, &RunConfig::new(64)).unwrap();
+        assert_eq!(run.artifact.topoff, None);
+        assert!(!run.artifact.to_json().to_json().contains("topoff"));
+        assert_eq!(run.artifact.total_faults, s.universe().len());
     }
 
     #[test]

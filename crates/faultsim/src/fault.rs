@@ -180,6 +180,21 @@ impl FaultUniverse {
     pub fn ids_on_node(&self, node: NodeId) -> Vec<FaultId> {
         self.ids().filter(|&id| self.site(id).node == node).collect()
     }
+
+    /// A new universe containing only the listed faults, in the listed
+    /// order: position `i` of `ids` becomes `FaultId(i)` of the subset.
+    /// The caller keeps `ids` to map subset results back to this
+    /// universe's ids. Used by the top-off planner, which repeatedly
+    /// re-simulates a shrinking residue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is out of range.
+    pub fn subset(&self, ids: &[FaultId]) -> FaultUniverse {
+        let sites: Vec<FaultSite> = ids.iter().map(|&id| self.site(id).clone()).collect();
+        let uncollapsed = sites.iter().map(|s| s.members as usize).sum();
+        FaultUniverse { sites, uncollapsed }
+    }
 }
 
 /// Combos at `cell` that the value-range analysis proves reachable.

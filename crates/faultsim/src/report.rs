@@ -4,9 +4,54 @@
 
 use crate::fault::{FaultId, FaultUniverse};
 use crate::sim::FaultSimResult;
+use rtl::fulladder::Line;
 use rtl::range::RangeAnalysis;
 use rtl::{Netlist, NodeId};
 use std::collections::BTreeMap;
+
+/// One undetected fault with its full site provenance — enough for a
+/// downstream tool (the `atpg` top-off flow, `bistctl result
+/// --residues`) to reason about the fault without re-deriving the
+/// universe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResidueFault {
+    /// Id within the run's fault universe.
+    pub id: FaultId,
+    /// The adder/subtractor node hosting the fault.
+    pub node: NodeId,
+    /// The node's label (e.g. `tap3.acc`).
+    pub label: String,
+    /// Cell (bit) position within the adder, `0` = LSB.
+    pub cell: u32,
+    /// The faulty full-adder line of the representative fault.
+    pub line: Line,
+    /// Polarity: `true` for stuck-at-1, `false` for stuck-at-0.
+    pub stuck_one: bool,
+}
+
+/// The run's undetected residue with per-fault provenance, in
+/// ascending fault-id order.
+pub fn residue(
+    netlist: &Netlist,
+    universe: &FaultUniverse,
+    result: &FaultSimResult,
+) -> Vec<ResidueFault> {
+    result
+        .missed()
+        .into_iter()
+        .map(|id| {
+            let site = universe.site(id);
+            ResidueFault {
+                id,
+                node: site.node,
+                label: netlist.node(site.node).label.clone(),
+                cell: site.cell,
+                line: site.representative.line,
+                stuck_one: site.representative.stuck_one,
+            }
+        })
+        .collect()
+}
 
 /// Summary of the missed faults at one adder.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -181,6 +226,48 @@ mod tests {
             }
         }
         assert_eq!(by_depth, expected);
+    }
+
+    /// The residue report carries exactly the missed ids, each with
+    /// the provenance of its universe site — and a subset universe
+    /// built from it preserves those sites position-for-position.
+    #[test]
+    fn residue_carries_site_provenance() {
+        let mut b = NetlistBuilder::new(10).unwrap();
+        let x = b.input("x");
+        let d = b.register(x);
+        let s = b.shift_right(d, 3);
+        let y = b.add_labeled(x, s, "acc");
+        b.output(y, "y");
+        let n = b.finish().unwrap();
+        let r = RangeAnalysis::analyze(&n, aligned_input_range(10, 10));
+        let u = crate::FaultUniverse::enumerate(&n, &r);
+        let inputs = vec![1i64, -1, 2, -2];
+        let result = ParallelFaultSimulator::new(&n, &u)
+            .with_schedule(StageSchedule::with_boundaries(vec![]))
+            .run(&inputs);
+        let residue = residue(&n, &u, &result);
+        let missed = result.missed();
+        assert!(!residue.is_empty(), "tiny stimulus should leave a residue");
+        assert_eq!(residue.len(), missed.len());
+        for (rf, &id) in residue.iter().zip(&missed) {
+            let site = u.site(id);
+            assert_eq!(rf.id, id);
+            assert_eq!(rf.node, site.node);
+            assert_eq!(rf.label, "acc");
+            assert_eq!(rf.cell, site.cell);
+            assert_eq!(rf.line, site.representative.line);
+            assert_eq!(rf.stuck_one, site.representative.stuck_one);
+        }
+        let sub = u.subset(&missed);
+        assert_eq!(sub.len(), missed.len());
+        for (i, &id) in missed.iter().enumerate() {
+            assert_eq!(sub.site(crate::FaultId(i as u32)), u.site(id));
+        }
+        assert_eq!(
+            sub.uncollapsed_len(),
+            missed.iter().map(|&f| u.site(f).members as usize).sum::<usize>()
+        );
     }
 
     /// A fully-detecting run produces empty reports, not phantom rows.

@@ -16,6 +16,7 @@
 //! | `L2xx` | spectral match       | [`spectral`]   |
 //! | `L3xx` | campaign spec        | [`campaign`]   |
 //! | `L4xx` | response compaction  | [`aliasing`]   |
+//! | `L5xx` | top-off stage        | [`topoff`]     |
 //!
 //! The full code table lives in `DESIGN.md` §9. Every entry point of
 //! the repository runs some subset before spending a simulation cycle:
@@ -30,6 +31,7 @@ pub mod campaign;
 pub mod dataflow;
 pub mod spectral;
 pub mod testability;
+pub mod topoff;
 
 use bist_core::campaign::CampaignSpec;
 use bist_core::session::SessionError;
@@ -52,7 +54,7 @@ pub struct LintReport {
     /// The paired generator's name, when a pairing was linted.
     pub generator: Option<String>,
     /// Findings, in pass order (`L0xx`, `L1xx`, `L2xx`, `L3xx`,
-    /// `L4xx`), node-id order within a pass.
+    /// `L4xx`, `L5xx`), node-id order within a pass.
     pub diagnostics: Vec<Diagnostic>,
 }
 
@@ -128,6 +130,7 @@ pub fn lint_campaign(
     diagnostics.extend(lint_pairing(&design, &spec.generator, DEFAULT_BINS));
     diagnostics.extend(campaign::lint_spec(&design, spec, deadline_ms));
     diagnostics.extend(aliasing::lint_aliasing(&design, spec));
+    diagnostics.extend(topoff::lint_topoff(&design, spec));
     Ok(LintReport {
         design: spec.design.clone(),
         generator: Some(spec.generator.clone()),
@@ -152,6 +155,7 @@ pub fn admission_lint(
     let mut out = lint_pairing(&design, &spec.generator, DEFAULT_BINS);
     out.extend(campaign::lint_spec(&design, spec, deadline_ms));
     out.extend(aliasing::lint_aliasing(&design, spec));
+    out.extend(topoff::lint_topoff(&design, spec));
     Ok(out)
 }
 
@@ -207,6 +211,21 @@ mod tests {
         for d in &admission {
             assert!(report.diagnostics.contains(d), "{d}");
         }
+    }
+
+    #[test]
+    fn topoff_specs_carry_the_l5xx_pass_in_full_and_admission_lint() {
+        let spec = CampaignSpec::new("LP-MINI", "LFSR-D", 4096)
+            .with_topoff(bist_core::TopOffConfig::default());
+        let report = lint_campaign(&spec, None).unwrap();
+        assert!(report.diagnostics.iter().any(|d| d.code == "L501"), "{:?}", report.diagnostics);
+        assert!(!report.has_errors(), "{:?}", report.diagnostics);
+        let admission = admission_lint(&spec, None).unwrap();
+        assert!(admission.iter().any(|d| d.code == "L501"));
+        // Without the knob, no L5xx diagnostic appears anywhere, so
+        // existing golden snapshots stay byte-identical.
+        let plain = lint_campaign(&CampaignSpec::new("LP-MINI", "LFSR-D", 4096), None).unwrap();
+        assert!(plain.diagnostics.iter().all(|d| !d.code.starts_with("L5")));
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! `L5xx` — top-off stage lints.
+//!
+//! Static checks on the deterministic top-off knobs of a campaign
+//! spec, emitted only when the stage is enabled (specs without
+//! `topoff` produce no `L5xx` diagnostics at all):
+//!
+//! * `L501` *info* — the stage is enabled: records the reseeding knobs
+//!   and that coverage will be reported over the testable universe
+//!   (statically-proven-untestable faults removed before simulation).
+//! * `L502` *warn* — seed blocks shorter than twice the design's
+//!   register pipeline: a reseeded block may end before the faults it
+//!   targets propagate to the output, pushing justified faults into
+//!   the raw stored-pattern fallback.
+//! * `L503` *warn* — `max_seeds` is zero: no reseeding is attempted,
+//!   every justified pattern is stored raw and the plan degenerates to
+//!   classic stored-pattern top-off.
+
+use bist_core::campaign::CampaignSpec;
+use filters::FilterDesign;
+use obs::{Diagnostic, Location, Severity};
+
+/// Runs the top-off pass. No-op for specs without the stage.
+pub fn lint_topoff(design: &FilterDesign, spec: &CampaignSpec) -> Vec<Diagnostic> {
+    let Some(cfg) = &spec.topoff else {
+        return Vec::new();
+    };
+    let mut out = vec![Diagnostic::new(
+        "L501",
+        Severity::Info,
+        Location::Field { name: "topoff".into() },
+        format!(
+            "deterministic top-off enabled (block_len {}, max_seeds {}): \
+             provably-untestable faults are screened out before simulation and \
+             the campaign residue is justified, compressed and re-verified",
+            cfg.block_len, cfg.max_seeds
+        ),
+    )];
+    let registers = design.netlist().stats().registers as usize;
+    if (cfg.block_len as usize) < 2 * registers {
+        out.push(Diagnostic::new(
+            "L502",
+            Severity::Warn,
+            Location::Field { name: "topoff".into() },
+            format!(
+                "seed block of {} vectors barely flushes the {registers}-register \
+                 pipeline (want at least {}): reseeded blocks may end before their \
+                 target faults reach the output, forcing raw stored patterns",
+                cfg.block_len,
+                2 * registers
+            ),
+        ));
+    }
+    if cfg.max_seeds == 0 {
+        out.push(Diagnostic::new(
+            "L503",
+            Severity::Warn,
+            Location::Field { name: "topoff".into() },
+            "max_seeds is 0: no LFSR reseeding is attempted, every justified \
+             pattern is stored raw (classic stored-pattern top-off)"
+                .to_string(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_core::TopOffConfig;
+
+    fn mini() -> FilterDesign {
+        filters::designs::lowpass_mini().unwrap()
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<String> {
+        diags.iter().map(|d| d.code.clone()).collect()
+    }
+
+    #[test]
+    fn specs_without_the_stage_emit_nothing() {
+        let d = mini();
+        let spec = CampaignSpec::new("LP-MINI", "LFSR-D", 4096);
+        assert!(lint_topoff(&d, &spec).is_empty());
+    }
+
+    #[test]
+    fn enabled_stage_is_an_info_and_sane_knobs_stay_clean() {
+        let d = mini();
+        let spec =
+            CampaignSpec::new("LP-MINI", "LFSR-D", 4096).with_topoff(TopOffConfig::default());
+        let diags = lint_topoff(&d, &spec);
+        assert_eq!(codes(&diags), ["L501"]);
+        assert_eq!(diags[0].severity, Severity::Info);
+    }
+
+    #[test]
+    fn short_blocks_and_zero_seeds_warn() {
+        let d = mini();
+        let registers = d.netlist().stats().registers;
+        let short = CampaignSpec::new("LP-MINI", "LFSR-D", 4096)
+            .with_topoff(TopOffConfig { block_len: 1, max_seeds: 8 });
+        let diags = lint_topoff(&d, &short);
+        assert_eq!(codes(&diags), ["L501", "L502"]);
+        assert!(diags[1].message.contains(&format!("{registers}-register")), "{}", diags[1]);
+        let degenerate = CampaignSpec::new("LP-MINI", "LFSR-D", 4096)
+            .with_topoff(TopOffConfig { block_len: 256, max_seeds: 0 });
+        assert_eq!(codes(&lint_topoff(&d, &degenerate)), ["L501", "L503"]);
+    }
+}

@@ -27,6 +27,91 @@ pub struct StageTiming {
     pub millis: f64,
 }
 
+/// One residual fault's top-off verdict, with enough site provenance
+/// (node label, cell, full-adder line, polarity) to reason about the
+/// fault without re-deriving the universe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResidueVerdict {
+    /// Fault id within the run's universe.
+    pub fault: u32,
+    /// Label of the adder/subtractor node hosting the fault.
+    pub node: String,
+    /// Cell (bit) position within the adder, `0` = LSB.
+    pub cell: u32,
+    /// The faulty full-adder line (e.g. `carry-out`).
+    pub line: String,
+    /// Polarity: `true` for stuck-at-1, `false` for stuck-at-0.
+    pub stuck_one: bool,
+    /// `"detected"`, `"untestable"` or `"unresolved"`.
+    pub verdict: String,
+}
+
+/// The outcome of the deterministic top-off stage over one campaign's
+/// undetected residue: the verdict partition, the compressed
+/// seed/stored-pattern plan's storage accounting, and per-fault
+/// verdicts with site provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopOffReport {
+    /// Faults the pre-simulation static screen proved untestable and
+    /// removed from the simulated universe.
+    pub screened_untestable: usize,
+    /// Residual (undetected) faults handed to the top-off stage.
+    pub residue: usize,
+    /// Residual faults proven unactivatable by justification.
+    pub untestable: usize,
+    /// Residual faults the verified plan detects.
+    pub detected: usize,
+    /// Residual faults neither proven untestable nor detected.
+    pub unresolved: usize,
+    /// Stored LFSR seeds in the reseeding plan.
+    pub seeds: usize,
+    /// Tester storage spent on seeds, in bits.
+    pub seed_bits: usize,
+    /// Raw fallback patterns stored alongside the seeds.
+    pub stored_patterns: usize,
+    /// Tester storage spent on raw patterns, in bits.
+    pub stored_bits: usize,
+    /// Total top-off test length in clock cycles.
+    pub total_vectors: usize,
+    /// Vectors the LFSR free-runs per loaded seed.
+    pub block_len: u32,
+    /// Per-fault verdicts in ascending fault-id order.
+    pub verdicts: Vec<ResidueVerdict>,
+}
+
+impl TopOffReport {
+    /// Renders the report as a JSON object (fixed field order).
+    pub fn to_json(&self) -> JsonValue {
+        let verdicts = JsonValue::Array(
+            self.verdicts
+                .iter()
+                .map(|v| {
+                    JsonValue::object()
+                        .push("fault", v.fault)
+                        .push("node", v.node.as_str())
+                        .push("cell", v.cell)
+                        .push("line", v.line.as_str())
+                        .push("stuck_one", v.stuck_one)
+                        .push("verdict", v.verdict.as_str())
+                })
+                .collect(),
+        );
+        JsonValue::object()
+            .push("screened_untestable", self.screened_untestable)
+            .push("residue", self.residue)
+            .push("untestable", self.untestable)
+            .push("detected", self.detected)
+            .push("unresolved", self.unresolved)
+            .push("seeds", self.seeds)
+            .push("seed_bits", self.seed_bits)
+            .push("stored_patterns", self.stored_patterns)
+            .push("stored_bits", self.stored_bits)
+            .push("total_vectors", self.total_vectors)
+            .push("block_len", self.block_len)
+            .push("verdicts", verdicts)
+    }
+}
+
 /// The structured outcome of one BIST run.
 ///
 /// All fields are public plain data: the session layer fills them in,
@@ -78,6 +163,9 @@ pub struct RunArtifact {
     /// Static-analysis diagnostics attached at admission time (empty
     /// when the run was not linted).
     pub lint: Vec<Diagnostic>,
+    /// Deterministic top-off outcome, present only when the run was
+    /// configured with the ATPG top-off stage.
+    pub topoff: Option<TopOffReport>,
 }
 
 impl RunArtifact {
@@ -102,6 +190,7 @@ impl RunArtifact {
             stages: Vec::new(),
             counters: Vec::new(),
             lint: Vec::new(),
+            topoff: None,
         }
     }
 
@@ -117,7 +206,7 @@ impl RunArtifact {
                 .collect(),
         );
         let counters = self.counters.iter().fold(JsonValue::object(), |o, (k, v)| o.push(k, *v));
-        JsonValue::object()
+        let base = JsonValue::object()
             .push("schema", self.schema)
             .push("design", self.design.as_str())
             .push("generator", self.generator.as_str())
@@ -134,7 +223,13 @@ impl RunArtifact {
             .push("response_store_words", self.response_store_words)
             .push("stages", stages)
             .push("counters", counters)
-            .push("lint", diag::diagnostics_to_json(&self.lint))
+            .push("lint", diag::diagnostics_to_json(&self.lint));
+        match &self.topoff {
+            // Key omitted entirely when absent, so artifacts from runs
+            // without the stage stay byte-identical to schema 1.
+            None => base,
+            Some(report) => base.push("topoff", report.to_json()),
+        }
     }
 
     /// Writes the artifact as a pretty-printed standalone JSON file.
@@ -188,6 +283,21 @@ impl RunArtifact {
         if !self.lint.is_empty() {
             let (errors, warns, infos) = diag::severity_counts(&self.lint);
             let _ = write!(out, "\n  lint: {errors} error(s), {warns} warning(s), {infos} info");
+        }
+        if let Some(t) = &self.topoff {
+            let _ = write!(
+                out,
+                "\n  top-off: {} residual ({} detected, {} untestable, {} unresolved), \
+                 {} seed(s) + {} stored = {} bits, {} screened pre-sim",
+                t.residue,
+                t.detected,
+                t.untestable,
+                t.unresolved,
+                t.seeds,
+                t.stored_patterns,
+                t.seed_bits + t.stored_bits,
+                t.screened_untestable,
+            );
         }
         out
     }
@@ -277,8 +387,84 @@ mod tests {
         assert!(a.stages.is_empty());
         assert_eq!(a.mode, "trace");
         assert_eq!(a.aliased, 0);
+        assert_eq!(a.topoff, None);
         let s = a.summary();
         assert!(s.contains("0 threads"), "{s}");
         assert!(!s.contains("signature mode"), "trace summaries stay unchanged: {s}");
+    }
+
+    fn sample_topoff() -> TopOffReport {
+        TopOffReport {
+            screened_untestable: 3,
+            residue: 5,
+            untestable: 1,
+            detected: 4,
+            unresolved: 0,
+            seeds: 2,
+            seed_bits: 24,
+            stored_patterns: 1,
+            stored_bits: 36,
+            total_vectors: 515,
+            block_len: 256,
+            verdicts: vec![
+                ResidueVerdict {
+                    fault: 7,
+                    node: "tap3.acc".into(),
+                    cell: 11,
+                    line: "carry-out".into(),
+                    stuck_one: true,
+                    verdict: "detected".into(),
+                },
+                ResidueVerdict {
+                    fault: 9,
+                    node: "tap5.mul".into(),
+                    cell: 0,
+                    line: "sum".into(),
+                    stuck_one: false,
+                    verdict: "untestable".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn topoff_key_is_absent_without_the_stage_and_complete_with_it() {
+        let without = sample().to_json().to_json();
+        assert!(!without.contains("topoff"), "runs without the stage stay schema-1: {without}");
+        let mut a = sample();
+        a.topoff = Some(sample_topoff());
+        let json = a.to_json().to_json();
+        for needle in [
+            "\"topoff\":{\"screened_untestable\":3",
+            "\"residue\":5",
+            "\"untestable\":1",
+            "\"unresolved\":0",
+            "\"seeds\":2",
+            "\"seed_bits\":24",
+            "\"stored_patterns\":1",
+            "\"stored_bits\":36",
+            "\"total_vectors\":515",
+            "\"block_len\":256",
+            "\"verdicts\":[{\"fault\":7,\"node\":\"tap3.acc\",\"cell\":11,\
+             \"line\":\"carry-out\",\"stuck_one\":true,\"verdict\":\"detected\"}",
+            "{\"fault\":9,\"node\":\"tap5.mul\",\"cell\":0,\
+             \"line\":\"sum\",\"stuck_one\":false,\"verdict\":\"untestable\"}",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn topoff_summary_line_reports_the_partition_and_storage() {
+        let mut a = sample();
+        a.topoff = Some(sample_topoff());
+        let s = a.summary();
+        assert!(
+            s.contains(
+                "top-off: 5 residual (4 detected, 1 untestable, 0 unresolved), \
+                 2 seed(s) + 1 stored = 60 bits, 3 screened pre-sim"
+            ),
+            "{s}"
+        );
     }
 }

@@ -1,0 +1,145 @@
+//! Hand-rolled property tests for the LFSR state machines, over every
+//! tabulated primitive polynomial (widths 4..=24).
+//!
+//! The load-bearing contract is seed-load → run → state-extract
+//! round-tripping: a state captured mid-run, loaded as a fresh seed,
+//! must continue the sequence exactly. The `atpg` reseeding plan
+//! stores such captured states as its compressed seeds, so any
+//! divergence here silently corrupts every expanded top-off block.
+//!
+//! No property-testing dependency: cases are drawn from a fixed-seed
+//! splitmix64 stream, so failures replay byte-identically.
+
+use bist_tpg::{polynomials, Lfsr1, Lfsr2, ShiftDirection};
+
+/// Deterministic case generator (splitmix64, fixed seed).
+struct Cases(u64);
+
+impl Cases {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A nonzero `width`-bit seed.
+    fn seed(&mut self, width: u32) -> u64 {
+        let mask = (1u64 << width) - 1;
+        loop {
+            let s = self.next() & mask;
+            if s != 0 {
+                return s;
+            }
+        }
+    }
+}
+
+const DIRECTIONS: [ShiftDirection; 2] = [ShiftDirection::LsbToMsb, ShiftDirection::MsbToLsb];
+
+#[test]
+fn extracted_state_reloaded_as_seed_continues_the_sequence() {
+    let mut cases = Cases(0x5EED);
+    for width in 4..=24 {
+        let poly = polynomials::primitive(width).expect("tabulated width");
+        for direction in DIRECTIONS {
+            for _ in 0..8 {
+                let seed = cases.seed(width);
+                let run = (cases.next() % 5000) as usize;
+                let mut a = Lfsr1::with_polynomial(width, poly, seed, direction).unwrap();
+                for _ in 0..run {
+                    a.step();
+                }
+                let captured = a.state();
+                let mut b = Lfsr1::with_polynomial(width, poly, captured, direction).unwrap();
+                assert_eq!(b.state(), captured, "loading a seed must not perturb it");
+                for k in 0..64 {
+                    assert_eq!(
+                        a.step(),
+                        b.step(),
+                        "width {width} {direction:?} seed {seed:#x} run {run}: \
+                         reloaded sequence diverged at step {k}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn state_stays_nonzero_and_within_width_for_every_polynomial() {
+    let mut cases = Cases(0xF00D);
+    for width in 4..=24 {
+        let poly = polynomials::primitive(width).expect("tabulated width");
+        let mask = (1u64 << width) - 1;
+        for direction in DIRECTIONS {
+            let seed = cases.seed(width);
+            let mut g = Lfsr1::with_polynomial(width, poly, seed, direction).unwrap();
+            for step in 0..2000 {
+                let s = g.step();
+                assert_eq!(s & !mask, 0, "width {width}: state {s:#x} overflows at {step}");
+                assert_ne!(s, 0, "width {width} {direction:?}: locked up at step {step}");
+            }
+        }
+    }
+}
+
+#[test]
+fn small_widths_reach_the_full_maximal_period_from_any_seed() {
+    // Exhaustive period walk is O(2^width); gate it to the widths
+    // where that stays milliseconds even unoptimized.
+    let mut cases = Cases(0xCAFE);
+    for width in 4..=14 {
+        let poly = polynomials::primitive(width).expect("tabulated width");
+        let maximal = (1u64 << width) - 1;
+        for direction in DIRECTIONS {
+            let g = Lfsr1::with_polynomial(width, poly, cases.seed(width), direction).unwrap();
+            assert_eq!(
+                g.period(),
+                maximal,
+                "width {width} {direction:?}: tabulated polynomial is not primitive"
+            );
+        }
+    }
+}
+
+#[test]
+fn type2_round_trips_and_reaches_the_maximal_period() {
+    let mut cases = Cases(0xB157);
+    let poly = polynomials::PAPER_TYPE2_POLY;
+    for _ in 0..8 {
+        let seed = cases.seed(12);
+        let run = (cases.next() % 3000) as usize;
+        let mut a = Lfsr2::with_seed(12, poly, seed).unwrap();
+        for _ in 0..run {
+            a.step();
+        }
+        let mut b = Lfsr2::with_seed(12, poly, a.state()).unwrap();
+        for k in 0..64 {
+            assert_eq!(a.step(), b.step(), "Type 2 seed {seed:#x}: diverged at step {k}");
+        }
+    }
+    assert_eq!(Lfsr2::with_seed(12, poly, 1).unwrap().period(), (1 << 12) - 1);
+}
+
+#[test]
+fn reciprocal_polynomials_validate_and_round_trip_too() {
+    let mut cases = Cases(0x1DEA);
+    for width in 4..=24 {
+        let poly = polynomials::primitive(width).expect("tabulated width");
+        let recip = polynomials::reciprocal(poly, width);
+        polynomials::validate(recip, width).expect("reciprocal of a valid polynomial is valid");
+        assert_eq!(polynomials::reciprocal(recip, width), poly, "reciprocal is an involution");
+        let seed = cases.seed(width);
+        let mut a = Lfsr1::with_polynomial(width, recip, seed, ShiftDirection::LsbToMsb).unwrap();
+        for _ in 0..100 {
+            a.step();
+        }
+        let mut b =
+            Lfsr1::with_polynomial(width, recip, a.state(), ShiftDirection::LsbToMsb).unwrap();
+        for _ in 0..64 {
+            assert_eq!(a.step(), b.step());
+        }
+    }
+}
