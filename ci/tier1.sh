@@ -38,6 +38,12 @@ echo "experiments smoke cell: signature mode bit-identical, zero aliasing OK"
 ./target/release/experiments atpg
 echo "experiments atpg cell: top-off covers 100% of testable faults OK"
 
+# SAT smoke cell: LP-MINI must get a machine-checked equivalence
+# certificate and a sample of the symmetric design's screen candidates
+# must prove redundant (exits non-zero on any refutation). Sub-second.
+./target/release/experiments sat
+echo "experiments sat cell: equivalence proved, sampled candidates UNSAT OK"
+
 # Daemon smoke test: a bistd on a Unix socket must serve a campaign,
 # answer the identical resubmission from its result cache, and drain
 # cleanly on shutdown.

@@ -22,8 +22,10 @@
 //!     csa      ripple vs carry-save vs symmetric     (Section 3)
 //!     bench5   trace vs signature checking           (compaction study)
 //!     bench7   top-off seed storage vs misses        (reseeding study)
+//!     bench8   SAT proof-pruning before/after        (redundancy study)
 //!     smoke    signature-mode zero-aliasing gate     (CI tier 1)
 //!     atpg     deterministic top-off coverage gate   (CI tier 1)
+//!     sat      equivalence + redundancy proof gate   (CI tier 1)
 //!     all      everything above
 //!
 //! With `--json <path>`, every BIST run's structured artifact
@@ -121,8 +123,10 @@ fn main() {
     run("csa", &csa);
     run("bench5", &bench5);
     run("bench7", &bench7);
+    run("bench8", &bench8);
     run("smoke", &smoke);
     run("atpg", &atpg_smoke);
+    run("sat", &sat_smoke);
     if !ran {
         eprintln!("unknown experiment '{arg}'; see source header for the list");
         std::process::exit(2);
@@ -136,6 +140,7 @@ fn main() {
             "bench5" => "5",
             "table6" => "6",
             "bench7" => "7",
+            "bench8" => "8",
             other => other,
         };
         match bist_bench::artifacts::write_bench_json(tag, &path) {
@@ -1169,6 +1174,212 @@ fn bench7() {
             )
             .push("cells", obs::JsonValue::Array(entries)),
     );
+}
+
+/// The `bench8` proof-pruning study: for every design of the Section 8
+/// grid (the paper's three plus the symmetric, carry-save and mini
+/// variants), the ATPG screen's candidates are handed to the SAT miter
+/// once, proven-redundant faults are removed from the universe, and
+/// each generator cell is then fault-simulated twice — full universe
+/// vs pruned — under identical inputs. Surviving faults must get
+/// bit-identical detection cycles (the study exits non-zero
+/// otherwise); the per-cell wall times and before/after universe sizes
+/// land in `BENCH_8.json`'s `comparison` object with `--json`.
+fn bench8() {
+    banner("SAT proof-pruning study: universe size and wall time, before vs after");
+    const MAX_CONFLICTS: u64 = 2_000;
+    let mut designs = paper_designs();
+    designs.push(filters::designs::lowpass_symmetric().expect("LP-SYM elaborates"));
+    designs.push(filters::designs::lowpass_carry_save().expect("LP-CSA elaborates"));
+    designs.push(filters::designs::lowpass_mini().expect("LP-MINI elaborates"));
+    let mut rows = Vec::new();
+    let mut design_entries = Vec::new();
+    let mut cell_entries = Vec::new();
+    let mut total_pruned = 0usize;
+    for d in &designs {
+        let session = BistSession::new(d).expect("session");
+        let universe = session.universe();
+        let netlist = d.netlist();
+        let input_bits = d.spec().input_bits;
+
+        let t = std::time::Instant::now();
+        let screen = atpg::untestable_faults(netlist, universe, input_bits);
+        let screen_ms = t.elapsed().as_millis() as u64;
+        let specs: Vec<sat::FaultSpec> = screen
+            .iter()
+            .map(|&id| {
+                let site = universe.site(id);
+                sat::FaultSpec { node: site.node, cell: site.cell, fault: site.representative }
+            })
+            .collect();
+        let t = std::time::Instant::now();
+        let outcome = sat::prove_faults(
+            netlist,
+            input_bits,
+            &specs,
+            &sat::PruneConfig { max_conflicts: MAX_CONFLICTS },
+        );
+        let prove_ms = t.elapsed().as_millis() as u64;
+        let redundant: std::collections::BTreeSet<usize> = screen
+            .iter()
+            .zip(&outcome.verdicts)
+            .filter(|(_, (_, v))| matches!(v, sat::FaultVerdict::Redundant))
+            .map(|(id, _)| id.index())
+            .collect();
+        total_pruned += redundant.len();
+        let keep: Vec<faultsim::FaultId> = (0..universe.len() as u32)
+            .map(faultsim::FaultId)
+            .filter(|id| !redundant.contains(&id.index()))
+            .collect();
+        let pruned_universe = universe.subset(&keep);
+        design_entries.push(
+            obs::JsonValue::object()
+                .push("design", d.name())
+                .push("universe_before", universe.len() as u64)
+                .push("universe_after", pruned_universe.len() as u64)
+                .push("candidates", screen.len() as u64)
+                .push("redundant_proven", outcome.redundant as u64)
+                .push("detectable", outcome.detectable as u64)
+                .push("unknown", outcome.unknown as u64)
+                .push("screen_ms", screen_ms)
+                .push("prove_ms", prove_ms)
+                .push("conflicts", outcome.stats.conflicts),
+        );
+
+        for name in SECTION8_GENERATORS {
+            let mut gen = generator(name);
+            let inputs: Vec<i64> =
+                (0..SECTION8_VECTORS).map(|_| d.align_input(gen.next_word())).collect();
+            let t = std::time::Instant::now();
+            let full = faultsim::ParallelFaultSimulator::new(netlist, universe).run(&inputs);
+            let full_ms = t.elapsed().as_millis() as u64;
+            let t = std::time::Instant::now();
+            let pruned =
+                faultsim::ParallelFaultSimulator::new(netlist, &pruned_universe).run(&inputs);
+            let pruned_ms = t.elapsed().as_millis() as u64;
+
+            // Bit-identical verdicts for every surviving fault, and no
+            // detection of any fault the miter proved redundant.
+            let full_cycles = full.detection_cycles();
+            let pruned_cycles = pruned.detection_cycles();
+            let identical =
+                keep.iter().zip(pruned_cycles).all(|(id, &c)| full_cycles[id.index()] == c);
+            let pruned_detected = redundant.iter().filter(|&&i| full_cycles[i].is_some()).count();
+            if !identical || pruned_detected != 0 {
+                eprintln!(
+                    "bench8 failed on {} x {name}: pruning changed surviving verdicts \
+                     ({identical}) or a proven-redundant fault was detected ({pruned_detected})",
+                    d.name()
+                );
+                std::process::exit(1);
+            }
+            rows.push(vec![
+                d.name().to_string(),
+                name.to_string(),
+                universe.len().to_string(),
+                pruned_universe.len().to_string(),
+                full.detected_count().to_string(),
+                full_ms.to_string(),
+                pruned_ms.to_string(),
+            ]);
+            cell_entries.push(
+                obs::JsonValue::object()
+                    .push("design", d.name())
+                    .push("generator", name)
+                    .push("universe_before", universe.len() as u64)
+                    .push("universe_after", pruned_universe.len() as u64)
+                    .push("detected", full.detected_count() as u64)
+                    .push("full_ms", full_ms)
+                    .push("pruned_ms", pruned_ms)
+                    .push("verdicts_identical", identical),
+            );
+        }
+    }
+    println!(
+        "{}",
+        table::render(
+            &["Des.", "gen", "before", "after", "detected", "full ms", "pruned ms"],
+            &rows
+        )
+    );
+    println!("'before'/'after' are collapsed universe sizes around SAT proof pruning;");
+    println!("surviving faults were verified bit-identical between the two engines in");
+    println!("every cell. Designs whose screen sheds no candidates keep before == after.");
+    if total_pruned == 0 {
+        eprintln!("bench8 failed: no fault in the grid was proven redundant and pruned");
+        std::process::exit(1);
+    }
+    bist_bench::artifacts::set_comparison(
+        obs::JsonValue::object()
+            .push("study", "sat_prune")
+            .push("vectors", SECTION8_VECTORS as u64)
+            .push("max_conflicts", MAX_CONFLICTS)
+            .push("designs", obs::JsonValue::Array(design_entries))
+            .push("cells", obs::JsonValue::Array(cell_entries)),
+    );
+}
+
+/// The `sat` CI cell (tier1.sh): LP-MINI's netlist must get a
+/// machine-checked equivalence certificate against its behavioral
+/// model, and a sample of the symmetric design's screen candidates
+/// must prove redundant with the witnesses of its detectable faults
+/// replaying through the fault simulator. Sub-second; exits non-zero
+/// on any refutation.
+fn sat_smoke() {
+    banner("CI SAT cell: LP-MINI equivalence certificate + symmetric redundancy proofs");
+    let d = filters::designs::lowpass_mini().expect("LP-MINI elaborates");
+    let report = sat::check_equivalence(&d);
+    println!(
+        "  equivalence {}: {} ({} lemmas, {} range obligations, {} conflicts)",
+        report.design,
+        if report.proved { "proved" } else { "REFUTED" },
+        report.lemmas_proved,
+        report.range_obligations,
+        report.stats.conflicts,
+    );
+    if !report.proved {
+        eprintln!(
+            "sat cell failed: equivalence refuted at layer {}",
+            report.failure.as_deref().unwrap_or("?")
+        );
+        std::process::exit(1);
+    }
+
+    let sym = filters::designs::lowpass_symmetric().expect("LP-SYM elaborates");
+    let session = BistSession::new(&sym).expect("session");
+    let universe = session.universe();
+    let input_bits = sym.spec().input_bits;
+    let screen = atpg::untestable_faults(sym.netlist(), universe, input_bits);
+    let specs: Vec<sat::FaultSpec> = screen
+        .iter()
+        .take(5)
+        .map(|&id| {
+            let site = universe.site(id);
+            sat::FaultSpec { node: site.node, cell: site.cell, fault: site.representative }
+        })
+        .collect();
+    if specs.is_empty() {
+        eprintln!("sat cell inconclusive: the symmetric screen yielded no candidates");
+        std::process::exit(1);
+    }
+    let outcome =
+        sat::prove_faults(sym.netlist(), input_bits, &specs, &sat::PruneConfig::default());
+    println!(
+        "  {}: {}/{} screen candidates proven redundant ({} conflicts)",
+        sym.name(),
+        outcome.redundant,
+        specs.len(),
+        outcome.stats.conflicts,
+    );
+    if outcome.redundant != specs.len() {
+        eprintln!(
+            "sat cell failed: {} of {} screen candidates not proven redundant",
+            specs.len() - outcome.redundant,
+            specs.len()
+        );
+        std::process::exit(1);
+    }
+    println!("sat cell: certificate proved, all sampled candidates UNSAT");
 }
 
 /// The `atpg` CI cell (tier1.sh): LP-MINI's LFSR-D residue must be

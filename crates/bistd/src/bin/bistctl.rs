@@ -19,7 +19,7 @@
 
 use bist_bistd::{Client, ClientError, ServerAddr};
 use bist_core::campaign::{CampaignSpec, KNOWN_DESIGNS, KNOWN_GENERATORS};
-use bist_core::session::ResponseCheck;
+use bist_core::session::{ResponseCheck, SatConfig};
 use bist_core::TopOffConfig;
 use obs::JsonValue;
 use std::process::ExitCode;
@@ -30,7 +30,8 @@ commands:
   run      --design <name> --gen <name> --vectors <n>
            [--misr <bits>] [--mode trace|signature] [--threads <n>]
            [--boundaries <c1,c2,...>] [--topoff <block>,<seeds>]
-           [--deadline-ms <ms>]        submit and wait; prints result JSON
+           [--sat <conflicts>[,noequiv]] [--deadline-ms <ms>]
+                                        submit and wait; prints result JSON
   submit   (same options as run)       submit without waiting; prints job JSON
   status   <job>                       print a job's state
   fetch    <job>                       wait for a job and print its artifact
@@ -226,12 +227,35 @@ fn render_result(job: u64, artifact: &JsonValue, residues: bool) {
         count(artifact.get("total_faults")),
         count(artifact.get("missed")),
     );
+    if let Some(sat) = artifact.get("sat") {
+        println!(
+            "sat: {}/{} candidate(s) proven redundant (universe {} -> {}), \
+             {} witness(es) confirmed, {} over budget",
+            count(sat.get("redundant_proven")),
+            count(sat.get("candidates")),
+            count(sat.get("universe_before")),
+            count(sat.get("universe_before")) - count(sat.get("redundant_proven")),
+            count(sat.get("witnesses_confirmed")),
+            count(sat.get("unknown")),
+        );
+        if sat.get("equiv_checked").and_then(JsonValue::as_bool).unwrap_or(false) {
+            let proved = sat.get("equiv_proved").and_then(JsonValue::as_bool).unwrap_or(false);
+            println!(
+                "  equivalence: {} ({} lemma(s))",
+                if proved { "proved" } else { "REFUTED" },
+                count(sat.get("equiv_lemmas")),
+            );
+        }
+    }
     let Some(top) = artifact.get("topoff") else {
         println!("no top-off report (submit with --topoff to enable the stage)");
         return;
     };
+    let redundant = count(top.get("redundant"));
+    let redundant_note =
+        if redundant == 0 { String::new() } else { format!(", {redundant} redundant") };
     println!(
-        "top-off: {} residual — {} detected, {} untestable, {} unresolved",
+        "top-off: {} residual — {} detected, {} untestable{redundant_note}, {} unresolved",
         count(top.get("residue")),
         count(top.get("detected")),
         count(top.get("untestable")),
@@ -280,7 +304,7 @@ fn render_result(job: u64, artifact: &JsonValue, residues: bool) {
 fn parse_spec(rest: &[&String]) -> Result<(CampaignSpec, Option<u64>), CtlError> {
     let (mut design, mut generator, mut vectors, mut mode) = (None, None, None, None);
     let (mut misr, mut threads, mut boundaries, mut deadline_ms) = (None, None, None, None);
-    let mut topoff = None;
+    let (mut topoff, mut sat) = (None, None);
     let mut iter = rest.iter();
     while let Some(flag) = iter.next() {
         let value = iter.next().ok_or_else(|| usage(format!("{flag} needs a value")))?;
@@ -300,6 +324,19 @@ fn parse_spec(rest: &[&String]) -> Result<(CampaignSpec, Option<u64>), CtlError>
                 let cycles: Result<Vec<u32>, _> =
                     value.split(',').map(|c| num(flag, c.trim())).collect();
                 boundaries = Some(cycles?);
+            }
+            "--sat" => {
+                let (conflicts, equiv) = match value.split_once(',') {
+                    None => (value.as_str(), true),
+                    Some((c, "noequiv")) => (c, false),
+                    Some((_, tail)) => {
+                        return Err(usage(format!(
+                            "--sat: '{tail}' is not 'noequiv' (expected \
+                             <max_conflicts>[,noequiv])"
+                        )));
+                    }
+                };
+                sat = Some(SatConfig { max_conflicts: num(flag, conflicts.trim())?, equiv });
             }
             "--topoff" => {
                 let parts: Vec<&str> = value.split(',').collect();
@@ -331,6 +368,7 @@ fn parse_spec(rest: &[&String]) -> Result<(CampaignSpec, Option<u64>), CtlError>
     }
     spec.boundaries = boundaries;
     spec.topoff = topoff;
+    spec.sat = sat;
     spec.validate().map_err(|e| {
         usage(format!(
             "{e}\n  known designs: {}\n  known generators: {}, or Mixed@<n>",

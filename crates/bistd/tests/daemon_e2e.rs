@@ -116,6 +116,35 @@ fn topoff_specs_round_trip_through_the_daemon() {
     daemon.join().unwrap();
 }
 
+#[test]
+fn sat_specs_round_trip_through_the_daemon() {
+    let (daemon, addr) = tcp_daemon(DaemonConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+
+    let spec = CampaignSpec {
+        sat: Some(bist_core::session::SatConfig { max_conflicts: 500, equiv: true }),
+        ..mini_spec(64)
+    };
+    let cold = client.run_campaign(&spec, None).unwrap();
+    assert!(cold.key.ends_with(";sat=conf500,equiv1"), "{}", cold.key);
+    let report = cold.artifact.get("sat").expect("artifact carries the sat report");
+    // LP-MINI's screen yields no candidates, but the stage still runs
+    // the equivalence certificate and the census lands in the artifact.
+    assert_eq!(report.get("candidates").and_then(JsonValue::as_u64), Some(0));
+    assert_eq!(report.get("equiv_proved").and_then(JsonValue::as_bool), Some(true));
+    // The admission lint carried the L6xx census over the wire.
+    assert!(cold.lint.iter().any(|d| d.code == "L601"), "{:?}", cold.lint);
+
+    // The same campaign without the stage is a distinct cache entry
+    // whose artifact has no sat key at all.
+    let plain = client.run_campaign(&mini_spec(64), None).unwrap();
+    assert!(!plain.cached);
+    assert!(plain.artifact.get("sat").is_none());
+
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+}
+
 /// Rebuilds a JSON value with every `ms` object entry dropped, so two
 /// artifacts can be compared byte-for-byte modulo wall-clock timings.
 fn without_timings(v: &JsonValue) -> JsonValue {

@@ -11,7 +11,7 @@
 //! generators through the same registry, so a cached artifact is
 //! interchangeable with a fresh run.
 
-use crate::session::{BistRun, BistSession, ResponseCheck, RunConfig, SessionError};
+use crate::session::{BistRun, BistSession, ResponseCheck, RunConfig, SatConfig, SessionError};
 use atpg::TopOffConfig;
 use faultsim::{CancelToken, StageSchedule};
 use filters::FilterDesign;
@@ -56,6 +56,9 @@ pub struct CampaignSpec {
     /// Deterministic top-off stage (ATPG screen + justification +
     /// hybrid LFSR reseeding); `None` = disabled.
     pub topoff: Option<TopOffConfig>,
+    /// SAT proof stage (CDCL redundancy pruning + optional
+    /// design/model equivalence certificate); `None` = disabled.
+    pub sat: Option<SatConfig>,
 }
 
 impl CampaignSpec {
@@ -72,6 +75,7 @@ impl CampaignSpec {
             boundaries: None,
             threads: 0,
             topoff: None,
+            sat: None,
         }
     }
 
@@ -85,6 +89,13 @@ impl CampaignSpec {
     /// (builder-style convenience).
     pub fn with_topoff(mut self, cfg: TopOffConfig) -> Self {
         self.topoff = Some(cfg);
+        self
+    }
+
+    /// The same spec with the SAT proof stage enabled (builder-style
+    /// convenience).
+    pub fn with_sat(mut self, cfg: SatConfig) -> Self {
+        self.sat = Some(cfg);
         self
     }
 
@@ -132,6 +143,13 @@ impl CampaignSpec {
                 });
             }
         }
+        if let Some(s) = &self.sat {
+            if s.max_conflicts == 0 {
+                return Err(SessionError::InvalidConfig {
+                    reason: "sat max_conflicts must be positive".into(),
+                });
+            }
+        }
         Ok(())
     }
 
@@ -167,6 +185,12 @@ impl CampaignSpec {
                 let _ = write!(out, ";topoff=block{},seeds{}", t.block_len, t.max_seeds);
             }
         }
+        // Appended only when enabled, so every pre-SAT spec keeps its
+        // exact historical cache key.
+        if let Some(s) = &self.sat {
+            let _ =
+                write!(out, ";sat=conf{},equiv{}", s.max_conflicts, if s.equiv { 1 } else { 0 });
+        }
         out
     }
 
@@ -186,6 +210,12 @@ impl CampaignSpec {
             v = v.push(
                 "topoff",
                 JsonValue::object().push("block_len", t.block_len).push("max_seeds", t.max_seeds),
+            );
+        }
+        if let Some(s) = &self.sat {
+            v = v.push(
+                "sat",
+                JsonValue::object().push("max_conflicts", s.max_conflicts).push("equiv", s.equiv),
             );
         }
         v
@@ -263,6 +293,21 @@ impl CampaignSpec {
                 Some(TopOffConfig { block_len, max_seeds })
             }
         };
+        let sat = match v.get("sat") {
+            None | Some(JsonValue::Null) => None,
+            Some(s) => {
+                let (Some(max_conflicts), Some(equiv)) = (
+                    s.get("max_conflicts").and_then(JsonValue::as_u64),
+                    s.get("equiv").and_then(JsonValue::as_bool),
+                ) else {
+                    return Err(SessionError::InvalidConfig {
+                        reason: "'sat' must be an object with u64 'max_conflicts' and bool 'equiv'"
+                            .into(),
+                    });
+                };
+                Some(SatConfig { max_conflicts, equiv })
+            }
+        };
         Ok(CampaignSpec {
             design: text("design")?,
             generator: text("generator")?,
@@ -272,6 +317,7 @@ impl CampaignSpec {
             boundaries,
             threads: number("threads", 0)? as usize,
             topoff,
+            sat,
         })
     }
 
@@ -307,6 +353,9 @@ impl CampaignSpec {
         }
         if let Some(t) = &self.topoff {
             config = config.with_top_off(*t);
+        }
+        if let Some(s) = &self.sat {
+            config = config.with_sat_prune(*s);
         }
         if let Some(token) = cancel {
             config = config.with_cancel(token);
@@ -436,6 +485,7 @@ mod tests {
             CampaignSpec { boundaries: Some(vec![64]), ..base.clone() },
             CampaignSpec { threads: 2, ..base.clone() },
             base.clone().with_topoff(TopOffConfig::default()),
+            base.clone().with_sat(SatConfig::default()),
         ] {
             assert_ne!(base.canonical(), changed.canonical(), "{changed:?}");
         }
@@ -444,6 +494,19 @@ mod tests {
         let b = base.clone().with_topoff(TopOffConfig { block_len: 256, max_seeds: 8 });
         assert_ne!(a.canonical(), b.canonical());
         assert!(a.canonical().ends_with(";topoff=block64,seeds8"), "{}", a.canonical());
+        // And different SAT knobs: the suffix appears only when enabled,
+        // so every pre-SAT spec keeps its exact historical cache key.
+        assert!(base.canonical().ends_with(";topoff=off"), "{}", base.canonical());
+        let c = base.clone().with_sat(SatConfig { max_conflicts: 500, equiv: false });
+        let d = base.clone().with_sat(SatConfig { max_conflicts: 500, equiv: true });
+        assert_ne!(c.canonical(), d.canonical());
+        assert!(c.canonical().ends_with(";topoff=off;sat=conf500,equiv0"), "{}", c.canonical());
+        let both = a.with_sat(SatConfig { max_conflicts: 20_000, equiv: true });
+        assert!(
+            both.canonical().ends_with(";topoff=block64,seeds8;sat=conf20000,equiv1"),
+            "{}",
+            both.canonical()
+        );
     }
 
     #[test]
@@ -457,12 +520,17 @@ mod tests {
             boundaries: Some(vec![16, 64]),
             threads: 4,
             topoff: Some(TopOffConfig { block_len: 128, max_seeds: 4 }),
+            sat: Some(SatConfig { max_conflicts: 5000, equiv: true }),
         };
         assert_eq!(CampaignSpec::from_json(&full.to_json()).unwrap(), full);
         assert!(full
             .to_json()
             .to_json()
             .contains("\"topoff\":{\"block_len\":128,\"max_seeds\":4}"));
+        assert!(full
+            .to_json()
+            .to_json()
+            .contains("\"sat\":{\"max_conflicts\":5000,\"equiv\":true}"));
         let minimal =
             JsonValue::parse("{\"design\":\"LP\",\"generator\":\"LFSR-1\",\"vectors\":64}")
                 .unwrap();
@@ -471,7 +539,9 @@ mod tests {
         assert_eq!(spec.misr_width, 16);
         assert_eq!(spec.mode, ResponseCheck::Trace);
         assert_eq!(spec.topoff, None);
+        assert_eq!(spec.sat, None);
         assert!(!spec.to_json().to_json().contains("topoff"), "absent knob stays off the wire");
+        assert!(!spec.to_json().to_json().contains("sat"), "absent knob stays off the wire");
     }
 
     #[test]
@@ -496,6 +566,15 @@ mod tests {
                 "{\"design\":\"LP\",\"generator\":\"LFSR-1\",\"vectors\":64,\
                  \"topoff\":{\"block_len\":64}}",
                 "'topoff' must be an object",
+            ),
+            (
+                "{\"design\":\"LP\",\"generator\":\"LFSR-1\",\"vectors\":64,\"sat\":7}",
+                "'sat' must be an object",
+            ),
+            (
+                "{\"design\":\"LP\",\"generator\":\"LFSR-1\",\"vectors\":64,\
+                 \"sat\":{\"max_conflicts\":100}}",
+                "'sat' must be an object",
             ),
         ] {
             let v = JsonValue::parse(text).unwrap();
@@ -525,6 +604,11 @@ mod tests {
             .with_topoff(TopOffConfig { block_len: 0, max_seeds: 4 });
         assert!(bad.validate().unwrap_err().to_string().contains("block_len"), "{bad:?}");
         let ok = CampaignSpec::new("LP", "LFSR-D", 128).with_topoff(TopOffConfig::default());
+        assert!(ok.validate().is_ok());
+        let bad = CampaignSpec::new("LP", "LFSR-D", 128)
+            .with_sat(SatConfig { max_conflicts: 0, equiv: false });
+        assert!(bad.validate().unwrap_err().to_string().contains("max_conflicts"), "{bad:?}");
+        let ok = CampaignSpec::new("LP", "LFSR-D", 128).with_sat(SatConfig::default());
         assert!(ok.validate().is_ok());
     }
 
@@ -590,6 +674,7 @@ mod tests {
             boundaries: Some(vec![8, 32]),
             threads: 3,
             topoff: Some(TopOffConfig { block_len: 64, max_seeds: 2 }),
+            sat: Some(SatConfig { max_conflicts: 999, equiv: false }),
         };
         let config = spec.run_config(Some(CancelToken::new()));
         assert_eq!(config.vectors(), 777);
@@ -599,7 +684,10 @@ mod tests {
         assert_eq!(config.schedule(), &StageSchedule::with_boundaries(vec![8, 32]));
         assert!(config.cancel().is_some());
         assert_eq!(config.top_off(), Some(&TopOffConfig { block_len: 64, max_seeds: 2 }));
-        // Without the knob the config leaves the stage off.
-        assert_eq!(CampaignSpec::new("LP", "LFSR-D", 64).run_config(None).top_off(), None);
+        assert_eq!(config.sat_prune(), Some(&SatConfig { max_conflicts: 999, equiv: false }));
+        // Without the knobs the config leaves both stages off.
+        let plain = CampaignSpec::new("LP", "LFSR-D", 64).run_config(None);
+        assert_eq!(plain.top_off(), None);
+        assert_eq!(plain.sat_prune(), None);
     }
 }

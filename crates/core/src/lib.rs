@@ -68,4 +68,4 @@ pub mod variance;
 pub mod zones;
 
 pub use atpg::TopOffConfig;
-pub use session::{BistRun, BistSession, RunConfig, SessionError};
+pub use session::{BistRun, BistSession, RunConfig, SatConfig, SessionError};

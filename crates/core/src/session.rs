@@ -12,7 +12,9 @@ use faultsim::{
     SimOptions, StageSchedule,
 };
 use filters::FilterDesign;
-use obs::{Diagnostic, Registry, ResidueVerdict, RunArtifact, StageTiming, TopOffReport};
+use obs::{
+    Diagnostic, Registry, ResidueVerdict, RunArtifact, SatReport, StageTiming, TopOffReport,
+};
 use rtl::range::RangeAnalysis;
 use std::error::Error;
 use std::fmt;
@@ -154,6 +156,38 @@ impl fmt::Display for ResponseCheck {
     }
 }
 
+/// Configuration of the SAT proof stage.
+///
+/// With the stage enabled, [`BistSession::run`] hands every fault the
+/// ATPG static screen flags to the CDCL redundancy prover
+/// ([`sat::prove_faults`]): a fault whose miter is UNSAT at every
+/// reachable frame is *machine-checked redundant* and removed from the
+/// simulated universe, a SAT witness is replayed through the fault
+/// simulator as a detection, and anything undecided within the
+/// conflict budget is left in the universe. When the top-off stage is
+/// also enabled, faults it leaves unresolved get the same SAT verdict
+/// pass and proven-redundant ones are reported under their own
+/// `"redundant"` partition. With [`SatConfig::equiv`] set, the run
+/// additionally proves the design's CSD netlist equivalent to its
+/// behavioral fixed-point model ([`sat::check_equivalence`]) and
+/// records the certificate verdict in [`obs::SatReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SatConfig {
+    /// Per-query conflict budget for the redundancy prover; queries
+    /// exceeding it leave the fault `Unknown` (never pruned).
+    pub max_conflicts: u64,
+    /// Also prove the design/model equivalence certificate.
+    pub equiv: bool,
+}
+
+impl Default for SatConfig {
+    /// The prover's default budget (20 000 conflicts per query) with
+    /// the equivalence certificate enabled.
+    fn default() -> Self {
+        SatConfig { max_conflicts: 20_000, equiv: true }
+    }
+}
+
 /// Configuration of one BIST run: test length, MISR width, response
 /// check ([`ResponseCheck`]), the fault simulator's stage schedule and
 /// its worker-thread count.
@@ -180,6 +214,7 @@ pub struct RunConfig {
     cancel: Option<CancelToken>,
     lint: Vec<Diagnostic>,
     top_off: Option<TopOffConfig>,
+    sat: Option<SatConfig>,
 }
 
 impl RunConfig {
@@ -197,6 +232,7 @@ impl RunConfig {
             cancel: None,
             lint: Vec::new(),
             top_off: None,
+            sat: None,
         }
     }
 
@@ -318,6 +354,21 @@ impl RunConfig {
     pub fn top_off(&self) -> Option<&TopOffConfig> {
         self.top_off.as_ref()
     }
+
+    /// Enables the SAT proof stage (see [`SatConfig`]): before
+    /// simulation, statically-screened faults are handed to the CDCL
+    /// redundancy prover and the machine-checked-redundant ones are
+    /// removed from the universe; unresolved top-off faults get a SAT
+    /// verdict pass; the outcome lands in [`obs::RunArtifact::sat`].
+    pub fn with_sat_prune(mut self, cfg: SatConfig) -> Self {
+        self.sat = Some(cfg);
+        self
+    }
+
+    /// The SAT proof-stage configuration, if the stage is enabled.
+    pub fn sat_prune(&self) -> Option<&SatConfig> {
+        self.sat.as_ref()
+    }
 }
 
 impl Default for RunConfig {
@@ -437,32 +488,82 @@ impl<'d> BistSession<'d> {
         // registry (if any) absorbs the snapshot at the end.
         let registry = Arc::new(Registry::new());
 
-        // With the top-off stage enabled, the ATPG static screen
-        // removes provably-untestable faults before a single vector is
-        // simulated, so coverage is measured over the testable
-        // universe. Without the knob the session's own universe is used
-        // untouched and results stay bit-identical to prior schemas.
-        let screened_owned;
-        let universe: &FaultUniverse;
-        let mut screened_untestable = 0usize;
-        if config.top_off().is_some() {
+        // Both optional proof stages start from the ATPG static
+        // screen: the top-off stage removes everything it flags, the
+        // SAT stage treats its output as the redundancy-prover
+        // candidate set. Computed once, under the screen's span.
+        let screen: Vec<FaultId> = if config.top_off().is_some() || config.sat_prune().is_some() {
             let _span = registry.span("session.atpg_screen");
-            let untestable =
-                atpg::untestable_faults(self.design.netlist(), &self.universe, input_bits);
-            screened_untestable = untestable.len();
-            if untestable.is_empty() {
-                universe = &self.universe;
-            } else {
-                let keep: Vec<FaultId> = (0..self.universe.len() as u32)
-                    .map(FaultId)
-                    .filter(|id| !untestable.contains(id))
-                    .collect();
-                screened_owned = self.universe.subset(&keep);
-                universe = &screened_owned;
-            }
+            atpg::untestable_faults(self.design.netlist(), &self.universe, input_bits)
         } else {
-            universe = &self.universe;
+            Vec::new()
+        };
+
+        // SAT proof stage: prove the screened candidates redundant
+        // (UNSAT miter at every frame) or detectable (witness replayed
+        // through the fault simulator); optionally discharge the
+        // design/model equivalence certificate.
+        let mut sat_report: Option<SatReport> = None;
+        let mut sat_redundant: Vec<FaultId> = Vec::new();
+        if let Some(scfg) = config.sat_prune() {
+            let _span = registry.span("session.sat_prune");
+            let specs: Vec<sat::FaultSpec> = screen.iter().map(|&id| self.fault_spec(id)).collect();
+            let outcome = sat::prove_faults(
+                self.design.netlist(),
+                input_bits,
+                &specs,
+                &sat::PruneConfig { max_conflicts: scfg.max_conflicts },
+            );
+            sat_redundant = screen
+                .iter()
+                .zip(&outcome.verdicts)
+                .filter(|(_, (_, v))| matches!(v, sat::FaultVerdict::Redundant))
+                .map(|(&id, _)| id)
+                .collect();
+            let mut report = SatReport {
+                universe_before: self.universe.len(),
+                candidates: specs.len(),
+                redundant_proven: outcome.redundant,
+                detectable: outcome.detectable,
+                unknown: outcome.unknown,
+                witnesses_confirmed: outcome.witnesses_confirmed,
+                equiv_checked: scfg.equiv,
+                equiv_proved: false,
+                equiv_lemmas: 0,
+                conflicts: outcome.stats.conflicts,
+                decisions: outcome.stats.decisions,
+                propagations: outcome.stats.propagations,
+            };
+            if scfg.equiv {
+                let eq = sat::check_equivalence(self.design);
+                report.equiv_proved = eq.proved;
+                report.equiv_lemmas = eq.lemmas_proved;
+                report.conflicts += eq.stats.conflicts;
+                report.decisions += eq.stats.decisions;
+                report.propagations += eq.stats.propagations;
+            }
+            sat_report = Some(report);
         }
+
+        // Shrink the simulated universe: with the top-off stage on,
+        // everything the screen flags goes (its historical semantics);
+        // with only the SAT stage on, strictly the machine-checked
+        // redundant subset goes. Without either knob the session's own
+        // universe is used untouched and results stay bit-identical to
+        // prior schemas.
+        let removed: &[FaultId] = if config.top_off().is_some() { &screen } else { &sat_redundant };
+        let screened_untestable = if config.top_off().is_some() { screen.len() } else { 0 };
+        let screened_owned;
+        let universe: &FaultUniverse = if removed.is_empty() {
+            &self.universe
+        } else {
+            let keep: Vec<FaultId> = (0..self.universe.len() as u32)
+                .map(FaultId)
+                .filter(|id| !removed.contains(id))
+                .collect();
+            screened_owned = self.universe.subset(&keep);
+            &screened_owned
+        };
 
         let inputs: Vec<i64> = {
             let _span = registry.span("session.patterns");
@@ -514,10 +615,46 @@ impl<'d> BistSession<'d> {
 
         // Deterministic top-off: justify every undetected fault, plan
         // the seed compression, and verify the plan by re-simulation.
-        let topoff_report = config.top_off().map(|tcfg| {
-            let _span = registry.span("session.top_off");
-            let top =
-                atpg::top_off(self.design.netlist(), universe, &result.missed(), input_bits, tcfg);
+        let mut topoff_report = None;
+        if let Some(tcfg) = config.top_off() {
+            let top = {
+                let _span = registry.span("session.top_off");
+                atpg::top_off(self.design.netlist(), universe, &result.missed(), input_bits, tcfg)
+            };
+            // SAT verdict pass: faults the justifier left unresolved
+            // are retried by the redundancy prover; proven-redundant
+            // ones move to their own partition, so "unresolved" keeps
+            // meaning "nobody knows".
+            let mut redundant_ids: Vec<FaultId> = Vec::new();
+            if let Some(scfg) = config.sat_prune() {
+                if !top.unresolved.is_empty() {
+                    let _span = registry.span("session.sat_verdict");
+                    let specs: Vec<sat::FaultSpec> =
+                        top.unresolved.iter().map(|&id| Self::spec_for(universe, id)).collect();
+                    let outcome = sat::prove_faults(
+                        self.design.netlist(),
+                        input_bits,
+                        &specs,
+                        &sat::PruneConfig { max_conflicts: scfg.max_conflicts },
+                    );
+                    redundant_ids = top
+                        .unresolved
+                        .iter()
+                        .zip(&outcome.verdicts)
+                        .filter(|(_, (_, v))| matches!(v, sat::FaultVerdict::Redundant))
+                        .map(|(&id, _)| id)
+                        .collect();
+                    let report = sat_report.as_mut().expect("sat stage ran before top-off");
+                    report.candidates += specs.len();
+                    report.redundant_proven += outcome.redundant;
+                    report.detectable += outcome.detectable;
+                    report.unknown += outcome.unknown;
+                    report.witnesses_confirmed += outcome.witnesses_confirmed;
+                    report.conflicts += outcome.stats.conflicts;
+                    report.decisions += outcome.stats.decisions;
+                    report.propagations += outcome.stats.propagations;
+                }
+            }
             let residue = faultsim::report::residue(self.design.netlist(), universe, &result);
             let verdicts = residue
                 .iter()
@@ -531,18 +668,21 @@ impl<'d> BistSession<'d> {
                         "untestable"
                     } else if top.detected.contains(&rf.id) {
                         "detected"
+                    } else if redundant_ids.contains(&rf.id) {
+                        "redundant"
                     } else {
                         "unresolved"
                     }
                     .to_string(),
                 })
                 .collect();
-            TopOffReport {
+            topoff_report = Some(TopOffReport {
                 screened_untestable,
                 residue: residue.len(),
                 untestable: top.untestable.len(),
                 detected: top.detected.len(),
-                unresolved: top.unresolved.len(),
+                unresolved: top.unresolved.len() - redundant_ids.len(),
+                redundant: redundant_ids.len(),
                 seeds: top.plan.seeds.len(),
                 seed_bits: top.plan.seed_bits(),
                 stored_patterns: top.plan.stored.len(),
@@ -550,8 +690,8 @@ impl<'d> BistSession<'d> {
                 total_vectors: top.plan.total_vectors(),
                 block_len: top.plan.block_len,
                 verdicts,
-            }
-        });
+            });
+        }
 
         let snapshot = registry.snapshot();
         if let Some(campaign) = config.metrics() {
@@ -583,8 +723,23 @@ impl<'d> BistSession<'d> {
         artifact.counters = snapshot.counters.into_iter().collect();
         artifact.lint = config.lint().to_vec();
         artifact.topoff = topoff_report;
+        artifact.sat = sat_report;
 
         Ok(BistRun { generator: generator.name().to_string(), result, signature, artifact })
+    }
+
+    /// The SAT-encoder fault handle for one collapsed class of the
+    /// session's own universe.
+    fn fault_spec(&self, id: FaultId) -> sat::FaultSpec {
+        Self::spec_for(&self.universe, id)
+    }
+
+    /// The SAT-encoder fault handle for one collapsed class of any
+    /// universe over this design's netlist (class representatives are
+    /// what the prover reasons about).
+    fn spec_for(universe: &FaultUniverse, id: FaultId) -> sat::FaultSpec {
+        let site = universe.site(id);
+        sat::FaultSpec { node: site.node, cell: site.cell, fault: site.representative }
     }
 
     /// Census of the missed faults by difficult-test class (paper
@@ -672,6 +827,43 @@ mod tests {
             kaiser_beta: 4.0,
         })
         .unwrap()
+    }
+
+    /// A small folded (symmetric) design: its trimmed fold adder keeps
+    /// enough statically-screenable faults for the SAT prune stage to
+    /// have real candidates, while staying fast to prove.
+    fn small_sym_design() -> FilterDesign {
+        filters::FilterDesign::elaborate_full(
+            filters::FilterSpec {
+                name: "T-SYM".into(),
+                band: dsp::firdesign::BandKind::Lowpass { cutoff: 0.15 },
+                taps: 12,
+                input_bits: 12,
+                coef_frac_bits: 14,
+                max_csd_digits: 3,
+                width: 16,
+                kaiser_beta: 4.0,
+            },
+            filters::ScalingPolicy::WorstCase,
+            filters::Architecture::Symmetric,
+        )
+        .unwrap()
+    }
+
+    /// Per-fault detection outcomes keyed by fault-site identity, so
+    /// runs over different universe subsets can be compared.
+    fn verdicts_by_site(
+        universe: &FaultUniverse,
+        result: &FaultSimResult,
+    ) -> std::collections::BTreeMap<String, Option<u32>> {
+        universe
+            .ids()
+            .map(|id| {
+                let site = universe.site(id);
+                let key = format!("{:?}/{}/{:?}", site.node, site.cell, site.representative);
+                (key, result.detection_cycles()[id.index()])
+            })
+            .collect()
     }
 
     #[test]
@@ -1089,6 +1281,138 @@ mod tests {
         let (a, b) = (one.artifact.topoff.unwrap(), four.artifact.topoff.unwrap());
         assert_eq!(a, b, "top-off verdicts and plan must not depend on the worker count");
         assert_eq!(one.signature, four.signature);
+    }
+
+    #[test]
+    fn sat_prune_removes_proven_redundant_faults_and_keeps_verdicts_identical() {
+        let d = small_sym_design();
+        let s = BistSession::new(&d).unwrap();
+        let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
+        let plain = s.run(&mut gen, &RunConfig::new(96).with_threads(1)).unwrap();
+        let pruned = s
+            .run(&mut gen, &RunConfig::new(96).with_threads(1).with_sat_prune(SatConfig::default()))
+            .unwrap();
+        let r = pruned.artifact.sat.as_ref().expect("the knob fills the report");
+        // The screen finds real candidates on the folded design and
+        // the prover machine-checks (a subset of) them redundant.
+        assert!(r.candidates > 0, "{r:?}");
+        assert!(r.redundant_proven > 0, "{r:?}");
+        assert_eq!(r.universe_before, s.universe().len());
+        assert_eq!(r.redundant_proven + r.detectable + r.unknown, r.candidates);
+        // Every SAT witness replayed through the fault simulator.
+        assert_eq!(r.witnesses_confirmed, r.detectable, "{r:?}");
+        // The equivalence certificate was attempted and discharged.
+        assert!(r.equiv_checked && r.equiv_proved, "{r:?}");
+        assert!(r.equiv_lemmas > 0, "{r:?}");
+        // Exactly the proven-redundant classes left the universe…
+        assert_eq!(pruned.artifact.total_faults, s.universe().len() - r.redundant_proven);
+        // …and every surviving fault keeps its exact verdict. The
+        // pruned universe is re-derived through the same proof path the
+        // session took (screen candidates → CDCL prover → keep list).
+        let screen = atpg::untestable_faults(d.netlist(), s.universe(), 12);
+        let specs: Vec<sat::FaultSpec> = screen.iter().map(|&id| s.fault_spec(id)).collect();
+        let outcome = sat::prove_faults(
+            d.netlist(),
+            12,
+            &specs,
+            &sat::PruneConfig { max_conflicts: SatConfig::default().max_conflicts },
+        );
+        let keep: Vec<FaultId> = (0..s.universe().len() as u32)
+            .map(FaultId)
+            .filter(|id| {
+                !screen
+                    .iter()
+                    .zip(&outcome.verdicts)
+                    .any(|(&sid, (_, v))| sid == *id && matches!(v, sat::FaultVerdict::Redundant))
+            })
+            .collect();
+        let pruned_universe = s.universe().subset(&keep);
+        assert_eq!(pruned_universe.len(), pruned.artifact.total_faults);
+        let before = verdicts_by_site(&s.universe, &plain.result);
+        let after = verdicts_by_site(&pruned_universe, &pruned.result);
+        for (site, verdict) in &after {
+            assert_eq!(before.get(site), Some(verdict), "verdict changed at {site}");
+        }
+        // Pruned classes were all undetected in the unpruned run —
+        // pruning redundant faults can only raise coverage, never hide
+        // a detection.
+        assert_eq!(before.len() - after.len(), r.redundant_proven);
+        for (site, verdict) in &before {
+            if !after.contains_key(site) {
+                assert_eq!(*verdict, None, "a detected fault was pruned at {site}");
+            }
+        }
+        let names: Vec<&str> = pruned.artifact.stages.iter().map(|st| st.name.as_str()).collect();
+        assert!(names.contains(&"session.atpg_screen"), "{names:?}");
+        assert!(names.contains(&"session.sat_prune"), "{names:?}");
+        assert!(pruned.artifact.to_json().to_json().contains("\"sat\":{\"universe_before\":"));
+    }
+
+    #[test]
+    fn sat_verdict_pass_keeps_the_topoff_partition_exact() {
+        let d = small_design(0.15);
+        let s = BistSession::new(&d).unwrap();
+        let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
+        let cfg = RunConfig::new(96)
+            .with_top_off(TopOffConfig { block_len: 64, max_seeds: 8 })
+            .with_sat_prune(SatConfig { max_conflicts: 500, equiv: false });
+        let run = s.run(&mut gen, &cfg).unwrap();
+        let a = &run.artifact;
+        let t = a.topoff.as_ref().expect("the knob fills the report");
+        let r = a.sat.as_ref().expect("the knob fills the report");
+        // The four-way partition is exact: every residual fault has
+        // exactly one verdict and the counts add up.
+        assert_eq!(t.residue, a.missed);
+        assert_eq!(t.detected + t.untestable + t.unresolved + t.redundant, t.residue);
+        assert_eq!(t.verdicts.len(), t.residue);
+        let mut counted = [0usize; 4];
+        for v in &t.verdicts {
+            match v.verdict.as_str() {
+                "detected" => counted[0] += 1,
+                "untestable" => counted[1] += 1,
+                "unresolved" => counted[2] += 1,
+                "redundant" => counted[3] += 1,
+                other => panic!("unknown verdict '{other}' in {v:?}"),
+            }
+        }
+        assert_eq!(counted, [t.detected, t.untestable, t.unresolved, t.redundant]);
+        // The equivalence certificate was not requested.
+        assert!(!r.equiv_checked && !r.equiv_proved);
+        // Witness replay stayed sound across both prover passes.
+        assert_eq!(r.witnesses_confirmed, r.detectable, "{r:?}");
+    }
+
+    #[test]
+    fn sat_stage_is_observational_for_surviving_faults() {
+        // Without candidates to prune (the ripple design's universe is
+        // already statically tight) the SAT stage must leave results
+        // bit-identical to a plain run.
+        let d = small_design(0.15);
+        let s = BistSession::new(&d).unwrap();
+        let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
+        let plain = s.run(&mut gen, &RunConfig::new(96)).unwrap();
+        let sat = s
+            .run(
+                &mut gen,
+                &RunConfig::new(96).with_sat_prune(SatConfig { max_conflicts: 1000, equiv: false }),
+            )
+            .unwrap();
+        let r = sat.artifact.sat.as_ref().unwrap();
+        assert_eq!(r.redundant_proven, 0, "{r:?}");
+        assert_eq!(sat.signature, plain.signature);
+        assert_eq!(sat.result.detection_cycles(), plain.result.detection_cycles());
+    }
+
+    #[test]
+    fn runs_without_the_knob_carry_no_sat_report() {
+        let d = small_design(0.15);
+        let s = BistSession::new(&d).unwrap();
+        let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
+        let run = s.run(&mut gen, &RunConfig::new(64)).unwrap();
+        assert_eq!(run.artifact.sat, None);
+        assert!(!run.artifact.to_json().to_json().contains("\"sat\""));
+        let names: Vec<&str> = run.artifact.stages.iter().map(|st| st.name.as_str()).collect();
+        assert!(!names.contains(&"session.sat_prune"), "{names:?}");
     }
 
     #[test]

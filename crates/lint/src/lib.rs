@@ -17,6 +17,7 @@
 //! | `L3xx` | campaign spec        | [`campaign`]   |
 //! | `L4xx` | response compaction  | [`aliasing`]   |
 //! | `L5xx` | top-off stage        | [`topoff`]     |
+//! | `L6xx` | SAT proof stage      | [`satcheck`]   |
 //!
 //! The full code table lives in `DESIGN.md` §9. Every entry point of
 //! the repository runs some subset before spending a simulation cycle:
@@ -29,6 +30,7 @@
 pub mod aliasing;
 pub mod campaign;
 pub mod dataflow;
+pub mod satcheck;
 pub mod spectral;
 pub mod testability;
 pub mod topoff;
@@ -54,7 +56,7 @@ pub struct LintReport {
     /// The paired generator's name, when a pairing was linted.
     pub generator: Option<String>,
     /// Findings, in pass order (`L0xx`, `L1xx`, `L2xx`, `L3xx`,
-    /// `L4xx`, `L5xx`), node-id order within a pass.
+    /// `L4xx`, `L5xx`, `L6xx`), node-id order within a pass.
     pub diagnostics: Vec<Diagnostic>,
 }
 
@@ -131,6 +133,7 @@ pub fn lint_campaign(
     diagnostics.extend(campaign::lint_spec(&design, spec, deadline_ms));
     diagnostics.extend(aliasing::lint_aliasing(&design, spec));
     diagnostics.extend(topoff::lint_topoff(&design, spec));
+    diagnostics.extend(satcheck::lint_satcheck(&design, spec));
     Ok(LintReport {
         design: spec.design.clone(),
         generator: Some(spec.generator.clone()),
@@ -156,6 +159,7 @@ pub fn admission_lint(
     out.extend(campaign::lint_spec(&design, spec, deadline_ms));
     out.extend(aliasing::lint_aliasing(&design, spec));
     out.extend(topoff::lint_topoff(&design, spec));
+    out.extend(satcheck::lint_satcheck(&design, spec));
     Ok(out)
 }
 
@@ -226,6 +230,21 @@ mod tests {
         // existing golden snapshots stay byte-identical.
         let plain = lint_campaign(&CampaignSpec::new("LP-MINI", "LFSR-D", 4096), None).unwrap();
         assert!(plain.diagnostics.iter().all(|d| !d.code.starts_with("L5")));
+    }
+
+    #[test]
+    fn sat_specs_carry_the_l6xx_pass_in_full_and_admission_lint() {
+        let spec = CampaignSpec::new("LP-MINI", "LFSR-D", 4096)
+            .with_sat(bist_core::session::SatConfig::default());
+        let report = lint_campaign(&spec, None).unwrap();
+        assert!(report.diagnostics.iter().any(|d| d.code == "L601"), "{:?}", report.diagnostics);
+        assert!(!report.has_errors(), "{:?}", report.diagnostics);
+        let admission = admission_lint(&spec, None).unwrap();
+        assert!(admission.iter().any(|d| d.code == "L601"));
+        // Without the knob, no L6xx diagnostic appears anywhere, so
+        // existing golden snapshots stay byte-identical.
+        let plain = lint_campaign(&CampaignSpec::new("LP-MINI", "LFSR-D", 4096), None).unwrap();
+        assert!(plain.diagnostics.iter().all(|d| !d.code.starts_with("L6")));
     }
 
     #[test]

@@ -42,7 +42,8 @@ pub struct ResidueVerdict {
     pub line: String,
     /// Polarity: `true` for stuck-at-1, `false` for stuck-at-0.
     pub stuck_one: bool,
-    /// `"detected"`, `"untestable"` or `"unresolved"`.
+    /// `"detected"`, `"untestable"`, `"unresolved"` — or `"redundant"`
+    /// when the SAT verdict pass proved an unresolved fault redundant.
     pub verdict: String,
 }
 
@@ -63,6 +64,10 @@ pub struct TopOffReport {
     pub detected: usize,
     /// Residual faults neither proven untestable nor detected.
     pub unresolved: usize,
+    /// Unresolved faults the SAT verdict pass proved redundant
+    /// (`0` and absent from the JSON unless the pass reclassified
+    /// something, so pre-SAT artifacts stay byte-identical).
+    pub redundant: usize,
     /// Stored LFSR seeds in the reseeding plan.
     pub seeds: usize,
     /// Tester storage spent on seeds, in bits.
@@ -96,19 +101,76 @@ impl TopOffReport {
                 })
                 .collect(),
         );
-        JsonValue::object()
+        let head = JsonValue::object()
             .push("screened_untestable", self.screened_untestable)
             .push("residue", self.residue)
             .push("untestable", self.untestable)
             .push("detected", self.detected)
-            .push("unresolved", self.unresolved)
-            .push("seeds", self.seeds)
+            .push("unresolved", self.unresolved);
+        // Key omitted at zero so top-off artifacts from runs without
+        // the SAT verdict pass keep their exact historical bytes.
+        let head = if self.redundant == 0 { head } else { head.push("redundant", self.redundant) };
+        head.push("seeds", self.seeds)
             .push("seed_bits", self.seed_bits)
             .push("stored_patterns", self.stored_patterns)
             .push("stored_bits", self.stored_bits)
             .push("total_vectors", self.total_vectors)
             .push("block_len", self.block_len)
             .push("verdicts", verdicts)
+    }
+}
+
+/// The outcome of the SAT proof stage: redundancy-pruning counts over
+/// the pre-simulation candidate set, witness replay cross-validation,
+/// the equivalence-certificate verdict and aggregate solver effort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SatReport {
+    /// Collapsed fault classes in the universe before pruning.
+    pub universe_before: usize,
+    /// Faults handed to the redundancy prover.
+    pub candidates: usize,
+    /// Candidates proven redundant (UNSAT miter at every frame) and
+    /// removed from the simulated universe.
+    pub redundant_proven: usize,
+    /// Candidates the prover found a detecting witness for.
+    pub detectable: usize,
+    /// Candidates undecided within the conflict budget.
+    pub unknown: usize,
+    /// SAT witnesses that replayed through the fault simulator as
+    /// detections (must equal `detectable`; a shortfall is an
+    /// encoder/simulator disagreement).
+    pub witnesses_confirmed: usize,
+    /// Whether the design/model equivalence certificate was attempted.
+    pub equiv_checked: bool,
+    /// Whether every equivalence obligation was discharged (always
+    /// `false` when unchecked).
+    pub equiv_proved: bool,
+    /// SAT lemmas discharged by the equivalence certificate.
+    pub equiv_lemmas: usize,
+    /// Total solver conflicts across all queries.
+    pub conflicts: u64,
+    /// Total solver decisions across all queries.
+    pub decisions: u64,
+    /// Total unit propagations across all queries.
+    pub propagations: u64,
+}
+
+impl SatReport {
+    /// Renders the report as a JSON object (fixed field order).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .push("universe_before", self.universe_before)
+            .push("candidates", self.candidates)
+            .push("redundant_proven", self.redundant_proven)
+            .push("detectable", self.detectable)
+            .push("unknown", self.unknown)
+            .push("witnesses_confirmed", self.witnesses_confirmed)
+            .push("equiv_checked", self.equiv_checked)
+            .push("equiv_proved", self.equiv_proved)
+            .push("equiv_lemmas", self.equiv_lemmas)
+            .push("conflicts", self.conflicts)
+            .push("decisions", self.decisions)
+            .push("propagations", self.propagations)
     }
 }
 
@@ -166,6 +228,9 @@ pub struct RunArtifact {
     /// Deterministic top-off outcome, present only when the run was
     /// configured with the ATPG top-off stage.
     pub topoff: Option<TopOffReport>,
+    /// SAT proof-stage outcome, present only when the run was
+    /// configured with the SAT pruning stage.
+    pub sat: Option<SatReport>,
 }
 
 impl RunArtifact {
@@ -191,6 +256,7 @@ impl RunArtifact {
             counters: Vec::new(),
             lint: Vec::new(),
             topoff: None,
+            sat: None,
         }
     }
 
@@ -224,11 +290,16 @@ impl RunArtifact {
             .push("stages", stages)
             .push("counters", counters)
             .push("lint", diag::diagnostics_to_json(&self.lint));
-        match &self.topoff {
-            // Key omitted entirely when absent, so artifacts from runs
-            // without the stage stay byte-identical to schema 1.
+        // Optional-stage keys are omitted entirely when absent, so
+        // artifacts from runs without them stay byte-identical to
+        // schema 1.
+        let base = match &self.topoff {
             None => base,
             Some(report) => base.push("topoff", report.to_json()),
+        };
+        match &self.sat {
+            None => base,
+            Some(report) => base.push("sat", report.to_json()),
         }
     }
 
@@ -285,19 +356,46 @@ impl RunArtifact {
             let _ = write!(out, "\n  lint: {errors} error(s), {warns} warning(s), {infos} info");
         }
         if let Some(t) = &self.topoff {
+            let redundant = if t.redundant == 0 {
+                String::new()
+            } else {
+                format!(", {} redundant", t.redundant)
+            };
             let _ = write!(
                 out,
-                "\n  top-off: {} residual ({} detected, {} untestable, {} unresolved), \
+                "\n  top-off: {} residual ({} detected, {} untestable, {} unresolved{}), \
                  {} seed(s) + {} stored = {} bits, {} screened pre-sim",
                 t.residue,
                 t.detected,
                 t.untestable,
                 t.unresolved,
+                redundant,
                 t.seeds,
                 t.stored_patterns,
                 t.seed_bits + t.stored_bits,
                 t.screened_untestable,
             );
+        }
+        if let Some(s) = &self.sat {
+            let _ = write!(
+                out,
+                "\n  sat: {}/{} candidates proven redundant (universe {} -> {}), \
+                 {} witnesses confirmed, {} conflicts",
+                s.redundant_proven,
+                s.candidates,
+                s.universe_before,
+                s.universe_before - s.redundant_proven,
+                s.witnesses_confirmed,
+                s.conflicts,
+            );
+            if s.equiv_checked {
+                let _ = write!(
+                    out,
+                    "; equivalence {} ({} lemmas)",
+                    if s.equiv_proved { "proved" } else { "REFUTED" },
+                    s.equiv_lemmas,
+                );
+            }
         }
         out
     }
@@ -400,6 +498,7 @@ mod tests {
             untestable: 1,
             detected: 4,
             unresolved: 0,
+            redundant: 0,
             seeds: 2,
             seed_bits: 24,
             stored_patterns: 1,
@@ -466,5 +565,82 @@ mod tests {
             ),
             "{s}"
         );
+    }
+
+    fn sample_sat() -> SatReport {
+        SatReport {
+            universe_before: 1000,
+            candidates: 12,
+            redundant_proven: 9,
+            detectable: 2,
+            unknown: 1,
+            witnesses_confirmed: 2,
+            equiv_checked: true,
+            equiv_proved: true,
+            equiv_lemmas: 52,
+            conflicts: 314,
+            decisions: 2718,
+            propagations: 16180,
+        }
+    }
+
+    #[test]
+    fn sat_key_is_absent_without_the_stage_and_complete_with_it() {
+        let without = sample().to_json().to_json();
+        assert!(!without.contains("\"sat\""), "runs without the stage stay schema-1: {without}");
+        let mut a = sample();
+        a.sat = Some(sample_sat());
+        let json = a.to_json().to_json();
+        for needle in [
+            "\"sat\":{\"universe_before\":1000",
+            "\"candidates\":12",
+            "\"redundant_proven\":9",
+            "\"detectable\":2",
+            "\"unknown\":1",
+            "\"witnesses_confirmed\":2",
+            "\"equiv_checked\":true",
+            "\"equiv_proved\":true",
+            "\"equiv_lemmas\":52",
+            "\"conflicts\":314",
+            "\"decisions\":2718",
+            "\"propagations\":16180",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn sat_summary_line_reports_pruning_and_the_certificate() {
+        let mut a = sample();
+        a.sat = Some(sample_sat());
+        let s = a.summary();
+        assert!(
+            s.contains(
+                "sat: 9/12 candidates proven redundant (universe 1000 -> 991), \
+                 2 witnesses confirmed, 314 conflicts; equivalence proved (52 lemmas)"
+            ),
+            "{s}"
+        );
+        let mut refuted = sample_sat();
+        refuted.equiv_proved = false;
+        a.sat = Some(refuted);
+        assert!(a.summary().contains("equivalence REFUTED"), "{}", a.summary());
+    }
+
+    #[test]
+    fn redundant_partition_is_zero_silent_and_visible_when_populated() {
+        let zero = sample_topoff().to_json().to_json();
+        assert!(!zero.contains("redundant"), "zero stays byte-identical: {zero}");
+        let mut t = sample_topoff();
+        t.unresolved = 0;
+        t.redundant = 1;
+        t.verdicts[1].verdict = "redundant".into();
+        let json = t.to_json().to_json();
+        assert!(json.contains("\"unresolved\":0,\"redundant\":1,\"seeds\":2"), "{json}");
+        assert!(json.contains("\"verdict\":\"redundant\""), "{json}");
+        let mut a = sample();
+        a.topoff = Some(t);
+        let s = a.summary();
+        assert!(s.contains("0 unresolved, 1 redundant)"), "{s}");
     }
 }

@@ -4,7 +4,8 @@
 //! synthesized netlist and a campaign spec and reports findings as
 //! [`Diagnostic`]s: a stable code (`L0xx` netlist, `L1xx` testability,
 //! `L2xx` spectral compatibility, `L3xx` campaign spec, `L4xx`
-//! response compaction/aliasing), a
+//! response compaction/aliasing, `L5xx` top-off stage, `L6xx` SAT
+//! proof stage cross-validation), a
 //! [`Severity`], a [`Location`] naming the offending node, cell,
 //! frequency bin, or spec field, and a one-line explanation. The types
 //! live here — in the zero-dependency observability crate — so the

@@ -53,7 +53,9 @@ pub mod metrics;
 pub mod sink;
 pub mod span;
 
-pub use artifact::{ResidueVerdict, RunArtifact, StageTiming, TopOffReport, ARTIFACT_SCHEMA};
+pub use artifact::{
+    ResidueVerdict, RunArtifact, SatReport, StageTiming, TopOffReport, ARTIFACT_SCHEMA,
+};
 pub use diag::{Diagnostic, Location, Severity};
 pub use hist::{Histogram, HistogramSnapshot, DURATION_MS_BOUNDS};
 pub use json::{JsonError, JsonValue};

@@ -1,0 +1,999 @@
+//! Combinational-equivalence certificates: every CSD-synthesized filter
+//! netlist against its behavioral fixed-point model, over the *full*
+//! aligned input range.
+//!
+//! A monolithic miter between the unrolled netlist and a behavioral
+//! reference would be both slow and circular (the reference would be
+//! built by the same encoder). Instead the checker assembles a
+//! four-layer certificate whose pieces compose into a proof:
+//!
+//! 1. **Affine normal form** — every node's ideal (infinite-precision)
+//!    value is folded into an exact affine combination of *shift atoms*
+//!    (`x[t-d] >> s`, plus nested floor-shifts of multi-term sums for
+//!    the folded architecture). The output's normal form must equal the
+//!    form derived independently from the quantized CSD coefficients.
+//!    This step is exact symbolic arithmetic, not an approximation.
+//! 2. **Range obligations** — the ideal value of every trimmed
+//!    adder/subtractor must fit its trimmed cell span: a worst-case
+//!    interval propagation (in `i128`, mirroring `rtl::range` rule for
+//!    rule, with registers zero-hulled for the reset transient) shows
+//!    `wrap_{top+1}(ideal) == ideal` at each trim, so no word ever
+//!    wraps. The intervals are recomputed here from scratch — using the
+//!    design's own claimed ranges would be circular for statistically
+//!    scaled netlists, which deliberately under-provision and must fail
+//!    this check honestly.
+//! 3. **SAT cell lemmas** — the word-level reading of each gate network
+//!    is discharged by CDCL proofs over fresh inputs: the encoder's
+//!    trimmed ripple chain (`encode::ripple_word`, the literal network
+//!    the netlist nodes lower to) is mitered against an independent
+//!    mux/majority formulation for every `(subtract, trim)`
+//!    configuration in the netlist, the carry-save pair is proved to
+//!    satisfy `s + c == a + b + c (mod 2^w)`, `SetLsb` is proved to be
+//!    `+1` on an even word, and `Not` to be exact two's-complement
+//!    negation minus one.
+//! 4. **Simulation cross-check** — the affine model is evaluated
+//!    numerically against `rtl::sim::BitSlicedSim` on deterministic
+//!    pseudo-random input sequences, guarding the glue between layers.
+//!
+//! Together: the lemmas certify each word operator computes
+//! `wrap_{top+1}` of its ideal operand sum, the obligations certify the
+//! wrap is the identity on the reachable range, and the normal form
+//! certifies the composition of ideals equals the behavioral model.
+//! Any gap — a reckless scaling policy, a miswired tap, a bad trim —
+//! surfaces as `proved: false` with a concrete failure message.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use filters::{Architecture, FilterDesign};
+use rtl::sim::BitSlicedSim;
+use rtl::{Netlist, NodeKind};
+
+use crate::circuit::{Circuit, GLit};
+use crate::encode::{csa_words, ripple_word};
+use crate::solver::{SolveResult, Solver, SolverStats};
+
+/// One term of the affine normal form.
+///
+/// `In { delay, shift }` is `x[t - delay] >> shift` (zero before the
+/// first sample, matching register reset); `Shift` is an arithmetic
+/// right shift of a nested multi-term sum — floor shifts do not
+/// distribute over addition, so the folded architecture's pre-adder
+/// shifts must stay symbolic.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(crate) enum Atom {
+    /// A delayed, shifted input sample.
+    In {
+        /// Samples of delay relative to the current step.
+        delay: u32,
+        /// Arithmetic right shift applied to the sample.
+        shift: u32,
+    },
+    /// An arithmetic right shift of a nested affine sum.
+    Shift {
+        /// The shifted sum.
+        inner: Box<Affine>,
+        /// Shift distance (always positive; zero shifts collapse).
+        amount: u32,
+    },
+}
+
+impl Atom {
+    fn delayed(&self, by: u32) -> Atom {
+        match self {
+            Atom::In { delay, shift } => Atom::In { delay: delay + by, shift: *shift },
+            Atom::Shift { inner, amount } => {
+                Atom::Shift { inner: Box::new(inner.delayed(by)), amount: *amount }
+            }
+        }
+    }
+
+    fn eval(&self, xs: &[i64], t: usize) -> i128 {
+        match self {
+            Atom::In { delay, shift } => match t.checked_sub(*delay as usize) {
+                Some(idx) => (xs[idx] as i128) >> shift,
+                None => 0,
+            },
+            Atom::Shift { inner, amount } => inner.eval(xs, t) >> amount,
+        }
+    }
+}
+
+/// An exact integer-affine combination of shift atoms. Equality of two
+/// normal forms is structural (`BTreeMap` equality), which is why every
+/// constructor canonicalizes: zero coefficients are dropped, shifts of
+/// single unit atoms fold into the atom, and shift-of-shift composes.
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(crate) struct Affine {
+    terms: BTreeMap<Atom, i64>,
+    constant: i64,
+}
+
+impl Affine {
+    fn constant(c: i64) -> Affine {
+        Affine { terms: BTreeMap::new(), constant: c }
+    }
+
+    fn atom(a: Atom) -> Affine {
+        let mut f = Affine::default();
+        f.add_term(a, 1);
+        f
+    }
+
+    fn add_term(&mut self, a: Atom, coeff: i64) {
+        let c = self.terms.entry(a.clone()).or_insert(0);
+        *c += coeff;
+        if *c == 0 {
+            self.terms.remove(&a);
+        }
+    }
+
+    fn add_scaled(&mut self, other: &Affine, k: i64) {
+        for (a, &c) in &other.terms {
+            self.add_term(a.clone(), k * c);
+        }
+        self.constant += k * other.constant;
+    }
+
+    fn plus(&self, other: &Affine) -> Affine {
+        let mut f = self.clone();
+        f.add_scaled(other, 1);
+        f
+    }
+
+    fn minus(&self, other: &Affine) -> Affine {
+        let mut f = self.clone();
+        f.add_scaled(other, -1);
+        f
+    }
+
+    /// `-self - 1`: the exact value of a bitwise complement.
+    fn complemented(&self) -> Affine {
+        let mut f = Affine::default();
+        f.add_scaled(self, -1);
+        f.constant -= 1;
+        f
+    }
+
+    fn delayed(&self, by: u32) -> Affine {
+        if by == 0 {
+            return self.clone();
+        }
+        let mut f = Affine::constant(self.constant);
+        for (a, &c) in &self.terms {
+            f.add_term(a.delayed(by), c);
+        }
+        f
+    }
+
+    /// Arithmetic right shift in normal form. A unit atom absorbs the
+    /// shift (`(x >> a) >> b == x >> (a + b)` holds for floor shifts);
+    /// anything else must stay a symbolic [`Atom::Shift`].
+    fn shifted(&self, amount: u32) -> Affine {
+        if amount == 0 {
+            return self.clone();
+        }
+        if self.terms.is_empty() {
+            return Affine::constant(self.constant >> amount);
+        }
+        if self.constant == 0 && self.terms.len() == 1 {
+            let (a, &c) = self.terms.iter().next().expect("one term");
+            if c == 1 {
+                return Affine::atom(match a {
+                    Atom::In { delay, shift } => Atom::In { delay: *delay, shift: shift + amount },
+                    Atom::Shift { inner, amount: a0 } => {
+                        Atom::Shift { inner: inner.clone(), amount: a0 + amount }
+                    }
+                });
+            }
+        }
+        Affine::atom(Atom::Shift { inner: Box::new(self.clone()), amount })
+    }
+
+    fn eval(&self, xs: &[i64], t: usize) -> i128 {
+        let mut acc = self.constant as i128;
+        for (a, &c) in &self.terms {
+            acc += (c as i128) * a.eval(xs, t);
+        }
+        acc
+    }
+
+    fn len(&self) -> usize {
+        self.terms.len()
+    }
+}
+
+/// Enumeration budget for nested-shift operand hulls; beyond it the
+/// group falls back to (sound, looser) interval arithmetic.
+const MAX_ENUM_SPAN: i128 = 1 << 21;
+
+/// Worst-case range analysis over affine normal forms.
+///
+/// Plain interval arithmetic (what `rtl::range` does node-by-node) is
+/// too loose here: the CSD digits of one tap are shifts *of the same
+/// sample*, so `x>>4 - x>>6` can never reach the Minkowski bound
+/// `max(x>>4) - min(x>>6)`. Losing that correlation overflows the
+/// word-width bound on realistic filters even though the true range
+/// fits — which is exactly why `rtl::range` saturates and the trimmer
+/// clamps to the sign cell there.
+///
+/// This engine instead partitions an affine form into *independence
+/// groups* — terms over distinct input samples genuinely vary
+/// independently, while all terms over one sample (or one nested
+/// pre-adder sum) are evaluated together by exhaustive enumeration of
+/// that operand's value set. Group extremes then add. Splitting
+/// correlated terms into separate groups only ever widens the result,
+/// so any grouping is sound; the per-sample enumeration is exact.
+struct RangeCtx {
+    /// Input window extremes, pre-alignment.
+    vlo: i64,
+    vhi: i64,
+    /// Left alignment of the input window inside the datapath word.
+    align: u32,
+    memo: HashMap<Affine, (i128, i128)>,
+}
+
+/// Independence-group key: one input sample, or one nested shifted sum.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum GroupKey {
+    Delay(u32),
+    Inner(Box<Affine>),
+}
+
+impl RangeCtx {
+    fn new(input_bits: u32, width: u32) -> RangeCtx {
+        RangeCtx {
+            vlo: -(1i64 << (input_bits - 1)),
+            vhi: (1i64 << (input_bits - 1)) - 1,
+            align: width - input_bits,
+            memo: HashMap::new(),
+        }
+    }
+
+    /// Worst-case `[lo, hi]` of `f` over all input sequences.
+    fn affine_range(&mut self, f: &Affine) -> (i128, i128) {
+        let mut groups: BTreeMap<GroupKey, Affine> = BTreeMap::new();
+        for (a, &c) in &f.terms {
+            let key = match a {
+                Atom::In { delay, .. } => GroupKey::Delay(*delay),
+                Atom::Shift { inner, .. } => GroupKey::Inner(inner.clone()),
+            };
+            groups.entry(key).or_default().add_term(a.clone(), c);
+        }
+        let mut lo = f.constant as i128;
+        let mut hi = lo;
+        for (key, g) in groups {
+            let (glo, ghi) = self.group_range(&key, &g);
+            lo += glo;
+            hi += ghi;
+        }
+        (lo, hi)
+    }
+
+    fn group_range(&mut self, key: &GroupKey, g: &Affine) -> (i128, i128) {
+        if let Some(&r) = self.memo.get(g) {
+            return r;
+        }
+        let r = match key {
+            GroupKey::Delay(_) => {
+                // Exact: enumerate the input window.
+                let (mut lo, mut hi) = (i128::MAX, i128::MIN);
+                for v in self.vlo..=self.vhi {
+                    let word = v << self.align;
+                    let mut acc = 0i128;
+                    for (a, &c) in &g.terms {
+                        if let Atom::In { shift, .. } = a {
+                            acc += (c as i128) * ((word >> shift) as i128);
+                        }
+                    }
+                    lo = lo.min(acc);
+                    hi = hi.max(acc);
+                }
+                (lo, hi)
+            }
+            GroupKey::Inner(inner) => {
+                let (ulo, uhi) = self.affine_range(inner);
+                if uhi - ulo <= MAX_ENUM_SPAN
+                    && i64::try_from(ulo).is_ok()
+                    && i64::try_from(uhi).is_ok()
+                {
+                    // Exact over the operand hull (a superset of the
+                    // reachable set, so still sound).
+                    let (mut lo, mut hi) = (i128::MAX, i128::MIN);
+                    for u in (ulo as i64)..=(uhi as i64) {
+                        let mut acc = 0i128;
+                        for (a, &c) in &g.terms {
+                            if let Atom::Shift { amount, .. } = a {
+                                acc += (c as i128) * ((u >> amount) as i128);
+                            }
+                        }
+                        lo = lo.min(acc);
+                        hi = hi.max(acc);
+                    }
+                    (lo, hi)
+                } else {
+                    // Interval fallback.
+                    let (mut lo, mut hi) = (0i128, 0i128);
+                    for (a, &c) in &g.terms {
+                        if let Atom::Shift { amount, .. } = a {
+                            let t1 = (c as i128) * (ulo >> amount);
+                            let t2 = (c as i128) * (uhi >> amount);
+                            lo += t1.min(t2);
+                            hi += t1.max(t2);
+                        }
+                    }
+                    (lo, hi)
+                }
+            }
+        };
+        self.memo.insert(g.clone(), r);
+        r
+    }
+}
+
+/// A live carry-save `(sum, carry)` pair: its *combined* ideal value.
+/// Individual halves carry no affine meaning — only
+/// `sum + carry (mod 2^w)` does.
+struct Pair {
+    ideal: Affine,
+    /// Set once the pair has been delayed; later in-place corrections
+    /// (`SetLsb`) would silently miss the already-derived copy.
+    locked: bool,
+}
+
+/// Symbolic value of one netlist node.
+#[derive(Clone)]
+enum SymVal {
+    /// An ordinary word whose value equals the affine form exactly
+    /// (given the range obligations).
+    Scalar(Affine),
+    /// One half of a carry-save pair.
+    Half { pair: usize, carry: bool },
+}
+
+struct Extraction {
+    output: Affine,
+    obligations: usize,
+}
+
+/// Folds the netlist into its affine normal form, emitting a range
+/// obligation at every trimmed adder/subtractor. Errors describe the
+/// first node that defeats the fold — an unsupported operand mix or an
+/// obligation violation — and translate to `proved: false`.
+fn extract(netlist: &Netlist, input_bits: u32) -> Result<Extraction, String> {
+    let nodes = netlist.nodes();
+    if netlist.output_ids().len() != 1 {
+        return Err("equivalence checking expects exactly one output".into());
+    }
+    if netlist.input_ids().len() != 1 {
+        return Err("equivalence checking expects exactly one input".into());
+    }
+    let mut ranges = RangeCtx::new(input_bits, netlist.width());
+
+    // Operand fan-out, for the SetLsb in-place correction soundness check.
+    let mut uses = vec![0usize; nodes.len()];
+    for n in nodes {
+        for op in n.kind.operands() {
+            uses[op.index()] += 1;
+        }
+    }
+
+    let mut vals: Vec<Option<SymVal>> = vec![None; nodes.len()];
+    let mut pairs: Vec<Pair> = Vec::new();
+    let mut pair_of_sum: HashMap<usize, usize> = HashMap::new();
+    let mut delayed_pair: HashMap<usize, usize> = HashMap::new();
+    let mut obligations = 0usize;
+    let mut output: Option<Affine> = None;
+
+    let fetch = |vals: &[Option<SymVal>], id: rtl::NodeId, at: usize| -> Result<SymVal, String> {
+        vals[id.index()]
+            .clone()
+            .ok_or_else(|| format!("node {at} uses operand {} before it is defined", id.index()))
+    };
+
+    for (i, n) in nodes.iter().enumerate() {
+        let val = match n.kind {
+            NodeKind::Input => SymVal::Scalar(Affine::atom(Atom::In { delay: 0, shift: 0 })),
+            NodeKind::Const { raw } => SymVal::Scalar(Affine::constant(raw)),
+            NodeKind::Register { src } => match fetch(&vals, src, i)? {
+                SymVal::Scalar(f) => SymVal::Scalar(f.delayed(1)),
+                SymVal::Half { pair, carry } => {
+                    let q = match delayed_pair.get(&pair) {
+                        Some(&q) => q,
+                        None => {
+                            let ideal = pairs[pair].ideal.delayed(1);
+                            pairs[pair].locked = true;
+                            pairs.push(Pair { ideal, locked: false });
+                            let q = pairs.len() - 1;
+                            delayed_pair.insert(pair, q);
+                            q
+                        }
+                    };
+                    SymVal::Half { pair: q, carry }
+                }
+            },
+            NodeKind::ShiftRight { src, amount } => match fetch(&vals, src, i)? {
+                SymVal::Scalar(f) => SymVal::Scalar(f.shifted(amount)),
+                SymVal::Half { .. } => {
+                    return Err(format!("node {i}: shift of a carry-save half"));
+                }
+            },
+            NodeKind::Not { src } => match fetch(&vals, src, i)? {
+                SymVal::Scalar(f) => SymVal::Scalar(f.complemented()),
+                SymVal::Half { .. } => {
+                    return Err(format!("node {i}: complement of a carry-save half"));
+                }
+            },
+            NodeKind::SetLsb { src } => match fetch(&vals, src, i)? {
+                SymVal::Half { pair, carry: true }
+                    if matches!(nodes[src.index()].kind, NodeKind::CsaCarry { .. })
+                        && uses[src.index()] == 1
+                        && !pairs[pair].locked =>
+                {
+                    // The carry word's LSB is structurally zero, so the
+                    // tie-high adds exactly one to the pair. Correct the
+                    // pair in place: its sum half keeps pointing here.
+                    pairs[pair].ideal.constant += 1;
+                    SymVal::Half { pair, carry: true }
+                }
+                _ => {
+                    return Err(format!("node {i}: SetLsb outside the carry-correction idiom"));
+                }
+            },
+            NodeKind::Add { a, b } => {
+                match (fetch(&vals, a, i)?, fetch(&vals, b, i)?) {
+                    (SymVal::Scalar(fa), SymVal::Scalar(fb)) => {
+                        let f = fa.plus(&fb);
+                        check_obligation(netlist, i, &f, &mut ranges, &mut obligations)?;
+                        SymVal::Scalar(f)
+                    }
+                    (
+                        SymVal::Half { pair: p1, carry: c1 },
+                        SymVal::Half { pair: p2, carry: c2 },
+                    ) if p1 == p2 && c1 != c2 => {
+                        // Vector merge: the ripple adder resolves the pair
+                        // to wrap(sum + carry) == the pair's ideal value.
+                        let f = pairs[p1].ideal.clone();
+                        check_obligation(netlist, i, &f, &mut ranges, &mut obligations)?;
+                        SymVal::Scalar(f)
+                    }
+                    _ => return Err(format!("node {i}: unsupported adder operand mix")),
+                }
+            }
+            NodeKind::Sub { a, b } => match (fetch(&vals, a, i)?, fetch(&vals, b, i)?) {
+                (SymVal::Scalar(fa), SymVal::Scalar(fb)) => {
+                    let f = fa.minus(&fb);
+                    check_obligation(netlist, i, &f, &mut ranges, &mut obligations)?;
+                    SymVal::Scalar(f)
+                }
+                _ => return Err(format!("node {i}: unsupported subtractor operand mix")),
+            },
+            NodeKind::CsaSum { a, b, c } => {
+                let mut ideal = Affine::default();
+                let mut halves: Vec<(usize, bool)> = Vec::new();
+                for op in [a, b, c] {
+                    match fetch(&vals, op, i)? {
+                        SymVal::Scalar(f) => ideal.add_scaled(&f, 1),
+                        SymVal::Half { pair, carry } => halves.push((pair, carry)),
+                    }
+                }
+                match halves.as_slice() {
+                    [] => {}
+                    [(p1, c1), (p2, c2)] if p1 == p2 && c1 != c2 => {
+                        let pair_ideal = pairs[*p1].ideal.clone();
+                        ideal.add_scaled(&pair_ideal, 1);
+                    }
+                    _ => {
+                        return Err(format!("node {i}: carry-save stage consumes a split pair"));
+                    }
+                }
+                pairs.push(Pair { ideal, locked: false });
+                pair_of_sum.insert(i, pairs.len() - 1);
+                SymVal::Half { pair: pairs.len() - 1, carry: false }
+            }
+            NodeKind::CsaCarry { sum, .. } => match pair_of_sum.get(&sum.index()) {
+                Some(&p) => SymVal::Half { pair: p, carry: true },
+                None => return Err(format!("node {i}: carry without its sum sibling")),
+            },
+            NodeKind::Output { src } => match fetch(&vals, src, i)? {
+                SymVal::Scalar(f) => {
+                    output = Some(f.clone());
+                    SymVal::Scalar(f)
+                }
+                SymVal::Half { .. } => {
+                    return Err(format!("node {i}: unresolved carry-save pair at the output"));
+                }
+            },
+            _ => return Err(format!("node {i}: unsupported node kind")),
+        };
+        vals[i] = Some(val);
+    }
+
+    Ok(Extraction { output: output.expect("one output"), obligations })
+}
+
+/// One trimmed-adder range obligation: the ideal value must fit the
+/// trimmed cell span, otherwise the hardware word wraps and the affine
+/// reading is invalid.
+fn check_obligation(
+    netlist: &Netlist,
+    i: usize,
+    f: &Affine,
+    ranges: &mut RangeCtx,
+    obligations: &mut usize,
+) -> Result<(), String> {
+    let top = netlist.msb_trim(netlist.node_id(i));
+    let (lo, hi) = ranges.affine_range(f);
+    let bound = 1i128 << top;
+    if lo < -bound || hi >= bound {
+        return Err(format!(
+            "node {i}: worst-case value range [{lo}, {hi}] exceeds the trimmed sign cell \
+             {top} (the adder can wrap; a statistical scaling policy that \
+             under-provisions headroom fails here)"
+        ));
+    }
+    *obligations += 1;
+    Ok(())
+}
+
+/// Outcome of the SAT lemma pass.
+#[derive(Default)]
+struct Lemmas {
+    proved: usize,
+    stats: SolverStats,
+    failure: Option<String>,
+}
+
+impl Lemmas {
+    /// Miters `lhs` against `rhs` in a fresh solver and requires UNSAT.
+    fn prove(&mut self, name: &str, build: impl FnOnce(&mut Circuit) -> (Vec<GLit>, Vec<GLit>)) {
+        if self.failure.is_some() {
+            return;
+        }
+        let mut circuit = Circuit::new();
+        let mut solver = Solver::new();
+        let (lhs, rhs) = build(&mut circuit);
+        debug_assert_eq!(lhs.len(), rhs.len());
+        let diffs: Vec<GLit> = lhs.iter().zip(&rhs).map(|(&l, &r)| circuit.xor(l, r)).collect();
+        circuit.assert_any(&mut solver, &diffs);
+        solver.set_conflict_budget(200_000);
+        let result = solver.solve();
+        self.accumulate(solver.stats());
+        match result {
+            SolveResult::Unsat => self.proved += 1,
+            SolveResult::Sat => {
+                self.failure = Some(format!("cell lemma refuted: {name}"));
+            }
+            SolveResult::Unknown => {
+                self.failure = Some(format!("cell lemma exceeded its budget: {name}"));
+            }
+        }
+    }
+
+    fn accumulate(&mut self, s: SolverStats) {
+        self.stats.conflicts += s.conflicts;
+        self.stats.decisions += s.decisions;
+        self.stats.propagations += s.propagations;
+        self.stats.restarts += s.restarts;
+        self.stats.learnts += s.learnts;
+    }
+}
+
+fn fresh_word(circuit: &mut Circuit, w: usize) -> Vec<GLit> {
+    (0..w).map(|_| circuit.input()).collect()
+}
+
+/// An independent trimmed adder formulation: mux-based sum cells and
+/// 3-term majority carries — structurally disjoint from the xor-form
+/// network `encode::ripple_word` emits, so the miter is not discharged
+/// by hash-consing alone.
+fn reference_sum(
+    circuit: &mut Circuit,
+    a: &[GLit],
+    b: &[GLit],
+    subtract: bool,
+    top: usize,
+) -> Vec<GLit> {
+    let w = a.len();
+    let mut out = vec![GLit::FALSE; w];
+    let mut carry = if subtract { GLit::TRUE } else { GLit::FALSE };
+    for bit in 0..=top {
+        let av = a[bit];
+        let bv = if subtract { b[bit].not() } else { b[bit] };
+        let x = circuit.xor(av, bv);
+        out[bit] = circuit.mux(carry, x.not(), x);
+        if bit < top {
+            carry = circuit.majority(av, bv, carry);
+        }
+    }
+    for bit in top + 1..w {
+        out[bit] = out[top];
+    }
+    out
+}
+
+/// Proves the word-level lemmas for every operator configuration the
+/// netlist actually instantiates.
+fn run_cell_lemmas(netlist: &Netlist) -> Lemmas {
+    let w = netlist.width() as usize;
+    let mut configs: BTreeSet<(bool, u32)> = BTreeSet::new();
+    let mut has_csa = false;
+    let mut has_setlsb = false;
+    let mut has_not = false;
+    for (i, n) in netlist.nodes().iter().enumerate() {
+        match n.kind {
+            NodeKind::Add { .. } => {
+                configs.insert((false, netlist.msb_trim(netlist.node_id(i))));
+            }
+            NodeKind::Sub { .. } => {
+                configs.insert((true, netlist.msb_trim(netlist.node_id(i))));
+            }
+            NodeKind::CsaSum { .. } => has_csa = true,
+            NodeKind::SetLsb { .. } => has_setlsb = true,
+            NodeKind::Not { .. } => has_not = true,
+            _ => {}
+        }
+    }
+
+    let mut lemmas = Lemmas::default();
+    for (subtract, top) in configs {
+        let kind = if subtract { "sub" } else { "add" };
+        lemmas.prove(&format!("{kind} trimmed at cell {top}"), |c| {
+            let a = fresh_word(c, w);
+            let b = fresh_word(c, w);
+            let lhs = ripple_word(c, &a, &b, subtract, top as usize);
+            let rhs = reference_sum(c, &a, &b, subtract, top as usize);
+            (lhs, rhs)
+        });
+    }
+    if has_csa {
+        // s + c == a + b + c (mod 2^w): merge the pair with a full-width
+        // reference adder and compare against two chained additions.
+        lemmas.prove("carry-save pair preserves the sum mod 2^w", |circ| {
+            let a = fresh_word(circ, w);
+            let b = fresh_word(circ, w);
+            let c3 = fresh_word(circ, w);
+            let (s, cy) = csa_words(circ, &a, &b, &c3);
+            let lhs = reference_sum(circ, &s, &cy, false, w - 1);
+            let t = reference_sum(circ, &a, &b, false, w - 1);
+            let rhs = reference_sum(circ, &t, &c3, false, w - 1);
+            (lhs, rhs)
+        });
+    }
+    if has_setlsb {
+        // Tying the LSB of an even word adds exactly one.
+        lemmas.prove("SetLsb on an even word is +1", |circ| {
+            let mut x = fresh_word(circ, w);
+            x[0] = GLit::FALSE;
+            let mut tied = x.clone();
+            tied[0] = GLit::TRUE;
+            let mut one = vec![GLit::FALSE; w];
+            one[0] = GLit::TRUE;
+            let rhs = reference_sum(circ, &x, &one, false, w - 1);
+            (tied, rhs)
+        });
+    }
+    if has_not {
+        // x + !x == -1 (all ones): the complement is exactly -x - 1.
+        lemmas.prove("complement satisfies x + !x == -1", |circ| {
+            let x = fresh_word(circ, w);
+            let nx: Vec<GLit> = x.iter().map(|l| l.not()).collect();
+            let lhs = reference_sum(circ, &x, &nx, false, w - 1);
+            (lhs, vec![GLit::TRUE; w])
+        });
+    }
+    lemmas
+}
+
+/// Derives the behavioral model's normal form straight from the
+/// quantized CSD coefficients — the netlist never touches this side.
+fn spec_affine(design: &FilterDesign) -> Result<Affine, String> {
+    let n = design.spec().taps;
+    let q = design.quantized();
+    let mut f = Affine::default();
+    match design.architecture() {
+        Architecture::RippleCarry | Architecture::CarrySave => {
+            // Transposed form: tap k's product reaches the output through
+            // k chain registers plus the output register.
+            for (k, coef) in q.iter().enumerate() {
+                for d in coef.fractional_digits() {
+                    if d.power > 0 {
+                        return Err(format!("digit power {} above unity", d.power));
+                    }
+                    let shift = (-d.power) as u32;
+                    let sign = if d.negative { -1 } else { 1 };
+                    f.add_term(Atom::In { delay: k as u32 + 1, shift }, sign);
+                }
+            }
+        }
+        Architecture::Symmetric => {
+            // Folded form: half-weight pre-added sample pairs times the
+            // doubled coefficient; one register (the output) on top of
+            // the delay line.
+            let pairs = n / 2;
+            for (k, coef) in q.iter().enumerate().take(pairs) {
+                let inner = Affine::atom(Atom::In { delay: k as u32 + 1, shift: 1 })
+                    .plus(&Affine::atom(Atom::In { delay: (n - k) as u32, shift: 1 }));
+                for d in coef.fractional_digits() {
+                    let s = -d.power;
+                    if s < 1 {
+                        return Err(format!(
+                            "pair digit shift {s} leaves no room for the half weight"
+                        ));
+                    }
+                    let sign = if d.negative { -1 } else { 1 };
+                    f.add_scaled(&inner.shifted(s as u32 - 1), sign);
+                }
+            }
+            if n % 2 == 1 {
+                // Middle tap: (x >> 1) >> (s - 1) == x >> s.
+                let mid = pairs;
+                for d in q[mid].fractional_digits() {
+                    if d.power > 0 {
+                        return Err(format!("digit power {} above unity", d.power));
+                    }
+                    let shift = (-d.power) as u32;
+                    let sign = if d.negative { -1 } else { 1 };
+                    f.add_term(Atom::In { delay: mid as u32 + 1, shift }, sign);
+                }
+            }
+        }
+        other => return Err(format!("unsupported architecture {other:?}")),
+    }
+    Ok(f)
+}
+
+/// Evaluates the affine model against the bit-sliced simulator on
+/// deterministic pseudo-random aligned input sequences.
+fn sim_cross_check(
+    netlist: &Netlist,
+    model: &Affine,
+    input_bits: u32,
+    taps: usize,
+) -> Result<usize, String> {
+    let align = netlist.width() - input_bits;
+    let out = netlist.output_ids()[0];
+    let steps = taps + 24;
+    let mut checked = 0usize;
+    for seed in [0x9e37_79b9_7f4a_7c15u64, 0x2545_f491_4f6c_dd1d] {
+        let mut sim = BitSlicedSim::new(netlist);
+        let mut state = seed;
+        let mut xs: Vec<i64> = Vec::with_capacity(steps);
+        for t in 0..steps {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let window = (state >> 16) & ((1u64 << input_bits) - 1);
+            let word = netlist.format().sign_extend(window << align);
+            xs.push(word);
+            sim.step(word);
+            let got = sim.lane_value(out, 0) as i128;
+            let want = model.eval(&xs, t);
+            if got != want {
+                return Err(format!(
+                    "simulation diverges from the behavioral model at step {t}: \
+                     netlist {got}, model {want}"
+                ));
+            }
+            checked += 1;
+        }
+    }
+    Ok(checked)
+}
+
+/// The machine-checked equivalence certificate for one filter design.
+#[derive(Clone, Debug)]
+pub struct EquivReport {
+    /// Design name from the spec.
+    pub design: String,
+    /// Accumulation architecture, for the record.
+    pub architecture: String,
+    /// `true` only when every certificate layer passed.
+    pub proved: bool,
+    /// Terms in the behavioral model's affine normal form.
+    pub spec_terms: usize,
+    /// Trimmed-adder range obligations discharged.
+    pub range_obligations: usize,
+    /// SAT cell lemmas proved UNSAT.
+    pub lemmas_proved: usize,
+    /// Simulation steps cross-checked against the affine model.
+    pub sim_steps_checked: usize,
+    /// First failing certificate layer, when not proved.
+    pub failure: Option<String>,
+    /// Accumulated CDCL statistics over all lemmas.
+    pub stats: SolverStats,
+}
+
+/// Proves (or honestly refutes) that `design`'s synthesized netlist
+/// computes its behavioral fixed-point model over the full aligned
+/// input range. See the module docs for the certificate structure.
+#[must_use]
+pub fn check_equivalence(design: &FilterDesign) -> EquivReport {
+    let netlist = design.netlist();
+    let spec = design.spec();
+    let mut report = EquivReport {
+        design: spec.name.clone(),
+        architecture: format!("{:?}", design.architecture()),
+        proved: false,
+        spec_terms: 0,
+        range_obligations: 0,
+        lemmas_proved: 0,
+        sim_steps_checked: 0,
+        failure: None,
+        stats: SolverStats::default(),
+    };
+
+    let model = match spec_affine(design) {
+        Ok(m) => m,
+        Err(e) => {
+            report.failure = Some(format!("behavioral model: {e}"));
+            return report;
+        }
+    };
+    report.spec_terms = model.len();
+
+    let ext = match extract(netlist, spec.input_bits) {
+        Ok(x) => x,
+        Err(e) => {
+            report.failure = Some(e);
+            return report;
+        }
+    };
+    report.range_obligations = ext.obligations;
+
+    if ext.output != model {
+        report.failure = Some(format!(
+            "normal-form mismatch: the netlist folds to {} terms, the behavioral \
+             model has {}",
+            ext.output.len(),
+            model.len()
+        ));
+        return report;
+    }
+
+    let lemmas = run_cell_lemmas(netlist);
+    report.lemmas_proved = lemmas.proved;
+    report.stats = lemmas.stats;
+    if let Some(f) = lemmas.failure {
+        report.failure = Some(f);
+        return report;
+    }
+
+    match sim_cross_check(netlist, &model, spec.input_bits, spec.taps) {
+        Ok(steps) => report.sim_steps_checked = steps,
+        Err(e) => {
+            report.failure = Some(e);
+            return report;
+        }
+    }
+
+    report.proved = true;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filters::{designs, FilterDesign, ScalingPolicy};
+    use rtl::NetlistBuilder;
+
+    fn atom_in(delay: u32, shift: u32) -> Atom {
+        Atom::In { delay, shift }
+    }
+
+    #[test]
+    fn affine_normalization_rules() {
+        // Unit atoms absorb shifts; shift-of-shift composes.
+        let x = Affine::atom(atom_in(0, 0));
+        assert_eq!(x.shifted(2), Affine::atom(atom_in(0, 2)));
+        assert_eq!(x.shifted(2).shifted(3), Affine::atom(atom_in(0, 5)));
+
+        // Multi-term sums stay symbolic and compose their shifts.
+        let f = Affine::atom(atom_in(0, 1)).plus(&Affine::atom(atom_in(1, 1)));
+        let s1 = f.shifted(2);
+        assert_eq!(s1.len(), 1);
+        assert_eq!(s1.shifted(3), f.shifted(5));
+
+        // Delay distributes into nested shifts.
+        assert_eq!(
+            s1.delayed(2),
+            Affine::atom(atom_in(2, 1)).plus(&Affine::atom(atom_in(3, 1))).shifted(2)
+        );
+
+        // Cancellation drops terms.
+        assert_eq!(f.minus(&f), Affine::default());
+    }
+
+    #[test]
+    fn affine_eval_matches_hand_computation() {
+        // f = (x[t-1] >> 2) - (x[t] >> 1) - 3
+        let mut f = Affine::constant(-3);
+        f.add_term(atom_in(1, 2), 1);
+        f.add_term(atom_in(0, 1), -1);
+        let xs = [100i64, -7];
+        // t = 0: the delayed atom falls before the first sample → 0.
+        assert_eq!(f.eval(&xs, 0), -(100 >> 1) - 3);
+        assert_eq!(f.eval(&xs, 1), (100 >> 2) - (-7 >> 1) - 3);
+    }
+
+    /// A hand-built carry-save chain with a negative product: checks
+    /// pair tracking, the SetLsb correction, register delays of pairs,
+    /// and the vector merge.
+    #[test]
+    fn extraction_folds_a_csa_chain() {
+        let mut b = NetlistBuilder::new(16).unwrap();
+        let x = b.input("x");
+        let p1 = b.shift_right(x, 2);
+        let zero = b.constant(0);
+        let ds = b.register(p1);
+        let dc = b.register(zero);
+        let p2 = b.shift_right(x, 1);
+        let inv = b.not_word(p2);
+        let (s, c) = b.csa(ds, inv, dc, "tap.csa");
+        let c = b.set_lsb(c);
+        let rs = b.register(s);
+        let rc = b.register(c);
+        let merged = b.add(rs, rc);
+        let out_reg = b.register(merged);
+        b.output(out_reg, "y");
+        let netlist = b.finish().unwrap();
+
+        let ext = extract(&netlist, 12).unwrap();
+        // Ideal: (x[t-3] >> 2) - (x[t-2] >> 1); the -1 of the complement
+        // cancels against the SetLsb +1.
+        let mut want = Affine::default();
+        want.add_term(atom_in(3, 2), 1);
+        want.add_term(atom_in(2, 1), -1);
+        assert_eq!(ext.output, want);
+        assert!(ext.obligations >= 1);
+
+        // And a deliberately wrong model does not match.
+        let mut wrong = want.clone();
+        wrong.add_term(atom_in(1, 4), 1);
+        assert_ne!(ext.output, wrong);
+    }
+
+    #[test]
+    fn built_in_designs_prove_equivalent() {
+        let designs: Vec<FilterDesign> = vec![
+            designs::lowpass_mini().unwrap(),
+            designs::lowpass_symmetric().unwrap(),
+            designs::lowpass_carry_save().unwrap(),
+        ];
+        for d in &designs {
+            let report = check_equivalence(d);
+            assert!(
+                report.proved,
+                "{} ({}) failed: {:?}",
+                report.design, report.architecture, report.failure
+            );
+            assert!(report.spec_terms > 0);
+            assert!(report.range_obligations > 0);
+            assert!(report.lemmas_proved > 0);
+            assert!(report.sim_steps_checked > 0);
+        }
+    }
+
+    #[test]
+    fn paper_designs_prove_equivalent() {
+        for d in designs::paper_designs().unwrap() {
+            let report = check_equivalence(&d);
+            assert!(report.proved, "{} failed: {:?}", report.design, report.failure);
+        }
+    }
+
+    /// A statistical scaling policy that slashes headroom produces a
+    /// netlist whose adders genuinely wrap; the checker must refuse to
+    /// certify it rather than echo the design's own claimed ranges.
+    #[test]
+    fn reckless_statistical_scaling_is_refuted() {
+        let spec = designs::lowpass_mini().unwrap().spec().clone();
+        let design = FilterDesign::elaborate_full(
+            spec,
+            ScalingPolicy::Statistical { k_rms: 0.3 },
+            Architecture::RippleCarry,
+        )
+        .unwrap();
+        let report = check_equivalence(&design);
+        assert!(!report.proved);
+        let failure = report.failure.expect("failure recorded");
+        assert!(failure.contains("exceeds the trimmed sign cell"), "got: {failure}");
+    }
+}

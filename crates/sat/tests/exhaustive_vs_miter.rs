@@ -1,0 +1,199 @@
+//! Exhaustive ground truth for the per-fault miter: on cones small
+//! enough to enumerate *every* aligned input sequence of length
+//! `memory_depth + 1`, the brute-force detectability verdict and the
+//! SAT verdict must agree exactly — `Detectable` iff some sequence
+//! diverges the faulty machine, `Redundant` iff none does, and every
+//! witness must replay through the bit-sliced simulator.
+//!
+//! The deterministic tests below always run, over LP-MINI-shaped
+//! fixtures (tapped delay lines with shifts, adds and subs). The
+//! randomized variant is gated behind the off-by-default `proptest`
+//! feature so the workspace builds offline; see the workspace
+//! `Cargo.toml` for how to re-enable it.
+
+use bist_sat::{FaultSpec, FaultVerdict, PruneConfig, RedundancyProver};
+use faultsim::FaultUniverse;
+use rtl::range::{aligned_input_range, RangeAnalysis};
+use rtl::sim::{BitSlicedSim, CellFault};
+use rtl::{Netlist, NetlistBuilder, NodeId};
+
+const WIDTH: u32 = 6;
+const INPUT_BITS: u32 = 4;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Register(usize),
+    ShiftRight(usize, u32),
+    Add(usize, usize),
+    Sub(usize, usize),
+}
+
+fn build(ops: &[Op]) -> Netlist {
+    let mut b = NetlistBuilder::new(WIDTH).expect("width valid");
+    let mut ids: Vec<NodeId> = vec![b.input("x")];
+    for op in ops {
+        let pick = |i: usize| ids[i % ids.len()];
+        let id = match *op {
+            Op::Register(s) => b.register(pick(s)),
+            Op::ShiftRight(s, k) => b.shift_right(pick(s), k),
+            Op::Add(a, c) => b.add(pick(a), pick(c)),
+            Op::Sub(a, c) => b.sub(pick(a), pick(c)),
+        };
+        ids.push(id);
+    }
+    let last = *ids.last().expect("nonempty");
+    b.output(last, "y");
+    b.finish().expect("DAG by construction")
+}
+
+fn universe_of(n: &Netlist) -> FaultUniverse {
+    let ranges = RangeAnalysis::analyze(n, aligned_input_range(INPUT_BITS, WIDTH));
+    let reach = rtl::reachability::Reachability::analyze(n, INPUT_BITS);
+    FaultUniverse::enumerate_pruned(n, &ranges, &reach)
+}
+
+/// Brute-force detectability: every aligned input sequence of length
+/// `depth + 1` from reset, output diff checked after every step.
+fn brute_force_detectable(netlist: &Netlist, fault: &FaultSpec, depth: usize) -> bool {
+    let align = WIDTH - INPUT_BITS;
+    let words: Vec<i64> =
+        (0..1u64 << INPUT_BITS).map(|raw| netlist.format().sign_extend(raw << align)).collect();
+    let mut seq = vec![0usize; depth + 1];
+    loop {
+        let mut sim = BitSlicedSim::new(netlist);
+        sim.set_faults(
+            fault.node,
+            vec![CellFault { cell: fault.cell, fault: fault.fault, lanes: 1 << 1 }],
+        );
+        for &k in &seq {
+            sim.step(words[k]);
+            if sim.output_diff_lanes(0) & (1 << 1) != 0 {
+                return true;
+            }
+        }
+        let mut pos = 0;
+        loop {
+            if pos == seq.len() {
+                return false;
+            }
+            seq[pos] += 1;
+            if seq[pos] < words.len() {
+                break;
+            }
+            seq[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+fn witness_replays(netlist: &Netlist, fault: &FaultSpec, witness: &[i64]) -> bool {
+    let mut sim = BitSlicedSim::new(netlist);
+    sim.set_faults(
+        fault.node,
+        vec![CellFault { cell: fault.cell, fault: fault.fault, lanes: 1 << 1 }],
+    );
+    let mut diff = false;
+    for &w in witness {
+        sim.step(w);
+        diff = sim.output_diff_lanes(0) & (1 << 1) != 0;
+    }
+    diff
+}
+
+/// Proves every `stride`-th fault of the netlist's universe and checks
+/// the verdict against exhaustive enumeration. Returns the number of
+/// faults compared.
+fn cross_check(netlist: &Netlist, stride: usize) -> usize {
+    let universe = universe_of(netlist);
+    let mut prover = RedundancyProver::new(netlist, INPUT_BITS);
+    let depth = prover.memory_depth() as usize;
+    let mut checked = 0usize;
+    for id in universe.ids().step_by(stride.max(1)) {
+        let site = universe.site(id);
+        let fault = FaultSpec { node: site.node, cell: site.cell, fault: site.representative };
+        let oracle = brute_force_detectable(netlist, &fault, depth);
+        match prover.prove(&fault, PruneConfig::default().max_conflicts) {
+            FaultVerdict::Detectable { witness } => {
+                assert!(oracle, "miter witnessed fault {id:?} but enumeration finds no test");
+                assert!(witness_replays(netlist, &fault, &witness), "witness fails replay");
+            }
+            FaultVerdict::Redundant => {
+                assert!(!oracle, "miter proved fault {id:?} UNSAT but enumeration found a test");
+            }
+            FaultVerdict::Unknown => {
+                panic!("cone-sized proof for fault {id:?} must not exhaust its budget")
+            }
+        }
+        checked += 1;
+    }
+    checked
+}
+
+/// A two-tap accumulate: the LP-MINI shape in miniature.
+fn two_tap() -> Netlist {
+    build(&[
+        Op::Register(0),
+        Op::ShiftRight(0, 2),
+        Op::ShiftRight(1, 1),
+        Op::Add(2, 3),
+        Op::Register(4),
+        Op::Add(4, 5),
+    ])
+}
+
+/// A fold-and-difference line, the symmetric-architecture shape.
+fn fold_diff() -> Netlist {
+    build(&[
+        Op::Register(0),
+        Op::Register(1),
+        Op::Add(0, 2),
+        Op::ShiftRight(3, 1),
+        Op::Sub(3, 4),
+        Op::Add(5, 1),
+    ])
+}
+
+#[test]
+fn miter_matches_exhaustive_enumeration_on_the_two_tap_cone() {
+    let n = two_tap();
+    let checked = cross_check(&n, 3);
+    assert!(checked >= 20, "only {checked} faults compared");
+}
+
+#[test]
+fn miter_matches_exhaustive_enumeration_on_the_fold_cone() {
+    let n = fold_diff();
+    let checked = cross_check(&n, 3);
+    assert!(checked >= 20, "only {checked} faults compared");
+}
+
+#[cfg(feature = "proptest")]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn op_strategy(max_src: usize) -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0..max_src).prop_map(Op::Register),
+            (0..max_src, 0u32..4).prop_map(|(s, k)| Op::ShiftRight(s, k)),
+            (0..max_src, 0..max_src).prop_map(|(a, b)| Op::Add(a, b)),
+            (0..max_src, 0..max_src).prop_map(|(a, b)| Op::Sub(a, b)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn miter_matches_exhaustive_enumeration_on_random_cones(
+            ops in proptest::collection::vec(op_strategy(8), 2..8),
+        ) {
+            let n = build(&ops);
+            // Keep the enumeration tractable: depth grows with chained
+            // registers, and 16^(d+1) sequences per fault add up.
+            let depth = RedundancyProver::new(&n, INPUT_BITS).memory_depth();
+            prop_assume!(depth <= 2);
+            cross_check(&n, 5);
+        }
+    }
+}

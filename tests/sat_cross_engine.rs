@@ -1,0 +1,209 @@
+//! Cross-engine oracle: the SAT redundancy prover, the ATPG
+//! untestability screen and the gate-level fault simulator are three
+//! independent engines making claims about the same faults. Any
+//! disagreement between them is a hard failure:
+//!
+//! * a SAT witness (a concrete input-word sequence) must make the
+//!   faulty machine diverge when replayed through `faultsim` — an
+//!   engine sharing no code with the solver's unrolled CNF miter;
+//! * a fault proven UNSAT (redundant) must have been flagged by the
+//!   exhaustive-cone ATPG screen — a witnessless SAT proof the screen
+//!   missed would mean one of the two engines models the netlist wrong;
+//! * a fault the screen flagged must never get a SAT witness, and a
+//!   fault an actual campaign *detected* must never be proven UNSAT.
+
+use bist_core::BistSession;
+use faultsim::{FaultId, FaultUniverse};
+use filters::FilterDesign;
+use tpg::{collect_words, Decorrelated, ShiftDirection};
+
+/// A small folded (symmetric) design whose trimmed fold adder keeps
+/// real screen candidates while proofs stay a few milliseconds each.
+fn small_sym_design() -> FilterDesign {
+    FilterDesign::elaborate_full(
+        filters::FilterSpec {
+            name: "T-SYM".into(),
+            band: dsp::firdesign::BandKind::Lowpass { cutoff: 0.15 },
+            taps: 12,
+            input_bits: 12,
+            coef_frac_bits: 14,
+            max_csd_digits: 3,
+            width: 16,
+            kaiser_beta: 4.0,
+        },
+        filters::ScalingPolicy::WorstCase,
+        filters::Architecture::Symmetric,
+    )
+    .unwrap()
+}
+
+fn spec_for(universe: &FaultUniverse, id: FaultId) -> sat::FaultSpec {
+    let site = universe.site(id);
+    sat::FaultSpec { node: site.node, cell: site.cell, fault: site.representative }
+}
+
+/// Replays a SAT witness through the fault simulator and reports
+/// whether the faulty machine diverged from the good one.
+fn faultsim_confirms(
+    design: &FilterDesign,
+    universe: &FaultUniverse,
+    id: FaultId,
+    witness: &[i64],
+) -> bool {
+    let trace = faultsim::inject::trace_fault(design.netlist(), universe, id, witness);
+    *trace.error().last().unwrap() != 0
+}
+
+#[test]
+fn screen_candidates_are_proven_redundant_and_never_witnessed() {
+    let design = small_sym_design();
+    let session = BistSession::new(&design).unwrap();
+    let universe = session.universe();
+    let input_bits = design.spec().input_bits;
+    let screen = atpg::untestable_faults(design.netlist(), universe, input_bits);
+    assert!(!screen.is_empty(), "the folded design must keep screen candidates");
+
+    let specs: Vec<sat::FaultSpec> = screen.iter().map(|&id| spec_for(universe, id)).collect();
+    let outcome = sat::prove_faults(
+        design.netlist(),
+        input_bits,
+        &specs,
+        &sat::PruneConfig { max_conflicts: 20_000 },
+    );
+    for (&id, (fault, verdict)) in screen.iter().zip(&outcome.verdicts) {
+        match verdict {
+            sat::FaultVerdict::Redundant => {}
+            sat::FaultVerdict::Unknown => {}
+            sat::FaultVerdict::Detectable { witness } => panic!(
+                "engine disagreement: screen called fault {id:?} ({}[cell {}]) \
+                 untestable but SAT found a {}-step witness",
+                fault.node,
+                fault.cell,
+                witness.len()
+            ),
+        }
+    }
+    assert!(outcome.redundant > 0, "at least one candidate proves UNSAT outright");
+}
+
+#[test]
+fn sat_witnesses_replay_through_the_fault_simulator() {
+    let design = small_sym_design();
+    let session = BistSession::new(&design).unwrap();
+    let universe = session.universe();
+    let input_bits = design.spec().input_bits;
+    let screen: std::collections::BTreeSet<u32> =
+        atpg::untestable_faults(design.netlist(), universe, input_bits)
+            .iter()
+            .map(|id| id.index() as u32)
+            .collect();
+
+    // Sample faults the screen did NOT flag: the miter should find a
+    // witness for most of them, and every witness must replay. The
+    // screen is conservative, so the miter may still prove some of
+    // these UNSAT — that is not a disagreement, but such a fault must
+    // then be undetectable by simulation too, which we check below.
+    let sampled: Vec<FaultId> = (0..universe.len() as u32)
+        .filter(|i| !screen.contains(i))
+        .step_by(universe.len() / 40 + 1)
+        .map(FaultId)
+        .collect();
+    assert!(!sampled.is_empty());
+    let mut witnessed = 0usize;
+    let mut beyond_screen: Vec<FaultId> = Vec::new();
+    for &id in &sampled {
+        let spec = spec_for(universe, id);
+        let outcome = sat::prove_faults(
+            design.netlist(),
+            input_bits,
+            &[spec],
+            &sat::PruneConfig { max_conflicts: 20_000 },
+        );
+        match &outcome.verdicts[0].1 {
+            sat::FaultVerdict::Detectable { witness } => {
+                assert!(
+                    faultsim_confirms(&design, universe, id, witness),
+                    "engine disagreement: SAT witness for fault {id:?} does not \
+                     diverge when replayed through faultsim"
+                );
+                witnessed += 1;
+            }
+            sat::FaultVerdict::Redundant => beyond_screen.push(id),
+            sat::FaultVerdict::Unknown => {}
+        }
+    }
+    assert!(witnessed > sampled.len() / 2, "{witnessed}/{} witnessed", sampled.len());
+
+    if !beyond_screen.is_empty() {
+        // Redundancy proofs beyond the screen's reach: no simulation
+        // may ever detect one of these faults.
+        let sub = universe.subset(&beyond_screen);
+        let mut generator = Decorrelated::maximal(input_bits, ShiftDirection::LsbToMsb).unwrap();
+        let inputs: Vec<i64> =
+            collect_words(&mut generator, 512).iter().map(|&w| design.align_input(w)).collect();
+        let result = faultsim::ParallelFaultSimulator::new(design.netlist(), &sub).run(&inputs);
+        assert_eq!(
+            result.detected_count(),
+            0,
+            "engine disagreement: simulation detected a fault SAT proved UNSAT"
+        );
+    }
+}
+
+#[test]
+fn campaign_detected_faults_are_never_proven_redundant() {
+    // The strongest possible disagreement: a fault the gate-level
+    // campaign *measured* a detection for, "proven" undetectable.
+    let design = filters::designs::lowpass_mini().unwrap();
+    let session = BistSession::new(&design).unwrap();
+    let universe = session.universe();
+    let input_bits = design.spec().input_bits;
+
+    let mut generator = Decorrelated::maximal(input_bits, ShiftDirection::LsbToMsb).unwrap();
+    let run = session.run(&mut generator, &bist_core::RunConfig::new(256).with_threads(1)).unwrap();
+    let detected: Vec<FaultId> = run
+        .result
+        .detection_cycles()
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.is_some())
+        .map(|(i, _)| FaultId(i as u32))
+        .collect();
+    assert!(detected.len() > 100, "{} detected", detected.len());
+
+    for &id in detected.iter().step_by(detected.len() / 25 + 1) {
+        let spec = spec_for(universe, id);
+        let outcome = sat::prove_faults(
+            design.netlist(),
+            input_bits,
+            &[spec],
+            &sat::PruneConfig { max_conflicts: 20_000 },
+        );
+        match &outcome.verdicts[0].1 {
+            sat::FaultVerdict::Redundant => panic!(
+                "engine disagreement: campaign detected fault {id:?} at cycle \
+                 {:?} but SAT proved it redundant",
+                run.result.detection_cycles()[id.index()]
+            ),
+            sat::FaultVerdict::Detectable { witness } => {
+                assert!(
+                    faultsim_confirms(&design, universe, id, witness),
+                    "SAT witness for detected fault {id:?} failed faultsim replay"
+                );
+            }
+            sat::FaultVerdict::Unknown => {}
+        }
+    }
+
+    // The generator's own words are not SAT witnesses, but the replay
+    // helper agrees with the campaign verdict on a few detected faults:
+    // the input prefix up to the detection cycle diverges the machine.
+    let mut regen = Decorrelated::maximal(input_bits, ShiftDirection::LsbToMsb).unwrap();
+    let words: Vec<i64> =
+        collect_words(&mut regen, 256).iter().map(|&w| design.align_input(w)).collect();
+    for &id in detected.iter().take(3) {
+        let cycle = run.result.detection_cycles()[id.index()].unwrap() as usize;
+        let trace = faultsim::inject::trace_fault(design.netlist(), universe, id, &words[..=cycle]);
+        assert!(!trace.divergent_cycles().is_empty(), "fault {id:?} prefix replay");
+    }
+}
