@@ -7,7 +7,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --check
-cargo clippy --offline --all-targets -- -D warnings
+cargo clippy --offline --all-targets -- -D warnings \
+    -D clippy::needless_pass_by_value -D clippy::redundant_clone
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
 cargo build --release --offline
 cargo test -q --offline
@@ -43,6 +44,12 @@ echo "experiments atpg cell: top-off covers 100% of testable faults OK"
 # must prove redundant (exits non-zero on any refutation). Sub-second.
 ./target/release/experiments sat
 echo "experiments sat cell: equivalence proved, sampled candidates UNSAT OK"
+
+# Structure smoke cell: the LP-MINI collapse run must be bit-identical
+# to the plain run, shrink the simulated universe, and carry the L701
+# collapse census at admission (exits non-zero otherwise). Sub-second.
+./target/release/experiments structure
+echo "experiments structure cell: collapse bit-identical, census attached OK"
 
 # Daemon smoke test: a bistd on a Unix socket must serve a campaign,
 # answer the identical resubmission from its result cache, and drain

@@ -1022,14 +1022,14 @@ mod tests {
                 }
             }
             for t in 0..8u8 {
+                let fault =
+                    rtl::fulladder::FaFault { line: rtl::fulladder::Line::X1And, stuck_one: true };
                 let site = FaultSite {
                     node: acc,
                     cell,
-                    representative: rtl::fulladder::FaFault {
-                        line: rtl::fulladder::Line::X1And,
-                        stuck_one: true,
-                    },
+                    representative: fault,
                     members: 1,
+                    member_faults: vec![fault],
                     detecting_tests: 1 << t,
                 };
                 match cj.solve(&site, 2) {

@@ -185,7 +185,7 @@ mod tests {
             .copied()
             .collect();
         all.sort_unstable();
-        let mut expect = residue.clone();
+        let mut expect = residue;
         expect.sort_unstable();
         assert_eq!(all, expect, "verdict partition must cover the residue exactly");
         // Every justified fault is covered by a seed or stored raw.

@@ -23,7 +23,9 @@
 //!     bench5   trace vs signature checking           (compaction study)
 //!     bench7   top-off seed storage vs misses        (reseeding study)
 //!     bench8   SAT proof-pruning before/after        (redundancy study)
+//!     bench9   structural collapse before/after      (collapsing study)
 //!     smoke    signature-mode zero-aliasing gate     (CI tier 1)
+//!     structure collapse bit-identity census gate    (CI tier 1)
 //!     atpg     deterministic top-off coverage gate   (CI tier 1)
 //!     sat      equivalence + redundancy proof gate   (CI tier 1)
 //!     all      everything above
@@ -51,8 +53,8 @@
 //! ```
 
 use bist_bench::{
-    cell_lint, cell_lint_mode, generator, mixed_generator, paper_designs, plot, run_config,
-    run_config_mode, run_session, table, SECTION8_GENERATORS,
+    cell_lint, cell_lint_mode, generator, lint_tally, mixed_generator, paper_designs, plot,
+    run_config, run_config_mode, run_session, table, SECTION8_GENERATORS,
 };
 use bist_core::campaign::CampaignSpec;
 use bist_core::session::{BistSession, ResponseCheck};
@@ -124,7 +126,9 @@ fn main() {
     run("bench5", &bench5);
     run("bench7", &bench7);
     run("bench8", &bench8);
+    run("bench9", &bench9);
     run("smoke", &smoke);
+    run("structure", &structure_smoke);
     run("atpg", &atpg_smoke);
     run("sat", &sat_smoke);
     if !ran {
@@ -141,6 +145,7 @@ fn main() {
             "table6" => "6",
             "bench7" => "7",
             "bench8" => "8",
+            "bench9" => "9",
             other => other,
         };
         match bist_bench::artifacts::write_bench_json(tag, &path) {
@@ -1319,6 +1324,239 @@ fn bench8() {
     );
 }
 
+/// Total milliseconds a run spent in one named session stage.
+fn stage_ms(run: &bist_core::session::BistRun, name: &str) -> f64 {
+    run.artifact.stages.iter().filter(|s| s.name == name).map(|s| s.millis).sum()
+}
+
+/// The `bench9` structural-collapse study: every paper design plus
+/// LP-MINI runs the LFSR-D test twice per response-check mode — plain
+/// vs collapsed — and each pair must produce bit-identical
+/// full-universe verdicts (detection cycles, per-fault signatures and
+/// the good-machine signature; the study exits non-zero otherwise, or
+/// if no built-in filter clears a 40% raw-universe reduction). The
+/// per-cell collapse census, fault-sim wall times and shared lint
+/// tallies land in `BENCH_9.json`'s `comparison` object with `--json`,
+/// an LP-MINI *expanded* raw-universe baseline replays every member
+/// line as its own machine to verify the equivalence premise
+/// end-to-end, and the admission-time `L7xx` lints are demonstrated on
+/// the same design.
+fn bench9() {
+    banner("Structural collapse study: representative-only simulation, verdicts bit-identical");
+    let mut designs = paper_designs();
+    designs.push(filters::designs::lowpass_mini().expect("LP-MINI elaborates"));
+    let mut rows = Vec::new();
+    let mut cell_entries = Vec::new();
+    let mut best_builtin = 0.0f64;
+    let mut mini_classes = 0usize;
+    for d in &designs {
+        let session = BistSession::new(d).expect("session");
+        for mode in [ResponseCheck::Trace, ResponseCheck::Signature] {
+            let mode_name = match mode {
+                ResponseCheck::Trace => "trace",
+                ResponseCheck::Signature => "signature",
+            };
+            let config = run_config_mode(SECTION8_VECTORS, mode);
+            let mut gen = generator("LFSR-D");
+            let plain = run_session(&session, &mut *gen, &config);
+            let mut gen = generator("LFSR-D");
+            let collapsed = run_session(&session, &mut *gen, &config.with_collapse(true));
+            // Byte-identity over the *expanded* universe: the collapsed
+            // run must be indistinguishable from the plain one.
+            let identical = plain.result.detection_cycles() == collapsed.result.detection_cycles()
+                && plain.result.signatures() == collapsed.result.signatures()
+                && plain.signature == collapsed.signature
+                && plain.artifact.coverage == collapsed.artifact.coverage;
+            if !identical {
+                eprintln!(
+                    "bench9 failed on {} x {mode_name}: collapsed verdicts diverge from plain",
+                    d.name()
+                );
+                std::process::exit(1);
+            }
+            let census =
+                collapsed.artifact.collapse.clone().expect("collapse runs attach their census");
+            if d.name() != "LP-MINI" {
+                best_builtin = best_builtin.max(census.reduction_vs_raw);
+            } else {
+                mini_classes = census.classes_after;
+            }
+            let plain_sim_ms = stage_ms(&plain, "session.fault_sim");
+            let collapsed_sim_ms = stage_ms(&collapsed, "session.fault_sim");
+            // The admission-shaped tally for the collapse spec: same
+            // L7xx-bearing diagnostics the daemon attaches, rendered
+            // through the shared `lint_tally` formatter the tables use.
+            let spec = CampaignSpec::new(d.name(), "LFSR-D", SECTION8_VECTORS)
+                .with_mode(mode)
+                .with_collapse(true);
+            let tally =
+                lint_tally(&lint::admission_lint(&spec, None).expect("registry pairings lint"));
+            rows.push(vec![
+                d.name().to_string(),
+                mode_name.to_string(),
+                census.raw_lines.to_string(),
+                census.sites_before.to_string(),
+                census.classes_after.to_string(),
+                format!("{:.1}%", 100.0 * census.reduction_vs_raw),
+                format!("{plain_sim_ms:.0} / {collapsed_sim_ms:.0}"),
+                tally.clone(),
+            ]);
+            cell_entries.push(
+                obs::JsonValue::object()
+                    .push("design", d.name())
+                    .push("generator", "LFSR-D")
+                    .push("mode", mode_name)
+                    .push("plain_sim_ms", plain_sim_ms)
+                    .push("collapsed_sim_ms", collapsed_sim_ms)
+                    .push("lint", tally)
+                    .push("verdicts_identical", identical)
+                    .push("collapse", census.to_json()),
+            );
+        }
+    }
+    println!(
+        "{}",
+        table::render(
+            &["Des.", "mode", "raw", "sites", "classes", "red. vs raw", "sim ms p/c", "lint"],
+            &rows
+        )
+    );
+    println!("'raw' counts every stuck-at line of the active cells, 'sites' the screened");
+    println!("universe, 'classes' what the collapsed run simulates; verdicts were verified");
+    println!("bit-identical (cycles, signatures, coverage) in every cell.");
+    if best_builtin < 0.40 {
+        eprintln!(
+            "bench9 failed: best built-in reduction vs raw is {:.1}% (< 40%)",
+            100.0 * best_builtin
+        );
+        std::process::exit(1);
+    }
+
+    // Honest raw baseline on LP-MINI: expand every member line into
+    // its own machine and replay the same inputs — each member must
+    // get exactly its site representative's verdict, which is the
+    // premise the collapse stage's byte-identity rests on.
+    let mini = designs.last().expect("LP-MINI present");
+    let session = BistSession::new(mini).expect("session");
+    let universe = session.universe();
+    let (raw_universe, origin) = universe.expanded();
+    let mut gen = generator("LFSR-D");
+    let inputs: Vec<i64> =
+        (0..SECTION8_VECTORS).map(|_| mini.align_input(gen.next_word())).collect();
+    let netlist = mini.netlist();
+    let t = std::time::Instant::now();
+    let raw = faultsim::ParallelFaultSimulator::new(netlist, &raw_universe).run(&inputs);
+    let raw_ms = t.elapsed().as_secs_f64() * 1000.0;
+    let t = std::time::Instant::now();
+    let sites = faultsim::ParallelFaultSimulator::new(netlist, universe).run(&inputs);
+    let sites_ms = t.elapsed().as_secs_f64() * 1000.0;
+    let site_cycles = sites.detection_cycles();
+    let divergent = raw
+        .detection_cycles()
+        .iter()
+        .zip(&origin)
+        .filter(|&(&c, &s)| c != site_cycles[s as usize])
+        .count();
+    println!(
+        "\n  LP-MINI raw baseline: {} member machine(s) {raw_ms:.0} ms vs {} site(s) \
+         {sites_ms:.0} ms vs {mini_classes} class(es) simulated; {divergent} member \
+         verdict(s) diverged from their representative",
+        raw_universe.len(),
+        universe.len(),
+    );
+    if divergent != 0 {
+        eprintln!("bench9 failed: {divergent} member line(s) disagree with their representative");
+        std::process::exit(1);
+    }
+
+    // The L7xx family as the daemon would attach it at admission time.
+    let spec = CampaignSpec::new("LP-MINI", "LFSR-D", SECTION8_VECTORS).with_collapse(true);
+    let diags = lint::admission_lint(&spec, None).expect("LP-MINI admits");
+    println!("  admission lint (collapse spec, tally {}):", lint_tally(&diags));
+    for diag in diags.iter().filter(|d| d.code.starts_with("L7")) {
+        println!("    {diag}");
+    }
+    let disagreements = diags.iter().filter(|d| d.code == "L703").count();
+    bist_bench::artifacts::set_comparison(
+        obs::JsonValue::object()
+            .push("study", "structural_collapse")
+            .push("vectors", SECTION8_VECTORS as u64)
+            .push("best_builtin_reduction_vs_raw", best_builtin)
+            .push("cells", obs::JsonValue::Array(cell_entries))
+            .push(
+                "raw_baseline",
+                obs::JsonValue::object()
+                    .push("design", "LP-MINI")
+                    .push("raw_machines", raw_universe.len() as u64)
+                    .push("site_machines", universe.len() as u64)
+                    .push("class_machines", mini_classes as u64)
+                    .push("raw_ms", raw_ms)
+                    .push("sites_ms", sites_ms)
+                    .push("divergent_members", divergent as u64),
+            )
+            .push(
+                "admission",
+                obs::JsonValue::object()
+                    .push("design", "LP-MINI")
+                    .push("tally", lint_tally(&diags))
+                    .push("scoap_l1xx_disagreements", disagreements as u64),
+            ),
+    );
+}
+
+/// The `structure` CI cell (tier1.sh): the LP-MINI collapse run must
+/// be bit-identical to the plain run (detection cycles, good
+/// signature, coverage), attach a census whose class count is strictly
+/// below the site count, and carry the `L701` collapse lint at
+/// admission. Sub-second; exits non-zero otherwise.
+fn structure_smoke() {
+    banner("CI structure cell: LP-MINI collapsed vs plain, bit-identical + census gates");
+    let d = filters::designs::lowpass_mini().expect("LP-MINI elaborates");
+    let session = BistSession::new(&d).expect("session");
+    let vectors = 1024;
+    let config = run_config(vectors);
+    let mut gen = generator("LFSR-D");
+    let plain = run_session(&session, &mut *gen, &config);
+    let mut gen = generator("LFSR-D");
+    let collapsed = run_session(&session, &mut *gen, &config.with_collapse(true));
+    if plain.result.detection_cycles() != collapsed.result.detection_cycles()
+        || plain.signature != collapsed.signature
+        || plain.artifact.coverage != collapsed.artifact.coverage
+    {
+        eprintln!("structure cell failed: collapsed verdicts diverge from the plain run");
+        std::process::exit(1);
+    }
+    let census = collapsed.artifact.collapse.expect("collapse runs attach their census");
+    println!(
+        "  census: {} raw line(s) -> {} site(s) -> {} class(es) ({} prime), \
+         {:.1}% reduction vs raw, dominator depth {}",
+        census.raw_lines,
+        census.sites_before,
+        census.classes_after,
+        census.prime_classes,
+        100.0 * census.reduction_vs_raw,
+        census.dominator_depth,
+    );
+    if census.classes_after >= census.sites_before || census.reduction_vs_raw <= 0.25 {
+        eprintln!(
+            "structure cell failed: census did not shrink the universe ({} -> {}, {:.3} vs raw)",
+            census.sites_before, census.classes_after, census.reduction_vs_raw
+        );
+        std::process::exit(1);
+    }
+    let spec = CampaignSpec::new("LP-MINI", "LFSR-D", vectors).with_collapse(true);
+    let diags = lint::admission_lint(&spec, None).expect("LP-MINI admits");
+    if !diags.iter().any(|d| d.code == "L701") {
+        eprintln!("structure cell failed: admission lint lacks the L701 collapse census");
+        std::process::exit(1);
+    }
+    println!(
+        "structure cell: verdicts bit-identical, {} machine(s) saved, L7xx attached ({})",
+        census.sites_before - census.classes_after,
+        lint_tally(&diags)
+    );
+}
+
 /// The `sat` CI cell (tier1.sh): LP-MINI's netlist must get a
 /// machine-checked equivalence certificate against its behavioral
 /// model, and a sample of the symmetric design's screen candidates
@@ -1394,7 +1632,7 @@ fn atpg_smoke() {
     let config = run_config(256).with_top_off(bist_core::TopOffConfig::default());
     let mut gen = generator("LFSR-D");
     let run = run_session(&session, &mut *gen, &config);
-    let report = run.artifact.topoff.clone().expect("top-off runs attach their report");
+    let report = run.artifact.topoff.expect("top-off runs attach their report");
     println!(
         "  residue {}: {} detected / {} untestable / {} unresolved; \
          {} seed(s) + {} stored = {} bits ({} screened pre-sim)",

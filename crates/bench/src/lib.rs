@@ -109,7 +109,15 @@ pub fn cell_lint_mode(
     let spec = CampaignSpec::new(design.name(), gen_name, vectors).with_mode(mode);
     diags.extend(lint::campaign::lint_spec(design, &spec, None));
     diags.extend(lint::aliasing::lint_aliasing(design, &spec));
-    let (errors, warnings, infos) = obs::diag::severity_counts(&diags);
+    lint_tally(&diags)
+}
+
+/// The compact per-cell `E/W/I` tally (`"1E 2W 4I"`). Both output
+/// paths — the text tables and the `--json` comparison objects — go
+/// through this one formatter, so the two renderings of a cell's
+/// verdict can never drift apart.
+pub fn lint_tally(diags: &[obs::Diagnostic]) -> String {
+    let (errors, warnings, infos) = obs::diag::severity_counts(diags);
     format!("{errors}E {warnings}W {infos}I")
 }
 
@@ -174,6 +182,24 @@ mod tests {
         // The decorrelated generator is the paper's compatible pick.
         let good = cell_lint(lp, "LFSR-D", 4096);
         assert!(good.starts_with("0E"), "LP x LFSR-D must be error-free: {good}");
+    }
+
+    #[test]
+    fn lint_tally_formats_the_shared_cell_verdict() {
+        use obs::{Diagnostic, Location, Severity};
+        assert_eq!(lint_tally(&[]), "0E 0W 0I");
+        let diags = vec![
+            Diagnostic::new("L201", Severity::Error, Location::Design, "incompatible"),
+            Diagnostic::new("L101", Severity::Warn, Location::Design, "headroom"),
+            Diagnostic::new("L102", Severity::Warn, Location::Design, "variance"),
+            Diagnostic::new("L403", Severity::Info, Location::Design, "dropping"),
+        ];
+        assert_eq!(lint_tally(&diags), "1E 2W 1I");
+        // cell_lint goes through the same formatter.
+        let designs = paper_designs();
+        let lp = designs.iter().find(|d| d.name() == "LP").expect("LP elaborates");
+        let cell = cell_lint(lp, "LFSR-D", 4096);
+        assert!(cell.contains("E ") && cell.contains("W ") && cell.ends_with('I'), "{cell}");
     }
 
     #[test]

@@ -30,14 +30,15 @@ commands:
   run      --design <name> --gen <name> --vectors <n>
            [--misr <bits>] [--mode trace|signature] [--threads <n>]
            [--boundaries <c1,c2,...>] [--topoff <block>,<seeds>]
-           [--sat <conflicts>[,noequiv]] [--deadline-ms <ms>]
+           [--sat <conflicts>[,noequiv]] [--collapse] [--deadline-ms <ms>]
                                         submit and wait; prints result JSON
   submit   (same options as run)       submit without waiting; prints job JSON
   status   <job>                       print a job's state
   fetch    <job>                       wait for a job and print its artifact
   result   <job> [--residues] [--json] wait for a job and summarize its top-off
-                                       outcome (--residues lists per-fault
-                                       verdicts; --json prints the raw report)
+                                       and collapse outcome (--residues lists
+                                       per-fault verdicts; --json prints the
+                                       raw reports)
   cancel   <job>                       cancel a queued or running job
   metrics                              print the daemon's metric snapshot
   shutdown                             drain the daemon and stop it";
@@ -158,13 +159,20 @@ fn run(args: &[String]) -> Result<(), CtlError> {
             let (job, residues, json) = parse_result_args(&rest)?;
             let (_, artifact) = connect()?.fetch_artifact(job)?;
             if json {
-                let report = match artifact.get("topoff") {
+                // Either report key may be absent — from a run without
+                // the stage, or from a pre-collapse daemon — and both
+                // degrade to an explicit null instead of a parse error.
+                let optional = |name: &str| match artifact.get(name) {
                     Some(t) => t.clone(),
                     None => JsonValue::Null,
                 };
                 println!(
                     "{}",
-                    JsonValue::object().push("job", job).push("topoff", report).to_json()
+                    JsonValue::object()
+                        .push("job", job)
+                        .push("topoff", optional("topoff"))
+                        .push("collapse", optional("collapse"))
+                        .to_json()
                 );
             } else {
                 render_result(job, &artifact, residues);
@@ -227,6 +235,18 @@ fn render_result(job: u64, artifact: &JsonValue, residues: bool) {
         count(artifact.get("total_faults")),
         count(artifact.get("missed")),
     );
+    if let Some(collapse) = artifact.get("collapse") {
+        let ratio = collapse.get("reduction_vs_raw").and_then(JsonValue::as_f64).unwrap_or(0.0);
+        println!(
+            "collapse: {} raw line(s) -> {} class(es) ({} prime, {:.1}% reduction), \
+             {} machine(s) simulated",
+            count(collapse.get("raw_lines")),
+            count(collapse.get("classes_after")),
+            count(collapse.get("prime_classes")),
+            100.0 * ratio,
+            count(collapse.get("classes_after")),
+        );
+    }
     if let Some(sat) = artifact.get("sat") {
         println!(
             "sat: {}/{} candidate(s) proven redundant (universe {} -> {}), \
@@ -305,8 +325,14 @@ fn parse_spec(rest: &[&String]) -> Result<(CampaignSpec, Option<u64>), CtlError>
     let (mut design, mut generator, mut vectors, mut mode) = (None, None, None, None);
     let (mut misr, mut threads, mut boundaries, mut deadline_ms) = (None, None, None, None);
     let (mut topoff, mut sat) = (None, None);
+    let mut collapse = false;
     let mut iter = rest.iter();
     while let Some(flag) = iter.next() {
+        // Valueless switches come before the flag/value pairing.
+        if flag.as_str() == "--collapse" {
+            collapse = true;
+            continue;
+        }
         let value = iter.next().ok_or_else(|| usage(format!("{flag} needs a value")))?;
         match flag.as_str() {
             "--design" => design = Some(value.to_string()),
@@ -369,6 +395,7 @@ fn parse_spec(rest: &[&String]) -> Result<(CampaignSpec, Option<u64>), CtlError>
     spec.boundaries = boundaries;
     spec.topoff = topoff;
     spec.sat = sat;
+    spec.collapse = collapse;
     spec.validate().map_err(|e| {
         usage(format!(
             "{e}\n  known designs: {}\n  known generators: {}, or Mixed@<n>",

@@ -157,10 +157,10 @@ impl Daemon {
         });
         let worker_handles = worker::spawn_workers(
             config.workers,
-            Arc::clone(&shared.queue),
-            Arc::clone(&shared.jobs),
-            Arc::clone(&shared.cache),
-            Arc::clone(&shared.metrics),
+            &shared.queue,
+            &shared.jobs,
+            &shared.cache,
+            &shared.metrics,
         );
 
         let mut accept_handles = Vec::new();

@@ -24,17 +24,17 @@ use std::time::Instant;
 /// and drained; callers join the returned handles during shutdown.
 pub fn spawn_workers(
     count: usize,
-    queue: Arc<JobQueue<u64>>,
-    jobs: Arc<JobTable>,
-    cache: Arc<Mutex<ResultCache>>,
-    metrics: Arc<Registry>,
+    queue: &Arc<JobQueue<u64>>,
+    jobs: &Arc<JobTable>,
+    cache: &Arc<Mutex<ResultCache>>,
+    metrics: &Arc<Registry>,
 ) -> Vec<JoinHandle<()>> {
     (0..count.max(1))
         .map(|i| {
-            let queue = Arc::clone(&queue);
-            let jobs = Arc::clone(&jobs);
-            let cache = Arc::clone(&cache);
-            let metrics = Arc::clone(&metrics);
+            let queue = Arc::clone(queue);
+            let jobs = Arc::clone(jobs);
+            let cache = Arc::clone(cache);
+            let metrics = Arc::clone(metrics);
             std::thread::Builder::new()
                 .name(format!("bistd-worker-{i}"))
                 .spawn(move || {
@@ -55,7 +55,7 @@ fn run_one(id: u64, jobs: &JobTable, cache: &Mutex<ResultCache>, metrics: &Regis
         return;
     };
     let started = Instant::now();
-    match spec.run_linted(Some(token.clone()), lint) {
+    match spec.run_linted(Some(token), lint) {
         Ok(run) => {
             let artifact = run.artifact.to_json();
             cache.lock().expect("cache lock").insert(&spec.canonical(), artifact.clone());
@@ -101,13 +101,7 @@ mod tests {
         let jobs = Arc::new(JobTable::new());
         let cache = Arc::new(Mutex::new(ResultCache::new(16)));
         let metrics = Arc::new(Registry::new());
-        let handles = spawn_workers(
-            workers,
-            Arc::clone(&queue),
-            Arc::clone(&jobs),
-            Arc::clone(&cache),
-            Arc::clone(&metrics),
-        );
+        let handles = spawn_workers(workers, &queue, &jobs, &cache, &metrics);
         Harness { queue, jobs, cache, metrics, handles }
     }
 

@@ -145,6 +145,39 @@ fn sat_specs_round_trip_through_the_daemon() {
     daemon.join().unwrap();
 }
 
+#[test]
+fn collapse_specs_round_trip_through_the_daemon() {
+    let (daemon, addr) = tcp_daemon(DaemonConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+
+    let spec = CampaignSpec { collapse: true, ..mini_spec(64) };
+    let cold = client.run_campaign(&spec, None).unwrap();
+    assert!(cold.key.ends_with(";collapse=on"), "{}", cold.key);
+    let report = cold.artifact.get("collapse").expect("artifact carries the collapse census");
+    let classes = report.get("classes_after").and_then(JsonValue::as_u64).unwrap();
+    let sites = report.get("sites_before").and_then(JsonValue::as_u64).unwrap();
+    assert!(classes < sites, "collapse removed machines: {classes} vs {sites}");
+    // The admission lint carried the L7xx census over the wire.
+    assert!(cold.lint.iter().any(|d| d.code == "L701"), "{:?}", cold.lint);
+
+    // The same campaign without the stage is a distinct cache entry
+    // whose artifact has no collapse key — and whose detection verdicts
+    // are identical, the stage being strictly observational.
+    let plain = client.run_campaign(&mini_spec(64), None).unwrap();
+    assert!(!plain.cached);
+    assert!(plain.artifact.get("collapse").is_none());
+    for field in ["detected", "missed", "coverage", "signature", "total_faults"] {
+        assert_eq!(
+            cold.artifact.get(field).map(JsonValue::to_json),
+            plain.artifact.get(field).map(JsonValue::to_json),
+            "{field} must not change under collapse"
+        );
+    }
+
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+}
+
 /// Rebuilds a JSON value with every `ms` object entry dropped, so two
 /// artifacts can be compared byte-for-byte modulo wall-clock timings.
 fn without_timings(v: &JsonValue) -> JsonValue {

@@ -59,6 +59,10 @@ pub struct CampaignSpec {
     /// SAT proof stage (CDCL redundancy pruning + optional
     /// design/model equivalence certificate); `None` = disabled.
     pub sat: Option<SatConfig>,
+    /// Structural fault collapsing: analyze the netlist, simulate only
+    /// equivalence-class representatives and expand verdicts back
+    /// (results stay byte-identical); `false` = disabled.
+    pub collapse: bool,
 }
 
 impl CampaignSpec {
@@ -76,6 +80,7 @@ impl CampaignSpec {
             threads: 0,
             topoff: None,
             sat: None,
+            collapse: false,
         }
     }
 
@@ -96,6 +101,13 @@ impl CampaignSpec {
     /// convenience).
     pub fn with_sat(mut self, cfg: SatConfig) -> Self {
         self.sat = Some(cfg);
+        self
+    }
+
+    /// The same spec with structural fault collapsing enabled
+    /// (builder-style convenience).
+    pub fn with_collapse(mut self, collapse: bool) -> Self {
+        self.collapse = collapse;
         self
     }
 
@@ -191,6 +203,12 @@ impl CampaignSpec {
             let _ =
                 write!(out, ";sat=conf{},equiv{}", s.max_conflicts, if s.equiv { 1 } else { 0 });
         }
+        // Same rule for the collapse knob: the suffix appears only when
+        // the stage is on, so older specs keep their cache keys even
+        // though collapsed results are byte-identical anyway.
+        if self.collapse {
+            out.push_str(";collapse=on");
+        }
         out
     }
 
@@ -217,6 +235,9 @@ impl CampaignSpec {
                 "sat",
                 JsonValue::object().push("max_conflicts", s.max_conflicts).push("equiv", s.equiv),
             );
+        }
+        if self.collapse {
+            v = v.push("collapse", true);
         }
         v
     }
@@ -308,6 +329,14 @@ impl CampaignSpec {
                 Some(SatConfig { max_conflicts, equiv })
             }
         };
+        // Missing or null means off, so pre-collapse peers and cache
+        // spills keep parsing.
+        let collapse = match v.get("collapse") {
+            None | Some(JsonValue::Null) => false,
+            Some(c) => c.as_bool().ok_or_else(|| SessionError::InvalidConfig {
+                reason: "'collapse' must be a boolean".into(),
+            })?,
+        };
         Ok(CampaignSpec {
             design: text("design")?,
             generator: text("generator")?,
@@ -318,6 +347,7 @@ impl CampaignSpec {
             threads: number("threads", 0)? as usize,
             topoff,
             sat,
+            collapse,
         })
     }
 
@@ -357,6 +387,7 @@ impl CampaignSpec {
         if let Some(s) = &self.sat {
             config = config.with_sat_prune(*s);
         }
+        config = config.with_collapse(self.collapse);
         if let Some(token) = cancel {
             config = config.with_cancel(token);
         }
@@ -471,7 +502,7 @@ mod tests {
     #[test]
     fn canonical_form_is_deterministic_and_field_sensitive() {
         let base = CampaignSpec::new("LP", "LFSR-D", 4096);
-        assert_eq!(base.canonical(), base.clone().canonical());
+        assert_eq!(base.canonical(), base.canonical());
         // The default schedule is spelled out, so None == explicit default.
         let explicit = CampaignSpec { boundaries: Some(vec![64, 256, 1024]), ..base.clone() };
         assert_eq!(base.canonical(), explicit.canonical());
@@ -486,6 +517,7 @@ mod tests {
             CampaignSpec { threads: 2, ..base.clone() },
             base.clone().with_topoff(TopOffConfig::default()),
             base.clone().with_sat(SatConfig::default()),
+            base.clone().with_collapse(true),
         ] {
             assert_ne!(base.canonical(), changed.canonical(), "{changed:?}");
         }
@@ -507,6 +539,15 @@ mod tests {
             "{}",
             both.canonical()
         );
+        // The collapse suffix follows the same only-when-on rule and
+        // sits after every stage knob.
+        let all = both.with_collapse(true);
+        assert!(
+            all.canonical().ends_with(";sat=conf20000,equiv1;collapse=on"),
+            "{}",
+            all.canonical()
+        );
+        assert!(!base.canonical().contains("collapse"), "{}", base.canonical());
     }
 
     #[test]
@@ -521,8 +562,10 @@ mod tests {
             threads: 4,
             topoff: Some(TopOffConfig { block_len: 128, max_seeds: 4 }),
             sat: Some(SatConfig { max_conflicts: 5000, equiv: true }),
+            collapse: true,
         };
         assert_eq!(CampaignSpec::from_json(&full.to_json()).unwrap(), full);
+        assert!(full.to_json().to_json().contains("\"collapse\":true"));
         assert!(full
             .to_json()
             .to_json()
@@ -540,8 +583,16 @@ mod tests {
         assert_eq!(spec.mode, ResponseCheck::Trace);
         assert_eq!(spec.topoff, None);
         assert_eq!(spec.sat, None);
+        assert!(!spec.collapse);
         assert!(!spec.to_json().to_json().contains("topoff"), "absent knob stays off the wire");
         assert!(!spec.to_json().to_json().contains("sat"), "absent knob stays off the wire");
+        assert!(!spec.to_json().to_json().contains("collapse"), "absent knob stays off the wire");
+        // A pre-collapse peer may spell the knob as an explicit null.
+        let nulled = JsonValue::parse(
+            "{\"design\":\"LP\",\"generator\":\"LFSR-1\",\"vectors\":64,\"collapse\":null}",
+        )
+        .unwrap();
+        assert!(!CampaignSpec::from_json(&nulled).unwrap().collapse);
     }
 
     #[test]
@@ -575,6 +626,10 @@ mod tests {
                 "{\"design\":\"LP\",\"generator\":\"LFSR-1\",\"vectors\":64,\
                  \"sat\":{\"max_conflicts\":100}}",
                 "'sat' must be an object",
+            ),
+            (
+                "{\"design\":\"LP\",\"generator\":\"LFSR-1\",\"vectors\":64,\"collapse\":7}",
+                "'collapse' must be a boolean",
             ),
         ] {
             let v = JsonValue::parse(text).unwrap();
@@ -675,6 +730,7 @@ mod tests {
             threads: 3,
             topoff: Some(TopOffConfig { block_len: 64, max_seeds: 2 }),
             sat: Some(SatConfig { max_conflicts: 999, equiv: false }),
+            collapse: true,
         };
         let config = spec.run_config(Some(CancelToken::new()));
         assert_eq!(config.vectors(), 777);
@@ -685,9 +741,11 @@ mod tests {
         assert!(config.cancel().is_some());
         assert_eq!(config.top_off(), Some(&TopOffConfig { block_len: 64, max_seeds: 2 }));
         assert_eq!(config.sat_prune(), Some(&SatConfig { max_conflicts: 999, equiv: false }));
-        // Without the knobs the config leaves both stages off.
+        assert!(config.collapse());
+        // Without the knobs the config leaves every stage off.
         let plain = CampaignSpec::new("LP", "LFSR-D", 64).run_config(None);
         assert_eq!(plain.top_off(), None);
         assert_eq!(plain.sat_prune(), None);
+        assert!(!plain.collapse());
     }
 }

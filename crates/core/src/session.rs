@@ -13,7 +13,8 @@ use faultsim::{
 };
 use filters::FilterDesign;
 use obs::{
-    Diagnostic, Registry, ResidueVerdict, RunArtifact, SatReport, StageTiming, TopOffReport,
+    CollapseReport, Diagnostic, Registry, ResidueVerdict, RunArtifact, SatReport, StageTiming,
+    TopOffReport,
 };
 use rtl::range::RangeAnalysis;
 use std::error::Error;
@@ -215,6 +216,7 @@ pub struct RunConfig {
     lint: Vec<Diagnostic>,
     top_off: Option<TopOffConfig>,
     sat: Option<SatConfig>,
+    collapse: bool,
 }
 
 impl RunConfig {
@@ -233,6 +235,7 @@ impl RunConfig {
             lint: Vec::new(),
             top_off: None,
             sat: None,
+            collapse: false,
         }
     }
 
@@ -368,6 +371,23 @@ impl RunConfig {
     /// The SAT proof-stage configuration, if the stage is enabled.
     pub fn sat_prune(&self) -> Option<&SatConfig> {
         self.sat.as_ref()
+    }
+
+    /// Enables structural fault collapsing: the run analyzes the
+    /// screened universe with the `structure` crate, simulates only
+    /// equivalence-class representatives, and expands their verdicts
+    /// back over every class. Detection cycles and MISR signatures are
+    /// intrinsic per fault, so the expanded full-universe result is
+    /// byte-identical to an uncollapsed run; the collapse census and
+    /// SCOAP summary land in [`obs::RunArtifact::collapse`].
+    pub fn with_collapse(mut self, collapse: bool) -> Self {
+        self.collapse = collapse;
+        self
+    }
+
+    /// Whether structural fault collapsing is enabled.
+    pub fn collapse(&self) -> bool {
+        self.collapse
     }
 }
 
@@ -565,6 +585,27 @@ impl<'d> BistSession<'d> {
             &screened_owned
         };
 
+        // Structural collapse stage: analyze the screened universe,
+        // then simulate only equivalence-class representatives. The
+        // class map expands representative verdicts back over every
+        // class afterwards — detection cycles and signatures are
+        // intrinsic per fault, so the expanded result is byte-identical
+        // to an uncollapsed run. Top-off and SAT verdict passes below
+        // consume the representative residue directly.
+        let mut collapse_report: Option<CollapseReport> = None;
+        let mut class_map: Option<Vec<u32>> = None;
+        let collapsed_owned;
+        let sim_universe: &FaultUniverse = if config.collapse() {
+            let _span = registry.span("session.structure");
+            let analysis = structure::analyze(self.design.netlist(), universe);
+            collapsed_owned = universe.subset(&analysis.collapsed.representatives);
+            class_map = Some(analysis.collapsed.class_map.clone());
+            collapse_report = Some(Self::collapse_report(&analysis.report));
+            &collapsed_owned
+        } else {
+            universe
+        };
+
         let inputs: Vec<i64> = {
             let _span = registry.span("session.patterns");
             generator.reset();
@@ -585,7 +626,7 @@ impl<'d> BistSession<'d> {
         let threads_used = options.effective_threads();
         let result = {
             let _span = registry.span("session.fault_sim");
-            ParallelFaultSimulator::new(self.design.netlist(), universe)
+            ParallelFaultSimulator::new(self.design.netlist(), sim_universe)
                 .with_options(options)
                 .try_run(&inputs)
                 .map_err(|_| {
@@ -611,15 +652,21 @@ impl<'d> BistSession<'d> {
                 misr.signature()
             }
         };
-        let aliased = result.aliased().len();
-
         // Deterministic top-off: justify every undetected fault, plan
         // the seed compression, and verify the plan by re-simulation.
+        // With collapsing on this stage sees the representative residue
+        // — each justified representative certifies its whole class.
         let mut topoff_report = None;
         if let Some(tcfg) = config.top_off() {
             let top = {
                 let _span = registry.span("session.top_off");
-                atpg::top_off(self.design.netlist(), universe, &result.missed(), input_bits, tcfg)
+                atpg::top_off(
+                    self.design.netlist(),
+                    sim_universe,
+                    &result.missed(),
+                    input_bits,
+                    tcfg,
+                )
             };
             // SAT verdict pass: faults the justifier left unresolved
             // are retried by the redundancy prover; proven-redundant
@@ -630,7 +677,7 @@ impl<'d> BistSession<'d> {
                 if !top.unresolved.is_empty() {
                     let _span = registry.span("session.sat_verdict");
                     let specs: Vec<sat::FaultSpec> =
-                        top.unresolved.iter().map(|&id| Self::spec_for(universe, id)).collect();
+                        top.unresolved.iter().map(|&id| Self::spec_for(sim_universe, id)).collect();
                     let outcome = sat::prove_faults(
                         self.design.netlist(),
                         input_bits,
@@ -655,7 +702,7 @@ impl<'d> BistSession<'d> {
                     report.propagations += outcome.stats.propagations;
                 }
             }
-            let residue = faultsim::report::residue(self.design.netlist(), universe, &result);
+            let residue = faultsim::report::residue(self.design.netlist(), sim_universe, &result);
             let verdicts = residue
                 .iter()
                 .map(|rf| ResidueVerdict {
@@ -693,6 +740,17 @@ impl<'d> BistSession<'d> {
             });
         }
 
+        // Expand representative verdicts over every class member. Each
+        // fault's detection cycle and signature are intrinsic — the
+        // representative of its equivalence class produced the same
+        // faulty trace — so the expanded result matches an uncollapsed
+        // run bit for bit.
+        let result = match &class_map {
+            Some(map) => result.expand_classes(map),
+            None => result,
+        };
+        let aliased = result.aliased().len();
+
         let snapshot = registry.snapshot();
         if let Some(campaign) = config.metrics() {
             campaign.absorb(&snapshot);
@@ -724,6 +782,7 @@ impl<'d> BistSession<'d> {
         artifact.lint = config.lint().to_vec();
         artifact.topoff = topoff_report;
         artifact.sat = sat_report;
+        artifact.collapse = collapse_report;
 
         Ok(BistRun { generator: generator.name().to_string(), result, signature, artifact })
     }
@@ -740,6 +799,30 @@ impl<'d> BistSession<'d> {
     fn spec_for(universe: &FaultUniverse, id: FaultId) -> sat::FaultSpec {
         let site = universe.site(id);
         sat::FaultSpec { node: site.node, cell: site.cell, fault: site.representative }
+    }
+
+    /// Flatten the structural-analysis census into the artifact's
+    /// wire-format record.
+    fn collapse_report(report: &structure::StructureReport) -> CollapseReport {
+        CollapseReport {
+            gates: report.gates,
+            max_level: report.max_level,
+            ffr_count: report.ffr_count,
+            dominator_depth: report.dominator_depth,
+            raw_lines: report.raw_lines,
+            screened_faults: report.screened_faults,
+            sites_before: report.sites_before,
+            classes_after: report.classes_after,
+            prime_classes: report.prime_classes,
+            dominated_classes: report.merges.dominated_classes,
+            reduction_vs_raw: report.reduction_vs_raw(),
+            reduction_vs_sites: report.reduction_vs_sites(),
+            scoap_max_cc0: report.scoap.max_cc0,
+            scoap_max_cc1: report.scoap.max_cc1,
+            scoap_max_co: report.scoap.max_co,
+            scoap_unobservable_cells: report.scoap.unobservable_cells,
+            scoap_co_histogram: report.scoap.co_histogram.clone(),
+        }
     }
 
     /// Census of the missed faults by difficult-test class (paper
@@ -1437,5 +1520,83 @@ mod tests {
             s.run(&mut gen, &RunConfig::new(128).with_threads(4).with_metrics(campaign)).unwrap();
         assert_eq!(plain.result.detection_cycles(), metered.result.detection_cycles());
         assert_eq!(plain.signature, metered.signature);
+    }
+
+    #[test]
+    fn collapsed_runs_are_byte_identical_in_trace_mode() {
+        let d = small_design(0.15);
+        let s = BistSession::new(&d).unwrap();
+        let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
+        let plain = s.run(&mut gen, &RunConfig::new(128)).unwrap();
+        let collapsed = s.run(&mut gen, &RunConfig::new(128).with_collapse(true)).unwrap();
+        // The expanded result covers the *full* screened universe and
+        // matches the uncollapsed run verdict for verdict.
+        assert_eq!(plain.result.detection_cycles(), collapsed.result.detection_cycles());
+        assert_eq!(plain.signature, collapsed.signature);
+        assert_eq!(plain.artifact.total_faults, collapsed.artifact.total_faults);
+        assert_eq!(plain.artifact.detected, collapsed.artifact.detected);
+        assert_eq!(plain.artifact.missed_by_class, collapsed.artifact.missed_by_class);
+        assert_eq!(plain.artifact.coverage, collapsed.artifact.coverage);
+    }
+
+    #[test]
+    fn collapsed_runs_are_byte_identical_in_signature_mode() {
+        let d = small_design(0.15);
+        let s = BistSession::new(&d).unwrap();
+        let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
+        let cfg = RunConfig::new(128).with_response_check(ResponseCheck::Signature);
+        let plain = s.run(&mut gen, &cfg).unwrap();
+        let collapsed = s.run(&mut gen, &cfg.clone().with_collapse(true)).unwrap();
+        assert_eq!(plain.signature, collapsed.signature);
+        assert_eq!(plain.result.detection_cycles(), collapsed.result.detection_cycles());
+        // Per-fault end-of-test signatures expand back over every class
+        // member, so the full SignatureSet — aliasing census included —
+        // is preserved exactly.
+        assert_eq!(plain.result.signatures(), collapsed.result.signatures());
+        assert_eq!(plain.artifact.aliased, collapsed.artifact.aliased);
+    }
+
+    #[test]
+    fn collapse_census_rides_the_artifact_only_with_the_knob() {
+        let d = small_design(0.15);
+        let s = BistSession::new(&d).unwrap();
+        let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
+        let plain = s.run(&mut gen, &RunConfig::new(64)).unwrap();
+        assert_eq!(plain.artifact.collapse, None);
+        assert!(!plain.artifact.to_json().to_json().contains("\"collapse\""));
+
+        let run = s.run(&mut gen, &RunConfig::new(64).with_collapse(true)).unwrap();
+        let c = run.artifact.collapse.as_ref().expect("the knob fills the census");
+        // The census is internally consistent and tied to this run's
+        // universe: collapse really removed machines from the schedule.
+        assert_eq!(c.sites_before, s.universe().len());
+        assert!(c.classes_after < c.sites_before, "{c:?}");
+        assert!(c.prime_classes <= c.classes_after);
+        assert_eq!(c.classes_after - c.prime_classes, c.dominated_classes);
+        assert!(c.raw_lines >= c.screened_faults, "{c:?}");
+        assert!(c.reduction_vs_raw > 0.0 && c.reduction_vs_raw < 1.0);
+        let names: Vec<&str> = run.artifact.stages.iter().map(|st| st.name.as_str()).collect();
+        assert!(names.contains(&"session.structure"), "{names:?}");
+        assert!(run.artifact.to_json().to_json().contains("\"collapse\":{\"gates\":"));
+    }
+
+    #[test]
+    fn collapse_composes_with_topoff() {
+        let d = small_design(0.15);
+        let s = BistSession::new(&d).unwrap();
+        let mut gen = Lfsr1::new(12, ShiftDirection::LsbToMsb).unwrap();
+        let cfg = RunConfig::new(96).with_top_off(TopOffConfig { block_len: 64, max_seeds: 8 });
+        let plain = s.run(&mut gen, &cfg).unwrap();
+        let collapsed = s.run(&mut gen, &cfg.clone().with_collapse(true)).unwrap();
+        // Detection verdicts still expand to the uncollapsed run.
+        assert_eq!(plain.result.detection_cycles(), collapsed.result.detection_cycles());
+        assert_eq!(plain.signature, collapsed.signature);
+        let t = collapsed.artifact.topoff.as_ref().expect("the knob fills the report");
+        // The top-off residue counts representative *classes*, while
+        // the artifact's missed count covers the expanded universe, so
+        // residue can only be smaller or equal.
+        assert!(t.residue <= collapsed.artifact.missed, "{t:?}");
+        assert_eq!(t.detected + t.untestable + t.unresolved + t.redundant, t.residue);
+        assert_eq!(t.verdicts.len(), t.residue);
     }
 }

@@ -181,7 +181,7 @@ mod tests {
         let signal: Vec<Complex> =
             (0..n).map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos())).collect();
         let reference = dft(&signal, -1.0).unwrap();
-        let mut fast = signal.clone();
+        let mut fast = signal;
         fft(&mut fast).unwrap();
         for (a, b) in fast.iter().zip(&reference) {
             assert!(close(*a, *b, 1e-9));

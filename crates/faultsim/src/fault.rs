@@ -28,6 +28,11 @@ pub struct FaultSite {
     pub representative: FaFault,
     /// Number of collapsed (equivalent) member faults.
     pub members: u32,
+    /// Every member of the class, representative included — kept so
+    /// structural analyses can reason about individual lines (the
+    /// cell-level collapse groups them by *masked* truth table, which
+    /// is coarser than exact equivalence).
+    pub member_faults: Vec<FaFault>,
     /// Cell-level detecting tests (bitmask over `T0..T7`, see
     /// [`rtl::fulladder::FaultClass`]).
     pub detecting_tests: u8,
@@ -133,6 +138,7 @@ impl FaultUniverse {
                         cell,
                         representative: class.representative,
                         members: class.members.len() as u32,
+                        member_faults: class.members,
                         detecting_tests: class.detecting_tests,
                     });
                 }
@@ -194,6 +200,30 @@ impl FaultUniverse {
         let sites: Vec<FaultSite> = ids.iter().map(|&id| self.site(id).clone()).collect();
         let uncollapsed = sites.iter().map(|s| s.members as usize).sum();
         FaultUniverse { sites, uncollapsed }
+    }
+
+    /// The fully uncollapsed universe: one single-member site per raw
+    /// member fault, plus a map from each expanded site back to the
+    /// index of the class it came from. Raw-universe simulations (the
+    /// honest baseline for collapse-speedup measurements) run on this.
+    pub fn expanded(&self) -> (FaultUniverse, Vec<u32>) {
+        let mut sites = Vec::with_capacity(self.uncollapsed);
+        let mut origin = Vec::with_capacity(self.uncollapsed);
+        for (idx, site) in self.sites.iter().enumerate() {
+            for &fault in &site.member_faults {
+                sites.push(FaultSite {
+                    node: site.node,
+                    cell: site.cell,
+                    representative: fault,
+                    members: 1,
+                    member_faults: vec![fault],
+                    detecting_tests: site.detecting_tests,
+                });
+                origin.push(idx as u32);
+            }
+        }
+        let uncollapsed = sites.len();
+        (FaultUniverse { sites, uncollapsed }, origin)
     }
 }
 

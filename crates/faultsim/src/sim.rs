@@ -363,6 +363,28 @@ impl FaultSimResult {
     pub fn signature_detected_count(&self) -> usize {
         self.detected_count() - self.aliased().len()
     }
+
+    /// Expands a collapsed-universe result back to a full universe:
+    /// full-universe fault `i` takes the verdict (detection cycle and,
+    /// in signature mode, end-of-test signature) of the representative
+    /// class `class_map[i]` it collapsed into. Because every shard's
+    /// detection cycle is intrinsic to its fault — independent of
+    /// shard-mates and stage packing — a representative's verdict *is*
+    /// the verdict every exactly-equivalent member would have received,
+    /// so the expanded result is byte-identical to simulating the full
+    /// universe directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a class index is out of range for this result.
+    pub fn expand_classes(&self, class_map: &[u32]) -> FaultSimResult {
+        let detection_cycle = class_map.iter().map(|&c| self.detection_cycle[c as usize]).collect();
+        let signatures = self.signatures.as_ref().map(|s| SignatureSet {
+            good: s.good,
+            per_fault: class_map.iter().map(|&c| s.per_fault[c as usize]).collect(),
+        });
+        FaultSimResult { detection_cycle, total_cycles: self.total_cycles, signatures }
+    }
 }
 
 /// One faulty machine's carried state at a stage boundary: its

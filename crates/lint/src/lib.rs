@@ -18,6 +18,7 @@
 //! | `L4xx` | response compaction  | [`aliasing`]   |
 //! | `L5xx` | top-off stage        | [`topoff`]     |
 //! | `L6xx` | SAT proof stage      | [`satcheck`]   |
+//! | `L7xx` | structural analysis  | [`structural`] |
 //!
 //! The full code table lives in `DESIGN.md` §9. Every entry point of
 //! the repository runs some subset before spending a simulation cycle:
@@ -32,6 +33,7 @@ pub mod campaign;
 pub mod dataflow;
 pub mod satcheck;
 pub mod spectral;
+pub mod structural;
 pub mod testability;
 pub mod topoff;
 
@@ -56,7 +58,7 @@ pub struct LintReport {
     /// The paired generator's name, when a pairing was linted.
     pub generator: Option<String>,
     /// Findings, in pass order (`L0xx`, `L1xx`, `L2xx`, `L3xx`,
-    /// `L4xx`, `L5xx`, `L6xx`), node-id order within a pass.
+    /// `L4xx`, `L5xx`, `L6xx`, `L7xx`), node-id order within a pass.
     pub diagnostics: Vec<Diagnostic>,
 }
 
@@ -134,6 +136,7 @@ pub fn lint_campaign(
     diagnostics.extend(aliasing::lint_aliasing(&design, spec));
     diagnostics.extend(topoff::lint_topoff(&design, spec));
     diagnostics.extend(satcheck::lint_satcheck(&design, spec));
+    diagnostics.extend(structural::lint_structure(&design, spec));
     Ok(LintReport {
         design: spec.design.clone(),
         generator: Some(spec.generator.clone()),
@@ -160,6 +163,7 @@ pub fn admission_lint(
     out.extend(aliasing::lint_aliasing(&design, spec));
     out.extend(topoff::lint_topoff(&design, spec));
     out.extend(satcheck::lint_satcheck(&design, spec));
+    out.extend(structural::lint_structure(&design, spec));
     Ok(out)
 }
 
@@ -245,6 +249,20 @@ mod tests {
         // existing golden snapshots stay byte-identical.
         let plain = lint_campaign(&CampaignSpec::new("LP-MINI", "LFSR-D", 4096), None).unwrap();
         assert!(plain.diagnostics.iter().all(|d| !d.code.starts_with("L6")));
+    }
+
+    #[test]
+    fn collapse_specs_carry_the_l7xx_pass_in_full_and_admission_lint() {
+        let spec = CampaignSpec::new("LP-MINI", "LFSR-D", 4096).with_collapse(true);
+        let report = lint_campaign(&spec, None).unwrap();
+        assert!(report.diagnostics.iter().any(|d| d.code == "L701"), "{:?}", report.diagnostics);
+        assert!(!report.has_errors(), "{:?}", report.diagnostics);
+        let admission = admission_lint(&spec, None).unwrap();
+        assert!(admission.iter().any(|d| d.code == "L701"));
+        // Without the knob, no L7xx diagnostic appears anywhere, so
+        // existing golden snapshots stay byte-identical.
+        let plain = lint_campaign(&CampaignSpec::new("LP-MINI", "LFSR-D", 4096), None).unwrap();
+        assert!(plain.diagnostics.iter().all(|d| !d.code.starts_with("L7")));
     }
 
     #[test]

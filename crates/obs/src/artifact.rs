@@ -174,6 +174,80 @@ impl SatReport {
     }
 }
 
+/// The outcome of the structural-analysis stage: collapse census over
+/// the screened fault universe, graph shape, and the SCOAP testability
+/// aggregates. Produced by the `structure` crate and attached to the
+/// artifact when the run was configured with structural collapsing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollapseReport {
+    /// Gates in the expanded gate graph.
+    pub gates: usize,
+    /// Deepest combinational level.
+    pub max_level: u32,
+    /// Fanout-free regions.
+    pub ffr_count: usize,
+    /// Depth of the post-dominator tree.
+    pub dominator_depth: u32,
+    /// Raw per-line stuck-at universe of the active cells (the
+    /// classical collapse-ratio denominator).
+    pub raw_lines: usize,
+    /// Member faults of the analyzed (mask-screened) universe.
+    pub screened_faults: usize,
+    /// Fault classes before structural collapsing.
+    pub sites_before: usize,
+    /// Fault classes after structural collapsing (what was simulated).
+    pub classes_after: usize,
+    /// Classes surviving the dominance census.
+    pub prime_classes: usize,
+    /// Classes marked dominated (reported, still simulated).
+    pub dominated_classes: usize,
+    /// `1 - prime_classes / raw_lines`.
+    pub reduction_vs_raw: f64,
+    /// `1 - classes_after / sites_before` (the simulation speedup).
+    pub reduction_vs_sites: f64,
+    /// Worst finite SCOAP 0-controllability over cell outputs.
+    pub scoap_max_cc0: u32,
+    /// Worst finite SCOAP 1-controllability over cell outputs.
+    pub scoap_max_cc1: u32,
+    /// Worst finite SCOAP observability over cell outputs.
+    pub scoap_max_co: u32,
+    /// Cells whose output is structurally unobservable.
+    pub scoap_unobservable_cells: usize,
+    /// Histogram of cell observabilities: bucket `k` counts cells with
+    /// `CO` in `[2^k, 2^(k+1))`.
+    pub scoap_co_histogram: Vec<usize>,
+}
+
+impl CollapseReport {
+    /// Renders the report as a JSON object (fixed field order).
+    pub fn to_json(&self) -> JsonValue {
+        let histogram =
+            JsonValue::Array(self.scoap_co_histogram.iter().map(|&c| (c as u64).into()).collect());
+        JsonValue::object()
+            .push("gates", self.gates)
+            .push("max_level", self.max_level)
+            .push("ffr_count", self.ffr_count)
+            .push("dominator_depth", self.dominator_depth)
+            .push("raw_lines", self.raw_lines)
+            .push("screened_faults", self.screened_faults)
+            .push("sites_before", self.sites_before)
+            .push("classes_after", self.classes_after)
+            .push("prime_classes", self.prime_classes)
+            .push("dominated_classes", self.dominated_classes)
+            .push("reduction_vs_raw", self.reduction_vs_raw)
+            .push("reduction_vs_sites", self.reduction_vs_sites)
+            .push(
+                "scoap",
+                JsonValue::object()
+                    .push("max_cc0", self.scoap_max_cc0)
+                    .push("max_cc1", self.scoap_max_cc1)
+                    .push("max_co", self.scoap_max_co)
+                    .push("unobservable_cells", self.scoap_unobservable_cells)
+                    .push("co_histogram", histogram),
+            )
+    }
+}
+
 /// The structured outcome of one BIST run.
 ///
 /// All fields are public plain data: the session layer fills them in,
@@ -231,6 +305,9 @@ pub struct RunArtifact {
     /// SAT proof-stage outcome, present only when the run was
     /// configured with the SAT pruning stage.
     pub sat: Option<SatReport>,
+    /// Structural-analysis outcome, present only when the run was
+    /// configured with structural fault collapsing.
+    pub collapse: Option<CollapseReport>,
 }
 
 impl RunArtifact {
@@ -257,6 +334,7 @@ impl RunArtifact {
             lint: Vec::new(),
             topoff: None,
             sat: None,
+            collapse: None,
         }
     }
 
@@ -297,9 +375,13 @@ impl RunArtifact {
             None => base,
             Some(report) => base.push("topoff", report.to_json()),
         };
-        match &self.sat {
+        let base = match &self.sat {
             None => base,
             Some(report) => base.push("sat", report.to_json()),
+        };
+        match &self.collapse {
+            None => base,
+            Some(report) => base.push("collapse", report.to_json()),
         }
     }
 
@@ -396,6 +478,19 @@ impl RunArtifact {
                     s.equiv_lemmas,
                 );
             }
+        }
+        if let Some(c) = &self.collapse {
+            let _ = write!(
+                out,
+                "\n  collapse: {} raw lines -> {} classes ({} prime, {:.1}% reduction), \
+                 {} simulated ({:.1}% fewer machines)",
+                c.raw_lines,
+                c.classes_after,
+                c.prime_classes,
+                100.0 * c.reduction_vs_raw,
+                c.classes_after,
+                100.0 * c.reduction_vs_sites,
+            );
         }
         out
     }
@@ -625,6 +720,56 @@ mod tests {
         refuted.equiv_proved = false;
         a.sat = Some(refuted);
         assert!(a.summary().contains("equivalence REFUTED"), "{}", a.summary());
+    }
+
+    fn sample_collapse() -> CollapseReport {
+        CollapseReport {
+            gates: 5000,
+            max_level: 40,
+            ffr_count: 900,
+            dominator_depth: 45,
+            raw_lines: 57478,
+            screened_faults: 55686,
+            sites_before: 43181,
+            classes_after: 38400,
+            prime_classes: 33737,
+            dominated_classes: 4663,
+            reduction_vs_raw: 0.413,
+            reduction_vs_sites: 0.111,
+            scoap_max_cc0: 9,
+            scoap_max_cc1: 21,
+            scoap_max_co: 33,
+            scoap_unobservable_cells: 0,
+            scoap_co_histogram: vec![1, 4, 16],
+        }
+    }
+
+    #[test]
+    fn collapse_key_is_absent_without_the_stage_and_complete_with_it() {
+        let without = sample().to_json().to_json();
+        assert!(!without.contains("collapse"), "runs without the stage stay schema-1: {without}");
+        let mut a = sample();
+        a.collapse = Some(sample_collapse());
+        let json = a.to_json().to_json();
+        for needle in [
+            "\"collapse\":{\"gates\":5000",
+            "\"raw_lines\":57478",
+            "\"screened_faults\":55686",
+            "\"sites_before\":43181",
+            "\"classes_after\":38400",
+            "\"prime_classes\":33737",
+            "\"dominated_classes\":4663",
+            "\"reduction_vs_raw\":0.413",
+            "\"scoap\":{\"max_cc0\":9",
+            "\"co_histogram\":[1,4,16]",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        let s = a.summary();
+        assert!(
+            s.contains("collapse: 57478 raw lines -> 38400 classes (33737 prime, 41.3% reduction)"),
+            "{s}"
+        );
     }
 
     #[test]

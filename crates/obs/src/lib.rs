@@ -54,7 +54,8 @@ pub mod sink;
 pub mod span;
 
 pub use artifact::{
-    ResidueVerdict, RunArtifact, SatReport, StageTiming, TopOffReport, ARTIFACT_SCHEMA,
+    CollapseReport, ResidueVerdict, RunArtifact, SatReport, StageTiming, TopOffReport,
+    ARTIFACT_SCHEMA,
 };
 pub use diag::{Diagnostic, Location, Severity};
 pub use hist::{Histogram, HistogramSnapshot, DURATION_MS_BOUNDS};

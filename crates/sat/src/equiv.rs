@@ -120,10 +120,18 @@ impl Affine {
     }
 
     fn add_term(&mut self, a: Atom, coeff: i64) {
-        let c = self.terms.entry(a.clone()).or_insert(0);
-        *c += coeff;
-        if *c == 0 {
-            self.terms.remove(&a);
+        match self.terms.entry(a) {
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                *e.get_mut() += coeff;
+                if *e.get() == 0 {
+                    e.remove();
+                }
+            }
+            std::collections::btree_map::Entry::Vacant(e) => {
+                if coeff != 0 {
+                    e.insert(coeff);
+                }
+            }
         }
     }
 

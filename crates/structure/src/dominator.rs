@@ -1,0 +1,189 @@
+//! Post-dominator tree over the gate graph.
+//!
+//! A gate `d` *post-dominates* gate `g` when every combinational path
+//! from `g`'s output to an observation point passes through `d` — the
+//! classical prerequisite for dominance-based fault collapsing and a
+//! direct structural proxy for observability (the deeper a gate sits in
+//! the tree, the longer its mandatory propagation chain).
+//!
+//! The flow graph is the *combinational frame* of the circuit: edges
+//! follow gate outputs to consumer pins, and both primary outputs and
+//! register inputs count as observation points (a fault effect captured
+//! into state is observable by the sequential machine). Register
+//! outputs start new frames, so the graph is acyclic and a single
+//! reverse-topological pass of the Cooper–Harvey–Kennedy intersection
+//! computes the whole tree.
+
+use crate::graph::{GateGraph, GateKind};
+
+/// The post-dominator tree: immediate post-dominators toward a virtual
+/// sink representing "observed".
+#[derive(Debug)]
+pub struct PostDominators {
+    ipdom: Vec<u32>,
+    depth: Vec<u32>,
+    sink: u32,
+}
+
+impl PostDominators {
+    /// Computes the tree for a gate graph.
+    pub fn compute(graph: &GateGraph) -> PostDominators {
+        let g_count = graph.gates().len();
+        let sink = g_count as u32;
+
+        // Flow successors: consumers for interior gates; observation
+        // points (Output gates, Dff gates — next-state capture) and
+        // dead gates flow straight to the sink.
+        let succs = |g: usize| -> Vec<u32> {
+            match graph.gates()[g].kind {
+                GateKind::Output | GateKind::Dff => vec![sink],
+                _ => {
+                    let c = graph.consumers(g as u32);
+                    if c.is_empty() {
+                        vec![sink]
+                    } else {
+                        c.to_vec()
+                    }
+                }
+            }
+        };
+
+        // Topological order of the flow graph (Kahn). Combinational
+        // edges are id-increasing but edges into a Dff's pin are not,
+        // so an explicit order is computed.
+        let mut indeg = vec![0u32; g_count + 1];
+        for g in 0..g_count {
+            for &s in &succs(g) {
+                indeg[s as usize] += 1;
+            }
+        }
+        let mut ready: Vec<u32> =
+            (0..g_count as u32 + 1).filter(|&g| indeg[g as usize] == 0).collect();
+        let mut order: Vec<u32> = Vec::with_capacity(g_count + 1);
+        let mut rank = vec![0u32; g_count + 1];
+        while let Some(g) = ready.pop() {
+            rank[g as usize] = order.len() as u32;
+            order.push(g);
+            if (g as usize) < g_count {
+                for &s in &succs(g as usize) {
+                    indeg[s as usize] -= 1;
+                    if indeg[s as usize] == 0 {
+                        ready.push(s);
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), g_count + 1, "flow graph has a cycle");
+
+        // Cooper–Harvey–Kennedy, one pass: process gates sink-first
+        // (decreasing distance from the sink in topological terms), so
+        // every flow successor's immediate post-dominator is final.
+        let mut ipdom = vec![sink; g_count + 1];
+        let mut depth = vec![0u32; g_count + 1];
+        let intersect = |mut a: u32, mut b: u32, ipdom: &[u32]| -> u32 {
+            while a != b {
+                while rank[a as usize] < rank[b as usize] {
+                    a = ipdom[a as usize];
+                }
+                while rank[b as usize] < rank[a as usize] {
+                    b = ipdom[b as usize];
+                }
+            }
+            a
+        };
+        for &g in order.iter().rev() {
+            if g == sink {
+                continue;
+            }
+            let ss = succs(g as usize);
+            let mut new = ss[0];
+            for &s in &ss[1..] {
+                new = intersect(new, s, &ipdom);
+            }
+            ipdom[g as usize] = new;
+            depth[g as usize] = depth[new as usize] + 1;
+        }
+
+        PostDominators { ipdom, depth, sink }
+    }
+
+    /// The immediate post-dominator of gate `g` (the virtual sink when
+    /// `g` flows directly to an observation point).
+    pub fn ipdom(&self, g: u32) -> u32 {
+        self.ipdom[g as usize]
+    }
+
+    /// `true` when the returned id is the virtual sink, not a gate.
+    pub fn is_sink(&self, id: u32) -> bool {
+        id == self.sink
+    }
+
+    /// Depth of gate `g` in the tree (1 = immediately observed).
+    pub fn depth(&self, g: u32) -> u32 {
+        self.depth[g as usize]
+    }
+
+    /// The deepest gate in the tree — the longest mandatory
+    /// propagation chain in the circuit.
+    pub fn max_depth(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GateGraph;
+    use rtl::NetlistBuilder;
+
+    fn accumulator(width: u32) -> rtl::Netlist {
+        let mut b = NetlistBuilder::new(width).unwrap();
+        let x = b.input("x");
+        let d = b.register(x);
+        let y = b.add_labeled(x, d, "acc");
+        b.output(y, "y");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn chains_of_ipdoms_terminate_at_the_sink() {
+        let n = accumulator(8);
+        let g = GateGraph::expand(&n);
+        let pd = PostDominators::compute(&g);
+        for gid in 0..g.gates().len() as u32 {
+            let mut cur = gid;
+            let mut steps = 0u32;
+            while !pd.is_sink(cur) {
+                cur = pd.ipdom(cur);
+                steps += 1;
+                assert!(steps as usize <= g.gates().len(), "ipdom chain does not terminate");
+            }
+            assert_eq!(steps, pd.depth(gid));
+        }
+        assert!(pd.max_depth() > 1);
+    }
+
+    #[test]
+    fn single_consumer_chains_are_dominated_by_their_consumer() {
+        let n = accumulator(8);
+        let g = GateGraph::expand(&n);
+        let pd = PostDominators::compute(&g);
+        let acc = n.find_label("acc").unwrap();
+        // and1 feeds only the carry OR: the OR post-dominates it.
+        let cg = g.cell_gates(acc, 0).unwrap();
+        assert_eq!(pd.ipdom(cg.and1), cg.cout);
+        assert_eq!(pd.ipdom(cg.and2), cg.cout);
+    }
+
+    #[test]
+    fn observation_points_sit_at_depth_one() {
+        let n = accumulator(8);
+        let g = GateGraph::expand(&n);
+        let pd = PostDominators::compute(&g);
+        for (gid, gate) in g.gates().iter().enumerate() {
+            if matches!(gate.kind, crate::graph::GateKind::Output | crate::graph::GateKind::Dff) {
+                assert_eq!(pd.depth(gid as u32), 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,655 @@
+//! Gate-level expansion of the RTL netlist.
+//!
+//! The word-level netlist ([`rtl::Netlist`]) evaluates adders cell by
+//! cell through the five-gate full-adder model and treats everything
+//! else (shifts, sign extension, output taps) as wiring. This module
+//! expands that evaluation into an explicit gate graph — one graph node
+//! per primitive gate, one pin per gate input — that is *bit-faithful*
+//! to [`rtl::sim::BitSlicedSim`]: every gate computes exactly the value
+//! the simulator computes for the corresponding bit, and every fault
+//! line of [`rtl::fulladder::Line`] maps onto exactly one gate output
+//! or gate input pin (see [`GateGraph::fault_point`]).
+//!
+//! On top of the expansion the module computes the three shared static
+//! artifacts reused by the collapsing, SCOAP and dominator passes:
+//!
+//! * **levelization** — topological depth of every gate, with inputs,
+//!   constants and register outputs at level 0;
+//! * **fanout / consumer lists** — how many pins each gate output
+//!   drives, and which;
+//! * **fanout-free regions (FFR)** — the head gate of the maximal
+//!   single-path region each gate feeds into, the unit of transitive
+//!   structural collapsing.
+
+use rtl::fulladder::{FaFault, Line};
+use rtl::{Netlist, NodeId, NodeKind};
+use std::collections::HashMap;
+
+/// Sentinel gate id for "no gate" (absent cell members, top-cell
+/// carries).
+pub const NO_GATE: u32 = u32::MAX;
+
+/// Primitive gate kinds of the expanded graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateKind {
+    /// Primary-input bit (one per datapath bit of an input node).
+    Input,
+    /// Constant bit (from `Const` nodes, hardwired carries, `SetLsb`).
+    Const(bool),
+    /// Register bit: level-0 source whose input pin is the next-state
+    /// driver (patched after all nodes are expanded).
+    Dff,
+    /// Wiring buffer: models a fanout stem inside a full-adder cell.
+    Buf,
+    /// Inverter (subtractor B-operand conditioning, word-level `Not`).
+    Not,
+    /// 2-input AND.
+    And,
+    /// 2-input OR.
+    Or,
+    /// 2-input XOR.
+    Xor,
+    /// Primary-output bit: the observation point fed by one bit of an
+    /// `Output` node's source.
+    Output,
+}
+
+/// One gate of the expanded graph.
+#[derive(Debug, Clone)]
+pub struct Gate {
+    /// The gate's primitive kind.
+    pub kind: GateKind,
+    /// Driver gate ids, one per input pin (empty for sources).
+    pub pins: Vec<u32>,
+    /// Index of the owning netlist node.
+    pub node: u32,
+    /// Bit (cell) position within the owning node's word.
+    pub cell: u32,
+}
+
+/// Gate ids of one expanded full-adder cell, mirroring the 16-line
+/// fault model of [`rtl::fulladder`]. Absent gates are [`NO_GATE`]
+/// (sum-only top cells have no stems and no carry logic).
+#[derive(Debug, Clone, Copy)]
+pub struct CellGates {
+    /// A-operand stem buffer (`Line::AStem`).
+    pub buf_a: u32,
+    /// B-operand stem buffer, an inverter in subtractor cells
+    /// (`Line::BStem` — the *post-inversion* line).
+    pub buf_b: u32,
+    /// Carry-in stem buffer (`Line::CiStem`).
+    pub buf_ci: u32,
+    /// First-stage XOR (`Line::X1Stem` at its output).
+    pub x1: u32,
+    /// A·B carry AND (`Line::And1`).
+    pub and1: u32,
+    /// X1·Ci carry AND (`Line::And2`).
+    pub and2: u32,
+    /// Sum XOR (`Line::Sum`).
+    pub sum: u32,
+    /// Carry-out OR (`Line::Cout`).
+    pub cout: u32,
+    /// `true` for the trimmed carry-less top cell of an adder or
+    /// subtractor (XOR path only).
+    pub sum_only: bool,
+}
+
+/// The expanded gate graph plus its shared static artifacts.
+#[derive(Debug)]
+pub struct GateGraph {
+    gates: Vec<Gate>,
+    consumers: Vec<Vec<u32>>,
+    fanout: Vec<u32>,
+    levels: Vec<u32>,
+    ffr_head: Vec<u32>,
+    ffr_count: usize,
+    cells: HashMap<(u32, u32), CellGates>,
+    pin_base: Vec<u32>,
+    total_pins: usize,
+}
+
+/// Internal gate-list builder.
+struct Builder {
+    gates: Vec<Gate>,
+}
+
+impl Builder {
+    fn gate(&mut self, kind: GateKind, pins: Vec<u32>, node: usize, cell: usize) -> u32 {
+        let id = self.gates.len() as u32;
+        self.gates.push(Gate { kind, pins, node: node as u32, cell: cell as u32 });
+        id
+    }
+
+    /// A full five-gate adder cell: stems for all three inputs, the
+    /// two-XOR sum path and the AND/AND/OR carry path — exactly the
+    /// dataflow of [`rtl::fulladder::eval_word`].
+    fn full_cell(
+        &mut self,
+        node: usize,
+        cell: usize,
+        a: u32,
+        b: u32,
+        ci: u32,
+        invert_b: bool,
+    ) -> CellGates {
+        let buf_a = self.gate(GateKind::Buf, vec![a], node, cell);
+        let b_kind = if invert_b { GateKind::Not } else { GateKind::Buf };
+        let buf_b = self.gate(b_kind, vec![b], node, cell);
+        let buf_ci = self.gate(GateKind::Buf, vec![ci], node, cell);
+        let x1 = self.gate(GateKind::Xor, vec![buf_a, buf_b], node, cell);
+        let and1 = self.gate(GateKind::And, vec![buf_a, buf_b], node, cell);
+        let and2 = self.gate(GateKind::And, vec![x1, buf_ci], node, cell);
+        let sum = self.gate(GateKind::Xor, vec![x1, buf_ci], node, cell);
+        let cout = self.gate(GateKind::Or, vec![and1, and2], node, cell);
+        CellGates { buf_a, buf_b, buf_ci, x1, and1, and2, sum, cout, sum_only: false }
+    }
+
+    /// The trimmed top cell: two XORs, no stems, no carry logic —
+    /// exactly [`rtl::fulladder::eval_word_sum_only`].
+    fn sum_only_cell(
+        &mut self,
+        node: usize,
+        cell: usize,
+        a: u32,
+        b: u32,
+        ci: u32,
+        invert_b: bool,
+    ) -> CellGates {
+        let b_in = if invert_b { self.gate(GateKind::Not, vec![b], node, cell) } else { b };
+        let x1 = self.gate(GateKind::Xor, vec![a, b_in], node, cell);
+        let sum = self.gate(GateKind::Xor, vec![x1, ci], node, cell);
+        CellGates {
+            buf_a: NO_GATE,
+            buf_b: if invert_b { b_in } else { NO_GATE },
+            buf_ci: NO_GATE,
+            x1,
+            and1: NO_GATE,
+            and2: NO_GATE,
+            sum,
+            cout: NO_GATE,
+            sum_only: true,
+        }
+    }
+}
+
+impl GateGraph {
+    /// Expands a netlist into its gate graph and computes levelization,
+    /// fanout and FFR decomposition in one pass each.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a netlist node kind this engine does not model (the
+    /// netlist IR is `#[non_exhaustive]`; every kind the simulator
+    /// evaluates today is covered).
+    pub fn expand(netlist: &Netlist) -> GateGraph {
+        let w = netlist.width() as usize;
+        let n = netlist.nodes().len();
+        let mut b = Builder { gates: Vec::new() };
+        // Per-node word signals: the gate whose output is each bit.
+        let mut signals: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut cells: HashMap<(u32, u32), CellGates> = HashMap::new();
+
+        // Shared carry-save cell expansion: both the sum and the carry
+        // node of a CSA pair read the same physical cells, so whichever
+        // of the two is reached first builds them.
+        fn ensure_csa(
+            b: &mut Builder,
+            cells: &mut HashMap<(u32, u32), CellGates>,
+            signals: &[Vec<u32>],
+            netlist: &Netlist,
+            sum_idx: usize,
+        ) {
+            if cells.contains_key(&(sum_idx as u32, 0)) {
+                return;
+            }
+            let NodeKind::CsaSum { a, b: bb, c } = netlist.nodes()[sum_idx].kind else {
+                panic!("CSA carry paired with a non-CsaSum node");
+            };
+            let (sa, sb, sc) = (&signals[a.index()], &signals[bb.index()], &signals[c.index()]);
+            for (cell, (&a_bit, (&b_bit, &c_bit))) in sa.iter().zip(sb.iter().zip(sc)).enumerate() {
+                let cg = b.full_cell(sum_idx, cell, a_bit, b_bit, c_bit, false);
+                cells.insert((sum_idx as u32, cell as u32), cg);
+            }
+        }
+
+        for &idx in netlist.eval_order() {
+            let i = idx as usize;
+            let id = netlist.node_id(i);
+            let mut sig: Vec<u32> = Vec::with_capacity(w);
+            match netlist.nodes()[i].kind {
+                NodeKind::Input => {
+                    for bit in 0..w {
+                        sig.push(b.gate(GateKind::Input, vec![], i, bit));
+                    }
+                }
+                NodeKind::Const { raw } => {
+                    for bit in 0..w {
+                        let v = (raw as u64 >> bit) & 1 == 1;
+                        sig.push(b.gate(GateKind::Const(v), vec![], i, bit));
+                    }
+                }
+                NodeKind::Register { .. } => {
+                    // Next-state pins are patched once every node has
+                    // its signals (the source may sit later in the
+                    // evaluation order).
+                    for bit in 0..w {
+                        sig.push(b.gate(GateKind::Dff, vec![], i, bit));
+                    }
+                }
+                NodeKind::Output { src } => {
+                    for (bit, &src_bit) in signals[src.index()].iter().enumerate() {
+                        sig.push(b.gate(GateKind::Output, vec![src_bit], i, bit));
+                    }
+                }
+                NodeKind::ShiftRight { src, amount } => {
+                    // Pure wiring: bit b reads source bit b+amount,
+                    // clamped to the sign bit — aliases, not gates.
+                    for bit in 0..w {
+                        let from = (bit + amount as usize).min(w - 1);
+                        sig.push(signals[src.index()][from]);
+                    }
+                }
+                NodeKind::Not { src } => {
+                    for (bit, &src_bit) in signals[src.index()].iter().enumerate() {
+                        sig.push(b.gate(GateKind::Not, vec![src_bit], i, bit));
+                    }
+                }
+                NodeKind::SetLsb { src } => {
+                    sig.push(b.gate(GateKind::Const(true), vec![], i, 0));
+                    sig.extend_from_slice(&signals[src.index()][1..]);
+                }
+                NodeKind::Add { a, b: bb } | NodeKind::Sub { a, b: bb } => {
+                    let sub = matches!(netlist.nodes()[i].kind, NodeKind::Sub { .. });
+                    let top = netlist.msb_trim(id) as usize;
+                    // The carry into the lowest cell is hardwired: 0
+                    // for an adder, 1 for a subtractor (the +1 of the
+                    // two's-complement negation).
+                    let mut carry = b.gate(GateKind::Const(sub), vec![], i, 0);
+                    sig.resize(w, NO_GATE);
+                    for cell in 0..=top {
+                        let a_bit = signals[a.index()][cell];
+                        let b_bit = signals[bb.index()][cell];
+                        let cg = if cell < top {
+                            b.full_cell(i, cell, a_bit, b_bit, carry, sub)
+                        } else {
+                            b.sum_only_cell(i, cell, a_bit, b_bit, carry, sub)
+                        };
+                        sig[cell] = cg.sum;
+                        carry = cg.cout;
+                        cells.insert((i as u32, cell as u32), cg);
+                    }
+                    // Sign extension above the trimmed top cell is
+                    // wiring: upper bits alias the top sum gate.
+                    for cell in top + 1..w {
+                        sig[cell] = sig[top];
+                    }
+                }
+                NodeKind::CsaSum { .. } => {
+                    ensure_csa(&mut b, &mut cells, &signals, netlist, i);
+                    for cell in 0..w {
+                        sig.push(cells[&(i as u32, cell as u32)].sum);
+                    }
+                }
+                NodeKind::CsaCarry { sum, .. } => {
+                    ensure_csa(&mut b, &mut cells, &signals, netlist, sum.index());
+                    // Carry word: bit 0 hardwired zero, bit k+1 is the
+                    // carry-out of shared cell k; the top cell's carry
+                    // is discarded.
+                    sig.push(b.gate(GateKind::Const(false), vec![], i, 0));
+                    for cell in 0..w - 1 {
+                        sig.push(cells[&(sum.index() as u32, cell as u32)].cout);
+                    }
+                }
+                ref other => panic!("structure: unmodeled node kind {other:?}"),
+            }
+            signals[i] = sig;
+        }
+
+        // Patch register next-state pins now that every source word has
+        // its gates.
+        for (i, node) in netlist.nodes().iter().enumerate() {
+            if let NodeKind::Register { src } = node.kind {
+                for (&dff, &src_bit) in signals[i].iter().zip(&signals[src.index()]) {
+                    let dff = dff as usize;
+                    debug_assert!(matches!(b.gates[dff].kind, GateKind::Dff));
+                    b.gates[dff].pins = vec![src_bit];
+                }
+            }
+        }
+
+        let gates = b.gates;
+        let g_count = gates.len();
+
+        // Fanout and consumer lists.
+        let mut fanout = vec![0u32; g_count];
+        let mut consumers: Vec<Vec<u32>> = vec![Vec::new(); g_count];
+        for (g, gate) in gates.iter().enumerate() {
+            for &p in &gate.pins {
+                fanout[p as usize] += 1;
+                consumers[p as usize].push(g as u32);
+            }
+        }
+
+        // Levelization: sources at 0, combinational gates one past
+        // their deepest driver. Gate ids are already topological for
+        // combinational edges, so a single forward pass suffices.
+        let mut levels = vec![0u32; g_count];
+        for (g, gate) in gates.iter().enumerate() {
+            levels[g] = match gate.kind {
+                GateKind::Input | GateKind::Const(_) | GateKind::Dff => 0,
+                _ => {
+                    1 + gate
+                        .pins
+                        .iter()
+                        .map(|&p| {
+                            debug_assert!((p as usize) < g, "combinational pin from later gate");
+                            levels[p as usize]
+                        })
+                        .max()
+                        .unwrap_or(0)
+                }
+            };
+        }
+
+        // FFR decomposition: a gate belongs to the region of its unique
+        // consumer unless it fans out, or crosses into a register or an
+        // observation point. One reverse pass (consumers of
+        // combinational gates always have larger ids).
+        let mut ffr_head: Vec<u32> = (0..g_count as u32).collect();
+        for g in (0..g_count).rev() {
+            if fanout[g] == 1 {
+                let c = consumers[g][0] as usize;
+                match gates[c].kind {
+                    GateKind::Dff | GateKind::Output => {}
+                    _ => ffr_head[g] = ffr_head[c],
+                }
+            }
+        }
+        let ffr_count = ffr_head.iter().enumerate().filter(|&(g, &h)| g as u32 == h).count();
+
+        // Pin fault-point layout: outputs first (point == gate id),
+        // then pins, prefix-summed per gate.
+        let mut pin_base = vec![0u32; g_count];
+        let mut next = g_count as u32;
+        for (g, gate) in gates.iter().enumerate() {
+            pin_base[g] = next;
+            next += gate.pins.len() as u32;
+        }
+        let total_pins = (next as usize) - g_count;
+
+        GateGraph {
+            gates,
+            consumers,
+            fanout,
+            levels,
+            ffr_head,
+            ffr_count,
+            cells,
+            pin_base,
+            total_pins,
+        }
+    }
+
+    /// The gates, indexable by gate id.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Gate ids consuming gate `g`'s output (one entry per pin driven).
+    pub fn consumers(&self, g: u32) -> &[u32] {
+        &self.consumers[g as usize]
+    }
+
+    /// Number of pins driven by gate `g`'s output.
+    pub fn fanout(&self, g: u32) -> u32 {
+        self.fanout[g as usize]
+    }
+
+    /// Topological level of gate `g` (0 for sources).
+    pub fn level(&self, g: u32) -> u32 {
+        self.levels[g as usize]
+    }
+
+    /// The deepest combinational level in the graph.
+    pub fn max_level(&self) -> u32 {
+        self.levels.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Head gate of `g`'s fanout-free region (a fixed point of itself).
+    pub fn ffr_head(&self, g: u32) -> u32 {
+        self.ffr_head[g as usize]
+    }
+
+    /// Number of distinct fanout-free regions.
+    pub fn ffr_count(&self) -> usize {
+        self.ffr_count
+    }
+
+    /// The expanded cell of an arithmetic node at a bit position, when
+    /// that cell exists (adder/subtractor cells above the trimmed top
+    /// are wiring, not cells).
+    pub fn cell_gates(&self, node: NodeId, cell: u32) -> Option<&CellGates> {
+        self.cells.get(&(node.index() as u32, cell))
+    }
+
+    /// Iterates every expanded cell as `(node index, cell, gates)`.
+    pub fn cells(&self) -> impl Iterator<Item = (u32, u32, &CellGates)> + '_ {
+        self.cells.iter().map(|(&(n, c), cg)| (n, c, cg))
+    }
+
+    /// Total number of fault points: one per gate output plus one per
+    /// gate input pin.
+    pub fn fault_points(&self) -> usize {
+        self.gates.len() + self.total_pins
+    }
+
+    /// The fault point of gate `g`'s output.
+    pub fn out_point(&self, g: u32) -> u32 {
+        g
+    }
+
+    /// The fault point of gate `g`'s input pin `j`.
+    pub fn pin_point(&self, g: u32, j: usize) -> u32 {
+        debug_assert!(j < self.gates[g as usize].pins.len());
+        self.pin_base[g as usize] + j as u32
+    }
+
+    /// Maps a cell-level fault line onto its gate-graph fault point.
+    /// The stuck polarity is unchanged by the mapping (`Line::BStem` is
+    /// already the post-inversion line in subtractor cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell was not expanded or the line does not exist
+    /// in a sum-only cell.
+    pub fn fault_point(&self, node: NodeId, cell: u32, fault: FaFault) -> u32 {
+        let cg = self
+            .cells
+            .get(&(node.index() as u32, cell))
+            .unwrap_or_else(|| panic!("no expanded cell for {node} cell {cell}"));
+        if cg.sum_only {
+            match fault.line {
+                Line::AXor => self.pin_point(cg.x1, 0),
+                Line::BXor => self.pin_point(cg.x1, 1),
+                Line::X1Xor => self.pin_point(cg.sum, 0),
+                Line::CiXor => self.pin_point(cg.sum, 1),
+                Line::Sum => self.out_point(cg.sum),
+                other => panic!("line {other:?} cannot occur in a sum-only cell"),
+            }
+        } else {
+            match fault.line {
+                Line::AStem => self.out_point(cg.buf_a),
+                Line::AXor => self.pin_point(cg.x1, 0),
+                Line::AAnd => self.pin_point(cg.and1, 0),
+                Line::BStem => self.out_point(cg.buf_b),
+                Line::BXor => self.pin_point(cg.x1, 1),
+                Line::BAnd => self.pin_point(cg.and1, 1),
+                Line::CiStem => self.out_point(cg.buf_ci),
+                Line::CiXor => self.pin_point(cg.sum, 1),
+                Line::CiAnd => self.pin_point(cg.and2, 1),
+                Line::X1Stem => self.out_point(cg.x1),
+                Line::X1Xor => self.pin_point(cg.sum, 0),
+                Line::X1And => self.pin_point(cg.and2, 0),
+                Line::And1 => self.out_point(cg.and1),
+                Line::And2 => self.out_point(cg.and2),
+                Line::Sum => self.out_point(cg.sum),
+                Line::Cout => self.out_point(cg.cout),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtl::NetlistBuilder;
+
+    fn accumulator(width: u32) -> Netlist {
+        let mut b = NetlistBuilder::new(width).unwrap();
+        let x = b.input("x");
+        let d = b.register(x);
+        let y = b.add_labeled(x, d, "acc");
+        b.output(y, "y");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn expansion_is_bit_faithful_to_the_simulator() {
+        // Evaluate the gate graph combinationally for one cycle and
+        // compare every output bit against BitSlicedSim.
+        let n = accumulator(8);
+        let g = GateGraph::expand(&n);
+        for &input in &[5i64, -3, 127, -128, 0, 77] {
+            // Gate-graph evaluation: registers read zero (fresh sim per
+            // input keeps the frame purely combinational).
+            let mut sim1 = rtl::sim::BitSlicedSim::new(&n);
+            sim1.step(input);
+            let mut vals = vec![false; g.gates().len()];
+            for (idx, gate) in g.gates().iter().enumerate() {
+                vals[idx] = match gate.kind {
+                    GateKind::Input => (input as u64 >> gate.cell) & 1 == 1,
+                    GateKind::Const(v) => v,
+                    GateKind::Dff => false,
+                    GateKind::Buf => vals[gate.pins[0] as usize],
+                    GateKind::Not => !vals[gate.pins[0] as usize],
+                    GateKind::And => vals[gate.pins[0] as usize] && vals[gate.pins[1] as usize],
+                    GateKind::Or => vals[gate.pins[0] as usize] || vals[gate.pins[1] as usize],
+                    GateKind::Xor => vals[gate.pins[0] as usize] ^ vals[gate.pins[1] as usize],
+                    GateKind::Output => vals[gate.pins[0] as usize],
+                };
+            }
+            let out = n.output_ids()[0];
+            let got: i64 = n.format().sign_extend(
+                g.gates()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, gate)| {
+                        gate.kind == GateKind::Output && gate.node == out.index() as u32
+                    })
+                    .map(|(idx, gate)| u64::from(vals[idx]) << gate.cell)
+                    .sum::<u64>(),
+            );
+            assert_eq!(got, sim1.lane_value(out, 0), "input {input}");
+        }
+    }
+
+    #[test]
+    fn every_fault_line_maps_to_a_distinct_point() {
+        let n = accumulator(8);
+        let g = GateGraph::expand(&n);
+        let acc = n.find_label("acc").unwrap();
+        let top = n.msb_trim(acc);
+        // Full cell: all 16 lines map, pairwise distinct.
+        let mut points = std::collections::HashSet::new();
+        for line in [
+            Line::AStem,
+            Line::AXor,
+            Line::AAnd,
+            Line::BStem,
+            Line::BXor,
+            Line::BAnd,
+            Line::CiStem,
+            Line::CiXor,
+            Line::CiAnd,
+            Line::X1Stem,
+            Line::X1Xor,
+            Line::X1And,
+            Line::And1,
+            Line::And2,
+            Line::Sum,
+            Line::Cout,
+        ] {
+            assert!(points.insert(g.fault_point(acc, 0, FaFault { line, stuck_one: false })));
+        }
+        assert_eq!(points.len(), 16);
+        // Sum-only top cell: the five XOR-path lines map.
+        for line in rtl::fulladder::SUM_ONLY_LINES {
+            g.fault_point(acc, top, FaFault { line, stuck_one: true });
+        }
+    }
+
+    #[test]
+    fn ripple_carry_chains_cells_and_sign_extends() {
+        let n = accumulator(8);
+        let g = GateGraph::expand(&n);
+        let acc = n.find_label("acc").unwrap();
+        let top = n.msb_trim(acc);
+        for cell in 0..top {
+            let cg = g.cell_gates(acc, cell).unwrap();
+            assert!(!cg.sum_only);
+            // The carry-out feeds exactly the next cell's carry stem.
+            let next = g.cell_gates(acc, cell + 1).unwrap();
+            let expect = if next.sum_only { next.sum } else { next.buf_ci };
+            assert_eq!(g.consumers(cg.cout), &[expect]);
+        }
+        assert!(g.cell_gates(acc, top).unwrap().sum_only);
+        assert!(g.cell_gates(acc, top + 1).is_none());
+    }
+
+    #[test]
+    fn levels_increase_along_the_carry_chain() {
+        let n = accumulator(8);
+        let g = GateGraph::expand(&n);
+        let acc = n.find_label("acc").unwrap();
+        let mut prev = 0;
+        for cell in 0..n.msb_trim(acc) {
+            let cg = g.cell_gates(acc, cell).unwrap();
+            let lvl = g.level(cg.cout);
+            assert!(lvl > prev, "cell {cell}: {lvl} <= {prev}");
+            prev = lvl;
+        }
+        // The top sum gate sits at least as deep as the last carry.
+        let top = g.cell_gates(acc, n.msb_trim(acc)).unwrap();
+        assert!(g.max_level() >= g.level(top.sum));
+        assert!(g.level(top.sum) > prev);
+    }
+
+    #[test]
+    fn ffr_heads_are_fixed_points_and_bounded_by_fanout() {
+        let n = accumulator(10);
+        let g = GateGraph::expand(&n);
+        for gid in 0..g.gates().len() as u32 {
+            let h = g.ffr_head(gid);
+            assert_eq!(g.ffr_head(h), h, "head of {gid} is not a fixed point");
+        }
+        assert!(g.ffr_count() > 0);
+        assert!(g.ffr_count() <= g.gates().len());
+    }
+
+    #[test]
+    fn subtractor_b_stem_is_an_inverter() {
+        let mut b = NetlistBuilder::new(8).unwrap();
+        let x = b.input("x");
+        let d = b.register(x);
+        let y = b.sub_labeled(x, d, "diff");
+        b.output(y, "y");
+        let n = b.finish().unwrap();
+        let g = GateGraph::expand(&n);
+        let diff = n.find_label("diff").unwrap();
+        let cg = g.cell_gates(diff, 0).unwrap();
+        assert_eq!(g.gates()[cg.buf_b as usize].kind, GateKind::Not);
+        // And the hardwired carry-in of cell 0 is constant one.
+        let ci_driver = g.gates()[cg.buf_ci as usize].pins[0];
+        assert_eq!(g.gates()[ci_driver as usize].kind, GateKind::Const(true));
+    }
+}

@@ -1,0 +1,191 @@
+//! The structural-analysis report: collapse census, graph shape and
+//! SCOAP summary, with deterministic JSON serialization (the golden
+//! snapshot and the run artifact both build on it).
+
+use crate::collapse::MergeCounts;
+use obs::JsonValue;
+
+/// Aggregated SCOAP measures over the fault-bearing cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoapSummary {
+    /// Worst finite 0-controllability over cell sum gates.
+    pub max_cc0: u32,
+    /// Worst finite 1-controllability over cell sum gates.
+    pub max_cc1: u32,
+    /// Worst finite observability over cell sum gates.
+    pub max_co: u32,
+    /// Cells whose sum gate is structurally unobservable.
+    pub unobservable_cells: usize,
+    /// Histogram of cell observabilities: bucket `k` counts cells with
+    /// `CO` in `[2^k, 2^(k+1))`.
+    pub co_histogram: Vec<usize>,
+}
+
+/// The full report of one structural analysis run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructureReport {
+    /// Gates in the expanded graph.
+    pub gates: usize,
+    /// Deepest combinational level.
+    pub max_level: u32,
+    /// Fanout-free regions.
+    pub ffr_count: usize,
+    /// Depth of the post-dominator tree.
+    pub dominator_depth: u32,
+    /// The raw per-line stuck-at universe of the active cells, before
+    /// any screening — the classical collapse-ratio denominator.
+    pub raw_lines: usize,
+    /// Member faults of the analyzed (mask-screened) universe.
+    pub screened_faults: usize,
+    /// Fault classes before structural collapsing (the seed model's
+    /// per-cell classes).
+    pub sites_before: usize,
+    /// Fault classes after structural collapsing.
+    pub classes_after: usize,
+    /// Classes that survive the dominance census (prime classes).
+    pub prime_classes: usize,
+    /// Union counts per collapsing rule, plus counted dominance pairs
+    /// and dominated classes.
+    pub merges: MergeCounts,
+    /// SCOAP aggregates over the fault-bearing cells.
+    pub scoap: ScoapSummary,
+}
+
+impl StructureReport {
+    /// Fraction of the raw per-line universe removed by screening,
+    /// equivalence collapsing and the dominance census combined
+    /// (`1 - prime_classes / raw_lines`) — the figure classical
+    /// collapsing literature quotes.
+    pub fn reduction_vs_raw(&self) -> f64 {
+        if self.raw_lines == 0 {
+            return 0.0;
+        }
+        1.0 - self.prime_classes as f64 / self.raw_lines as f64
+    }
+
+    /// Fraction of the seed model's classes removed by the structural
+    /// pass alone (`1 - classes_after / sites_before`).
+    pub fn reduction_vs_sites(&self) -> f64 {
+        if self.sites_before == 0 {
+            return 0.0;
+        }
+        1.0 - self.classes_after as f64 / self.sites_before as f64
+    }
+
+    /// Deterministic machine-readable form (fixed field order).
+    pub fn to_json(&self) -> JsonValue {
+        let histogram =
+            JsonValue::Array(self.scoap.co_histogram.iter().map(|&c| (c as u64).into()).collect());
+        JsonValue::object()
+            .push("gates", self.gates as u64)
+            .push("max_level", self.max_level)
+            .push("ffr_count", self.ffr_count as u64)
+            .push("dominator_depth", self.dominator_depth)
+            .push("raw_lines", self.raw_lines as u64)
+            .push("screened_faults", self.screened_faults as u64)
+            .push("sites_before", self.sites_before as u64)
+            .push("classes_after", self.classes_after as u64)
+            .push("prime_classes", self.prime_classes as u64)
+            .push("reduction_vs_raw", self.reduction_vs_raw())
+            .push("reduction_vs_sites", self.reduction_vs_sites())
+            .push(
+                "merges",
+                JsonValue::object()
+                    .push("wire", self.merges.wire as u64)
+                    .push("buffer", self.merges.buffer as u64)
+                    .push("inverter", self.merges.inverter as u64)
+                    .push("and_inputs", self.merges.and_inputs as u64)
+                    .push("or_inputs", self.merges.or_inputs as u64)
+                    .push("dominance_pairs", self.merges.dominance_pairs as u64)
+                    .push("dominated_classes", self.merges.dominated_classes as u64),
+            )
+            .push(
+                "scoap",
+                JsonValue::object()
+                    .push("max_cc0", self.scoap.max_cc0)
+                    .push("max_cc1", self.scoap.max_cc1)
+                    .push("max_co", self.scoap.max_co)
+                    .push("unobservable_cells", self.scoap.unobservable_cells as u64)
+                    .push("co_histogram", histogram),
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StructureReport {
+        StructureReport {
+            gates: 100,
+            max_level: 9,
+            ffr_count: 20,
+            dominator_depth: 11,
+            raw_lines: 200,
+            screened_faults: 160,
+            sites_before: 80,
+            classes_after: 60,
+            prime_classes: 50,
+            merges: MergeCounts {
+                wire: 30,
+                buffer: 25,
+                inverter: 5,
+                and_inputs: 12,
+                or_inputs: 6,
+                dominance_pairs: 36,
+                dominated_classes: 10,
+            },
+            scoap: ScoapSummary {
+                max_cc0: 7,
+                max_cc1: 19,
+                max_co: 23,
+                unobservable_cells: 0,
+                co_histogram: vec![0, 2, 5, 9],
+            },
+        }
+    }
+
+    #[test]
+    fn reductions_are_fractions() {
+        let r = sample();
+        assert!((r.reduction_vs_raw() - 0.75).abs() < 1e-12);
+        assert!((r.reduction_vs_sites() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_complete() {
+        let r = sample();
+        let a = r.to_json().to_json();
+        assert_eq!(a, r.to_json().to_json());
+        for key in [
+            "gates",
+            "max_level",
+            "ffr_count",
+            "dominator_depth",
+            "raw_lines",
+            "screened_faults",
+            "sites_before",
+            "classes_after",
+            "prime_classes",
+            "reduction_vs_raw",
+            "reduction_vs_sites",
+            "merges",
+            "wire",
+            "dominance_pairs",
+            "dominated_classes",
+            "scoap",
+            "co_histogram",
+        ] {
+            assert!(a.contains(&format!("\"{key}\"")), "{key} missing from {a}");
+        }
+    }
+
+    #[test]
+    fn empty_universe_reductions_are_zero() {
+        let mut r = sample();
+        r.raw_lines = 0;
+        r.sites_before = 0;
+        assert_eq!(r.reduction_vs_raw(), 0.0);
+        assert_eq!(r.reduction_vs_sites(), 0.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Golden-file snapshot of the LP-MINI structural-analysis report.
+//!
+//! The report JSON is a machine interface — the run artifact's
+//! `collapse` object and the `L7xx` lints both derive from it — so its
+//! bytes are pinned here: any intentional change to the collapse
+//! rules, the dominance census, the dominator tree or the SCOAP
+//! definitions must re-bless the snapshot (the diff then documents
+//! exactly which class counts and measures moved).
+//!
+//! Regenerate with `BLESS=1 cargo test -p bist-structure --test golden`.
+
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/LP-MINI.json")
+}
+
+/// The LP-MINI report, built exactly the way the session layer builds
+/// it: reachability-pruned universe over the design's claimed ranges.
+fn lp_mini_report_json() -> String {
+    let design = filters::designs::lowpass_mini().expect("LP-MINI elaborates");
+    let netlist = design.netlist().clone();
+    let reach = rtl::reachability::Reachability::analyze(&netlist, design.spec().input_bits);
+    let universe =
+        faultsim::FaultUniverse::enumerate_pruned(&netlist, design.claimed_ranges(), &reach);
+    let analysis = bist_structure::analyze(&netlist, &universe);
+    let mut out = analysis.report.to_json().to_json();
+    out.push('\n');
+    out
+}
+
+#[test]
+fn lp_mini_structure_report_is_byte_stable() {
+    let actual = lp_mini_report_json();
+    let path = golden_path();
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("create golden dir");
+        std::fs::write(&path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {}: {e} (run with BLESS=1)", path.display())
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "the LP-MINI structure report drifted from {}; re-bless with \
+         BLESS=1 if the change is intentional",
+        path.display()
+    );
+}
+
+#[test]
+fn snapshot_parses_and_carries_the_census() {
+    let report = obs::JsonValue::parse(&lp_mini_report_json()).expect("valid JSON");
+    let classes = report.get("classes_after").and_then(obs::JsonValue::as_u64).expect("classes");
+    let sites = report.get("sites_before").and_then(obs::JsonValue::as_u64).expect("sites");
+    assert!(classes < sites, "collapsing must shrink the universe ({classes} vs {sites})");
+    let merges = report.get("merges").expect("per-rule class counts");
+    assert!(merges.get("wire").and_then(obs::JsonValue::as_u64).expect("wire rule") > 0);
+    assert!(report.get("dominator_depth").and_then(obs::JsonValue::as_u64).expect("depth") > 0);
+    let scoap = report.get("scoap").expect("scoap summary");
+    assert!(matches!(scoap.get("co_histogram"), Some(obs::JsonValue::Array(b)) if !b.is_empty()));
+}

@@ -166,7 +166,7 @@ mod tests {
         let lfsr = Lfsr2::new(10, polynomials::primitive(10).unwrap()).unwrap();
         let (delays, period) = bit_delays2(&lfsr);
         // Re-simulate and verify bit_j(t) == bit_0(t + d_j) everywhere.
-        let mut probe = lfsr.clone();
+        let mut probe = lfsr;
         probe.reset();
         let mut states = Vec::new();
         for _ in 0..period {

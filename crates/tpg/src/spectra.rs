@@ -208,7 +208,7 @@ mod tests {
     fn lfsr2_analytic_matches_measurement() {
         let l2 = Lfsr2::new(12, PAPER_TYPE2_POLY).unwrap();
         let s_model = lfsr2(&l2, 64);
-        let mut gen = l2.clone();
+        let mut gen = l2;
         let s_meas = measured(&mut gen, 1 << 14, 128).unwrap();
         for k in (4..60).step_by(4) {
             let a = 10.0 * s_model.values()[k].log10();
