@@ -51,6 +51,13 @@ echo "experiments sat cell: equivalence proved, sampled candidates UNSAT OK"
 ./target/release/experiments structure
 echo "experiments structure cell: collapse bit-identical, census attached OK"
 
+# Kernel differential cell: the flat SoA tape kernel (the default
+# engine) and the retained graph walker must produce bit-identical
+# verdicts, signatures and coverage on LP-MINI in both response-check
+# modes (exits non-zero on any divergence). A few seconds.
+./target/release/experiments kernel
+echo "experiments kernel cell: walker/kernel bit-identical in both modes OK"
+
 # Daemon smoke test: a bistd on a Unix socket must serve a campaign,
 # answer the identical resubmission from its result cache, and drain
 # cleanly on shutdown.

@@ -24,8 +24,10 @@
 //!     bench7   top-off seed storage vs misses        (reseeding study)
 //!     bench8   SAT proof-pruning before/after        (redundancy study)
 //!     bench9   structural collapse before/after      (collapsing study)
+//!     bench10  walker vs kernel engine before/after  (SoA kernel study)
 //!     smoke    signature-mode zero-aliasing gate     (CI tier 1)
 //!     structure collapse bit-identity census gate    (CI tier 1)
+//!     kernel   walker-vs-kernel bit-identity gate    (CI tier 1)
 //!     atpg     deterministic top-off coverage gate   (CI tier 1)
 //!     sat      equivalence + redundancy proof gate   (CI tier 1)
 //!     all      everything above
@@ -58,7 +60,7 @@ use bist_bench::{
 };
 use bist_core::campaign::CampaignSpec;
 use bist_core::session::{BistSession, ResponseCheck};
-use bist_core::{compat, distribution, variance, zones};
+use bist_core::{compat, distribution, variance, zones, SimEngine};
 use bistd::{Client, ServerAddr};
 use dsp::stats::Summary;
 use filters::FilterDesign;
@@ -127,8 +129,10 @@ fn main() {
     run("bench7", &bench7);
     run("bench8", &bench8);
     run("bench9", &bench9);
+    run("bench10", &bench10);
     run("smoke", &smoke);
     run("structure", &structure_smoke);
+    run("kernel", &kernel_smoke);
     run("atpg", &atpg_smoke);
     run("sat", &sat_smoke);
     if !ran {
@@ -146,6 +150,7 @@ fn main() {
             "bench7" => "7",
             "bench8" => "8",
             "bench9" => "9",
+            "bench10" => "10",
             other => other,
         };
         match bist_bench::artifacts::write_bench_json(tag, &path) {
@@ -1501,6 +1506,148 @@ fn bench9() {
                     .push("tally", lint_tally(&diags))
                     .push("scoap_l1xx_disagreements", disagreements as u64),
             ),
+    );
+}
+
+/// The `bench10` flat-kernel study: the signature-mode Section 8 grid
+/// (LP/BP/HP under the four Table 4 generators at 4096 vectors, plus
+/// LP-MINI) runs twice per cell — once on the retained graph-walker
+/// engine, once on the flat structure-of-arrays tape kernel — and every
+/// pair must produce bit-identical verdicts: per-fault detection
+/// cycles, per-fault signature sets, the good-machine signature and
+/// the coverage figure (the study exits non-zero otherwise, or if the
+/// kernel's geometric-mean fault-sim speedup falls below 3x). Per-cell
+/// `session.fault_sim` wall times and speedups land in
+/// `BENCH_10.json`'s `comparison` object with `--json`.
+fn bench10() {
+    banner("Flat SoA kernel study: tape kernel vs graph walker, verdicts bit-identical");
+    let mut designs = paper_designs();
+    designs.push(filters::designs::lowpass_mini().expect("LP-MINI elaborates"));
+    let mut rows = Vec::new();
+    let mut cell_entries = Vec::new();
+    let mut speedups: Vec<f64> = Vec::new();
+    for d in &designs {
+        let session = BistSession::new(d).expect("session");
+        // LP-MINI is the sub-second sanity anchor; the paper designs
+        // run the full Table 4 generator roster.
+        let gens: &[&str] = if d.name() == "LP-MINI" { &["LFSR-D"] } else { &SECTION8_GENERATORS };
+        for gen_name in gens {
+            let config = run_config_mode(SECTION8_VECTORS, ResponseCheck::Signature);
+            let mut gen = generator(gen_name);
+            let walked =
+                run_session(&session, &mut *gen, &config.clone().with_engine(SimEngine::Walker));
+            let mut gen = generator(gen_name);
+            let kernel = run_session(&session, &mut *gen, &config.with_engine(SimEngine::Kernel));
+            let identical = walked.result.detection_cycles() == kernel.result.detection_cycles()
+                && walked.result.signatures() == kernel.result.signatures()
+                && walked.signature == kernel.signature
+                && walked.artifact.coverage == kernel.artifact.coverage
+                && walked.artifact.aliased == kernel.artifact.aliased;
+            if !identical {
+                eprintln!(
+                    "bench10 failed on {} x {gen_name}: kernel verdicts diverge from the walker",
+                    d.name()
+                );
+                std::process::exit(1);
+            }
+            let walker_ms = stage_ms(&walked, "session.fault_sim");
+            let kernel_ms = stage_ms(&kernel, "session.fault_sim");
+            let speedup = walker_ms / kernel_ms.max(1e-9);
+            speedups.push(speedup);
+            rows.push(vec![
+                d.name().to_string(),
+                gen_name.to_string(),
+                format!("{:.2}%", 100.0 * kernel.artifact.coverage),
+                format!("{walker_ms:.0}"),
+                format!("{kernel_ms:.0}"),
+                format!("{speedup:.1}x"),
+            ]);
+            cell_entries.push(
+                obs::JsonValue::object()
+                    .push("design", d.name())
+                    .push("generator", gen_name.to_string())
+                    .push("mode", "signature")
+                    .push("walker_sim_ms", walker_ms)
+                    .push("kernel_sim_ms", kernel_ms)
+                    .push("speedup", speedup)
+                    .push("verdicts_identical", identical),
+            );
+        }
+    }
+    println!(
+        "{}",
+        table::render(&["Des.", "gen", "coverage", "walker ms", "kernel ms", "speedup"], &rows)
+    );
+    println!("'walker ms'/'kernel ms' are the fault-sim stage wall times of the same");
+    println!("campaign under the two engines; verdicts (detection cycles, per-fault");
+    println!("signatures, good signature, coverage) were verified bit-identical per cell.");
+    let min = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+    let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    println!(
+        "\n  kernel speedup: min {min:.2}x, geomean {geomean:.2}x over {} cells",
+        speedups.len()
+    );
+    if geomean < 3.0 {
+        eprintln!("bench10 failed: geomean kernel speedup {geomean:.2}x is below the 3x gate");
+        std::process::exit(1);
+    }
+    bist_bench::artifacts::set_comparison(
+        obs::JsonValue::object()
+            .push("study", "soa_kernel")
+            .push("vectors", SECTION8_VECTORS as u64)
+            .push("mode", "signature")
+            .push("min_speedup", min)
+            .push("geomean_speedup", geomean)
+            .push("cells", obs::JsonValue::Array(cell_entries)),
+    );
+}
+
+/// The `kernel` CI cell (tier1.sh): the LP-MINI campaign must produce
+/// bit-identical verdicts under the graph walker and the flat tape
+/// kernel in both response-check modes (detection cycles, per-fault
+/// signatures, good signature, coverage), and the compiled tape must
+/// be a non-trivial straight-line program. Sub-second; exits non-zero
+/// otherwise.
+fn kernel_smoke() {
+    banner("CI kernel cell: LP-MINI walker vs tape kernel, bit-identical in both modes");
+    let d = filters::designs::lowpass_mini().expect("LP-MINI elaborates");
+    let session = BistSession::new(&d).expect("session");
+    let vectors = 1024;
+    for mode in [ResponseCheck::Trace, ResponseCheck::Signature] {
+        let mode_name = match mode {
+            ResponseCheck::Trace => "trace",
+            ResponseCheck::Signature => "signature",
+        };
+        let config = run_config_mode(vectors, mode);
+        let mut gen = generator("LFSR-D");
+        let walked =
+            run_session(&session, &mut *gen, &config.clone().with_engine(SimEngine::Walker));
+        let mut gen = generator("LFSR-D");
+        let kernel = run_session(&session, &mut *gen, &config.with_engine(SimEngine::Kernel));
+        if walked.result.detection_cycles() != kernel.result.detection_cycles()
+            || walked.result.signatures() != kernel.result.signatures()
+            || walked.signature != kernel.signature
+            || walked.artifact.coverage != kernel.artifact.coverage
+        {
+            eprintln!("kernel cell failed: {mode_name}-mode verdicts diverge between engines");
+            std::process::exit(1);
+        }
+        println!(
+            "  {mode_name}: {} faults, coverage {:.2}%, verdicts bit-identical",
+            kernel.artifact.total_faults,
+            100.0 * kernel.artifact.coverage
+        );
+    }
+    let tape = faultsim::Tape::compile(d.netlist());
+    if tape.op_count() == 0 || tape.segment_count() == 0 {
+        eprintln!("kernel cell failed: LP-MINI compiled to an empty tape");
+        std::process::exit(1);
+    }
+    println!(
+        "kernel cell: tape {} op(s) in {} segment(s) over {} slot plane(s), both modes identical",
+        tape.op_count(),
+        tape.segment_count(),
+        tape.slot_count(),
     );
 }
 

@@ -178,6 +178,34 @@ fn collapse_specs_round_trip_through_the_daemon() {
     daemon.join().unwrap();
 }
 
+#[test]
+fn engine_specs_round_trip_through_the_daemon() {
+    let (daemon, addr) = tcp_daemon(DaemonConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+
+    // The walker is the non-default engine, so it shows up in the cache
+    // key — after every other stage suffix.
+    let spec = CampaignSpec { engine: bist_core::SimEngine::Walker, ..mini_spec(64) };
+    let walked = client.run_campaign(&spec, None).unwrap();
+    assert!(walked.key.ends_with(";engine=walker"), "{}", walked.key);
+
+    // The default kernel engine stays out of the key (old cache entries
+    // keep their addresses) and produces bit-identical verdicts.
+    let kernel = client.run_campaign(&mini_spec(64), None).unwrap();
+    assert!(!kernel.cached);
+    assert!(!kernel.key.contains("engine"), "{}", kernel.key);
+    for field in ["detected", "missed", "coverage", "signature", "total_faults"] {
+        assert_eq!(
+            walked.artifact.get(field).map(JsonValue::to_json),
+            kernel.artifact.get(field).map(JsonValue::to_json),
+            "{field} must not depend on the engine"
+        );
+    }
+
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+}
+
 /// Rebuilds a JSON value with every `ms` object entry dropped, so two
 /// artifacts can be compared byte-for-byte modulo wall-clock timings.
 fn without_timings(v: &JsonValue) -> JsonValue {

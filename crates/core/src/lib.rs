@@ -68,4 +68,5 @@ pub mod variance;
 pub mod zones;
 
 pub use atpg::TopOffConfig;
+pub use faultsim::SimEngine;
 pub use session::{BistRun, BistSession, RunConfig, SatConfig, SessionError};

@@ -23,6 +23,10 @@
 //!   reports end-of-test signatures and the exact set of
 //!   compare-detected faults that would escape a signature-only check
 //!   ([`FaultSimResult::aliased`]).
+//! * [`kernel`] — the default execution engine: the netlist compiled
+//!   once into a flat structure-of-arrays op tape ([`Tape`]) run by a
+//!   straight-line machine ([`KernelSim`]) that is bit-identical to the
+//!   graph walker; [`SimEngine`] selects between the two per run.
 //! * [`inject`] — functional simulation of one specific fault, used for
 //!   the paper's Section 5 case study (Fig. 2: a missed fault's spike
 //!   train on a sine response).
@@ -58,10 +62,12 @@ mod sim;
 
 pub mod census;
 pub mod inject;
+pub mod kernel;
 pub mod report;
 
 pub use fault::{FaultId, FaultSite, FaultUniverse};
+pub use kernel::{KernelSim, OpKind, Tape};
 pub use sim::{
     CancelToken, Cancelled, FaultSimResult, ParallelFaultSimulator, SignatureConfig, SignatureSet,
-    SimOptions, StageSchedule,
+    SimEngine, SimOptions, StageSchedule,
 };

@@ -1,4 +1,5 @@
 use crate::fault::{FaultId, FaultUniverse};
+use crate::kernel::{KernelSim, Tape};
 use obs::Registry;
 use rtl::misr::MisrBank;
 use rtl::sim::{BitSlicedSim, CellFault};
@@ -74,6 +75,13 @@ impl Error for Cancelled {}
 /// machine).
 const LANES_PER_PASS: usize = 63;
 
+/// Fault shards batched into one kernel machine: the tape executes
+/// this many independent 64-lane pattern words per op, so the
+/// serialized ripple-carry chain of one shard pipelines against its
+/// neighbours' and the per-op decode cost is amortized. The walker
+/// always carries one word.
+const KERNEL_WORDS: usize = 16;
+
 /// Staged fault-dropping schedule: simulation restarts lane packing at
 /// each boundary, carrying every surviving faulty machine's register
 /// state across. Early stages are short so the bulk of (easy) faults is
@@ -134,6 +142,44 @@ pub struct SignatureConfig {
     pub poly: u64,
 }
 
+/// Which bit-sliced execution engine a run simulates machines with.
+///
+/// Both engines are bit-identical — same detection cycles, signatures
+/// and register snapshots on every design (the differential tests and
+/// the `kernel` experiments cell hold them equal) — so this knob trades
+/// only speed: the compiled tape eliminates per-node dispatch and the
+/// walker's whole-node faulted slow path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimEngine {
+    /// The compiled straight-line tape ([`crate::kernel::KernelSim`]),
+    /// the default since PR 10.
+    #[default]
+    Kernel,
+    /// The original graph walker ([`rtl::sim::BitSlicedSim`]), retained
+    /// for differential testing.
+    Walker,
+}
+
+impl SimEngine {
+    /// Canonical lowercase name (`"kernel"` / `"walker"`), used in
+    /// cache keys and on the wire.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SimEngine::Kernel => "kernel",
+            SimEngine::Walker => "walker",
+        }
+    }
+
+    /// Parses a canonical engine name.
+    pub fn parse(s: &str) -> Option<SimEngine> {
+        match s {
+            "kernel" => Some(SimEngine::Kernel),
+            "walker" => Some(SimEngine::Walker),
+            _ => None,
+        }
+    }
+}
+
 /// Options controlling a fault-simulation run: the fault-dropping
 /// [`StageSchedule`] and the number of worker threads the fault
 /// universe is sharded across.
@@ -149,6 +195,7 @@ pub struct SimOptions {
     metrics: Option<Arc<Registry>>,
     cancel: Option<CancelToken>,
     signature: Option<SignatureConfig>,
+    engine: SimEngine,
 }
 
 impl SimOptions {
@@ -162,6 +209,7 @@ impl SimOptions {
             metrics: None,
             cancel: None,
             signature: None,
+            engine: SimEngine::default(),
         }
     }
 
@@ -234,6 +282,18 @@ impl SimOptions {
     /// The signature configuration, if signature mode is enabled.
     pub fn signature(&self) -> Option<SignatureConfig> {
         self.signature
+    }
+
+    /// Selects the execution engine (default: [`SimEngine::Kernel`]).
+    /// Detection results are bit-identical under either engine.
+    pub fn with_engine(mut self, engine: SimEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The selected execution engine.
+    pub fn engine(&self) -> SimEngine {
+        self.engine
     }
 
     /// The configured stage schedule.
@@ -404,6 +464,101 @@ struct ShardOutcome {
     survivors: Vec<(FaultId, MachineState)>,
 }
 
+/// One bit-sliced machine under either execution engine. The two
+/// variants expose identical semantics (the kernel is compiled from the
+/// same netlist the walker interprets and is differentially tested
+/// bit-identical), so shard code is engine-agnostic.
+enum ShardMachine<'a> {
+    Walker(BitSlicedSim<'a>),
+    Kernel(KernelSim<'a>),
+}
+
+impl<'a> ShardMachine<'a> {
+    /// A fresh fault-free machine: a tape-backed kernel carrying
+    /// `words` pattern words when the run compiled a tape, the graph
+    /// walker (always single-word) otherwise.
+    fn new(netlist: &'a Netlist, tape: Option<&'a Tape>, words: usize) -> Self {
+        match tape {
+            Some(t) => ShardMachine::Kernel(KernelSim::with_words(t, words)),
+            None => {
+                debug_assert_eq!(words, 1, "the walker carries exactly one word");
+                ShardMachine::Walker(BitSlicedSim::new(netlist))
+            }
+        }
+    }
+
+    fn step(&mut self, input_raw: i64) {
+        match self {
+            ShardMachine::Walker(s) => s.step(input_raw),
+            ShardMachine::Kernel(s) => s.step(input_raw),
+        }
+    }
+
+    fn set_faults_in_word(&mut self, word: usize, node: rtl::NodeId, faults: Vec<CellFault>) {
+        match self {
+            ShardMachine::Walker(s) => {
+                debug_assert_eq!(word, 0);
+                s.set_faults(node, faults);
+            }
+            ShardMachine::Kernel(s) => s.set_faults_in_word(word, node, faults),
+        }
+    }
+
+    fn fold_outputs(&self, bank: &mut MisrBank) {
+        match self {
+            ShardMachine::Walker(s) => s.fold_outputs(bank),
+            ShardMachine::Kernel(s) => s.fold_outputs(bank),
+        }
+    }
+
+    fn fold_outputs_in_word(&self, word: usize, bank: &mut MisrBank) {
+        match self {
+            ShardMachine::Walker(s) => {
+                debug_assert_eq!(word, 0);
+                s.fold_outputs(bank);
+            }
+            ShardMachine::Kernel(s) => s.fold_outputs_in_word(word, bank),
+        }
+    }
+
+    fn output_diff_lanes_in_word(&self, word: usize, reference_lane: u32) -> u64 {
+        match self {
+            ShardMachine::Walker(s) => {
+                debug_assert_eq!(word, 0);
+                s.output_diff_lanes(reference_lane)
+            }
+            ShardMachine::Kernel(s) => s.output_diff_lanes_in_word(word, reference_lane),
+        }
+    }
+
+    fn register_state_lane(&self, lane: u32) -> Vec<u64> {
+        match self {
+            ShardMachine::Walker(s) => s.register_state_lane(lane),
+            ShardMachine::Kernel(s) => s.register_state_lane(lane),
+        }
+    }
+
+    fn register_state_lane_in_word(&self, word: usize, lane: u32) -> Vec<u64> {
+        match self {
+            ShardMachine::Walker(s) => {
+                debug_assert_eq!(word, 0);
+                s.register_state_lane(lane)
+            }
+            ShardMachine::Kernel(s) => s.register_state_lane_in_word(word, lane),
+        }
+    }
+
+    fn set_register_state_lane_in_word(&mut self, word: usize, lane: u32, snapshot: &[u64]) {
+        match self {
+            ShardMachine::Walker(s) => {
+                debug_assert_eq!(word, 0);
+                s.set_register_state_lane(lane, snapshot);
+            }
+            ShardMachine::Kernel(s) => s.set_register_state_lane_in_word(word, lane, snapshot),
+        }
+    }
+}
+
 /// The staged, sharded, 64-lane parallel fault simulator.
 ///
 /// Two axes of parallelism compose: within one shard, 63 faulty
@@ -494,12 +649,18 @@ impl<'a> ParallelFaultSimulator<'a> {
         }
         let threads = self.options.effective_threads().max(1);
 
+        // The kernel engine compiles the netlist once; the immutable
+        // tape is shared by the good machine and every shard on every
+        // thread.
+        let tape = (self.options.engine == SimEngine::Kernel).then(|| Tape::compile(self.netlist));
+        let tape = tape.as_ref();
+
         // Good-machine register state at the start of the current stage,
         // and (in signature mode) its response-compacting MISR. All 64
         // lanes of `good_sim` are fault-free copies, so lane 0 of its
         // bank is the fault-free signature — computed by the exact
         // word-parallel code path the shards use.
-        let mut good_sim = BitSlicedSim::new(self.netlist);
+        let mut good_sim = ShardMachine::new(self.netlist, tape, 1);
         let mut good = MachineState { regs: good_sim.register_state_lane(0), misr: 0 };
         let mut good_bank = self.options.signature.map(|cfg| {
             MisrBank::with_polynomial(cfg.width, cfg.poly)
@@ -524,16 +685,23 @@ impl<'a> ParallelFaultSimulator<'a> {
             }
             let stage_span = metrics.map(|m| obs::span!(m, "faultsim.stage{}", stage_index));
             let shards: Vec<&[FaultId]> = active.chunks(LANES_PER_PASS).collect();
-            let workers = threads.min(shards.len());
+            // The kernel engine batches several shards into one
+            // multi-word machine; the walker runs one shard per
+            // machine. Results are identical either way — each word
+            // carries its own faults, banks and survivor snapshots.
+            let words = if tape.is_some() { KERNEL_WORDS } else { 1 };
+            let groups: Vec<&[&[FaultId]]> = shards.chunks(words).collect();
+            let workers = threads.min(groups.len());
             if let Some(m) = metrics {
                 m.counter("faultsim.stages").inc();
                 m.counter("faultsim.shards").add(shards.len() as u64);
+                m.counter("faultsim.groups").add(groups.len() as u64);
             }
 
             let outcomes: Vec<ShardOutcome> = if workers <= 1 {
-                let out = shards
+                let out = groups
                     .iter()
-                    .map(|g| self.simulate_shard(g, &good, &states, inputs, start, end))
+                    .map(|g| self.simulate_shard_group(tape, g, &good, &states, inputs, start, end))
                     .collect();
                 for cycle in start..end {
                     good_sim.step(inputs[cycle as usize]);
@@ -543,25 +711,25 @@ impl<'a> ParallelFaultSimulator<'a> {
                 }
                 out
             } else {
-                // Workers pull shard indices from a shared counter so a
-                // straggler shard cannot serialize the stage; the main
+                // Workers pull group indices from a shared counter so a
+                // straggler group cannot serialize the stage; the main
                 // thread advances the good machine meanwhile.
                 let next = AtomicUsize::new(0);
                 let collected: Mutex<Vec<(usize, ShardOutcome)>> =
-                    Mutex::new(Vec::with_capacity(shards.len()));
+                    Mutex::new(Vec::with_capacity(groups.len()));
                 std::thread::scope(|scope| {
                     for _ in 0..workers {
                         scope.spawn(|| {
                             let mut local: Vec<(usize, ShardOutcome)> = Vec::new();
                             loop {
                                 let i = next.fetch_add(1, Ordering::Relaxed);
-                                if i >= shards.len() {
+                                if i >= groups.len() {
                                     break;
                                 }
                                 local.push((
                                     i,
-                                    self.simulate_shard(
-                                        shards[i], &good, &states, inputs, start, end,
+                                    self.simulate_shard_group(
+                                        tape, groups[i], &good, &states, inputs, start, end,
                                     ),
                                 ));
                             }
@@ -639,13 +807,19 @@ impl<'a> ParallelFaultSimulator<'a> {
         }
     }
 
-    /// Simulates one shard of up to 63 faults over one stage, starting
-    /// every machine from its stage-entry register state (and, in
-    /// signature mode, its partial MISR state). Independent of every
-    /// other shard, so shards can run on any thread in any order.
-    fn simulate_shard(
+    /// Simulates a group of shards (up to 63 faults each) over one
+    /// stage on a single machine, starting every lane of every word
+    /// from its stage-entry register state (and, in signature mode, its
+    /// partial MISR state). On the walker a group is always exactly one
+    /// shard; the kernel batches [`KERNEL_WORDS`] shards into one
+    /// multi-word machine so their carry chains pipeline. Each word is
+    /// fully independent of every other word and of every other group,
+    /// so groups can run on any thread in any order.
+    #[allow(clippy::too_many_arguments)]
+    fn simulate_shard_group(
         &self,
-        group: &[FaultId],
+        tape: Option<&Tape>,
+        chunks: &[&[FaultId]],
         good: &MachineState,
         states: &HashMap<FaultId, MachineState>,
         inputs: &[i64],
@@ -653,92 +827,121 @@ impl<'a> ParallelFaultSimulator<'a> {
         end: u32,
     ) -> ShardOutcome {
         let shard_started = self.options.metrics.as_ref().map(|_| Instant::now());
-        let mut sim = BitSlicedSim::new(self.netlist);
-        let mut bank = self.options.signature.map(|cfg| {
-            let mut b = MisrBank::with_polynomial(cfg.width, cfg.poly)
-                .expect("signature width validated by the session layer");
-            b.fill(good.misr);
-            b
+        let words = chunks.len();
+        let mut sim = ShardMachine::new(self.netlist, tape, words);
+        let mut banks: Option<Vec<MisrBank>> = self.options.signature.map(|cfg| {
+            (0..words)
+                .map(|_| {
+                    let mut b = MisrBank::with_polynomial(cfg.width, cfg.poly)
+                        .expect("signature width validated by the session layer");
+                    b.fill(good.misr);
+                    b
+                })
+                .collect()
         });
-        // All lanes start from the good state, then faulty lanes get
-        // their own diverged state (registers and partial signature).
-        for lane in 0..64 {
-            sim.set_register_state_lane(lane, &good.regs);
-        }
-        for (slot, &fid) in group.iter().enumerate() {
-            let lane = slot as u32 + 1;
-            if let Some(s) = states.get(&fid) {
-                sim.set_register_state_lane(lane, &s.regs);
-                if let Some(bank) = bank.as_mut() {
-                    bank.set_lane_signature(lane, s.misr);
+        // All lanes of every word start from the good state, then
+        // faulty lanes get their own diverged state (registers and
+        // partial signature); finally each word's faults are injected,
+        // batched per node.
+        for (word, group) in chunks.iter().enumerate() {
+            for lane in 0..64 {
+                sim.set_register_state_lane_in_word(word, lane, &good.regs);
+            }
+            for (slot, &fid) in group.iter().enumerate() {
+                let lane = slot as u32 + 1;
+                if let Some(s) = states.get(&fid) {
+                    sim.set_register_state_lane_in_word(word, lane, &s.regs);
+                    if let Some(banks) = banks.as_mut() {
+                        banks[word].set_lane_signature(lane, s.misr);
+                    }
                 }
             }
-        }
-        // Inject the group's faults, batched per node.
-        let mut per_node: HashMap<rtl::NodeId, Vec<CellFault>> = HashMap::new();
-        for (slot, &fid) in group.iter().enumerate() {
-            let site = self.universe.site(fid);
-            per_node.entry(site.node).or_default().push(CellFault {
-                cell: site.cell,
-                fault: site.representative,
-                lanes: 1u64 << (slot + 1),
-            });
-        }
-        for (node, faults) in per_node {
-            sim.set_faults(node, faults);
+            let mut per_node: HashMap<rtl::NodeId, Vec<CellFault>> = HashMap::new();
+            for (slot, &fid) in group.iter().enumerate() {
+                let site = self.universe.site(fid);
+                per_node.entry(site.node).or_default().push(CellFault {
+                    cell: site.cell,
+                    fault: site.representative,
+                    lanes: 1u64 << (slot + 1),
+                });
+            }
+            for (node, faults) in per_node {
+                sim.set_faults_in_word(word, node, faults);
+            }
         }
 
         let mut detections: Vec<(FaultId, u32)> = Vec::new();
-        let mut undetected_mask: u64 = 0;
-        for slot in 0..group.len() {
-            undetected_mask |= 1u64 << (slot + 1);
-        }
+        let mut undetected: Vec<u64> = chunks
+            .iter()
+            .map(|group| {
+                let mut mask = 0u64;
+                for slot in 0..group.len() {
+                    mask |= 1u64 << (slot + 1);
+                }
+                mask
+            })
+            .collect();
+        let mut live = undetected.iter().filter(|&&m| m != 0).count();
         for cycle in start..end {
             sim.step(inputs[cycle as usize]);
-            if let Some(bank) = bank.as_mut() {
-                sim.fold_outputs(bank);
+            if let Some(banks) = banks.as_mut() {
+                for (word, bank) in banks.iter_mut().enumerate() {
+                    sim.fold_outputs_in_word(word, bank);
+                }
             }
-            let diff = sim.output_diff_lanes(0) & undetected_mask;
-            if diff != 0 {
-                let mut d = diff;
-                while d != 0 {
-                    let lane = d.trailing_zeros();
-                    d &= d - 1;
-                    detections.push((group[(lane - 1) as usize], cycle));
+            for (word, group) in chunks.iter().enumerate() {
+                let diff = sim.output_diff_lanes_in_word(word, 0) & undetected[word];
+                if diff != 0 {
+                    let mut d = diff;
+                    while d != 0 {
+                        let lane = d.trailing_zeros();
+                        d &= d - 1;
+                        detections.push((group[(lane - 1) as usize], cycle));
+                    }
+                    undetected[word] &= !diff;
+                    if undetected[word] == 0 {
+                        live -= 1;
+                    }
                 }
-                undetected_mask &= !diff;
-                // Compare mode drops a fully detected shard early; a
-                // signature only exists at end of test, so signature
-                // mode always plays the stage out.
-                if undetected_mask == 0 && bank.is_none() {
-                    break;
-                }
+            }
+            // Compare mode drops a fully detected group early; a
+            // signature only exists at end of test, so signature mode
+            // always plays the stage out.
+            if live == 0 && banks.is_none() {
+                break;
             }
         }
         // Snapshot survivors' states for the next stage: the undetected
         // lanes in compare mode, every lane in signature mode.
         let mut survivors: Vec<(FaultId, MachineState)> = Vec::new();
-        match bank.as_ref() {
-            Some(bank) => {
-                for (slot, &fid) in group.iter().enumerate() {
-                    let lane = slot as u32 + 1;
-                    survivors.push((
-                        fid,
-                        MachineState {
-                            regs: sim.register_state_lane(lane),
-                            misr: bank.lane_signature(lane),
-                        },
-                    ));
+        for (word, group) in chunks.iter().enumerate() {
+            match banks.as_ref() {
+                Some(banks) => {
+                    for (slot, &fid) in group.iter().enumerate() {
+                        let lane = slot as u32 + 1;
+                        survivors.push((
+                            fid,
+                            MachineState {
+                                regs: sim.register_state_lane_in_word(word, lane),
+                                misr: banks[word].lane_signature(lane),
+                            },
+                        ));
+                    }
                 }
-            }
-            None => {
-                let mut m = undetected_mask;
-                while m != 0 {
-                    let lane = m.trailing_zeros();
-                    m &= m - 1;
-                    let fid = group[(lane - 1) as usize];
-                    survivors
-                        .push((fid, MachineState { regs: sim.register_state_lane(lane), misr: 0 }));
+                None => {
+                    let mut m = undetected[word];
+                    while m != 0 {
+                        let lane = m.trailing_zeros();
+                        m &= m - 1;
+                        let fid = group[(lane - 1) as usize];
+                        survivors.push((
+                            fid,
+                            MachineState {
+                                regs: sim.register_state_lane_in_word(word, lane),
+                                misr: 0,
+                            },
+                        ));
+                    }
                 }
             }
         }
@@ -946,7 +1149,11 @@ mod tests {
                 1
             );
         }
-        assert_eq!(s.histograms["faultsim.shard_ms"].count, s.counters["faultsim.shards"]);
+        // The dispatch-latency histogram samples once per machine
+        // dispatch — a group of shards on the kernel, one shard on the
+        // walker — so it tracks the group counter, not the shard one.
+        assert_eq!(s.histograms["faultsim.shard_ms"].count, s.counters["faultsim.groups"]);
+        assert!(s.counters["faultsim.groups"] <= s.counters["faultsim.shards"]);
         assert_eq!(s.histograms["faultsim.merge_ms"].count, stages);
     }
 
@@ -1228,5 +1435,59 @@ mod tests {
             .with_threads(2);
         assert_eq!(opts.threads(), 2);
         assert_eq!(opts.schedule(), &StageSchedule::with_boundaries(vec![8]));
+    }
+
+    #[test]
+    fn engine_names_round_trip_and_kernel_is_the_default() {
+        assert_eq!(SimOptions::new().engine(), SimEngine::Kernel);
+        for e in [SimEngine::Kernel, SimEngine::Walker] {
+            assert_eq!(SimEngine::parse(e.as_str()), Some(e));
+        }
+        assert_eq!(SimEngine::parse("graph"), None);
+        assert_eq!(SimOptions::new().with_engine(SimEngine::Walker).engine(), SimEngine::Walker);
+    }
+
+    #[test]
+    fn engines_agree_in_compare_mode() {
+        let n = filterish(12);
+        let u = universe(&n);
+        let inputs = pseudo_inputs(192, 12);
+        let run = |engine| {
+            ParallelFaultSimulator::new(&n, &u)
+                .with_options(
+                    SimOptions::new()
+                        .with_engine(engine)
+                        .with_schedule(StageSchedule::with_boundaries(vec![64, 128]))
+                        .with_threads(1),
+                )
+                .run(&inputs)
+        };
+        let kernel = run(SimEngine::Kernel);
+        let walker = run(SimEngine::Walker);
+        assert_eq!(kernel.detection_cycle, walker.detection_cycle);
+        assert_eq!(kernel.total_cycles, walker.total_cycles);
+    }
+
+    #[test]
+    fn engines_agree_in_signature_mode() {
+        let n = filterish(12);
+        let u = universe(&n);
+        let inputs = pseudo_inputs(192, 12);
+        let run = |engine| {
+            ParallelFaultSimulator::new(&n, &u)
+                .with_options(
+                    SimOptions::new()
+                        .with_engine(engine)
+                        .with_schedule(StageSchedule::with_boundaries(vec![96]))
+                        .with_threads(1)
+                        .with_signature(SIG16),
+                )
+                .run(&inputs)
+        };
+        let kernel = run(SimEngine::Kernel);
+        let walker = run(SimEngine::Walker);
+        assert_eq!(kernel.detection_cycle, walker.detection_cycle);
+        assert_eq!(kernel.signatures(), walker.signatures());
+        assert_eq!(kernel.aliased(), walker.aliased());
     }
 }

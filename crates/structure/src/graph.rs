@@ -94,7 +94,14 @@ pub struct CellGates {
     pub sum_only: bool,
 }
 
-/// The expanded gate graph plus its shared static artifacts.
+/// The expanded gate graph plus its shared static artifacts
+/// (levelization, fanout/consumer lists, fanout-free regions), computed
+/// once by [`GateGraph::expand`] and reused by every downstream pass.
+///
+/// Gate ids are dense `0..gate_count()` in creation order, which is
+/// itself topological: a gate is always created after every gate it
+/// reads, so a single forward sweep over ids is a valid evaluation
+/// order (the collapse, dominator and SCOAP passes all rely on this).
 #[derive(Debug)]
 pub struct GateGraph {
     gates: Vec<Gate>,
@@ -405,7 +412,16 @@ impl GateGraph {
         self.fanout[g as usize]
     }
 
-    /// Topological level of gate `g` (0 for sources).
+    /// Topological level of gate `g`.
+    ///
+    /// Levelization invariants: sources (primary inputs, constants and
+    /// register outputs) sit at level 0, and every other gate's level
+    /// is `1 + max(level(input))` over its input pins — so
+    /// `level(g) > level(p)` strictly for every combinational input
+    /// `p` of `g`, and evaluating gates in nondecreasing level order
+    /// (ties in any order) is always sound. Register *next-state*
+    /// pins close the only cycles in the design and are excluded:
+    /// levels measure pure combinational depth within one clock cycle.
     pub fn level(&self, g: u32) -> u32 {
         self.levels[g as usize]
     }

@@ -1,0 +1,46 @@
+//! Golden snapshot of the compiled kernel tape for LP-MINI.
+//!
+//! The tape is the kernel's entire contract with the netlist: the slot
+//! allocation, the op stream, the uniform-kind segments, the arithmetic
+//! cell index that fault patches address, and the register latch list.
+//! Pinning its text dump means any change to the lowering pass — a new
+//! op kind, a different slot-numbering rule, a reordered segment — must
+//! re-bless this file and be reviewed as a behavior change, not slip
+//! through as noise. (Bit-identity of the *results* is held separately
+//! by `kernel_parity.rs`; this file pins the *program*.)
+//!
+//! Regenerate with `BLESS=1 cargo test -p bist-bench --test kernel_golden`.
+
+use faultsim::Tape;
+
+#[test]
+fn lp_mini_tape_dump_is_byte_stable() {
+    let design = filters::designs::lowpass_mini().expect("LP-MINI elaborates");
+    let actual = Tape::compile(design.netlist()).dump();
+    let path =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/kernel_tape.txt");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("golden dir");
+        std::fs::write(&path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {}: {e} (run with BLESS=1)", path.display())
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "the LP-MINI kernel tape drifted from {}; re-bless with BLESS=1 only if \
+         the lowering change is intentional",
+        path.display()
+    );
+}
+
+#[test]
+fn tape_dump_is_deterministic_across_compiles() {
+    // The dump doubles as the cache key for debugging sessions, so two
+    // compiles of the same netlist must render identically.
+    let design = filters::designs::lowpass_mini().expect("LP-MINI elaborates");
+    let netlist = design.netlist();
+    assert_eq!(Tape::compile(netlist).dump(), Tape::compile(netlist).dump());
+}
